@@ -1,0 +1,31 @@
+"""Benchmark: reproduce Fig. 1 — the LightNN Pareto gap FLightNNs fill.
+
+Prints (energy, test-error) for L-1/L-2 and the two FLightNN points of
+network 1 and asserts the motivating geometry: L-1 and L-2 are separated
+in energy, and at least one FLightNN lands strictly inside the gap or on
+its cheap edge.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import report, run_once
+from repro.experiments import run_fig1
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig1_pareto_gap(benchmark, profile):
+    points = run_once(benchmark, run_fig1, profile)
+    report()
+    report("Fig 1 (network 1): energy (uJ) vs test error (%)")
+    for label in ("L-1", "FL_a", "FL_b", "L-2"):
+        energy, error = points[label]
+        report(f"  {label:5s}  {energy:8.4f}  {error:5.1f}")
+
+    e_l1, _ = points["L-1"]
+    e_l2, _ = points["L-2"]
+    assert e_l2 > 1.5 * e_l1  # the discrete gap of Fig. 1
+    for key in ("FL_a", "FL_b"):
+        energy, _ = points[key]
+        assert e_l1 - 1e-9 <= energy <= e_l2 + 1e-9  # FL fills the gap

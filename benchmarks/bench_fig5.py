@@ -1,0 +1,32 @@
+"""Benchmark: reproduce Fig. 5 — accuracy vs ASIC computational energy.
+
+One panel per Table-1 network (reusing the Table 2-5 trainings via the
+shared cache).  Asserts the energy ordering that drives the figure and the
+FLightNN interpolation property.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import report, run_once
+from repro.experiments import run_fig5
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig5_accuracy_vs_energy(benchmark, profile):
+    panels = run_once(benchmark, run_fig5, profile)
+    report()
+    assert len(panels) == 8  # one panel per Table-1 network
+    for panel in panels:
+        report(panel.render())
+        rows = {r.scheme_key: r for r in panel.points}
+        # Energy ordering: L-1 < FL_a <= FL_b-ish < L-2; FP above L-2
+        # (fixed-point multiplies cost more than two shifts).
+        assert rows["L-1"].energy_uj < rows["L-2"].energy_uj
+        assert rows["L-1"].energy_uj <= rows["FL_a"].energy_uj <= rows["L-2"].energy_uj + 1e-12
+        assert rows["FL_a"].energy_uj <= rows["FL_b"].energy_uj + 1e-12
+        if "FP" in rows:
+            assert rows["FP"].energy_uj > rows["L-2"].energy_uj
+        # L-2 costs twice L-1 (two shifts + two adds vs one of each).
+        assert rows["L-2"].energy_uj == pytest.approx(2 * rows["L-1"].energy_uj, rel=0.05)

@@ -1,0 +1,29 @@
+"""Benchmark: reproduce Fig. 6 — accuracy-storage Pareto fronts.
+
+Width-sweeps network 6 on CIFAR-100 for LightNN-1/2 and FLightNN and
+asserts the paper's claim: the FLightNN front is the upper bound of the
+LightNN fronts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import report, run_once
+from repro.experiments import run_fig6
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig6_accuracy_storage_front(benchmark, profile):
+    result = run_once(benchmark, run_fig6, profile)
+    report()
+    report(result.render())
+    report("\nLightNN front:", [(f"{s:.4f}", f"{a:.1f}") for s, a in result.lightnn_front])
+    report("FLightNN front:", [(f"{s:.4f}", f"{a:.1f}") for s, a in result.flightnn_front])
+
+    assert len(result.lightnn_points) == 6   # 3 widths x {L-1, L-2}
+    assert len(result.flightnn_points) == 6  # 3 widths x {FL_a, FL_b}
+    # The paper's headline claim for this figure:
+    assert result.flightnn_is_upper_bound(), (
+        "FLightNN front failed to dominate the LightNN front"
+    )

@@ -1,0 +1,47 @@
+"""Benchmark: sensitivity of the hardware-model conclusions to calibration.
+
+Perturbs the ASIC per-op energies and the FPGA per-unit costs by up to 2x
+in each direction and checks that the orderings behind the paper's claims
+survive every configuration (analysis and the deliberately excluded
+marginal pair are documented in :mod:`repro.hw.sensitivity`).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import report, run_once
+from repro.hw import (
+    energy_ordering_sensitivity,
+    network_largest_layer_ops,
+    throughput_ordering_sensitivity,
+)
+from repro.models import build_network
+from repro.quant.schemes import paper_schemes
+
+SCHEMES = paper_schemes()
+
+
+@pytest.fixture(scope="module")
+def ops_by_scheme():
+    out = {}
+    for key in ("Full", "L-2", "L-1", "FP"):
+        net = build_network(7, SCHEMES[key], num_classes=10, image_size=32, rng=0)
+        out[key] = network_largest_layer_ops(net)
+    return out
+
+
+@pytest.mark.benchmark(group="sensitivity")
+def test_energy_ordering_sensitivity(benchmark, ops_by_scheme):
+    outcome = run_once(benchmark, energy_ordering_sensitivity, ops_by_scheme)
+    report(f"\n{outcome.trials} energy-table perturbations, "
+          f"{len(outcome.violations)} violations")
+    assert outcome.robust, outcome.violations
+
+
+@pytest.mark.benchmark(group="sensitivity")
+def test_throughput_ordering_sensitivity(benchmark, ops_by_scheme):
+    outcome = run_once(benchmark, throughput_ordering_sensitivity, ops_by_scheme)
+    report(f"\n{outcome.trials} FPGA-cost perturbations, "
+          f"{len(outcome.violations)} violations")
+    assert outcome.robust, outcome.violations

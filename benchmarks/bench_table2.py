@@ -1,0 +1,35 @@
+"""Benchmark: reproduce Table 2 (CIFAR-10 accuracy & FPGA throughput).
+
+Trains networks 1-3 under all six model families and prints the
+paper-format table.  Shape assertions check the paper's claims:
+storage ratios, throughput ordering, and FLightNN interpolation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import report, run_once
+from repro.experiments import run_table2
+
+
+@pytest.mark.benchmark(group="tables")
+def test_table2_cifar10(benchmark, profile):
+    table = run_once(benchmark, run_table2, profile)
+    report()
+    report(table.render())
+
+    for network_id in (1, 2, 3):
+        rows = {r.scheme_key: r for r in table.network_rows(network_id)}
+        # Storage: L-2 = 2x L-1 = 2x FP; FL between L-1 and L-2.
+        assert rows["L-2"].storage_mb == pytest.approx(2 * rows["L-1"].storage_mb)
+        assert rows["FP"].storage_mb == pytest.approx(rows["L-1"].storage_mb)
+        assert rows["L-1"].storage_mb <= rows["FL_a"].storage_mb <= rows["L-2"].storage_mb + 1e-9
+        # Throughput ordering: every quantized model beats Full; L-1 beats
+        # L-2; (F)LightNN at low k beats fixed point (the "up to 2x" claim).
+        assert rows["L-1"].throughput > rows["L-2"].throughput > rows["Full"].throughput
+        assert rows["FL_a"].throughput > rows["FP"].throughput
+        assert rows["FL_a"].throughput <= rows["L-1"].throughput * 1.001
+        # FLightNN k interpolates.
+        assert 0.9 <= rows["FL_a"].mean_filter_k <= 2.0
+        assert rows["FL_a"].mean_filter_k <= rows["FL_b"].mean_filter_k + 1e-9

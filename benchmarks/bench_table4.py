@@ -1,0 +1,24 @@
+"""Benchmark: reproduce Table 4 (CIFAR-100 accuracy & FPGA throughput)."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import report, run_once
+from repro.experiments import run_table4
+
+
+@pytest.mark.benchmark(group="tables")
+def test_table4_cifar100(benchmark, profile):
+    table = run_once(benchmark, run_table4, profile)
+    report()
+    report(table.render())
+
+    for network_id in (6, 7):
+        rows = {r.scheme_key: r for r in table.network_rows(network_id)}
+        assert rows["L-2"].storage_mb == pytest.approx(2 * rows["L-1"].storage_mb)
+        assert rows["L-1"].throughput > rows["FP"].throughput
+        # Paper: FLightNNs reach up to 1.8x speedup over fixed point on
+        # CIFAR-100; at minimum FL_a must clearly beat FP.
+        assert rows["FL_a"].throughput > 1.2 * rows["FP"].throughput
+        assert 1.0 <= rows["FL_b"].mean_filter_k <= 2.0

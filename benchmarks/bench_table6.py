@@ -1,0 +1,56 @@
+"""Benchmark: reproduce Table 6 (FPGA resource utilisation, networks 7-8).
+
+Built at full Table-1 scale (no training; FLightNN rows emulate trained
+operating points).  Asserts the paper's qualitative utilisation pattern.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import report, run_once
+from repro.experiments import run_table6
+from repro.experiments.table6 import render_table6
+from repro.hw.fpga import FPGA_ZC706, OVERHEAD
+
+
+@pytest.mark.benchmark(group="resources")
+def test_table6_resource_utilisation(benchmark, profile):
+    rows = run_once(benchmark, run_table6, profile)
+    report()
+    report(render_table6(rows))
+
+    by_key = {(r.network_id, r.scheme_name): r for r in rows}
+    net7 = {name: r for (nid, name), r in by_key.items() if nid == 7}
+    net8 = {name: r for (nid, name), r in by_key.items() if nid == 8}
+
+    # DSP: hundreds for Full/FP (multipliers), only the overhead handful
+    # for the shift families ("LightNNs only need DSP for addition").
+    assert net7["Full"].design.usage.dsp > 300
+    assert net7["FP_4W8A"].design.usage.dsp > 300
+    for name, row in net7.items():
+        if name.startswith(("L-", "FL")):
+            assert row.design.usage.dsp == OVERHEAD.dsp
+
+    # LUT: shift families use real LUT area but stay below ~60% (paper: 42%
+    # max for network 7) — LUTs never bind them.
+    for name, row in net7.items():
+        if name.startswith(("L-", "FL")):
+            frac = row.design.usage.lut / FPGA_ZC706.lut
+            assert 0.15 < frac < 0.7
+            assert "bram" in row.design.bound_by
+
+    # Everything fits the device.
+    for row in rows:
+        assert row.design.usage.fits_in(FPGA_ZC706)
+
+    # Speedup pattern within network 7: Full 1x < L-2 < L-1, FP between.
+    thr = {name: r.design.throughput for name, r in net7.items()}
+    assert thr["L-1_4W8A"] > thr["FP_4W8A"] > thr["Full"]
+    assert thr["L-1_4W8A"] > thr["L-2_8W8A"] > thr["Full"]
+
+    # Network 8 (Table 5's net): L-1 about 2x L-2 (paper: 1.95x).
+    ratio = net8["L-1_4W8A"].design.throughput / net8["L-2_8W8A"].design.throughput
+    assert 1.5 <= ratio <= 3.0
+    # FL_a close to L-1's mean k (paper FL8a: k ~ 1.16x point).
+    assert net8["FL_a"].mean_k < 1.5

@@ -1,0 +1,58 @@
+"""Benchmark fixtures.
+
+Each experiment benchmark prints the reproduced paper table/figure series
+and times the (cached-after-first-run) experiment pipeline with
+pytest-benchmark.  Heavy experiments run exactly once per invocation
+(``rounds=1``); the shared JSON cache under ``results/`` makes repeated
+benchmark sessions cheap.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from repro.experiments import get_profile
+
+
+@pytest.fixture(scope="session")
+def profile():
+    """Scale profile for the whole benchmark session (env REPRO_PROFILE)."""
+    return get_profile()
+
+
+def pytest_terminal_summary(terminalreporter):
+    """Dump each passed benchmark's captured stdout after the run.
+
+    The whole point of this suite is to *print* the reproduced paper
+    tables/series; pytest's default capture would hide them on success,
+    so this hook replays them in the terminal summary.
+    """
+    for report_obj in terminalreporter.stats.get("passed", []):
+        sections = [
+            content for name, content in getattr(report_obj, "sections", [])
+            if "stdout" in name and content.strip()
+        ]
+        if sections:
+            terminalreporter.write_sep("-", f"reproduced output: {report_obj.nodeid}")
+            for content in sections:
+                terminalreporter.write(content)
+                if not content.endswith("\n"):
+                    terminalreporter.write("\n")
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+def report(*args, **kwargs) -> None:
+    """Print a reproduced table/series line.
+
+    Captured during the test and replayed by :func:`pytest_terminal_summary`,
+    so the tables appear in ``pytest benchmarks/`` output on success.
+    """
+    print(*args, **kwargs)
+    sys.stdout.flush()

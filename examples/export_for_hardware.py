@@ -1,0 +1,81 @@
+"""Deployment pipeline: train, checkpoint, decompose, and pack for hardware.
+
+Walks the full path from a trained FLightNN to the integer artifacts an
+FPGA weight memory holds: per-layer single-shift filter banks (Fig. 3) and
+their sign/exponent code planes, plus a checkpoint for later fine-tuning.
+
+Run:
+    python examples/export_for_hardware.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.data import make_cifar10_like
+from repro.models import build_network
+from repro.quant import (
+    decode_terms,
+    decompose_filter_bank,
+    encode_terms,
+    scheme_flightnn,
+)
+from repro.train import TrainConfig, Trainer, load_checkpoint, save_checkpoint
+
+
+def main() -> None:
+    split = make_cifar10_like(size_scale=0.5, samples=384)
+    scheme = scheme_flightnn((0.0, 0.01), label="FL")
+    model = build_network(1, scheme, num_classes=split.num_classes,
+                          image_size=split.image_shape[1], width_scale=0.25, rng=0)
+    config = TrainConfig(epochs=6, batch_size=64, lr=3e-3, lambda_warmup_epochs=2,
+                         threshold_freeze_epoch=4, threshold_lr_scale=10.0)
+    history = Trainer(model, config).fit(split)
+    print(f"trained: test acc {100 * history.final.test_accuracy:.1f}%, "
+          f"mean k {model.mean_filter_k():.2f}")
+
+    workdir = Path(tempfile.mkdtemp(prefix="flightnn_export_"))
+
+    # 1. Checkpoint the trained model (master weights + thresholds + BN).
+    ckpt = save_checkpoint(model, workdir / "model.npz", metadata={
+        "scheme": scheme.name,
+        "test_accuracy": history.final.test_accuracy,
+    })
+    print(f"checkpoint: {ckpt}")
+
+    # 2. Export every conv layer: decompose to single-shift banks and pack
+    #    into sign/exponent code planes.
+    total_bits = 0
+    for i, layer in enumerate(model.conv_layers()):
+        quantizer = layer.strategy.quantizer
+        bank = decompose_filter_bank(layer.weight.data, layer.thresholds.data, quantizer)
+        encoded = encode_terms(bank, quantizer.config.pow2)
+        np.savez(
+            workdir / f"conv{i}_codes.npz",
+            signs=encoded.signs,
+            exponents=encoded.exponent_codes,
+            filter_k=encoded.filter_k,
+        )
+        # Bit-exact check: the codes reconstruct the deployed weights.
+        assert np.array_equal(decode_terms(encoded), layer.quantized_weight())
+        total_bits += encoded.total_bits
+        print(f"  conv{i}: filters k={encoded.filter_k.tolist()}, "
+              f"{encoded.total_bits / 8 / 1024:.2f} KB of codes")
+    print(f"total packed weight storage: {total_bits / 8 / 1024:.2f} KB "
+          f"({encoded.bits_per_code} bits per shift code)")
+
+    # 3. Round-trip the checkpoint into a fresh model.
+    fresh = build_network(1, scheme, num_classes=split.num_classes,
+                          image_size=split.image_shape[1], width_scale=0.25, rng=99)
+    meta = load_checkpoint(fresh, ckpt)
+    evaluation = Trainer(fresh, TrainConfig(epochs=1)).evaluate(split.test)
+    print(f"restored checkpoint ({meta['scheme']}): "
+          f"test acc {100 * evaluation['accuracy']:.1f}% "
+          f"(saved at {100 * meta['test_accuracy']:.1f}%)")
+
+
+if __name__ == "__main__":
+    main()

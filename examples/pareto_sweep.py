@@ -1,0 +1,77 @@
+"""Pareto trade-off sweep: the continuous front FLightNNs unlock (Fig. 1/6).
+
+Trains LightNN-1, LightNN-2 and a ladder of FLightNNs with increasing
+regularization strength on one network, then prints the accuracy vs
+storage/energy operating points and the resulting Pareto front.
+
+Run:
+    python examples/pareto_sweep.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table, pareto_front
+from repro.data import make_cifar10_like
+from repro.hw import AsicEnergyModel, network_largest_layer_ops
+from repro.models import build_network
+from repro.quant import scheme_flightnn, scheme_lightnn
+from repro.train import TrainConfig, Trainer
+
+LAMBDA_LADDER = (0.0005, 0.002, 0.01, 0.03)
+
+
+def train_point(scheme, split, rng=1):
+    """Train one scheme and return its (storage, energy, accuracy, k) point."""
+    model = build_network(
+        1, scheme, num_classes=split.num_classes,
+        image_size=split.image_shape[1], width_scale=0.25, rng=rng,
+    )
+    config = TrainConfig(
+        epochs=8, batch_size=64, lr=3e-3,
+        lambda_warmup_epochs=2, threshold_freeze_epoch=5, threshold_lr_scale=10.0,
+    )
+    history = Trainer(model, config).fit(split)
+    energy = AsicEnergyModel().layer_energy_uj(network_largest_layer_ops(model))
+    return {
+        "label": scheme.name,
+        "storage_kb": model.storage_mb() * 1024,
+        "energy_uj": energy,
+        "accuracy": 100 * history.final.test_accuracy,
+        "mean_k": model.mean_filter_k(),
+    }
+
+
+def main() -> None:
+    split = make_cifar10_like(size_scale=0.5, samples=512)
+
+    points = [
+        train_point(scheme_lightnn(1), split),
+        train_point(scheme_lightnn(2), split),
+    ]
+    for lam in LAMBDA_LADDER:
+        points.append(train_point(scheme_flightnn((0.0, lam), label=f"FL(l={lam:g})"), split))
+
+    rows = [
+        [p["label"], f"{p['storage_kb']:.2f}", f"{p['energy_uj']:.4f}",
+         f"{p['accuracy']:.1f}", f"{p['mean_k']:.2f}"]
+        for p in sorted(points, key=lambda p: p["storage_kb"])
+    ]
+    print(format_table(
+        ["Model", "Storage(KB)", "Energy(uJ)", "Accuracy(%)", "mean k"],
+        rows, title="Accuracy / cost operating points (network 1)",
+    ))
+
+    front = pareto_front([(p["storage_kb"], p["accuracy"]) for p in points])
+    print("\nPareto front (storage KB, accuracy %):")
+    for cost, value in front:
+        print(f"  {cost:8.2f}  {value:5.1f}")
+    fl_between = [
+        p for p in points
+        if p["label"].startswith("FL") and 1.05 < p["mean_k"] < 1.95
+    ]
+    print(f"\n{len(fl_between)} FLightNN points landed strictly between "
+          "LightNN-1 (k=1) and LightNN-2 (k=2) — the gap of the paper's Fig. 1.")
+
+
+if __name__ == "__main__":
+    main()

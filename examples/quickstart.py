@@ -1,0 +1,72 @@
+"""Quickstart: train a FLightNN and inspect what the quantizer learned.
+
+Trains the paper's network 1 (VGG-7) on a synthetic CIFAR-10 stand-in under
+the FLightNN scheme, then reports per-filter shift counts, model storage,
+and the FPGA/ASIC cost of the largest layer.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data import make_cifar10_like
+from repro.hw import AsicEnergyModel, FPGAModel, network_largest_layer_ops
+from repro.models import build_network
+from repro.quant import scheme_flightnn
+from repro.train import TrainConfig, Trainer
+
+
+def main() -> None:
+    # 1. A 10-class synthetic stand-in for CIFAR-10 (no downloads needed).
+    split = make_cifar10_like(size_scale=0.5, samples=512)
+    print(f"dataset: {split.name}, images {split.image_shape}, "
+          f"{len(split.train)} train / {len(split.test)} test")
+
+    # 2. Network 1 (VGG-7) under FLightNN with k_max = 2.  lambda controls
+    #    the accuracy/cost trade-off: larger -> more filters drop to 1 shift.
+    scheme = scheme_flightnn(lambdas=(0.0, 0.01), label="FL")
+    model = build_network(
+        network_id=1,
+        scheme=scheme,
+        num_classes=split.num_classes,
+        image_size=split.image_shape[1],
+        width_scale=0.25,  # scaled-down profile for a fast demo
+        rng=0,
+    )
+    print(f"model: {model} ({model.num_parameters():,} parameters)")
+
+    # 3. Train with Algorithm 1: STE weight gradients, sigmoid-relaxed
+    #    threshold gradients, group-lasso residual regularization.
+    config = TrainConfig(
+        epochs=8, batch_size=64, lr=3e-3,
+        lambda_warmup_epochs=2,      # gradual quantization
+        threshold_freeze_epoch=5,    # settle gates, then fine-tune
+        threshold_lr_scale=10.0,
+    )
+    history = Trainer(model, config).fit(split)
+    for epoch in history.epochs:
+        print(f"  epoch {epoch.epoch}: test acc {100 * epoch.test_accuracy:.1f}%  "
+              f"mean k {epoch.mean_filter_k:.2f}  storage {epoch.storage_mb * 1024:.1f} KB")
+
+    # 4. What did the quantizer learn?  Per-filter shift counts per layer.
+    print("\nper-layer filter k histogram (0 = pruned, 1 = one shift, 2 = two):")
+    for i, ks in enumerate(model.filter_k_per_layer()):
+        histogram = np.bincount(ks, minlength=3)
+        print(f"  conv{i}: {dict(enumerate(histogram))}")
+
+    # 5. Hardware cost of the largest conv layer.
+    ops = network_largest_layer_ops(model)
+    design = FPGAModel().map_layer(ops)
+    energy = AsicEnergyModel().layer_energy_uj(ops)
+    print(f"\nlargest layer: {ops.out_channels} filters, {ops.macs / 1e6:.2f}M MACs, "
+          f"mean k {ops.mean_k:.2f}")
+    print(f"FPGA (ZC706 @100MHz): {design.throughput:,.0f} img/s, "
+          f"batch {design.batch_size}, bound by {design.bound_by or ('nothing',)}")
+    print(f"ASIC (65nm): {energy:.4f} uJ per inference of this layer")
+
+
+if __name__ == "__main__":
+    main()

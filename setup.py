@@ -1,0 +1,10 @@
+"""Setup shim: metadata lives in setup.cfg.
+
+The execution environment has no ``wheel`` package and no network access, so
+PEP 517 builds (which need ``bdist_wheel``) fail; a classic setup.py +
+setup.cfg keeps ``pip install -e .`` working offline.
+"""
+
+from setuptools import setup
+
+setup()

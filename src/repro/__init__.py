@@ -1,0 +1,19 @@
+"""FLightNNs reproduction (Ding et al., DAC 2019).
+
+Public API layout:
+
+* :mod:`repro.nn` — numpy autograd / layers / optimizers substrate.
+* :mod:`repro.quant` — the paper's contribution: power-of-two quantizers,
+  LightNN-k, FLightNN with differentiable per-filter ``k`` selection,
+  fixed-point baseline, residual group-lasso regularizer.
+* :mod:`repro.models` — the eight Table-1 network configurations.
+* :mod:`repro.data` — synthetic stand-ins for CIFAR-10/SVHN/CIFAR-100/ImageNet.
+* :mod:`repro.train` — the Algorithm-1 quantization-aware trainer.
+* :mod:`repro.hw` — analytical FPGA (Zynq ZC706) and ASIC (65 nm) cost models.
+* :mod:`repro.analysis` — Pareto fronts and paper-style table formatting.
+* :mod:`repro.experiments` — one entry point per paper table/figure.
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,32 @@
+"""Analysis utilities: Pareto fronts and paper-style table formatting."""
+
+from repro.analysis.pareto import (
+    dominates,
+    front_dominates,
+    front_value_at,
+    pareto_front,
+    pareto_front_indices,
+)
+from repro.analysis.tables import format_table, format_throughput_value
+from repro.analysis.shapes import (
+    check_energy_ordering,
+    check_flightnn_interpolation,
+    check_storage_ratios,
+    check_throughput_ordering,
+    run_all_checks,
+)
+
+__all__ = [
+    "dominates",
+    "pareto_front",
+    "pareto_front_indices",
+    "front_value_at",
+    "front_dominates",
+    "format_table",
+    "format_throughput_value",
+    "check_storage_ratios",
+    "check_throughput_ordering",
+    "check_energy_ordering",
+    "check_flightnn_interpolation",
+    "run_all_checks",
+]

@@ -1,0 +1,98 @@
+"""Pareto-front extraction for cost/accuracy trade-off studies.
+
+Convention throughout: points are (cost, value) pairs where *cost* (storage,
+energy, latency) is minimised and *value* (accuracy) is maximised — matching
+the axes of the paper's Figs. 1, 5 and 6.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["dominates", "pareto_front_indices", "pareto_front", "front_value_at", "front_dominates"]
+
+
+def dominates(a: tuple[float, float], b: tuple[float, float]) -> bool:
+    """Whether point ``a`` Pareto-dominates ``b`` (<= cost, >= value, one strict)."""
+    not_worse = a[0] <= b[0] and a[1] >= b[1]
+    strictly_better = a[0] < b[0] or a[1] > b[1]
+    return not_worse and strictly_better
+
+
+def pareto_front_indices(points: Sequence[tuple[float, float]]) -> list[int]:
+    """Indices of non-dominated points, sorted by increasing cost."""
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim != 2 or pts.shape[1] != 2:
+        raise ConfigurationError(f"expected (N, 2) points, got shape {pts.shape}")
+    keep = [
+        i
+        for i in range(len(pts))
+        if not any(dominates(tuple(pts[j]), tuple(pts[i])) for j in range(len(pts)) if j != i)
+    ]
+    keep.sort(key=lambda i: (pts[i][0], -pts[i][1]))
+    return keep
+
+
+def pareto_front(points: Sequence[tuple[float, float]]) -> list[tuple[float, float]]:
+    """Non-dominated (cost, value) points sorted by increasing cost."""
+    pts = [tuple(map(float, p)) for p in points]
+    return [pts[i] for i in pareto_front_indices(pts)]
+
+
+def front_value_at(
+    front: Sequence[tuple[float, float]],
+    cost: float,
+    cost_rtol: float = 0.0,
+) -> float:
+    """Best value achievable at or below ``cost`` on a front (-inf if none).
+
+    ``cost_rtol`` admits points up to ``cost * (1 + cost_rtol)`` — useful
+    when comparing fronts whose cost coordinates differ by measurement
+    granularity (e.g. FLightNN storage a few percent above LightNN-1's).
+    """
+    limit = cost * (1.0 + cost_rtol) if cost > 0 else cost
+    feasible = [v for c, v in front if c <= limit]
+    return max(feasible) if feasible else float("-inf")
+
+
+def front_dominates(
+    upper: Sequence[tuple[float, float]],
+    lower: Sequence[tuple[float, float]],
+    strict_somewhere: bool = False,
+    tolerance: float = 0.0,
+    cost_rtol: float = 0.0,
+) -> bool:
+    """Whether front ``upper`` is everywhere at least as good as ``lower``.
+
+    Evaluated at the cost coordinates of both fronts.  This is the paper's
+    Fig. 6 claim: the FLightNN accuracy-storage front is the upper bound of
+    the LightNN fronts.
+
+    Args:
+        upper / lower: Fronts as (cost, value) sequences.
+        strict_somewhere: Additionally require ``upper`` to be strictly
+            better at at least one evaluated cost.
+        tolerance: Value slack allowed at each cost (absorbs run-to-run
+            noise in trained-model accuracies).
+        cost_rtol: Relative cost slack when matching points across fronts
+            (see :func:`front_value_at`).
+    """
+    upper = pareto_front(upper)
+    lower = pareto_front(lower)
+    costs = sorted({c for c, _ in upper} | {c for c, _ in lower})
+    ge_everywhere = all(
+        front_value_at(upper, c, cost_rtol) >= front_value_at(lower, c) - tolerance - 1e-12
+        for c in costs
+    )
+    if not ge_everywhere:
+        return False
+    if strict_somewhere:
+        return any(
+            front_value_at(upper, c, cost_rtol) > front_value_at(lower, c) + 1e-12
+            for c in costs
+        )
+    return True

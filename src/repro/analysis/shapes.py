@@ -1,0 +1,115 @@
+"""Programmatic paper-shape checks.
+
+Each check inspects a set of :class:`~repro.experiments.common.ModelResult`
+rows for one network and returns a list of human-readable violations
+(empty = the paper's qualitative claim holds).  The benchmark suite and
+EXPERIMENTS.md generation share these so "who wins, by roughly what factor"
+is asserted in exactly one place.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # typing only — avoids a circular package import
+    from repro.experiments.common import ModelResult
+
+__all__ = [
+    "check_storage_ratios",
+    "check_throughput_ordering",
+    "check_energy_ordering",
+    "check_flightnn_interpolation",
+    "run_all_checks",
+]
+
+
+def _by_key(rows: Iterable["ModelResult"]) -> dict[str, "ModelResult"]:
+    return {r.scheme_key: r for r in rows}
+
+
+def check_storage_ratios(rows: Iterable["ModelResult"]) -> list[str]:
+    """Storage: L-2 = 2x L-1 = 2x FP; Full = 4x L-2; FL in [L-1, L-2]."""
+    r = _by_key(rows)
+    violations = []
+    if "L-2" in r and "L-1" in r:
+        ratio = r["L-2"].storage_mb / r["L-1"].storage_mb
+        if abs(ratio - 2.0) > 0.01:
+            violations.append(f"storage L-2/L-1 = {ratio:.3f}, expected 2.0")
+    if "FP" in r and "L-1" in r:
+        if abs(r["FP"].storage_mb - r["L-1"].storage_mb) > 1e-9:
+            violations.append("storage FP != L-1 (both 4-bit weights)")
+    if "Full" in r and "L-2" in r:
+        ratio = r["Full"].storage_mb / r["L-2"].storage_mb
+        if abs(ratio - 4.0) > 0.01:
+            violations.append(f"storage Full/L-2 = {ratio:.3f}, expected 4.0")
+    for key in ("FL_a", "FL_b"):
+        if key in r and "L-1" in r and "L-2" in r:
+            s = r[key].storage_mb
+            if not (r["L-1"].storage_mb - 1e-9 <= s <= r["L-2"].storage_mb + 1e-9):
+                violations.append(f"storage {key} = {s:.4f} outside [L-1, L-2]")
+    return violations
+
+
+def check_throughput_ordering(rows: Iterable["ModelResult"]) -> list[str]:
+    """Throughput: L-1 > L-2 > Full; FL_a > FP; L-1 within ~[1.5, 3]x of L-2."""
+    r = _by_key(rows)
+    violations = []
+    chain = [key for key in ("L-1", "L-2", "Full") if key in r]
+    for fast, slow in zip(chain, chain[1:]):
+        if not r[fast].throughput > r[slow].throughput:
+            violations.append(f"throughput {fast} <= {slow}")
+    if "L-1" in r and "L-2" in r:
+        ratio = r["L-1"].throughput / r["L-2"].throughput
+        if not 1.4 <= ratio <= 3.5:
+            violations.append(f"throughput L-1/L-2 = {ratio:.2f}, expected ~2x")
+    if "FL_a" in r and "FP" in r:
+        if not r["FL_a"].throughput > r["FP"].throughput:
+            violations.append("throughput FL_a <= FP (paper: up to 2x faster)")
+    return violations
+
+
+def check_energy_ordering(rows: Iterable["ModelResult"]) -> list[str]:
+    """Energy: L-1 <= FL_a <= FL_b-ish <= L-2 < FP << Full."""
+    r = _by_key(rows)
+    violations = []
+    eps = 1e-12
+    if "L-1" in r and "L-2" in r and not r["L-1"].energy_uj < r["L-2"].energy_uj:
+        violations.append("energy L-1 >= L-2")
+    for key in ("FL_a", "FL_b"):
+        if key in r and "L-1" in r and "L-2" in r:
+            e = r[key].energy_uj
+            if not (r["L-1"].energy_uj - eps <= e <= r["L-2"].energy_uj + eps):
+                violations.append(f"energy {key} outside [L-1, L-2]")
+    if "FP" in r and "L-2" in r and not r["FP"].energy_uj > r["L-2"].energy_uj:
+        violations.append("energy FP <= L-2")
+    if "Full" in r and "FP" in r and not r["Full"].energy_uj > 5 * r["FP"].energy_uj:
+        violations.append("energy Full not >> FP")
+    return violations
+
+
+def check_flightnn_interpolation(rows: Iterable["ModelResult"]) -> list[str]:
+    """FLightNN k in [0, 2], FL_a at most FL_b, L-1/L-2 at exactly 1/2."""
+    r = _by_key(rows)
+    violations = []
+    if "L-1" in r and r["L-1"].mean_filter_k != 1.0:
+        violations.append("L-1 mean k != 1")
+    if "L-2" in r and r["L-2"].mean_filter_k != 2.0:
+        violations.append("L-2 mean k != 2")
+    for key in ("FL_a", "FL_b"):
+        if key in r and not 0.0 <= r[key].mean_filter_k <= 2.0:
+            violations.append(f"{key} mean k out of range")
+    if "FL_a" in r and "FL_b" in r:
+        if r["FL_a"].mean_filter_k > r["FL_b"].mean_filter_k + 1e-9:
+            violations.append("FL_a mean k exceeds FL_b (lambda ordering broken)")
+    return violations
+
+
+def run_all_checks(rows: Iterable["ModelResult"]) -> list[str]:
+    """All shape checks for one network's rows; empty list = all claims hold."""
+    rows = list(rows)
+    violations = []
+    violations += check_storage_ratios(rows)
+    violations += check_throughput_ordering(rows)
+    violations += check_energy_ordering(rows)
+    violations += check_flightnn_interpolation(rows)
+    return violations

@@ -1,0 +1,53 @@
+"""Paper-style table rendering for experiment results."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_throughput_value", "format_table"]
+
+
+def format_throughput_value(value: float) -> str:
+    """Render throughput the way the paper's tables do (e.g. ``2.2e3``).
+
+    Values below 100 are printed plainly (Table 2 shows ``10.2`` and
+    ``39.2`` for network 3); larger ones use one-decimal scientific
+    notation.
+    """
+    if value <= 0:
+        return "0"
+    if value < 100:
+        return f"{value:.1f}"
+    exponent = len(f"{int(value)}") - 1
+    mantissa = value / 10**exponent
+    if mantissa >= 9.95:  # would render as "10.0eN"
+        mantissa /= 10.0
+        exponent += 1
+    return f"{mantissa:.1f}e{exponent}"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned plain-text table.
+
+    Args:
+        headers: Column names.
+        rows: Cell values (converted with ``str``).
+        title: Optional caption printed above the table.
+    """
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

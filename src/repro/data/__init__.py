@@ -1,0 +1,36 @@
+"""Data substrate: datasets, loaders and synthetic benchmark generators.
+
+The execution environment has no network access and no vision datasets on
+disk, so the paper's CIFAR-10 / SVHN / CIFAR-100 / ImageNet workloads are
+replaced by procedurally generated classification tasks with matching
+channel counts and class counts (see DESIGN.md, substitution table).
+"""
+
+from repro.data.dataset import ArrayDataset, DataLoader, DataSplit
+from repro.data.synthetic import SyntheticImageConfig, generate_synthetic_images
+from repro.data.benchmarks import (
+    DATASET_BUILDERS,
+    make_cifar10_like,
+    make_cifar100_like,
+    make_imagenet_like,
+    make_svhn_like,
+)
+from repro.data.transforms import normalize_images, random_flip
+from repro.data.files import load_npz_split, save_npz_split
+
+__all__ = [
+    "ArrayDataset",
+    "DataLoader",
+    "DataSplit",
+    "SyntheticImageConfig",
+    "generate_synthetic_images",
+    "make_cifar10_like",
+    "make_svhn_like",
+    "make_cifar100_like",
+    "make_imagenet_like",
+    "DATASET_BUILDERS",
+    "normalize_images",
+    "random_flip",
+    "load_npz_split",
+    "save_npz_split",
+]

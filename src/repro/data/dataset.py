@@ -1,0 +1,115 @@
+"""Dataset containers and mini-batch iteration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import DataError
+from repro.utils.rng import as_generator
+
+__all__ = ["ArrayDataset", "DataSplit", "DataLoader"]
+
+
+@dataclass
+class ArrayDataset:
+    """In-memory image-classification dataset.
+
+    Attributes:
+        images: Float array of shape (N, C, H, W).
+        labels: Integer array of shape (N,).
+        num_classes: Total number of classes (may exceed ``labels.max()+1``).
+    """
+
+    images: np.ndarray
+    labels: np.ndarray
+    num_classes: int
+
+    def __post_init__(self) -> None:
+        self.images = np.asarray(self.images, dtype=np.float64)
+        self.labels = np.asarray(self.labels)
+        if self.images.ndim != 4:
+            raise DataError(f"images must be (N, C, H, W), got shape {self.images.shape}")
+        if self.labels.shape != (self.images.shape[0],):
+            raise DataError(
+                f"labels shape {self.labels.shape} does not match N={self.images.shape[0]}"
+            )
+        if self.num_classes < 2:
+            raise DataError(f"need at least 2 classes, got {self.num_classes}")
+        if self.labels.min() < 0 or self.labels.max() >= self.num_classes:
+            raise DataError("labels out of range for num_classes")
+
+    def __len__(self) -> int:
+        return self.images.shape[0]
+
+    @property
+    def image_shape(self) -> tuple[int, int, int]:
+        """(C, H, W) of one sample."""
+        return tuple(self.images.shape[1:])
+
+    def subset(self, indices: np.ndarray) -> "ArrayDataset":
+        """Return a new dataset restricted to ``indices``."""
+        return ArrayDataset(self.images[indices], self.labels[indices], self.num_classes)
+
+
+@dataclass
+class DataSplit:
+    """A train/test pair drawn from the same generative task."""
+
+    train: ArrayDataset
+    test: ArrayDataset
+    name: str = "synthetic"
+
+    def __post_init__(self) -> None:
+        if self.train.num_classes != self.test.num_classes:
+            raise DataError("train/test class counts differ")
+        if self.train.image_shape != self.test.image_shape:
+            raise DataError("train/test image shapes differ")
+
+    @property
+    def num_classes(self) -> int:
+        """Number of classes shared by both splits."""
+        return self.train.num_classes
+
+    @property
+    def image_shape(self) -> tuple[int, int, int]:
+        """(C, H, W) shared by both splits."""
+        return self.train.image_shape
+
+
+class DataLoader:
+    """Mini-batch iterator with optional shuffling.
+
+    Args:
+        dataset: Source dataset.
+        batch_size: Samples per batch (the final batch may be smaller).
+        shuffle: Re-shuffle at the start of every epoch.
+        rng: Seed or generator for shuffling.
+    """
+
+    def __init__(
+        self,
+        dataset: ArrayDataset,
+        batch_size: int,
+        shuffle: bool = True,
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        if batch_size < 1:
+            raise DataError(f"batch_size must be >= 1, got {batch_size}")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self._rng = as_generator(rng)
+
+    def __len__(self) -> int:
+        return (len(self.dataset) + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        order = np.arange(len(self.dataset))
+        if self.shuffle:
+            self._rng.shuffle(order)
+        for start in range(0, len(order), self.batch_size):
+            idx = order[start : start + self.batch_size]
+            yield self.dataset.images[idx], self.dataset.labels[idx]

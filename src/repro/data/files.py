@@ -1,0 +1,86 @@
+"""Loading real datasets from ``.npz`` archives.
+
+The execution environment is offline, so the benchmark experiments use
+synthetic stand-ins — but a user with CIFAR-10 on disk should be able to
+run the identical pipeline on it.  :func:`load_npz_split` reads a dataset
+archive with the conventional keys and returns the same
+:class:`~repro.data.dataset.DataSplit` the rest of the library consumes.
+
+Expected archive keys: ``train_images`` (N, C, H, W) or (N, H, W, C),
+``train_labels`` (N,), ``test_images``, ``test_labels``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.dataset import ArrayDataset, DataSplit
+from repro.data.transforms import normalize_images
+from repro.errors import DataError
+
+__all__ = ["load_npz_split", "save_npz_split"]
+
+_REQUIRED_KEYS = ("train_images", "train_labels", "test_images", "test_labels")
+
+
+def _to_nchw(images: np.ndarray) -> np.ndarray:
+    """Accept NCHW or NHWC and return NCHW (channels <= 4 heuristic)."""
+    if images.ndim != 4:
+        raise DataError(f"images must be 4-D, got shape {images.shape}")
+    if images.shape[1] <= 4 < images.shape[3] or images.shape[1] <= 4 == images.shape[3]:
+        return images  # already NCHW (channel axis small)
+    if images.shape[3] <= 4:
+        return images.transpose(0, 3, 1, 2)
+    raise DataError(
+        f"cannot infer layout for image shape {images.shape}; expected a "
+        "channel axis of size <= 4 in position 1 (NCHW) or 3 (NHWC)"
+    )
+
+
+def load_npz_split(
+    path: str | Path,
+    normalize: bool = True,
+    name: str | None = None,
+) -> DataSplit:
+    """Load a train/test split from an ``.npz`` archive.
+
+    Args:
+        path: Archive path.
+        normalize: Standardise images per channel using the train split's
+            statistics convention (each split standardised independently).
+        name: Split name; defaults to the file stem.
+    """
+    path = Path(path)
+    with np.load(path) as archive:
+        missing = [k for k in _REQUIRED_KEYS if k not in archive.files]
+        if missing:
+            raise DataError(f"archive {path} is missing keys: {missing}")
+        train_images = _to_nchw(np.asarray(archive["train_images"], dtype=np.float64))
+        test_images = _to_nchw(np.asarray(archive["test_images"], dtype=np.float64))
+        train_labels = np.asarray(archive["train_labels"]).astype(int).ravel()
+        test_labels = np.asarray(archive["test_labels"]).astype(int).ravel()
+    if normalize:
+        train_images = normalize_images(train_images)
+        test_images = normalize_images(test_images)
+    num_classes = max(2, int(max(train_labels.max(), test_labels.max())) + 1)
+    return DataSplit(
+        train=ArrayDataset(train_images, train_labels, num_classes),
+        test=ArrayDataset(test_images, test_labels, num_classes),
+        name=name or path.stem,
+    )
+
+
+def save_npz_split(split: DataSplit, path: str | Path) -> Path:
+    """Write a split to the archive format :func:`load_npz_split` reads."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        path,
+        train_images=split.train.images,
+        train_labels=split.train.labels,
+        test_images=split.test.images,
+        test_labels=split.test.labels,
+    )
+    return path if path.suffix == ".npz" else path.with_name(path.name + ".npz")

@@ -1,0 +1,35 @@
+"""Lightweight data transforms."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DataError
+from repro.utils.rng import as_generator
+
+__all__ = ["normalize_images", "random_flip"]
+
+
+def normalize_images(images: np.ndarray, eps: float = 1e-8) -> np.ndarray:
+    """Standardize per channel over the whole batch (zero mean, unit std)."""
+    images = np.asarray(images, dtype=np.float64)
+    if images.ndim != 4:
+        raise DataError(f"expected (N, C, H, W), got shape {images.shape}")
+    mean = images.mean(axis=(0, 2, 3), keepdims=True)
+    std = images.std(axis=(0, 2, 3), keepdims=True)
+    return (images - mean) / (std + eps)
+
+
+def random_flip(
+    images: np.ndarray,
+    rng: int | np.random.Generator | None = None,
+    probability: float = 0.5,
+) -> np.ndarray:
+    """Horizontally flip each image independently with ``probability``."""
+    if not 0.0 <= probability <= 1.0:
+        raise DataError(f"probability must be in [0, 1], got {probability}")
+    images = np.asarray(images)
+    flip = as_generator(rng).random(images.shape[0]) < probability
+    out = images.copy()
+    out[flip] = out[flip, :, :, ::-1]
+    return out

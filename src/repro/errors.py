@@ -1,0 +1,37 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific failures derive from :class:`ReproError` so callers can
+catch one base class.  Sub-classes separate the three broad failure domains:
+configuration mistakes, numerical/shape problems inside the neural-network
+substrate, and infeasible hardware mappings.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed or configured with invalid arguments."""
+
+
+class ShapeError(ReproError):
+    """Tensor shapes are inconsistent for the requested operation."""
+
+
+class GradientError(ReproError):
+    """Backward pass invoked in an invalid state (e.g. no grad required)."""
+
+
+class QuantizationError(ReproError):
+    """A quantizer received values or settings it cannot represent."""
+
+
+class HardwareModelError(ReproError):
+    """A hardware mapping is infeasible (e.g. design exceeds the budget)."""
+
+
+class DataError(ReproError):
+    """A dataset or loader was asked for something it cannot provide."""

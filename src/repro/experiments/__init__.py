@@ -1,0 +1,72 @@
+"""Experiment entry points — one per paper table/figure.
+
+See DESIGN.md's per-experiment index for the mapping to paper content.
+"""
+
+from repro.experiments.common import (
+    PROFILES,
+    ExperimentProfile,
+    ModelResult,
+    build_scheme,
+    default_cache_dir,
+    get_profile,
+    make_split,
+    run_scheme,
+)
+from repro.experiments.accuracy_tables import (
+    TABLE_SPECS,
+    AccuracyTable,
+    run_accuracy_table,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+)
+from repro.experiments.table6 import Table6Row, render_table6, run_table6
+from repro.experiments.ablations import (
+    AblationPoint,
+    ablate_exponent_window,
+    ablate_gradual_quantization,
+    ablate_regularization_mode,
+    ablate_threshold_freeze,
+)
+from repro.experiments.figures import (
+    Fig5Panel,
+    Fig6Result,
+    run_fig1,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+)
+
+__all__ = [
+    "ExperimentProfile",
+    "PROFILES",
+    "get_profile",
+    "ModelResult",
+    "build_scheme",
+    "make_split",
+    "run_scheme",
+    "default_cache_dir",
+    "AccuracyTable",
+    "TABLE_SPECS",
+    "run_accuracy_table",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_table5",
+    "Table6Row",
+    "run_table6",
+    "render_table6",
+    "run_fig1",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "Fig5Panel",
+    "Fig6Result",
+    "AblationPoint",
+    "ablate_gradual_quantization",
+    "ablate_threshold_freeze",
+    "ablate_exponent_window",
+    "ablate_regularization_mode",
+]

@@ -1,0 +1,122 @@
+"""Ablation studies for the reproduction's design choices.
+
+Library entry points behind ``benchmarks/bench_ablations.py`` (see
+DESIGN.md "Training-dynamics adaptations"): each returns a small dict of
+measurements so callers can render or assert on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.dataset import DataSplit
+from repro.models import build_network
+from repro.quant.power_of_two import PowerOfTwoConfig
+from repro.quant.schemes import QuantizationScheme, scheme_flightnn, scheme_lightnn
+from repro.train import TrainConfig, Trainer
+
+__all__ = [
+    "AblationPoint",
+    "train_point",
+    "ablate_gradual_quantization",
+    "ablate_threshold_freeze",
+    "ablate_exponent_window",
+    "ablate_regularization_mode",
+]
+
+
+@dataclass(frozen=True)
+class AblationPoint:
+    """One trained configuration in an ablation study."""
+
+    label: str
+    accuracy: float       # best test accuracy, percent
+    mean_filter_k: float
+    storage_mb: float
+
+
+def train_point(
+    label: str,
+    scheme: QuantizationScheme,
+    split: DataSplit,
+    config: TrainConfig,
+    network_id: int = 1,
+    width_scale: float = 0.25,
+    rng: int = 1,
+) -> AblationPoint:
+    """Train one (scheme, config) pair and summarise it."""
+    model = build_network(
+        network_id, scheme, num_classes=split.num_classes,
+        image_size=split.image_shape[1], width_scale=width_scale, rng=rng,
+    )
+    history = Trainer(model, config).fit(split)
+    return AblationPoint(
+        label=label,
+        accuracy=100.0 * history.best_test_accuracy,
+        mean_filter_k=model.mean_filter_k(),
+        storage_mb=model.storage_mb(),
+    )
+
+
+def _base_config(epochs: int = 8, **overrides) -> TrainConfig:
+    defaults = dict(
+        epochs=epochs, batch_size=64, lr=3e-3,
+        lambda_warmup_epochs=2, threshold_freeze_epoch=epochs - 3,
+        threshold_lr_scale=10.0,
+    )
+    defaults.update(overrides)
+    return TrainConfig(**defaults)
+
+
+def ablate_gradual_quantization(split: DataSplit, epochs: int = 8) -> dict[str, AblationPoint]:
+    """Paper Sec. 5.2: lambda warm-up (gradual) vs constraints from step 0."""
+    scheme = scheme_flightnn((0.0, 0.02), label="FL")
+    return {
+        "gradual": train_point("gradual", scheme, split,
+                               _base_config(epochs, lambda_warmup_epochs=2)),
+        "immediate": train_point("immediate", scheme, split,
+                                 _base_config(epochs, lambda_warmup_epochs=0)),
+    }
+
+
+def ablate_threshold_freeze(split: DataSplit, epochs: int = 8) -> dict[str, AblationPoint]:
+    """Gate churn to the end vs a frozen fine-tuning phase."""
+    scheme = scheme_flightnn((0.0, 0.002), label="FL")
+    return {
+        "frozen": train_point("frozen", scheme, split,
+                              _base_config(epochs, threshold_freeze_epoch=epochs - 3)),
+        "churning": train_point("churning", scheme, split,
+                                _base_config(epochs, threshold_freeze_epoch=None)),
+    }
+
+
+def ablate_exponent_window(split: DataSplit, epochs: int = 8) -> dict[str, AblationPoint]:
+    """LightNN-1 with the 4-bit exponent window vs a 2-level code."""
+    config = TrainConfig(epochs=epochs, batch_size=64, lr=3e-3)
+    return {
+        "wide": train_point(
+            "wide [-6,1]",
+            scheme_lightnn(1, pow2=PowerOfTwoConfig(exp_min=-6, exp_max=1)),
+            split, config,
+        ),
+        "narrow": train_point(
+            "narrow [-1,0]",
+            scheme_lightnn(1, pow2=PowerOfTwoConfig(exp_min=-1, exp_max=0)),
+            split, config,
+        ),
+    }
+
+
+def ablate_regularization_mode(split: DataSplit, epochs: int = 8) -> dict[str, AblationPoint]:
+    """Proximal group lasso (default) vs the paper's literal loss term."""
+    scheme = scheme_flightnn((0.0, 0.02), label="FL")
+    return {
+        "proximal": train_point(
+            "proximal", scheme, split,
+            _base_config(epochs, regularization_mode="proximal"),
+        ),
+        "gradient": train_point(
+            "gradient", scheme, split,
+            _base_config(epochs, regularization_mode="gradient"),
+        ),
+    }

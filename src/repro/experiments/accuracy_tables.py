@@ -1,0 +1,141 @@
+"""Tables 2-5: accuracy / storage / FPGA throughput per quantized model.
+
+One generic runner parameterised by (table id, networks, dataset, schemes,
+metric); the paper's four accuracy tables are thin wrappers:
+
+* Table 2 — CIFAR-10, networks 1-3, all six model families.
+* Table 3 — SVHN, networks 4-5.
+* Table 4 — CIFAR-100, networks 6-7.
+* Table 5 — ImageNet (top-5), network 8, shift families only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.tables import format_table, format_throughput_value
+from repro.errors import ConfigurationError
+from repro.experiments.common import (
+    ExperimentProfile,
+    ModelResult,
+    get_profile,
+    make_split,
+    run_scheme,
+)
+
+__all__ = [
+    "AccuracyTable",
+    "run_accuracy_table",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_table5",
+    "TABLE_SPECS",
+]
+
+SCHEME_ORDER = ("Full", "L-2", "L-1", "FP", "FL_a", "FL_b")
+TABLE5_SCHEMES = ("L-2", "L-1", "FL_a", "FL_b")
+
+#: (networks, dataset, schemes, metric) per paper table.
+TABLE_SPECS: dict[str, tuple[tuple[int, ...], str, tuple[str, ...], str]] = {
+    "table2": ((1, 2, 3), "cifar10", SCHEME_ORDER, "top1"),
+    "table3": ((4, 5), "svhn", SCHEME_ORDER, "top1"),
+    "table4": ((6, 7), "cifar100", SCHEME_ORDER, "top1"),
+    "table5": ((8,), "imagenet", TABLE5_SCHEMES, "top5"),
+}
+
+
+@dataclass
+class AccuracyTable:
+    """One reproduced accuracy/throughput table.
+
+    Attributes:
+        table_id: ``table2`` .. ``table5``.
+        dataset: Dataset key.
+        metric: ``top1`` or ``top5`` (Table 5 reports top-5).
+        rows: One :class:`ModelResult` per (network, scheme), in table order.
+    """
+
+    table_id: str
+    dataset: str
+    metric: str
+    rows: list[ModelResult] = field(default_factory=list)
+
+    def accuracy_of(self, row: ModelResult) -> float:
+        """The accuracy column value for ``row`` under this table's metric."""
+        return row.top5 if self.metric == "top5" else row.accuracy
+
+    def baseline_throughput(self, network_id: int) -> float:
+        """Throughput of the network's reference row (first scheme listed)."""
+        for row in self.rows:
+            if row.network_id == network_id:
+                return row.throughput
+        raise ConfigurationError(f"no rows for network {network_id}")
+
+    def speedup_of(self, row: ModelResult) -> float:
+        """Speedup over the network's reference row (``1x`` for the first)."""
+        return row.throughput / self.baseline_throughput(row.network_id)
+
+    def network_rows(self, network_id: int) -> list[ModelResult]:
+        """All rows of one network, in scheme order."""
+        return [r for r in self.rows if r.network_id == network_id]
+
+    def render(self) -> str:
+        """Paper-style plain-text rendering."""
+        headers = ["ID", "Model", "Accuracy(%)", "Storage(MB)",
+                   "Throughput(img/s)", "Speedup", "mean k"]
+        cells = []
+        for row in self.rows:
+            cells.append([
+                row.network_id,
+                row.scheme_name,
+                f"{self.accuracy_of(row):.2f}",
+                f"{row.storage_mb:.4f}",
+                format_throughput_value(row.throughput),
+                f"{self.speedup_of(row):.2f}x",
+                f"{row.mean_filter_k:.2f}",
+            ])
+        label = {"table2": "Table 2 (CIFAR-10)", "table3": "Table 3 (SVHN)",
+                 "table4": "Table 4 (CIFAR-100)", "table5": "Table 5 (ImageNet, top-5)"}
+        return format_table(headers, cells, title=label.get(self.table_id, self.table_id))
+
+
+def run_accuracy_table(
+    table_id: str,
+    profile: ExperimentProfile | None = None,
+    cache_dir: Path | None = None,
+) -> AccuracyTable:
+    """Reproduce one of Tables 2-5 end to end (train + measure all rows)."""
+    if table_id not in TABLE_SPECS:
+        raise ConfigurationError(f"unknown table {table_id!r}; known: {sorted(TABLE_SPECS)}")
+    networks, dataset, schemes, metric = TABLE_SPECS[table_id]
+    profile = profile or get_profile()
+    table = AccuracyTable(table_id=table_id, dataset=dataset, metric=metric)
+    split = make_split(dataset, profile)
+    for network_id in networks:
+        for scheme_key in schemes:
+            table.rows.append(
+                run_scheme(network_id, scheme_key, split, profile, cache_dir=cache_dir)
+            )
+    return table
+
+
+def run_table2(profile: ExperimentProfile | None = None, cache_dir: Path | None = None) -> AccuracyTable:
+    """Table 2: CIFAR-10 accuracy and FPGA throughput (networks 1-3)."""
+    return run_accuracy_table("table2", profile, cache_dir)
+
+
+def run_table3(profile: ExperimentProfile | None = None, cache_dir: Path | None = None) -> AccuracyTable:
+    """Table 3: SVHN accuracy and FPGA throughput (networks 4-5)."""
+    return run_accuracy_table("table3", profile, cache_dir)
+
+
+def run_table4(profile: ExperimentProfile | None = None, cache_dir: Path | None = None) -> AccuracyTable:
+    """Table 4: CIFAR-100 accuracy and FPGA throughput (networks 6-7)."""
+    return run_accuracy_table("table4", profile, cache_dir)
+
+
+def run_table5(profile: ExperimentProfile | None = None, cache_dir: Path | None = None) -> AccuracyTable:
+    """Table 5: ImageNet top-5 accuracy and FPGA throughput (network 8)."""
+    return run_accuracy_table("table5", profile, cache_dir)

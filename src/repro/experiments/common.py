@@ -1,0 +1,315 @@
+"""Shared experiment infrastructure: profiles, runner, result cache.
+
+Every table/figure experiment trains some subset of (network, scheme) pairs
+and measures accuracy (software), throughput (FPGA model) and energy (ASIC
+model).  This module provides:
+
+* :class:`ExperimentProfile` — the scale knobs.  The default ``small``
+  profile shrinks widths/resolutions/epochs so the full 46-model suite runs
+  on one CPU in minutes; ``paper`` uses Table-1 scale (hours-days on CPU).
+  Select with the ``REPRO_PROFILE`` environment variable.
+* :func:`run_scheme` — train one (network, scheme) pair end-to-end and
+  measure it on both hardware models.
+* A JSON result cache so benchmarks that share trainings (e.g. Table 4 and
+  Fig. 5) do not retrain.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.data.benchmarks import DATASET_BUILDERS
+from repro.data.dataset import DataSplit
+from repro.errors import ConfigurationError
+from repro.hw.asic import AsicEnergyModel
+from repro.hw.fpga import FPGAModel
+from repro.hw.ops import network_largest_layer_ops
+from repro.models import build_network
+from repro.quant.schemes import (
+    QuantizationScheme,
+    scheme_fixed_point,
+    scheme_flightnn,
+    scheme_full,
+    scheme_lightnn,
+)
+from repro.train import TrainConfig, Trainer
+from repro.utils.logging import get_logger
+from repro.utils.serialization import load_json, save_json
+
+__all__ = [
+    "ExperimentProfile",
+    "PROFILES",
+    "get_profile",
+    "ModelResult",
+    "build_scheme",
+    "make_split",
+    "run_scheme",
+    "default_cache_dir",
+]
+
+_LOGGER = get_logger("experiments.common")
+
+
+@dataclass(frozen=True)
+class ExperimentProfile:
+    """Scale knobs for one experiment suite run.
+
+    Attributes:
+        name: Profile label (used in cache keys).
+        size_scale: Dataset resolution multiplier (1.0 = 32x32).
+        train_samples: Training samples per dataset.
+        width_scale: Network channel-count multiplier (1.0 = Table 1).
+        epochs / batch_size / lr: Training schedule.
+        lambda_warmup_epochs: Gradual-quantization ramp for FLightNNs.
+        threshold_lr_scale: Threshold SGD step multiplier.
+        fl_lambdas_a / fl_lambdas_b: The two FLightNN operating points the
+            paper trains per network (``a`` = stronger regularization =
+            cheaper model).  ``lambda_0`` is kept at 0: the paper's FL rows
+            show no whole-filter pruning (FL_a storage equals LightNN-1's).
+        seed: Master seed.
+        data_rev: Bumped whenever the dataset builders' difficulty defaults
+            change, so cached results are invalidated.
+    """
+
+    name: str
+    size_scale: float
+    train_samples: int
+    width_scale: float
+    epochs: int
+    batch_size: int
+    lr: float
+    lambda_warmup_epochs: int
+    threshold_freeze_epoch: int
+    threshold_lr_scale: float
+    fl_lambdas_a: tuple[float, float]
+    fl_lambdas_b: tuple[float, float]
+    seed: int = 0
+    data_rev: int = 3
+
+    def train_config(self) -> TrainConfig:
+        """Build the trainer configuration for this profile."""
+        return TrainConfig(
+            epochs=self.epochs,
+            batch_size=self.batch_size,
+            lr=self.lr,
+            lambda_warmup_epochs=self.lambda_warmup_epochs,
+            threshold_freeze_epoch=self.threshold_freeze_epoch,
+            threshold_lr_scale=self.threshold_lr_scale,
+            seed=self.seed,
+        )
+
+    def fingerprint(self) -> str:
+        """Short hash of every profile field (cache invalidation)."""
+        payload = repr(dataclasses.astuple(self)).encode()
+        return hashlib.sha256(payload).hexdigest()[:12]
+
+
+PROFILES: dict[str, ExperimentProfile] = {
+    "small": ExperimentProfile(
+        name="small",
+        size_scale=0.5,
+        train_samples=512,
+        width_scale=0.25,
+        epochs=8,
+        batch_size=64,
+        lr=3e-3,
+        lambda_warmup_epochs=2,
+        threshold_freeze_epoch=5,
+        threshold_lr_scale=10.0,
+        fl_lambdas_a=(0.0, 0.02),
+        fl_lambdas_b=(0.0, 0.002),
+    ),
+    "medium": ExperimentProfile(
+        name="medium",
+        size_scale=0.5,
+        train_samples=1536,
+        width_scale=0.5,
+        epochs=12,
+        batch_size=64,
+        lr=2e-3,
+        lambda_warmup_epochs=3,
+        threshold_freeze_epoch=8,
+        threshold_lr_scale=10.0,
+        fl_lambdas_a=(0.0, 0.02),
+        fl_lambdas_b=(0.0, 0.002),
+    ),
+    "paper": ExperimentProfile(
+        name="paper",
+        size_scale=1.0,
+        train_samples=8192,
+        width_scale=1.0,
+        epochs=60,
+        batch_size=128,
+        lr=1e-3,
+        lambda_warmup_epochs=15,
+        threshold_freeze_epoch=45,
+        threshold_lr_scale=10.0,
+        fl_lambdas_a=(0.0, 0.02),
+        fl_lambdas_b=(0.0, 0.002),
+    ),
+}
+
+
+def get_profile(name: str | None = None) -> ExperimentProfile:
+    """Resolve a profile by name, argument over ``REPRO_PROFILE`` over small."""
+    name = name or os.environ.get("REPRO_PROFILE", "small")
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown profile {name!r}; available: {sorted(PROFILES)}"
+        )
+
+
+def default_cache_dir() -> Path:
+    """Result-cache directory (override with ``REPRO_CACHE_DIR``)."""
+    return Path(os.environ.get("REPRO_CACHE_DIR", "results"))
+
+
+@dataclass
+class ModelResult:
+    """Measurements for one trained (network, scheme) pair — one table row."""
+
+    network_id: int
+    scheme_key: str
+    scheme_name: str
+    accuracy: float          # top-1, percent (best eligible epoch)
+    top5: float              # top-5, percent (same epoch as accuracy)
+    accuracy_final: float    # top-1 at the last epoch
+    storage_mb: float
+    mean_filter_k: float
+    throughput: float        # images/s from the FPGA model
+    batch_size: int          # FPGA batch lanes
+    fpga_lut: int
+    fpga_ff: int
+    fpga_dsp: int
+    fpga_bram: int
+    fpga_bound_by: tuple[str, ...]
+    energy_uj: float         # ASIC computational energy, largest layer
+    train_epochs: int
+    fingerprint: str = ""
+
+    def as_dict(self) -> dict:
+        """JSON-friendly representation."""
+        d = dataclasses.asdict(self)
+        d["fpga_bound_by"] = list(self.fpga_bound_by)
+        return d
+
+    @staticmethod
+    def from_dict(d: dict) -> "ModelResult":
+        d = dict(d)
+        d["fpga_bound_by"] = tuple(d.get("fpga_bound_by", ()))
+        d.setdefault("accuracy_final", d.get("accuracy", 0.0))
+        return ModelResult(**d)
+
+
+def build_scheme(scheme_key: str, profile: ExperimentProfile) -> QuantizationScheme:
+    """Instantiate one of the paper's scheme families for this profile."""
+    if scheme_key == "Full":
+        return scheme_full()
+    if scheme_key == "L-2":
+        return scheme_lightnn(2)
+    if scheme_key == "L-1":
+        return scheme_lightnn(1)
+    if scheme_key == "FP":
+        return scheme_fixed_point()
+    if scheme_key == "FL_a":
+        return scheme_flightnn(profile.fl_lambdas_a, label="FL_a")
+    if scheme_key == "FL_b":
+        return scheme_flightnn(profile.fl_lambdas_b, label="FL_b")
+    raise ConfigurationError(f"unknown scheme key {scheme_key!r}")
+
+
+def make_split(dataset_key: str, profile: ExperimentProfile) -> DataSplit:
+    """Build the profile-scaled synthetic stand-in for ``dataset_key``."""
+    try:
+        builder = DATASET_BUILDERS[dataset_key]
+    except KeyError:
+        raise ConfigurationError(f"unknown dataset {dataset_key!r}")
+    return builder(size_scale=profile.size_scale, samples=profile.train_samples)
+
+
+def run_scheme(
+    network_id: int,
+    scheme_key: str,
+    split: DataSplit,
+    profile: ExperimentProfile,
+    cache_dir: Path | None = None,
+    use_cache: bool = True,
+    width_scale: float | None = None,
+    cache_tag: str = "",
+) -> ModelResult:
+    """Train + measure one (network, scheme) pair, with JSON caching.
+
+    Args:
+        network_id: Table-1 network ID.
+        scheme_key: One of ``Full | L-2 | L-1 | FP | FL_a | FL_b``.
+        split: Dataset to train/evaluate on.
+        profile: Scale profile.
+        cache_dir: Cache root (default: :func:`default_cache_dir`).
+        use_cache: Read/write the JSON result cache.
+        width_scale: Override the profile's width scale (Fig. 6 sweep).
+        cache_tag: Extra cache-key suffix for non-default variants.
+    """
+    cache_dir = default_cache_dir() if cache_dir is None else Path(cache_dir)
+    fingerprint = profile.fingerprint()
+    suffix = f"_{cache_tag}" if cache_tag else ""
+    cache_path = cache_dir / profile.name / f"net{network_id}_{scheme_key}{suffix}.json"
+    if use_cache and cache_path.exists():
+        cached = ModelResult.from_dict(load_json(cache_path))
+        if cached.fingerprint == fingerprint:
+            return cached
+        _LOGGER.info("stale cache for %s (profile changed); recomputing", cache_path)
+
+    scheme = build_scheme(scheme_key, profile)
+    model = build_network(
+        network_id,
+        scheme,
+        num_classes=split.num_classes,
+        image_size=split.image_shape[1],
+        width_scale=profile.width_scale if width_scale is None else width_scale,
+        rng=profile.seed + network_id,
+    )
+    trainer = Trainer(model, profile.train_config())
+    history = trainer.fit(split)
+
+    # Report the best checkpoint, as the paper's tables do.  For FLightNNs
+    # only post-freeze epochs are eligible so the accuracy pairs with the
+    # settled per-filter k assignment (storage/throughput columns).
+    eligible = history.epochs
+    if scheme.is_flightnn:
+        frozen = [e for e in history.epochs if e.epoch >= profile.threshold_freeze_epoch]
+        eligible = frozen or history.epochs
+    best = max(eligible, key=lambda e: e.test_accuracy)
+
+    ops = network_largest_layer_ops(model)
+    design = FPGAModel().map_layer(ops)
+    energy = AsicEnergyModel().layer_energy_uj(ops)
+
+    result = ModelResult(
+        network_id=network_id,
+        scheme_key=scheme_key,
+        scheme_name=scheme.name,
+        accuracy=100.0 * best.test_accuracy,
+        top5=100.0 * best.test_top5,
+        accuracy_final=100.0 * history.final.test_accuracy,
+        storage_mb=model.storage_mb(),
+        mean_filter_k=model.mean_filter_k(),
+        throughput=design.throughput,
+        batch_size=design.batch_size,
+        fpga_lut=design.usage.lut,
+        fpga_ff=design.usage.ff,
+        fpga_dsp=design.usage.dsp,
+        fpga_bram=design.usage.bram,
+        fpga_bound_by=design.bound_by,
+        energy_uj=energy,
+        train_epochs=profile.epochs,
+        fingerprint=fingerprint,
+    )
+    if use_cache:
+        save_json(cache_path, result.as_dict())
+    return result

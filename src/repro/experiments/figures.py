@@ -1,0 +1,202 @@
+"""Figure experiments: Fig. 1 (motivation), Fig. 4 (regularizer curve),
+Fig. 5 (accuracy vs ASIC energy) and Fig. 6 (accuracy-storage fronts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.pareto import front_dominates, pareto_front
+from repro.analysis.tables import format_table
+from repro.experiments.accuracy_tables import TABLE_SPECS, run_accuracy_table
+from repro.experiments.common import (
+    ExperimentProfile,
+    ModelResult,
+    get_profile,
+    make_split,
+    run_scheme,
+)
+from repro.quant.flightnn import FLightNNConfig, FLightNNQuantizer
+from repro.quant.regularization import regularization_curve
+
+__all__ = [
+    "run_fig1",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "Fig5Panel",
+    "Fig6Result",
+]
+
+
+# -- Fig. 1: the LightNN Pareto gap FLightNN fills ---------------------------------
+
+
+def run_fig1(
+    profile: ExperimentProfile | None = None,
+    cache_dir: Path | None = None,
+) -> dict[str, tuple[float, float]]:
+    """Fig. 1 data: (energy, test-error) of L-1/L-2 and the FL points between.
+
+    Reuses the network-1 rows of Table 2.  The motivating claim: L-1 and
+    L-2 are two isolated points with a gap in both error and energy, and
+    FLightNNs populate the gap.
+    """
+    table = run_accuracy_table("table2", profile, cache_dir)
+    points = {}
+    for row in table.network_rows(1):
+        if row.scheme_key in ("L-1", "L-2", "FL_a", "FL_b"):
+            points[row.scheme_key] = (row.energy_uj, 100.0 - row.accuracy)
+    return points
+
+
+# -- Fig. 4: regularization loss vs weight value -----------------------------------
+
+
+def run_fig4(
+    lambdas: tuple[float, float] = (1e-5, 3e-5),
+    weight_range: tuple[float, float] = (0.0, 2.0),
+    samples: int = 401,
+) -> dict[str, np.ndarray]:
+    """Fig. 4 series: the two ``L_reg,2`` terms and their sum over weight value.
+
+    Uses the paper's exact coefficients (lambda_0 = 1e-5, lambda_1 = 3e-5)
+    and an unbounded exponent window (the figure plots the ideal curve).
+    """
+    quantizer = FLightNNQuantizer(
+        FLightNNConfig(k_max=2, norm_per_element=False)
+    )
+    weights = np.linspace(weight_range[0], weight_range[1], samples)
+    rows = regularization_curve(weights, lambdas, quantizer)
+    return {
+        "weight": weights,
+        "first_term": rows[0],
+        "second_term": rows[1],
+        "total": rows[2],
+    }
+
+
+# -- Fig. 5: accuracy vs ASIC computational energy ---------------------------------
+
+
+@dataclass
+class Fig5Panel:
+    """One per-network panel of Fig. 5."""
+
+    network_id: int
+    dataset: str
+    metric: str
+    points: list[ModelResult] = field(default_factory=list)
+
+    def series(self) -> list[tuple[str, float, float]]:
+        """(label, energy_uJ, accuracy%) per quantized model."""
+        out = []
+        for row in self.points:
+            acc = row.top5 if self.metric == "top5" else row.accuracy
+            out.append((row.scheme_key, row.energy_uj, acc))
+        return out
+
+    def render(self) -> str:
+        headers = ["Model", "Energy(uJ)", "Accuracy(%)"]
+        cells = [[l, f"{e:.4f}", f"{a:.2f}"] for l, e, a in self.series()]
+        return format_table(headers, cells,
+                            title=f"Fig 5 panel: network {self.network_id} ({self.dataset})")
+
+
+def run_fig5(
+    profile: ExperimentProfile | None = None,
+    cache_dir: Path | None = None,
+) -> list[Fig5Panel]:
+    """Fig. 5: one accuracy-vs-energy panel per Table-1 network.
+
+    Quantized models only (the paper's panels omit the FP32 point, which
+    is off-scale).  Reuses the Table 2-5 trainings via the shared cache.
+    """
+    panels: list[Fig5Panel] = []
+    for table_id, (networks, dataset, schemes, metric) in TABLE_SPECS.items():
+        table = run_accuracy_table(table_id, profile, cache_dir)
+        for network_id in networks:
+            panel = Fig5Panel(network_id=network_id, dataset=dataset, metric=metric)
+            panel.points = [
+                row for row in table.network_rows(network_id) if row.scheme_key != "Full"
+            ]
+            panels.append(panel)
+    panels.sort(key=lambda p: p.network_id)
+    return panels
+
+
+# -- Fig. 6: accuracy-storage Pareto fronts under width scaling ---------------------
+
+
+@dataclass
+class Fig6Result:
+    """Width-sweep study on CIFAR-100 (network 6).
+
+    Attributes:
+        lightnn_points: (storage_mb, accuracy%) of every L-1/L-2 model.
+        flightnn_points: Same for the FLightNN models.
+    """
+
+    lightnn_points: list[tuple[float, float]]
+    flightnn_points: list[tuple[float, float]]
+
+    @property
+    def lightnn_front(self) -> list[tuple[float, float]]:
+        """Pareto front of the combined L-1/L-2 family."""
+        return pareto_front(self.lightnn_points)
+
+    @property
+    def flightnn_front(self) -> list[tuple[float, float]]:
+        """Pareto front of the FLightNN family."""
+        return pareto_front(self.flightnn_points)
+
+    def flightnn_is_upper_bound(
+        self, tolerance: float = 2.5, cost_rtol: float = 0.05
+    ) -> bool:
+        """The paper's Fig. 6 claim: the FL front dominates the LightNN front.
+
+        ``tolerance`` (accuracy percentage points) absorbs single-seed
+        training noise at the scaled-down profiles, and ``cost_rtol``
+        matches points whose storage differs by measurement granularity
+        (an FL_a model's storage sits a couple of percent above pure
+        LightNN-1).  Pass zeros for the strict check at paper scale.
+        """
+        return front_dominates(self.flightnn_front, self.lightnn_front,
+                               tolerance=tolerance, cost_rtol=cost_rtol)
+
+    def render(self) -> str:
+        headers = ["Family", "Storage(MB)", "Accuracy(%)"]
+        cells = [["LightNN", f"{s:.4f}", f"{a:.2f}"] for s, a in sorted(self.lightnn_points)]
+        cells += [["FLightNN", f"{s:.4f}", f"{a:.2f}"] for s, a in sorted(self.flightnn_points)]
+        return format_table(headers, cells, title="Fig 6 (accuracy-storage front, network 6)")
+
+
+def run_fig6(
+    profile: ExperimentProfile | None = None,
+    cache_dir: Path | None = None,
+    width_multipliers: tuple[float, ...] = (0.6, 1.0, 1.6),
+) -> Fig6Result:
+    """Fig. 6: sweep network-6 width; compare LightNN vs FLightNN fronts.
+
+    For each width multiplier (relative to the profile width) trains L-1,
+    L-2, FL_a and FL_b; the FL family contributes two operating points per
+    width versus the LightNN family's fixed pair.
+    """
+    profile = profile or get_profile()
+    split = make_split("cifar100", profile)
+    lightnn: list[tuple[float, float]] = []
+    flightnn: list[tuple[float, float]] = []
+    for mult in width_multipliers:
+        width = profile.width_scale * mult
+        tag = f"w{mult:g}"
+        for scheme_key in ("L-1", "L-2", "FL_a", "FL_b"):
+            row = run_scheme(
+                6, scheme_key, split, profile,
+                cache_dir=cache_dir, width_scale=width, cache_tag=tag,
+            )
+            point = (row.storage_mb, row.accuracy)
+            (flightnn if scheme_key.startswith("FL") else lightnn).append(point)
+    return Fig6Result(lightnn_points=lightnn, flightnn_points=flightnn)

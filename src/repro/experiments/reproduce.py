@@ -1,0 +1,84 @@
+"""Reproduce every paper table and figure in one run.
+
+Usage:
+    python -m repro.experiments.reproduce [--profile small|medium|paper]
+                                          [--output results/report.txt]
+
+Trains (or loads from cache) all 46 table models plus the Fig. 6 width
+sweep, prints each reproduced table/figure, and writes the combined report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments.accuracy_tables import run_accuracy_table
+from repro.experiments.figures import run_fig1, run_fig4, run_fig5, run_fig6
+from repro.experiments.common import default_cache_dir, get_profile
+from repro.experiments.table6 import render_table6, run_table6
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the full reproduction suite; returns a process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--profile", default=None,
+                        help="scale profile (default: REPRO_PROFILE or 'small')")
+    parser.add_argument("--output", default=None,
+                        help="report file (default: <cache>/report_<profile>.txt)")
+    args = parser.parse_args(argv)
+
+    profile = get_profile(args.profile)
+    sections: list[str] = [f"FLightNN reproduction report — profile '{profile.name}'"]
+    start = time.time()
+
+    def section(title: str, body: str) -> None:
+        sections.append(f"\n{'=' * 72}\n{title}\n{'=' * 72}\n{body}")
+        print(sections[-1], flush=True)
+
+    for table_id in ("table2", "table3", "table4", "table5"):
+        table = run_accuracy_table(table_id, profile)
+        section(f"{table_id} ({table.dataset})", table.render())
+
+    section("table6 (FPGA resources)", render_table6(run_table6(profile)))
+
+    fig1 = run_fig1(profile)
+    fig1_lines = [f"  {k:5s} energy={e:.4f} uJ  error={err:.2f}%"
+                  for k, (e, err) in fig1.items()]
+    section("fig1 (LightNN Pareto gap)", "\n".join(fig1_lines))
+
+    fig4 = run_fig4()
+    fig4_lines = ["  w      term0      term1      total"]
+    for i in range(0, len(fig4["weight"]), len(fig4["weight"]) // 10):
+        fig4_lines.append(
+            f"  {fig4['weight'][i]:4.2f}  {fig4['first_term'][i]:.2e}  "
+            f"{fig4['second_term'][i]:.2e}  {fig4['total'][i]:.2e}"
+        )
+    section("fig4 (regularization curve)", "\n".join(fig4_lines))
+
+    panels = run_fig5(profile)
+    section("fig5 (accuracy vs ASIC energy)",
+            "\n\n".join(panel.render() for panel in panels))
+
+    fig6 = run_fig6(profile)
+    dominance = ("FLightNN front DOMINATES the LightNN front (paper's claim holds)"
+                 if fig6.flightnn_is_upper_bound()
+                 else "WARNING: FLightNN front does not dominate at this scale/seed")
+    section("fig6 (accuracy-storage fronts)", fig6.render() + "\n\n" + dominance)
+
+    sections.append(f"\ncompleted in {time.time() - start:.0f}s")
+    output = Path(args.output) if args.output else (
+        default_cache_dir() / f"report_{profile.name}.txt"
+    )
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text("\n".join(sections), encoding="utf-8")
+    print(f"\nreport written to {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

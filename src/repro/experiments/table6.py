@@ -1,0 +1,114 @@
+"""Table 6: FPGA resource utilisation for networks 7 and 8.
+
+The paper reports BRAM/DSP/FF/LUT usage of each quantized model's largest-
+layer accelerator at full network scale.  Resource usage depends only on
+the layer geometry and the scheme (plus, for FLightNN, the trained
+per-filter k mix), so this experiment builds the full-scale networks
+without training and — for the two FLightNN rows — emulates the trained
+operating points by setting the level-1 threshold at a percentile of the
+level-1 residual norms: FL_a at the 90th percentile (mean k close to 1,
+the paper's FL7a/FL8a) and FL_b at the 40th (mixed k, FL7b/FL8b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.errors import ConfigurationError
+from repro.experiments.common import ExperimentProfile, build_scheme, get_profile
+from repro.hw.fpga import FPGA_ZC706, FPGADesignPoint, FPGAModel
+from repro.hw.ops import network_largest_layer_ops
+from repro.models import build_network
+
+__all__ = ["Table6Row", "run_table6", "FL_EMULATION_PERCENTILES"]
+
+#: Level-1 residual-norm percentile used to emulate each trained FLightNN.
+FL_EMULATION_PERCENTILES = {"FL_a": 90.0, "FL_b": 40.0}
+
+#: Paper rows: network 7 includes the Full/FP baselines, network 8 (like
+#: Table 5) only the shift families.
+TABLE6_SPECS: dict[int, tuple[str, ...]] = {
+    7: ("Full", "L-2", "L-1", "FP", "FL_a", "FL_b"),
+    8: ("L-2", "L-1", "FL_a", "FL_b"),
+}
+
+
+@dataclass
+class Table6Row:
+    """One utilisation row."""
+
+    network_id: int
+    scheme_name: str
+    mean_k: float
+    design: FPGADesignPoint
+
+    @property
+    def speedup_base(self) -> float:
+        """Raw throughput (speedups are computed against the first row)."""
+        return self.design.throughput
+
+
+def _emulate_trained_flightnn(layer, percentile: float) -> None:
+    """Set the layer's level-1 threshold at a residual-norm percentile."""
+    quantizer = layer.strategy.quantizer
+    norms = quantizer.residual_norms(layer.weight.data, layer.thresholds.data)
+    layer.thresholds.data[1] = float(np.percentile(norms[1], percentile))
+
+
+def run_table6(
+    profile: ExperimentProfile | None = None,
+    image_size: int = 32,
+) -> list[Table6Row]:
+    """Reproduce Table 6 at full Table-1 network scale."""
+    profile = profile or get_profile()
+    model = FPGAModel()
+    rows: list[Table6Row] = []
+    for network_id, scheme_keys in TABLE6_SPECS.items():
+        for scheme_key in scheme_keys:
+            scheme = build_scheme(scheme_key, profile)
+            net = build_network(
+                network_id, scheme, num_classes=10, image_size=image_size,
+                width_scale=1.0, rng=profile.seed + network_id,
+            )
+            if scheme.is_flightnn:
+                layer = net.largest_conv_layer()
+                if layer.strategy.quantizer.config.k_max < 2:
+                    raise ConfigurationError("Table 6 FLightNN rows need k_max >= 2")
+                _emulate_trained_flightnn(layer, FL_EMULATION_PERCENTILES[scheme_key])
+            ops = network_largest_layer_ops(net)
+            rows.append(
+                Table6Row(
+                    network_id=network_id,
+                    scheme_name=scheme.name,
+                    mean_k=ops.mean_k,
+                    design=model.map_layer(ops),
+                )
+            )
+    return rows
+
+
+def render_table6(rows: list[Table6Row]) -> str:
+    """Paper-style plain-text rendering with the Available row."""
+    headers = ["ID", "Model", "BRAM", "DSP", "FF", "LUT", "Speedup", "bound by"]
+    cells = []
+    baselines: dict[int, float] = {}
+    for row in rows:
+        baselines.setdefault(row.network_id, row.design.throughput)
+        cells.append([
+            row.network_id,
+            row.scheme_name,
+            row.design.usage.bram,
+            row.design.usage.dsp,
+            f"{row.design.usage.ff:,}",
+            f"{row.design.usage.lut:,}",
+            f"{row.design.throughput / baselines[row.network_id]:.2f}x",
+            ",".join(row.design.bound_by) or "-",
+        ])
+    cells.append([
+        "", "Available", FPGA_ZC706.bram, FPGA_ZC706.dsp,
+        f"{FPGA_ZC706.ff:,}", f"{FPGA_ZC706.lut:,}", "", "",
+    ])
+    return format_table(headers, cells, title="Table 6 (FPGA resource utilisation)")

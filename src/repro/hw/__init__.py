@@ -1,0 +1,42 @@
+"""Hardware cost models: FPGA (Zynq ZC706) and ASIC (65 nm).
+
+These analytical models replace the paper's Vivado HLS flow and Synopsys
+DC/PrimeTime flow (see DESIGN.md substitution table).  They encode the two
+mechanisms the paper's results rest on:
+
+* On FPGA, (F)LightNN multiplies become LUT shift units while fixed/full
+  precision needs DSP slices, and BRAM capacity bounds the batch size —
+  reproducing the Tables 2-6 throughput/utilisation patterns.
+* On ASIC, a shift costs roughly an order of magnitude less energy than a
+  fixed-point multiply and two orders less than an FP32 multiply —
+  reproducing the Fig. 5 energy ordering.
+"""
+
+from repro.hw.ops import ConvLayerOps, conv_layer_ops, network_largest_layer_ops
+from repro.hw.fpga import FPGA_ZC706, FPGADesignPoint, FPGAModel, FPGAResources
+from repro.hw.asic import AreaTable65nm, AsicAreaModel, AsicEnergyModel, EnergyTable65nm
+from repro.hw.network_cost import NetworkCostEstimate, estimate_network_cost
+from repro.hw.sensitivity import (
+    SensitivityOutcome,
+    energy_ordering_sensitivity,
+    throughput_ordering_sensitivity,
+)
+
+__all__ = [
+    "ConvLayerOps",
+    "conv_layer_ops",
+    "network_largest_layer_ops",
+    "FPGAResources",
+    "FPGA_ZC706",
+    "FPGAModel",
+    "FPGADesignPoint",
+    "EnergyTable65nm",
+    "AsicEnergyModel",
+    "AreaTable65nm",
+    "AsicAreaModel",
+    "NetworkCostEstimate",
+    "estimate_network_cost",
+    "SensitivityOutcome",
+    "energy_ordering_sensitivity",
+    "throughput_ordering_sensitivity",
+]

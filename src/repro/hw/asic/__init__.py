@@ -1,0 +1,6 @@
+"""Analytical 65 nm ASIC computational-energy model."""
+
+from repro.hw.asic.energy import AsicEnergyModel, EnergyTable65nm
+from repro.hw.asic.area import AreaTable65nm, AsicAreaModel
+
+__all__ = ["AsicEnergyModel", "EnergyTable65nm", "AsicAreaModel", "AreaTable65nm"]

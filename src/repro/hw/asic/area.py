@@ -1,0 +1,80 @@
+"""ASIC area model (65 nm).
+
+The paper notes that "in an ASIC implementation, shift operations are more
+lightweight than multiplications, making LightNNs more energy and area
+efficient than fixed-point DNNs".  This module quantifies the area side of
+that claim: per-operator cell areas (square micrometres at 65 nm, scaled
+from standard-cell library data) and the datapath area of a one-MAC
+compute unit per scheme, mirroring the paper's one-stage-per-neuron
+pipeline with a reused computation unit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import HardwareModelError
+from repro.hw.ops import ConvLayerOps
+
+__all__ = ["AreaTable65nm", "AsicAreaModel"]
+
+
+@dataclass(frozen=True)
+class AreaTable65nm:
+    """Per-operator cell area in square micrometres at 65 nm.
+
+    Scaled from published standard-cell synthesis results: a 32-bit FP
+    multiplier is roughly an order of magnitude larger than an 8x8 integer
+    multiplier, which in turn dwarfs a barrel shifter and adder.
+    """
+
+    fp32_mult: float = 12000.0
+    fp32_add: float = 6000.0
+    int_mult_8x8: float = 800.0
+    int_mult_4x8: float = 450.0
+    int_add: float = 150.0
+    shift: float = 120.0
+    xnor: float = 15.0
+
+    def __post_init__(self) -> None:
+        values = (
+            self.fp32_mult, self.fp32_add, self.int_mult_8x8,
+            self.int_mult_4x8, self.int_add, self.shift, self.xnor,
+        )
+        if min(values) <= 0:
+            raise HardwareModelError("per-op areas must be positive")
+
+
+class AsicAreaModel:
+    """Datapath area of one compute unit per quantization scheme."""
+
+    def __init__(self, table: AreaTable65nm | None = None) -> None:
+        self.table = table or AreaTable65nm()
+
+    def unit_area_um2(self, ops: ConvLayerOps) -> float:
+        """Area of one MAC-equivalent compute unit for this layer's scheme.
+
+        Full precision: FP multiplier + FP adder.  Fixed point: narrow
+        multiplier + adder.  (F)LightNN: one shifter + adder per *term* up
+        to ceil(mean k) (the unit is sized for the worst filter in the
+        Fig. 3 decomposition, i.e. k_max terms when any filter uses them).
+        Binary: XNOR cell + adder.
+        """
+        t = self.table
+        if ops.scheme_kind == "full":
+            return t.fp32_mult + t.fp32_add
+        if ops.scheme_kind == "fixed":
+            return t.int_mult_4x8 + t.int_add
+        if ops.scheme_kind in ("lightnn", "flightnn"):
+            # One shift-add stage; multi-shift weights reuse it serially
+            # (the throughput cost lives in the FPGA/latency model).
+            return t.shift + t.int_add
+        if ops.scheme_kind == "binary":
+            return t.xnor + t.int_add
+        raise HardwareModelError(f"no area model for scheme kind {ops.scheme_kind!r}")
+
+    def datapath_area_mm2(self, ops: ConvLayerOps, parallel_units: int) -> float:
+        """Total datapath area in mm^2 for ``parallel_units`` compute units."""
+        if parallel_units < 1:
+            raise HardwareModelError("parallel_units must be >= 1")
+        return self.unit_area_um2(ops) * parallel_units / 1e6

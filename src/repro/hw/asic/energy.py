@@ -1,0 +1,82 @@
+"""ASIC computational-energy model (65 nm).
+
+Replaces the paper's Synopsys DC + PrimeTime flow with a per-operation
+energy table.  Values are scaled to a 65 nm commercial library from
+published 45 nm measurements (Horowitz, ISSCC 2014: FP32 multiply 3.7 pJ,
+FP32 add 0.9 pJ, 8-bit int multiply 0.2 pJ, 8-bit int add 0.03 pJ) using a
+~2x technology factor; narrow multiplies scale with operand width and a
+barrel shift costs a fraction of an 8-bit add-width datapath.
+
+Only *computational* energy of the target layer is modelled, matching the
+paper: "The energy shown in Fig. 5 only includes the computational energy
+consumption for the largest layer of each network."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import HardwareModelError
+from repro.hw.ops import ConvLayerOps
+
+__all__ = ["EnergyTable65nm", "AsicEnergyModel"]
+
+
+@dataclass(frozen=True)
+class EnergyTable65nm:
+    """Per-operation energies in picojoules at 65 nm.
+
+    Attributes:
+        fp32_mult / fp32_add: Floating-point datapath.
+        int_mult_8x8: 8x8-bit fixed-point multiply.
+        int_mult_4x8: 4x8-bit fixed-point multiply (the FP_4W8A baseline).
+        int_add: Accumulator-width fixed-point add.
+        shift: Barrel shift of an 8-bit activation.
+        xnor: Conditional sign flip of a binary-weight MAC.
+    """
+
+    fp32_mult: float = 7.4
+    fp32_add: float = 1.8
+    int_mult_8x8: float = 0.40
+    int_mult_4x8: float = 0.22
+    int_add: float = 0.06
+    shift: float = 0.03
+    xnor: float = 0.005
+
+    def __post_init__(self) -> None:
+        if min(
+            self.fp32_mult, self.fp32_add, self.int_mult_8x8,
+            self.int_mult_4x8, self.int_add, self.shift, self.xnor,
+        ) <= 0:
+            raise HardwareModelError("per-op energies must be positive")
+
+
+class AsicEnergyModel:
+    """Computational energy of one conv layer under one scheme."""
+
+    def __init__(self, table: EnergyTable65nm | None = None) -> None:
+        self.table = table or EnergyTable65nm()
+
+    def layer_energy_uj(self, ops: ConvLayerOps) -> float:
+        """Energy in microjoules to compute the layer once.
+
+        Full precision: one FP32 multiply + add per MAC.  Fixed point: one
+        narrow multiply + add per MAC.  (F)LightNN: ``k`` shifts and ``k``
+        adds per MAC of a k-shift filter (k-1 combine adds + 1 accumulate).
+        """
+        t = self.table
+        if ops.scheme_kind == "full":
+            pj = ops.macs * (t.fp32_mult + t.fp32_add)
+        elif ops.scheme_kind == "fixed":
+            pj = ops.mult_ops * t.int_mult_4x8 + ops.add_ops * t.int_add
+        elif ops.scheme_kind in ("lightnn", "flightnn"):
+            pj = ops.shift_ops * t.shift + ops.add_ops * t.int_add
+        elif ops.scheme_kind == "binary":
+            pj = ops.macs * t.xnor + ops.add_ops * t.int_add
+        else:
+            raise HardwareModelError(f"no energy model for scheme kind {ops.scheme_kind!r}")
+        return pj * 1e-6  # pJ -> uJ
+
+    def energy_per_mac_pj(self, ops: ConvLayerOps) -> float:
+        """Average energy per multiply-accumulate in picojoules."""
+        return self.layer_energy_uj(ops) * 1e6 / ops.macs

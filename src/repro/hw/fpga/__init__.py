@@ -1,0 +1,28 @@
+"""Analytical FPGA (Zynq ZC706) accelerator model."""
+
+from repro.hw.fpga.resources import (
+    BRAM18K_BITS,
+    FPGA_ZC706,
+    OVERHEAD,
+    UNIT_COSTS,
+    FPGAResources,
+    UnitCost,
+    bram_blocks,
+)
+from repro.hw.fpga.design import FPGADesignPoint, FPGAModel
+from repro.hw.fpga.scheduler import HlsDirectives, LoopNestSchedule, schedule_conv_layer
+
+__all__ = [
+    "FPGAResources",
+    "UnitCost",
+    "FPGA_ZC706",
+    "UNIT_COSTS",
+    "OVERHEAD",
+    "BRAM18K_BITS",
+    "bram_blocks",
+    "FPGADesignPoint",
+    "FPGAModel",
+    "HlsDirectives",
+    "LoopNestSchedule",
+    "schedule_conv_layer",
+]

@@ -1,0 +1,174 @@
+"""FPGA accelerator design-point search and throughput model.
+
+Models the paper's batched largest-conv-layer accelerator: ``B`` batch
+lanes, each processing one image with ``U`` parallel compute units (fixed
+by the shared HLS pragmas), at 100 MHz.  The search maximises throughput
+subject to the ZC706 budget:
+
+* DSP / LUT / FF bind the total unit count ``B * U``.
+* BRAM holds the layer weights (at the scheme's encoding) once, plus an
+  input + output activation buffer per lane; this bounds ``B`` — the
+  "maximum batch size without running out of FPGA resources" of Sec. 5.2.
+* When the FP32 weights do not fit on chip at all, the model streams them
+  from DDR, amortised over the batch, and applies the DDR bandwidth bound.
+
+Throughput is ``B * U * f / (macs * II * k)`` images/s, where ``II`` is the
+scheme's initiation interval and ``k`` the mean shifts per weight (the
+serialisation factor of multi-shift weights on a shift unit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import HardwareModelError
+from repro.hw.ops import ConvLayerOps
+from repro.hw.fpga.resources import (
+    FPGA_ZC706,
+    OVERHEAD,
+    UNIT_COSTS,
+    FPGAResources,
+    UnitCost,
+    bram_blocks,
+)
+
+__all__ = ["FPGADesignPoint", "FPGAModel"]
+
+
+@dataclass(frozen=True)
+class FPGADesignPoint:
+    """One mapped accelerator instance.
+
+    Attributes:
+        batch_size: Parallel image lanes ``B``.
+        units_per_lane: Compute units per lane ``U``.
+        throughput: Sustained images/s.
+        usage: Resource usage vector as reported in Table 6.
+        weights_on_chip: Whether the layer weights fit in BRAM.
+        bound_by: Names of the binding resources (utilisation >= 90%).
+    """
+
+    batch_size: int
+    units_per_lane: int
+    throughput: float
+    usage: FPGAResources
+    weights_on_chip: bool
+    bound_by: tuple[str, ...]
+
+    @property
+    def total_units(self) -> int:
+        """Total parallel compute units ``B * U``."""
+        return self.batch_size * self.units_per_lane
+
+
+class FPGAModel:
+    """Analytical ZC706 mapper for one conv layer under one scheme.
+
+    Args:
+        budget: Device resources (defaults to the ZC706).
+        frequency_hz: Clock (the paper's design runs at 100 MHz).
+        units_per_lane: Unroll factor from the shared HLS pragma — the
+            paper applies identical pragmas to all schemes, so this is a
+            constant of the comparison, not a per-scheme tunable.
+        ddr_bandwidth: Off-chip bytes/s for weight streaming (ZC706 DDR3).
+        double_buffer: Allocate two activation buffers per lane so compute
+            overlaps data movement.
+    """
+
+    def __init__(
+        self,
+        budget: FPGAResources = FPGA_ZC706,
+        frequency_hz: float = 100e6,
+        units_per_lane: int = 8,
+        ddr_bandwidth: float = 6.4e9,
+        double_buffer: bool = False,
+    ) -> None:
+        if units_per_lane < 1:
+            raise HardwareModelError("units_per_lane must be >= 1")
+        if frequency_hz <= 0 or ddr_bandwidth <= 0:
+            raise HardwareModelError("frequency and bandwidth must be positive")
+        self.budget = budget
+        self.frequency_hz = frequency_hz
+        self.units_per_lane = units_per_lane
+        self.ddr_bandwidth = ddr_bandwidth
+        self.double_buffer = double_buffer
+
+    # -- mapping -------------------------------------------------------------
+
+    def map_layer(self, ops: ConvLayerOps) -> FPGADesignPoint:
+        """Find the throughput-maximal design point for ``ops``."""
+        cost = self._unit_cost(ops)
+        act_bits_per_lane = (ops.in_elems + ops.out_elems) * ops.act_bits
+        if self.double_buffer:
+            act_bits_per_lane *= 2
+        act_brams = max(1, bram_blocks(act_bits_per_lane))
+        weight_brams = bram_blocks(ops.weight_bits)
+
+        bram_free = self.budget.bram - OVERHEAD.bram
+        weights_on_chip = weight_brams + act_brams <= bram_free
+        if not weights_on_chip:
+            weight_brams = 0  # streamed from DDR instead
+
+        max_lanes = (bram_free - weight_brams) // act_brams
+        if max_lanes < 1:
+            raise HardwareModelError(
+                "activation buffers for a single lane exceed the BRAM budget"
+            )
+
+        unit_limit = self._compute_unit_limit(cost)
+        lanes = min(max_lanes, max(1, unit_limit // self.units_per_lane))
+        total_units = lanes * self.units_per_lane
+        if total_units > unit_limit:
+            total_units = unit_limit
+            lanes = max(1, total_units // self.units_per_lane)
+            total_units = lanes * self.units_per_lane
+
+        cycles_per_image = ops.macs * cost.initiation_interval * ops.cycles_per_image_factor
+        throughput = total_units * self.frequency_hz / cycles_per_image
+
+        if not weights_on_chip:
+            # Weights stream once per batch; the whole batch must wait for them.
+            weight_bytes = ops.weight_bits / 8.0
+            stream_throughput = self.ddr_bandwidth * lanes / weight_bytes
+            throughput = min(throughput, stream_throughput)
+
+        usage = FPGAResources(
+            lut=OVERHEAD.lut + total_units * cost.lut,
+            ff=OVERHEAD.ff + total_units * cost.ff,
+            dsp=OVERHEAD.dsp + total_units * cost.dsp,
+            bram=OVERHEAD.bram + weight_brams + lanes * act_brams,
+        )
+        if not usage.fits_in(self.budget):
+            raise HardwareModelError(f"mapped design exceeds budget: {usage}")
+        bound = tuple(
+            name for name, frac in usage.utilization(self.budget).items() if frac >= 0.9
+        )
+        return FPGADesignPoint(
+            batch_size=lanes,
+            units_per_lane=self.units_per_lane,
+            throughput=throughput,
+            usage=usage,
+            weights_on_chip=weights_on_chip,
+            bound_by=bound,
+        )
+
+    # -- internals -------------------------------------------------------------
+
+    def _unit_cost(self, ops: ConvLayerOps) -> UnitCost:
+        try:
+            return UNIT_COSTS[ops.scheme_kind]
+        except KeyError:
+            raise HardwareModelError(f"no FPGA unit cost for scheme kind {ops.scheme_kind!r}")
+
+    def _compute_unit_limit(self, cost: UnitCost) -> int:
+        """Largest total unit count the LUT/FF/DSP budgets allow."""
+        limits = [
+            (self.budget.lut - OVERHEAD.lut) // cost.lut if cost.lut else None,
+            (self.budget.ff - OVERHEAD.ff) // cost.ff if cost.ff else None,
+            (self.budget.dsp - OVERHEAD.dsp) // cost.dsp if cost.dsp else None,
+        ]
+        finite = [l for l in limits if l is not None]
+        limit = min(finite)
+        if limit < 1:
+            raise HardwareModelError("a single compute unit exceeds the fabric budget")
+        return int(limit)

@@ -1,0 +1,101 @@
+"""FPGA resource budgets and per-unit costs.
+
+The budget matches the paper's Xilinx Zynq ZC706 evaluation board (Table 6
+"Available" row).  The per-unit costs are calibrated so the model's Table-6
+utilisation pattern matches the paper's measurements:
+
+* An FP32 MAC unit needs ~5 DSP slices (3 for the multiplier, 2 for the
+  adder) plus substantial LUT/FF, and achieves an initiation interval of 5
+  in the paper's one-stage-per-neuron HLS schedule.
+* A 4x8 fixed-point MAC packs into 1 DSP slice with II=2 (the multiply path
+  shares BRAM ports with the activation fetch).
+* A (F)LightNN shift-add unit is pure fabric: LUT barrel shifter + adder,
+  zero DSP, one shift per cycle.
+
+Utilities here also convert storage requirements to BRAM18K block counts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import HardwareModelError
+
+__all__ = ["FPGAResources", "UnitCost", "FPGA_ZC706", "UNIT_COSTS", "OVERHEAD", "bram_blocks"]
+
+BRAM18K_BITS = 18 * 1024
+
+
+@dataclass(frozen=True)
+class FPGAResources:
+    """Resource vector: LUTs, flip-flops, DSP slices, BRAM18K blocks."""
+
+    lut: int
+    ff: int
+    dsp: int
+    bram: int
+
+    def __post_init__(self) -> None:
+        if min(self.lut, self.ff, self.dsp, self.bram) < 0:
+            raise HardwareModelError("resource counts must be non-negative")
+
+    def fits_in(self, budget: "FPGAResources") -> bool:
+        """Whether this usage vector fits within ``budget``."""
+        return (
+            self.lut <= budget.lut
+            and self.ff <= budget.ff
+            and self.dsp <= budget.dsp
+            and self.bram <= budget.bram
+        )
+
+    def utilization(self, budget: "FPGAResources") -> dict[str, float]:
+        """Fractional utilisation per resource kind."""
+        return {
+            "lut": self.lut / budget.lut,
+            "ff": self.ff / budget.ff,
+            "dsp": self.dsp / budget.dsp,
+            "bram": self.bram / budget.bram,
+        }
+
+
+#: The paper's evaluation board (Table 6, "Available" row).
+FPGA_ZC706 = FPGAResources(lut=218_600, ff=437_200, dsp=900, bram=1_090)
+
+
+@dataclass(frozen=True)
+class UnitCost:
+    """Cost and timing of one parallel compute unit.
+
+    Attributes:
+        lut / ff / dsp: Fabric cost per unit.
+        initiation_interval: Cycles between successive operations on one
+            unit (1 = fully pipelined).
+    """
+
+    lut: int
+    ff: int
+    dsp: int
+    initiation_interval: float
+
+
+#: Per-scheme compute-unit costs (see module docstring for calibration).
+UNIT_COSTS: dict[str, UnitCost] = {
+    "full": UnitCost(lut=800, ff=450, dsp=5, initiation_interval=5.0),
+    "fixed": UnitCost(lut=180, ff=80, dsp=1, initiation_interval=2.0),
+    "lightnn": UnitCost(lut=220, ff=110, dsp=0, initiation_interval=1.0),
+    "flightnn": UnitCost(lut=220, ff=110, dsp=0, initiation_interval=1.0),
+    # XNOR + accumulate (BinaryConnect baseline): the cheapest unit of all.
+    "binary": UnitCost(lut=90, ff=50, dsp=0, initiation_interval=1.0),
+}
+
+#: Fixed control/infrastructure overhead of any accelerator instance
+#: (AXI interfaces, FSM, accumulator tree root), independent of unroll.
+OVERHEAD = FPGAResources(lut=15_000, ff=8_000, dsp=4, bram=32)
+
+
+def bram_blocks(bits: float) -> int:
+    """Number of BRAM18K blocks needed to store ``bits``."""
+    if bits < 0:
+        raise HardwareModelError(f"negative storage request: {bits}")
+    return int(math.ceil(bits / BRAM18K_BITS))

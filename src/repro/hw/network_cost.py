@@ -1,0 +1,88 @@
+"""Whole-network hardware cost estimates.
+
+The paper's measurements target each network's largest convolutional layer
+(convolutions take over 90% of CNN compute time, Sec. 5.2).  For design
+exploration it is also useful to aggregate over *all* quantized layers;
+this module sums per-layer op profiles into a network-level estimate of
+FPGA latency (layer-serial execution on one accelerator instance) and ASIC
+computational energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import HardwareModelError
+from repro.hw.asic import AsicEnergyModel
+from repro.hw.fpga import FPGAModel
+from repro.hw.ops import ConvLayerOps, conv_layer_ops
+from repro.models.network import QuantizedNetwork
+
+__all__ = ["NetworkCostEstimate", "estimate_network_cost"]
+
+
+@dataclass(frozen=True)
+class NetworkCostEstimate:
+    """Aggregated hardware cost of every convolutional layer.
+
+    Attributes:
+        layer_ops: Per-layer operation profiles, in network order.
+        total_macs: MACs per image over all conv layers.
+        total_energy_uj: ASIC computational energy per image (uJ).
+        latency_s: Layer-serial FPGA latency per image batch-1 (seconds).
+        throughput: Images/s when each layer runs on its own mapped
+            accelerator at the modelled batch (pipeline across layers).
+        largest_layer_fraction: Share of MACs in the largest layer — the
+            paper's justification for measuring only that layer.
+    """
+
+    layer_ops: tuple[ConvLayerOps, ...]
+    total_macs: int
+    total_energy_uj: float
+    latency_s: float
+    throughput: float
+    largest_layer_fraction: float
+
+
+def estimate_network_cost(
+    network: QuantizedNetwork,
+    fpga: FPGAModel | None = None,
+    asic: AsicEnergyModel | None = None,
+) -> NetworkCostEstimate:
+    """Estimate whole-network FPGA latency and ASIC energy.
+
+    The FPGA estimate maps every conv layer independently (same model as
+    the per-layer benchmark); layer-serial latency sums each layer's
+    single-image time, while the pipelined throughput is limited by the
+    slowest layer.
+    """
+    fpga = fpga or FPGAModel()
+    asic = asic or AsicEnergyModel()
+    convs = network.conv_layers()
+    if not convs:
+        raise HardwareModelError("network has no quantized conv layers")
+    if any(c.last_input_hw is None for c in convs):
+        network.probe()
+
+    profiles = tuple(conv_layer_ops(layer, network.scheme) for layer in convs)
+    total_macs = sum(p.macs for p in profiles)
+    total_energy = sum(asic.layer_energy_uj(p) for p in profiles)
+
+    latency = 0.0
+    slowest = 0.0
+    for profile in profiles:
+        point = fpga.map_layer(profile)
+        per_image = 1.0 / point.throughput
+        latency += per_image * point.batch_size  # single accelerator, batch-serial
+        slowest = max(slowest, per_image)
+    throughput = 1.0 / slowest
+
+    largest = max(p.macs for p in profiles)
+    return NetworkCostEstimate(
+        layer_ops=profiles,
+        total_macs=total_macs,
+        total_energy_uj=total_energy,
+        latency_s=latency,
+        throughput=throughput,
+        largest_layer_fraction=largest / total_macs,
+    )

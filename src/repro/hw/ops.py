@@ -1,0 +1,129 @@
+"""Per-layer operation accounting.
+
+Derives, for one convolutional layer under one quantization scheme, the
+primitive-operation counts a hardware mapping needs: multiply-accumulates,
+and their realisation as FP32 multiplies, fixed-point multiplies, or shifts
+and adds (k per weight for LightNN-k, the trained per-filter k for
+FLightNN).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import HardwareModelError
+from repro.models.network import QuantizedNetwork
+from repro.quant.qlayers import QConv2d
+from repro.quant.schemes import QuantizationScheme
+
+__all__ = ["ConvLayerOps", "conv_layer_ops", "network_largest_layer_ops"]
+
+
+@dataclass(frozen=True)
+class ConvLayerOps:
+    """Operation and storage profile of one conv layer under one scheme.
+
+    Attributes:
+        scheme_kind: ``full | fixed | lightnn | flightnn``.
+        macs: Multiply-accumulates per image.
+        shift_ops: Shift operations per image (0 for full/fixed).
+        add_ops: Additions per image (accumulations; plus combine-adds for
+            multi-shift weights).
+        mult_ops: Real multiplies per image (0 for shift schemes).
+        mean_k: Average shifts per weight (0 for full/fixed).
+        weight_bits: Total weight storage of the layer in bits.
+        act_bits: Activation bit width (32 for full precision).
+        in_elems / out_elems: Activation tensor sizes (elements per image).
+        out_channels / in_channels / kernel_size: Layer geometry.
+    """
+
+    scheme_kind: str
+    macs: int
+    shift_ops: float
+    add_ops: float
+    mult_ops: float
+    mean_k: float
+    weight_bits: float
+    act_bits: int
+    in_elems: int
+    out_elems: int
+    out_channels: int
+    in_channels: int
+    kernel_size: int
+
+    @property
+    def weight_count(self) -> int:
+        """Number of weights in the layer."""
+        return self.out_channels * self.in_channels * self.kernel_size**2
+
+    @property
+    def cycles_per_image_factor(self) -> float:
+        """Relative serial work per MAC lane: k for shift schemes, 1 else.
+
+        The FPGA model multiplies this into the cycle count: a LightNN-2
+        multiply needs two shift-unit passes where LightNN-1 needs one.
+        """
+        return max(self.mean_k, 1e-9) if self.scheme_kind in ("lightnn", "flightnn") else 1.0
+
+
+def conv_layer_ops(layer: QConv2d, scheme: QuantizationScheme) -> ConvLayerOps:
+    """Profile ``layer`` (already probed with an input) under ``scheme``."""
+    if layer.last_input_hw is None:
+        raise HardwareModelError(
+            "conv layer has no recorded input size; run network.probe() first"
+        )
+    ih, iw = layer.last_input_hw
+    oh, ow = layer.output_spatial(ih, iw)
+    f, c, k = layer.out_channels, layer.in_channels, layer.kernel_size
+    macs = oh * ow * f * c * k * k
+    macs_per_filter = oh * ow * c * k * k
+
+    filter_k = layer.filter_k().astype(float)
+    weight_bits = float(layer.bits_per_weight().sum()) * layer.weight.data[0].size
+    act_bits = scheme.activation.bits if scheme.quantizes_activations else 32
+
+    if scheme.kind in ("lightnn", "flightnn"):
+        shift_ops = float((filter_k * macs_per_filter).sum())
+        # k-1 combine adds plus 1 accumulate add per MAC of an active filter.
+        add_ops = float((np.maximum(filter_k, 1.0) * macs_per_filter).sum())
+        mult_ops = 0.0
+        mean_k = float(filter_k.mean()) if filter_k.size else 0.0
+    elif scheme.kind == "binary":
+        # XNOR-style MAC: a sign flip folded into the accumulate add.
+        shift_ops = 0.0
+        add_ops = float(macs)
+        mult_ops = 0.0
+        mean_k = 0.0
+    else:
+        shift_ops = 0.0
+        add_ops = float(macs)
+        mult_ops = float(macs)
+        mean_k = 0.0
+
+    return ConvLayerOps(
+        scheme_kind=scheme.kind,
+        macs=macs,
+        shift_ops=shift_ops,
+        add_ops=add_ops,
+        mult_ops=mult_ops,
+        mean_k=mean_k,
+        weight_bits=weight_bits,
+        act_bits=act_bits,
+        in_elems=c * ih * iw,
+        out_elems=f * oh * ow,
+        out_channels=f,
+        in_channels=c,
+        kernel_size=k,
+    )
+
+
+def network_largest_layer_ops(network: QuantizedNetwork) -> ConvLayerOps:
+    """Ops profile of the network's largest conv layer (the paper's target).
+
+    The paper implements each network's largest convolutional layer on the
+    FPGA/ASIC since convolutions dominate CNN compute time (Sec. 5.2).
+    """
+    layer = network.largest_conv_layer()
+    return conv_layer_ops(layer, network.scheme)

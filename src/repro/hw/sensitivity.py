@@ -1,0 +1,149 @@
+"""Sensitivity analysis of the hardware-model conclusions.
+
+The FPGA/ASIC cost models carry calibrated constants (per-unit LUT/DSP
+costs, per-op energies).  A reproduction resting on a *particular*
+calibration would be fragile; this module perturbs the constants across
+wide ranges and checks whether the paper's qualitative conclusions — the
+throughput and energy orderings between model families — survive.
+
+Used by ``benchmarks/bench_sensitivity.py`` and directly as a library API
+for "would the conclusion flip if my multiplier cost estimate is 50% off?"
+questions.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, replace
+
+from repro.errors import HardwareModelError
+from repro.hw.asic.energy import AsicEnergyModel, EnergyTable65nm
+from repro.hw.fpga.design import FPGAModel
+from repro.hw.fpga.resources import UNIT_COSTS, UnitCost
+from repro.hw.ops import ConvLayerOps
+
+__all__ = [
+    "SensitivityOutcome",
+    "ROBUST_ENERGY_PAIRS",
+    "energy_ordering_sensitivity",
+    "throughput_ordering_sensitivity",
+]
+
+
+@dataclass(frozen=True)
+class SensitivityOutcome:
+    """Result of one ordering check across perturbed model constants.
+
+    Attributes:
+        trials: Number of perturbed configurations evaluated.
+        violations: Configurations in which the expected ordering broke,
+            as human-readable descriptions.
+    """
+
+    trials: int
+    violations: tuple[str, ...]
+
+    @property
+    def robust(self) -> bool:
+        """Whether the ordering held in every perturbed configuration."""
+        return not self.violations
+
+
+#: The orderings that should survive any plausible calibration.  L-2 vs
+#: FP is deliberately absent: two shifts + two adds vs one narrow multiply
+#: is genuinely marginal (the paper's Fig. 5 shows them adjacent too), and
+#: halving the multiply-energy estimate flips it.
+ROBUST_ENERGY_PAIRS: tuple[tuple[str, str], ...] = (
+    ("L-1", "L-2"),
+    ("L-1", "FP"),
+    ("L-2", "Full"),
+    ("FP", "Full"),
+)
+
+
+def energy_ordering_sensitivity(
+    ops_by_scheme: dict[str, ConvLayerOps],
+    shift_scales: tuple[float, ...] = (0.5, 1.0, 2.0),
+    mult_scales: tuple[float, ...] = (0.5, 1.0, 2.0),
+) -> SensitivityOutcome:
+    """Perturb per-op energies and check the robust orderings.
+
+    Each trial scales the shift energy by a factor from ``shift_scales``
+    and every multiply energy by one from ``mult_scales`` (the add energy
+    is the common term and stays fixed), then checks each pair in
+    :data:`ROBUST_ENERGY_PAIRS` whose profiles are present.
+
+    Args:
+        ops_by_scheme: Op profiles keyed by ``L-1 | L-2 | FP | Full`` (any
+            subset of at least two).
+    """
+    required = [k for k in ("L-1", "L-2", "FP", "Full") if k in ops_by_scheme]
+    if len(required) < 2:
+        raise HardwareModelError("need at least two scheme profiles to compare")
+    pairs = [
+        (a, b) for a, b in ROBUST_ENERGY_PAIRS
+        if a in ops_by_scheme and b in ops_by_scheme
+    ]
+    base = EnergyTable65nm()
+    violations: list[str] = []
+    trials = 0
+    for shift_scale, mult_scale in itertools.product(shift_scales, mult_scales):
+        table = replace(
+            base,
+            shift=base.shift * shift_scale,
+            int_mult_4x8=base.int_mult_4x8 * mult_scale,
+            int_mult_8x8=base.int_mult_8x8 * mult_scale,
+            fp32_mult=base.fp32_mult * mult_scale,
+        )
+        model = AsicEnergyModel(table)
+        energies = {k: model.layer_energy_uj(ops_by_scheme[k]) for k in required}
+        trials += 1
+        for cheap, costly in pairs:
+            if not energies[cheap] < energies[costly]:
+                violations.append(
+                    f"shift x{shift_scale:g}, mult x{mult_scale:g}: "
+                    f"{cheap} ({energies[cheap]:.4g} uJ) >= {costly} ({energies[costly]:.4g} uJ)"
+                )
+    return SensitivityOutcome(trials=trials, violations=tuple(violations))
+
+
+def throughput_ordering_sensitivity(
+    ops_by_scheme: dict[str, ConvLayerOps],
+    lut_scales: tuple[float, ...] = (0.5, 1.0, 2.0),
+    dsp_scales: tuple[float, ...] = (0.5, 1.0, 2.0),
+) -> SensitivityOutcome:
+    """Perturb FPGA unit costs and check L-1 > L-2 and L-1 > FP throughput.
+
+    Scales the shift-unit LUT cost and the fixed/full DSP cost per unit;
+    rounding keeps every cost at >= 1 resource.
+    """
+    if "L-1" not in ops_by_scheme or "L-2" not in ops_by_scheme:
+        raise HardwareModelError("need L-1 and L-2 profiles")
+    violations: list[str] = []
+    trials = 0
+    original = dict(UNIT_COSTS)
+    try:
+        for lut_scale, dsp_scale in itertools.product(lut_scales, dsp_scales):
+            shift = original["lightnn"]
+            UNIT_COSTS["lightnn"] = UnitCost(
+                lut=max(1, int(shift.lut * lut_scale)), ff=shift.ff,
+                dsp=shift.dsp, initiation_interval=shift.initiation_interval,
+            )
+            UNIT_COSTS["flightnn"] = UNIT_COSTS["lightnn"]
+            fixed = original["fixed"]
+            UNIT_COSTS["fixed"] = UnitCost(
+                lut=fixed.lut, ff=fixed.ff,
+                dsp=max(1, int(fixed.dsp * dsp_scale)),
+                initiation_interval=fixed.initiation_interval,
+            )
+            model = FPGAModel()
+            thr = {k: model.map_layer(v).throughput for k, v in ops_by_scheme.items()}
+            trials += 1
+            if not thr["L-1"] > thr["L-2"]:
+                violations.append(f"lut x{lut_scale:g}, dsp x{dsp_scale:g}: L-1 <= L-2")
+            if "FP" in thr and not thr["L-1"] > thr["FP"]:
+                violations.append(f"lut x{lut_scale:g}, dsp x{dsp_scale:g}: L-1 <= FP")
+    finally:
+        UNIT_COSTS.clear()
+        UNIT_COSTS.update(original)
+    return SensitivityOutcome(trials=trials, violations=tuple(violations))

@@ -1,0 +1,25 @@
+"""Model zoo: the paper's Table-1 networks under any quantization scheme."""
+
+from repro.models.configs import NETWORK_CONFIGS, NetworkConfig, scaled_config
+from repro.models.network import QuantizedNetwork
+from repro.models.registry import build_from_config, build_network
+from repro.models.resnet import BasicBlock, build_resnet, resnet_stage_plan
+from repro.models.vgg import build_vgg, vgg_channel_plan
+from repro.models.summary import LayerSummary, render_summary, summarize_network
+
+__all__ = [
+    "NetworkConfig",
+    "NETWORK_CONFIGS",
+    "scaled_config",
+    "QuantizedNetwork",
+    "build_network",
+    "build_from_config",
+    "build_vgg",
+    "vgg_channel_plan",
+    "build_resnet",
+    "resnet_stage_plan",
+    "BasicBlock",
+    "LayerSummary",
+    "summarize_network",
+    "render_summary",
+]

@@ -1,0 +1,65 @@
+"""Table-1 network configurations.
+
+The paper evaluates eight networks (Table 1); this module records their
+structure, depth, width, dataset and nominal parameter counts, and defines
+the scaled-down profile used for CPU-tractable experiment runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+
+__all__ = ["NetworkConfig", "NETWORK_CONFIGS", "scaled_config"]
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """One row of the paper's Table 1.
+
+    Attributes:
+        network_id: Paper network ID (1-8).
+        structure: ``"vgg"`` or ``"resnet"``.
+        depth: Number of convolutional layers (paper's convention).
+        width: Filter count of the widest layer.
+        dataset: Dataset key (``cifar10 | svhn | cifar100 | imagenet``).
+        nominal_params: Paper-reported parameter count (for sanity checks).
+    """
+
+    network_id: int
+    structure: str
+    depth: int
+    width: int
+    dataset: str
+    nominal_params: float
+
+    def __post_init__(self) -> None:
+        if self.structure not in ("vgg", "resnet"):
+            raise ConfigurationError(f"unknown structure {self.structure!r}")
+        if self.depth < 2 or self.width < 4:
+            raise ConfigurationError("depth must be >= 2 and width >= 4")
+
+
+NETWORK_CONFIGS: dict[int, NetworkConfig] = {
+    1: NetworkConfig(1, "vgg", 7, 64, "cifar10", 0.08e6),
+    2: NetworkConfig(2, "resnet", 18, 128, "cifar10", 0.7e6),
+    3: NetworkConfig(3, "vgg", 7, 512, "cifar10", 4.6e6),
+    4: NetworkConfig(4, "vgg", 4, 64, "svhn", 0.03e6),
+    5: NetworkConfig(5, "vgg", 4, 128, "svhn", 0.1e6),
+    6: NetworkConfig(6, "resnet", 18, 128, "cifar100", 0.7e6),
+    7: NetworkConfig(7, "resnet", 18, 256, "cifar100", 2.8e6),
+    8: NetworkConfig(8, "resnet", 10, 256, "imagenet", 1.8e6),
+}
+
+
+def scaled_config(config: NetworkConfig, width_scale: float) -> NetworkConfig:
+    """Return a copy with the width scaled (rounded to a multiple of 4).
+
+    Used both by the tractable experiment profile (``width_scale < 1``) and
+    the Fig. 6 width sweep.
+    """
+    if width_scale <= 0:
+        raise ConfigurationError(f"width_scale must be positive, got {width_scale}")
+    new_width = max(8, int(round(config.width * width_scale / 4)) * 4)
+    return replace(config, width=new_width)

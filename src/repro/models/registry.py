@@ -1,0 +1,58 @@
+"""Network factory: Table-1 ID + scheme -> quantized network."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.models.configs import NETWORK_CONFIGS, NetworkConfig, scaled_config
+from repro.models.network import QuantizedNetwork
+from repro.models.resnet import build_resnet
+from repro.models.vgg import build_vgg
+from repro.quant.schemes import QuantizationScheme
+
+__all__ = ["build_network", "build_from_config"]
+
+
+def build_from_config(
+    config: NetworkConfig,
+    scheme: QuantizationScheme,
+    num_classes: int,
+    image_size: int,
+    in_channels: int = 3,
+    rng: int | np.random.Generator | None = None,
+) -> QuantizedNetwork:
+    """Build a network from an explicit :class:`NetworkConfig`."""
+    builder = build_vgg if config.structure == "vgg" else build_resnet
+    return builder(config, scheme, num_classes, image_size, in_channels, rng=rng)
+
+
+def build_network(
+    network_id: int,
+    scheme: QuantizationScheme,
+    num_classes: int,
+    image_size: int,
+    width_scale: float = 1.0,
+    in_channels: int = 3,
+    rng: int | np.random.Generator | None = None,
+) -> QuantizedNetwork:
+    """Build one of the paper's eight networks under a quantization scheme.
+
+    Args:
+        network_id: Table-1 ID (1-8).
+        scheme: Weight/activation quantization recipe.
+        num_classes: Output classes (taken from the dataset in experiments).
+        image_size: Input spatial size.
+        width_scale: Multiplies all channel counts; < 1 gives the tractable
+            profile, and the Fig. 6 sweep varies it.
+        in_channels: Input channels.
+        rng: Seed or generator for weight initialisation.
+    """
+    if network_id not in NETWORK_CONFIGS:
+        raise ConfigurationError(
+            f"unknown network id {network_id}; valid ids: {sorted(NETWORK_CONFIGS)}"
+        )
+    config = NETWORK_CONFIGS[network_id]
+    if width_scale != 1.0:
+        config = scaled_config(config, width_scale)
+    return build_from_config(config, scheme, num_classes, image_size, in_channels, rng=rng)

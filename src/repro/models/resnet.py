@@ -1,0 +1,120 @@
+"""ResNet-style networks with skip connections (Table-1 networks 2, 6, 7, 8).
+
+Basic residual blocks (two 3x3 convolutions) in three stages; the stage
+widths ramp to the Table-1 ``width`` and the block counts follow the
+paper's depth convention (depth = conv layers + final linear layer, so
+depth 18 -> 8 basic blocks, depth 10 -> 4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.models.configs import NetworkConfig
+from repro.models.network import QuantizedNetwork
+from repro.nn import functional as F
+from repro.nn.layers import BatchNorm2d, GlobalAvgPool2d, Identity, LeakyReLU, Sequential
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+from repro.quant.activations import QuantizedActivation
+from repro.quant.qlayers import QConv2d, QLinear
+from repro.quant.schemes import QuantizationScheme
+from repro.utils.rng import as_generator
+
+__all__ = ["BasicBlock", "build_resnet", "resnet_stage_plan"]
+
+
+class BasicBlock(Module):
+    """Two-convolution residual block with optional projection shortcut."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        stride: int,
+        scheme: QuantizationScheme,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__()
+        self.conv1 = QConv2d(
+            in_channels, out_channels, 3, stride=stride, padding=1,
+            strategy=scheme.make_strategy(), rng=rng,
+        )
+        self.bn1 = BatchNorm2d(out_channels)
+        self.conv2 = QConv2d(
+            out_channels, out_channels, 3, padding=1, strategy=scheme.make_strategy(), rng=rng
+        )
+        self.bn2 = BatchNorm2d(out_channels)
+        self.act = LeakyReLU()
+        enabled = scheme.quantizes_activations
+        self.act_quant1 = QuantizedActivation(scheme.activation, enabled=enabled)
+        self.act_quant2 = QuantizedActivation(scheme.activation, enabled=enabled)
+        if stride != 1 or in_channels != out_channels:
+            self.shortcut = Sequential(
+                QConv2d(
+                    in_channels, out_channels, 1, stride=stride,
+                    strategy=scheme.make_strategy(), rng=rng,
+                ),
+                BatchNorm2d(out_channels),
+            )
+        else:
+            self.shortcut = Identity()
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.act_quant1(F.leaky_relu(self.bn1(self.conv1(x))))
+        out = self.bn2(self.conv2(out))
+        out = out + self.shortcut(x)
+        return self.act_quant2(F.leaky_relu(out))
+
+
+def resnet_stage_plan(depth: int, width: int) -> list[tuple[int, int, int]]:
+    """(blocks, channels, first-stride) per stage for a given depth/width.
+
+    Depth counts conv layers plus the final linear layer as in the paper's
+    Table 1: ``depth = 2 * total_blocks + stem + linear``.
+    """
+    total_blocks = (depth - 2) // 2
+    if total_blocks < 1:
+        raise ConfigurationError(f"ResNet depth {depth} too shallow")
+    base, extra = divmod(total_blocks, 3)
+    blocks = [base + (1 if s < extra else 0) for s in range(3)]
+    blocks = [b for b in blocks]  # stage order: early stages get the extras
+    channels = [max(4, width // 4), max(4, width // 2), width]
+    strides = [1, 2, 2]
+    return [
+        (b, c, s) for b, c, s in zip(blocks, channels, strides) if b > 0
+    ]
+
+
+def build_resnet(
+    config: NetworkConfig,
+    scheme: QuantizationScheme,
+    num_classes: int,
+    image_size: int,
+    in_channels: int = 3,
+    rng: int | np.random.Generator | None = None,
+) -> QuantizedNetwork:
+    """Build a quantized ResNet per the Table-1 configuration."""
+    rng = as_generator(rng)
+    stem_channels = max(4, config.width // 4)
+    quantize_acts = scheme.quantizes_activations
+    layers: list[Module] = [
+        QuantizedActivation(scheme.activation, enabled=quantize_acts),
+        QConv2d(in_channels, stem_channels, 3, padding=1, strategy=scheme.make_strategy(), rng=rng),
+        BatchNorm2d(stem_channels),
+        LeakyReLU(),
+        QuantizedActivation(scheme.activation, enabled=quantize_acts),
+    ]
+    current = stem_channels
+    spatial = image_size
+    for blocks, channels, stride in resnet_stage_plan(config.depth, config.width):
+        for b in range(blocks):
+            block_stride = stride if (b == 0 and spatial >= 4) else 1
+            layers.append(BasicBlock(current, channels, block_stride, scheme, rng))
+            spatial = spatial // block_stride
+            current = channels
+    layers.append(GlobalAvgPool2d())
+    features = Sequential(*layers)
+    classifier = QLinear(current, num_classes, strategy=scheme.make_strategy(), rng=rng)
+    return QuantizedNetwork(features, classifier, scheme, config, image_size, in_channels)

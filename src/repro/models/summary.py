@@ -1,0 +1,105 @@
+"""Layer-by-layer model summaries.
+
+Produces the familiar "summary table" view of a quantized network: one row
+per quantized layer with geometry, parameter count, MACs, per-filter shift
+statistics and storage — backed by a probe forward pass so spatial sizes
+are exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.models.network import QuantizedNetwork
+from repro.quant.qlayers import QConv2d, QLinear
+
+__all__ = ["LayerSummary", "summarize_network", "render_summary"]
+
+
+@dataclass(frozen=True)
+class LayerSummary:
+    """One row of the model summary."""
+
+    index: int
+    kind: str                 # "conv" or "linear"
+    in_features: int
+    out_features: int
+    kernel_size: int | None
+    output_hw: tuple[int, int] | None
+    params: int
+    macs: int
+    mean_k: float
+    storage_bits: float
+
+
+def summarize_network(network: QuantizedNetwork) -> list[LayerSummary]:
+    """Summarise every quantized layer (runs a probe pass if needed)."""
+    convs = network.conv_layers()
+    if any(c.last_input_hw is None for c in convs):
+        network.probe()
+    rows: list[LayerSummary] = []
+    index = 0
+    for conv in convs:
+        oh, ow = conv.output_spatial(*conv.last_input_hw)
+        macs = oh * ow * conv.out_channels * conv.in_channels * conv.kernel_size**2
+        weights_per_filter = conv.weight.data[0].size
+        rows.append(
+            LayerSummary(
+                index=index,
+                kind="conv",
+                in_features=conv.in_channels,
+                out_features=conv.out_channels,
+                kernel_size=conv.kernel_size,
+                output_hw=(oh, ow),
+                params=conv.weight.size,
+                macs=macs,
+                mean_k=float(conv.filter_k().mean()),
+                storage_bits=float(conv.bits_per_weight().sum()) * weights_per_filter,
+            )
+        )
+        index += 1
+    for linear in network.linear_layers():
+        weights_per_neuron = linear.weight.data[0].size
+        rows.append(
+            LayerSummary(
+                index=index,
+                kind="linear",
+                in_features=linear.in_features,
+                out_features=linear.out_features,
+                kernel_size=None,
+                output_hw=None,
+                params=linear.weight.size + (linear.bias.size if linear.bias else 0),
+                macs=linear.in_features * linear.out_features,
+                mean_k=float(linear.filter_k().mean()),
+                storage_bits=float(linear.bits_per_weight().sum()) * weights_per_neuron,
+            )
+        )
+        index += 1
+    return rows
+
+
+def render_summary(network: QuantizedNetwork) -> str:
+    """Plain-text summary table with a totals row."""
+    rows = summarize_network(network)
+    cells = []
+    for r in rows:
+        shape = f"{r.in_features}->{r.out_features}"
+        if r.kernel_size is not None:
+            shape += f" k{r.kernel_size}"
+        out = f"{r.output_hw[0]}x{r.output_hw[1]}" if r.output_hw else "-"
+        cells.append([
+            r.index, r.kind, shape, out, f"{r.params:,}", f"{r.macs:,}",
+            f"{r.mean_k:.2f}", f"{r.storage_bits / 8 / 1024:.2f}",
+        ])
+    total_params = sum(r.params for r in rows)
+    total_macs = sum(r.macs for r in rows)
+    total_kb = sum(r.storage_bits for r in rows) / 8 / 1024
+    cells.append(["", "total", "", "", f"{total_params:,}", f"{total_macs:,}", "", f"{total_kb:.2f}"])
+    return format_table(
+        ["#", "layer", "shape", "out", "params", "MACs", "mean k", "KB"],
+        cells,
+        title=f"{network!r}",
+    )

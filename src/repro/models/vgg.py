@@ -1,0 +1,89 @@
+"""VGG-style stacked-convolution networks (Table-1 networks 1, 3, 4, 5).
+
+Every convolution is followed by batch-norm and Leaky ReLU (paper Sec. 5.1),
+optionally a max-pool between channel groups, and — for quantized schemes —
+an 8-bit activation quantizer.  The head is global-average-pool + one
+quantized linear layer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.models.configs import NetworkConfig
+from repro.models.network import QuantizedNetwork
+from repro.nn.layers import BatchNorm2d, GlobalAvgPool2d, LeakyReLU, MaxPool2d, Sequential
+from repro.quant.activations import QuantizedActivation
+from repro.quant.qlayers import QConv2d, QLinear
+from repro.quant.schemes import QuantizationScheme
+from repro.utils.rng import as_generator
+
+__all__ = ["build_vgg", "vgg_channel_plan"]
+
+
+def vgg_channel_plan(depth: int, width: int) -> list[tuple[int, bool]]:
+    """Per-conv (channels, pool-after) plan for a VGG of given depth/width.
+
+    Channels ramp up in three groups (width/4, width/2, width) with a
+    max-pool after each of the first two groups and after the last conv,
+    mirroring compact CIFAR VGGs.
+    """
+    if depth < 2:
+        raise ConfigurationError(f"VGG depth must be >= 2, got {depth}")
+    if depth <= 5:
+        # Shallow VGGs (networks 4 and 5) double channels every layer up to
+        # the target width, one pool per layer; this matches the Table-1
+        # parameter counts (0.03M / 0.1M).
+        return [
+            (max(4, width >> (depth - 1 - i)), True)
+            for i in range(depth)
+        ]
+    group_channels = [max(4, width // 4), max(4, width // 2), width]
+    base, extra = divmod(depth, 3)
+    group_sizes = [base + (1 if g >= 3 - extra else 0) for g in range(3)]
+    if base == 0:  # depth < 3: collapse to the available groups
+        group_sizes = [0] * (3 - depth) + [1] * depth
+    plan: list[tuple[int, bool]] = []
+    for size, channels in zip(group_sizes, group_channels):
+        for i in range(size):
+            plan.append((channels, i == size - 1))
+    return plan
+
+
+def build_vgg(
+    config: NetworkConfig,
+    scheme: QuantizationScheme,
+    num_classes: int,
+    image_size: int,
+    in_channels: int = 3,
+    rng: int | np.random.Generator | None = None,
+) -> QuantizedNetwork:
+    """Build a quantized VGG network per the Table-1 configuration.
+
+    Pools are skipped once the spatial size would drop below 2 pixels, so
+    the same configuration builds at reduced image sizes.
+    """
+    rng = as_generator(rng)
+    quantize_acts = scheme.quantizes_activations
+    # Activation-quantizer slots are always present (disabled for FP32
+    # schemes) so every scheme shares one module structure — this is what
+    # lets post-training quantization transfer state dicts across schemes.
+    layers = [QuantizedActivation(scheme.activation, enabled=quantize_acts)]
+    channels_in = in_channels
+    spatial = image_size
+    for channels_out, pool_after in vgg_channel_plan(config.depth, config.width):
+        layers.append(
+            QConv2d(channels_in, channels_out, 3, padding=1, strategy=scheme.make_strategy(), rng=rng)
+        )
+        layers.append(BatchNorm2d(channels_out))
+        layers.append(LeakyReLU())
+        layers.append(QuantizedActivation(scheme.activation, enabled=quantize_acts))
+        if pool_after and spatial >= 4:
+            layers.append(MaxPool2d(2))
+            spatial //= 2
+        channels_in = channels_out
+    layers.append(GlobalAvgPool2d())
+    features = Sequential(*layers)
+    classifier = QLinear(channels_in, num_classes, strategy=scheme.make_strategy(), rng=rng)
+    return QuantizedNetwork(features, classifier, scheme, config, image_size, in_channels)

@@ -1,0 +1,27 @@
+"""Pure-numpy neural-network substrate (autograd, layers, optimizers).
+
+This package replaces the paper's PyTorch dependency: it provides everything
+needed to run Algorithm 1 (quantization-aware training with trainable
+thresholds) on CPU with numpy only.
+"""
+
+from repro.nn.tensor import Tensor, as_tensor, is_grad_enabled, no_grad
+from repro.nn.module import Module, ModuleList, Parameter
+from repro.nn import functional
+from repro.nn import init
+from repro.nn import layers
+from repro.nn import optim
+
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "Module",
+    "ModuleList",
+    "Parameter",
+    "functional",
+    "init",
+    "layers",
+    "optim",
+]

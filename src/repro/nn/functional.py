@@ -1,0 +1,296 @@
+"""Differentiable neural-network operations on :class:`~repro.nn.tensor.Tensor`.
+
+Implements the ops the FLightNN networks need: 2-D convolution (im2col +
+matmul), max/average pooling, padding, activations (ReLU/LeakyReLU), softmax
+and cross-entropy.  Each op builds its backward closure explicitly; all are
+validated against numerical gradients in the test suite.
+
+Layout convention is NCHW throughout, matching the paper's PyTorch setup.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.lib.stride_tricks import as_strided
+
+from repro.errors import ShapeError
+from repro.nn.tensor import Tensor, as_tensor
+
+__all__ = [
+    "conv2d",
+    "max_pool2d",
+    "avg_pool2d",
+    "global_avg_pool2d",
+    "pad2d",
+    "relu",
+    "leaky_relu",
+    "linear",
+    "flatten",
+    "softmax",
+    "log_softmax",
+    "cross_entropy",
+    "conv_output_size",
+]
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution/pooling window sweep."""
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ShapeError(
+            f"convolution output size {out} <= 0 for input {size}, kernel {kernel}, "
+            f"stride {stride}, padding {padding}"
+        )
+    return out
+
+
+def _im2col(x: np.ndarray, kh: int, kw: int, stride: int, padding: int) -> tuple[np.ndarray, int, int]:
+    """Unfold ``x`` (N,C,H,W) into columns of shape (N, C*kh*kw, OH*OW)."""
+    n, c, h, w = x.shape
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    oh = (h + 2 * padding - kh) // stride + 1
+    ow = (w + 2 * padding - kw) // stride + 1
+    sn, sc, sh, sw = x.strides
+    windows = as_strided(
+        x,
+        shape=(n, c, kh, kw, oh, ow),
+        strides=(sn, sc, sh, sw, sh * stride, sw * stride),
+        writeable=False,
+    )
+    cols = windows.reshape(n, c * kh * kw, oh * ow)
+    return np.ascontiguousarray(cols), oh, ow
+
+
+def _col2im(
+    dcols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int,
+    padding: int,
+    oh: int,
+    ow: int,
+) -> np.ndarray:
+    """Fold column gradients back into an input-shaped gradient (adjoint of im2col)."""
+    n, c, h, w = x_shape
+    dx = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=dcols.dtype)
+    d6 = dcols.reshape(n, c, kh, kw, oh, ow)
+    for i in range(kh):
+        h_end = i + oh * stride
+        for j in range(kw):
+            w_end = j + ow * stride
+            dx[:, :, i:h_end:stride, j:w_end:stride] += d6[:, :, i, j]
+    if padding:
+        dx = dx[:, :, padding:-padding, padding:-padding]
+    return dx
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor | None = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tensor:
+    """2-D cross-correlation of ``x`` (N,C,H,W) with ``weight`` (F,C,KH,KW).
+
+    Args:
+        x: Input activations, NCHW.
+        weight: Filter bank; first axis is the output-channel (filter) axis —
+            the axis FLightNN assigns per-filter ``k`` values along.
+        bias: Optional per-filter bias of shape (F,).
+        stride: Window stride (same in both spatial dims).
+        padding: Zero padding (same on all four sides).
+    """
+    if x.ndim != 4 or weight.ndim != 4:
+        raise ShapeError(f"conv2d expects 4-D input and weight, got {x.shape} and {weight.shape}")
+    n, c, _, _ = x.shape
+    f, wc, kh, kw = weight.shape
+    if wc != c:
+        raise ShapeError(f"conv2d channel mismatch: input has {c}, weight expects {wc}")
+    if bias is not None and bias.shape != (f,):
+        raise ShapeError(f"conv2d bias shape {bias.shape} must be ({f},)")
+
+    cols, oh, ow = _im2col(x.data, kh, kw, stride, padding)
+    w2 = weight.data.reshape(f, c * kh * kw)
+    out_data = np.matmul(w2, cols)  # (N, F, OH*OW)
+    if bias is not None:
+        out_data = out_data + bias.data[None, :, None]
+    out_data = out_data.reshape(n, f, oh, ow)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(g: np.ndarray) -> None:
+        g2 = g.reshape(n, f, oh * ow)
+        if weight.requires_grad:
+            dw = np.einsum("nfp,nkp->fk", g2, cols, optimize=True)
+            weight.accumulate_grad(dw.reshape(weight.shape))
+        if bias is not None and bias.requires_grad:
+            bias.accumulate_grad(g2.sum(axis=(0, 2)))
+        if x.requires_grad:
+            dcols = np.matmul(w2.T, g2)  # (N, K, OH*OW)
+            x.accumulate_grad(_col2im(dcols, x.shape, kh, kw, stride, padding, oh, ow))
+
+    return Tensor.from_op(out_data, parents, backward)
+
+
+def max_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
+    """Max pooling over non-overlapping (or strided) square windows."""
+    stride = kernel if stride is None else stride
+    n, c, h, w = x.shape
+    oh = conv_output_size(h, kernel, stride, 0)
+    ow = conv_output_size(w, kernel, stride, 0)
+    sn, sc, sh, sw = x.data.strides
+    windows = as_strided(
+        x.data,
+        shape=(n, c, oh, ow, kernel, kernel),
+        strides=(sn, sc, sh * stride, sw * stride, sh, sw),
+        writeable=False,
+    ).reshape(n, c, oh, ow, kernel * kernel)
+    flat_arg = windows.argmax(axis=-1)
+    out_data = np.take_along_axis(windows, flat_arg[..., None], axis=-1)[..., 0]
+
+    def backward(g: np.ndarray) -> None:
+        dx = np.zeros_like(x.data)
+        ki, kj = np.unravel_index(flat_arg, (kernel, kernel))
+        ni, ci, ohi, owi = np.indices(flat_arg.shape)
+        np.add.at(dx, (ni, ci, ohi * stride + ki, owi * stride + kj), g)
+        x.accumulate_grad(dx)
+
+    return Tensor.from_op(out_data, (x,), backward)
+
+
+def avg_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
+    """Average pooling over square windows."""
+    stride = kernel if stride is None else stride
+    n, c, h, w = x.shape
+    oh = conv_output_size(h, kernel, stride, 0)
+    ow = conv_output_size(w, kernel, stride, 0)
+    sn, sc, sh, sw = x.data.strides
+    windows = as_strided(
+        x.data,
+        shape=(n, c, oh, ow, kernel, kernel),
+        strides=(sn, sc, sh * stride, sw * stride, sh, sw),
+        writeable=False,
+    )
+    out_data = windows.mean(axis=(-2, -1))
+    scale = 1.0 / (kernel * kernel)
+
+    def backward(g: np.ndarray) -> None:
+        dx = np.zeros_like(x.data)
+        for i in range(kernel):
+            for j in range(kernel):
+                dx[:, :, i : i + oh * stride : stride, j : j + ow * stride : stride] += g * scale
+        x.accumulate_grad(dx)
+
+    return Tensor.from_op(out_data, (x,), backward)
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """Average each channel's full spatial extent down to 1x1 then flatten to (N, C)."""
+    return x.mean(axis=(2, 3))
+
+
+def pad2d(x: Tensor, padding: int) -> Tensor:
+    """Zero-pad the two spatial dimensions of an NCHW tensor."""
+    if padding == 0:
+        return x
+    pads = ((0, 0), (0, 0), (padding, padding), (padding, padding))
+
+    def backward(g: np.ndarray) -> None:
+        x.accumulate_grad(g[:, :, padding:-padding, padding:-padding])
+
+    return Tensor.from_op(np.pad(x.data, pads), (x,), backward)
+
+
+def relu(x: Tensor) -> Tensor:
+    """Rectified linear unit."""
+    mask = x.data > 0
+
+    def backward(g: np.ndarray) -> None:
+        x.accumulate_grad(g * mask)
+
+    return Tensor.from_op(x.data * mask, (x,), backward)
+
+
+def leaky_relu(x: Tensor, negative_slope: float = 0.01) -> Tensor:
+    """Leaky ReLU, the activation used by every network in the paper."""
+    positive = x.data > 0
+    scale = np.where(positive, 1.0, negative_slope)
+
+    def backward(g: np.ndarray) -> None:
+        x.accumulate_grad(g * scale)
+
+    return Tensor.from_op(x.data * scale, (x,), backward)
+
+
+def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
+    """Affine map ``x @ weight.T + bias`` for 2-D input (N, in_features)."""
+    out = x @ weight.T
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def flatten(x: Tensor) -> Tensor:
+    """Collapse all non-batch dimensions: (N, ...) -> (N, prod(...))."""
+    n = x.shape[0]
+    return x.reshape(n, int(np.prod(x.shape[1:])))
+
+
+def _log_softmax_data(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+
+
+def log_softmax(x: Tensor) -> Tensor:
+    """Row-wise log-softmax for 2-D logits (N, classes)."""
+    out_data = _log_softmax_data(x.data)
+    softmax_data = np.exp(out_data)
+
+    def backward(g: np.ndarray) -> None:
+        x.accumulate_grad(g - softmax_data * g.sum(axis=1, keepdims=True))
+
+    return Tensor.from_op(out_data, (x,), backward)
+
+
+def softmax(x: Tensor) -> Tensor:
+    """Row-wise softmax for 2-D logits (N, classes)."""
+    out_data = np.exp(_log_softmax_data(x.data))
+
+    def backward(g: np.ndarray) -> None:
+        inner = (g * out_data).sum(axis=1, keepdims=True)
+        x.accumulate_grad(out_data * (g - inner))
+
+    return Tensor.from_op(out_data, (x,), backward)
+
+
+def cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Mean cross-entropy between row logits and integer class labels.
+
+    This is the ``L_CE`` term of the paper's total loss
+    ``L_total = L_CE + L_reg,k`` (Sec. 4.3).
+
+    Args:
+        logits: (N, classes) unnormalized scores.
+        labels: (N,) integer array of target classes.
+    """
+    labels = np.asarray(labels)
+    if logits.ndim != 2:
+        raise ShapeError(f"cross_entropy expects 2-D logits, got shape {logits.shape}")
+    n = logits.shape[0]
+    if labels.shape != (n,):
+        raise ShapeError(f"labels shape {labels.shape} does not match batch size {n}")
+
+    log_probs = _log_softmax_data(logits.data)
+    picked = log_probs[np.arange(n), labels]
+    loss = -picked.mean()
+    probs = np.exp(log_probs)
+
+    def backward(g: np.ndarray) -> None:
+        dlogits = probs.copy()
+        dlogits[np.arange(n), labels] -= 1.0
+        logits.accumulate_grad(dlogits * (float(g) / n))
+
+    return Tensor.from_op(np.asarray(loss), (logits,), backward)

@@ -1,0 +1,73 @@
+"""Numerical gradient checking for autograd operations.
+
+Central-difference verification used throughout the test suite to certify
+that every analytic backward pass in :mod:`repro.nn` and
+:mod:`repro.quant` is correct.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+__all__ = ["numerical_gradient", "check_gradients"]
+
+
+def numerical_gradient(
+    fn: Callable[[], Tensor],
+    wrt: Tensor,
+    eps: float = 1e-6,
+) -> np.ndarray:
+    """Central-difference gradient of scalar ``fn()`` w.r.t. ``wrt.data``.
+
+    ``fn`` must recompute the scalar output from the current value of
+    ``wrt.data``; this function perturbs entries in place and restores them.
+    """
+    grad = np.zeros_like(wrt.data)
+    flat = wrt.data.ravel()
+    grad_flat = grad.ravel()
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        upper = fn().item()
+        flat[i] = original - eps
+        lower = fn().item()
+        flat[i] = original
+        grad_flat[i] = (upper - lower) / (2.0 * eps)
+    return grad
+
+
+def check_gradients(
+    fn: Callable[[], Tensor],
+    params: Sequence[Tensor],
+    eps: float = 1e-6,
+    rtol: float = 1e-4,
+    atol: float = 1e-6,
+) -> None:
+    """Assert analytic gradients of scalar ``fn()`` match numerical ones.
+
+    Args:
+        fn: Zero-argument callable returning a scalar :class:`Tensor`; must
+            rebuild the graph on every call.
+        params: Leaf tensors (with ``requires_grad=True``) to check.
+
+    Raises:
+        AssertionError: When any analytic gradient deviates beyond tolerance.
+    """
+    for p in params:
+        p.zero_grad()
+    out = fn()
+    out.backward()
+    for idx, p in enumerate(params):
+        assert p.grad is not None, f"param {idx} received no gradient"
+        numeric = numerical_gradient(fn, p, eps=eps)
+        np.testing.assert_allclose(
+            p.grad,
+            numeric,
+            rtol=rtol,
+            atol=atol,
+            err_msg=f"analytic vs numerical gradient mismatch for param {idx}",
+        )

@@ -1,0 +1,71 @@
+"""Weight initialisation schemes.
+
+Kaiming (He) initialisation is the default for all convolutional and linear
+layers, matching common practice for Leaky-ReLU networks like the paper's
+VGG/ResNet configurations.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.rng import as_generator
+
+__all__ = ["kaiming_normal", "kaiming_uniform", "xavier_uniform", "zeros", "ones"]
+
+
+def _fan_in_out(shape: tuple[int, ...]) -> tuple[int, int]:
+    """Compute (fan_in, fan_out) for a linear or convolutional weight shape."""
+    if len(shape) == 2:  # (out_features, in_features)
+        return shape[1], shape[0]
+    if len(shape) == 4:  # (filters, channels, kh, kw)
+        receptive = shape[2] * shape[3]
+        return shape[1] * receptive, shape[0] * receptive
+    raise ConfigurationError(f"cannot infer fan for weight shape {shape}")
+
+
+def kaiming_normal(
+    shape: tuple[int, ...],
+    rng: int | np.random.Generator | None = None,
+    negative_slope: float = 0.01,
+) -> np.ndarray:
+    """He-normal init with gain adjusted for Leaky ReLU."""
+    fan_in, _ = _fan_in_out(shape)
+    gain = math.sqrt(2.0 / (1.0 + negative_slope**2))
+    std = gain / math.sqrt(fan_in)
+    return as_generator(rng).normal(0.0, std, size=shape)
+
+
+def kaiming_uniform(
+    shape: tuple[int, ...],
+    rng: int | np.random.Generator | None = None,
+    negative_slope: float = 0.01,
+) -> np.ndarray:
+    """He-uniform init with gain adjusted for Leaky ReLU."""
+    fan_in, _ = _fan_in_out(shape)
+    gain = math.sqrt(2.0 / (1.0 + negative_slope**2))
+    bound = gain * math.sqrt(3.0 / fan_in)
+    return as_generator(rng).uniform(-bound, bound, size=shape)
+
+
+def xavier_uniform(
+    shape: tuple[int, ...],
+    rng: int | np.random.Generator | None = None,
+) -> np.ndarray:
+    """Glorot-uniform initialisation."""
+    fan_in, fan_out = _fan_in_out(shape)
+    bound = math.sqrt(6.0 / (fan_in + fan_out))
+    return as_generator(rng).uniform(-bound, bound, size=shape)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    """All-zero array (bias default)."""
+    return np.zeros(shape)
+
+
+def ones(shape: tuple[int, ...]) -> np.ndarray:
+    """All-one array (batch-norm scale default)."""
+    return np.ones(shape)

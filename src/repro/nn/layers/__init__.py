@@ -1,0 +1,24 @@
+"""Layer catalogue used by the Table-1 network configurations."""
+
+from repro.nn.layers.conv import Conv2d
+from repro.nn.layers.linear import Linear
+from repro.nn.layers.norm import BatchNorm2d
+from repro.nn.layers.activation import LeakyReLU, ReLU
+from repro.nn.layers.pooling import AvgPool2d, GlobalAvgPool2d, MaxPool2d
+from repro.nn.layers.container import Flatten, Identity, Sequential
+from repro.nn.layers.dropout import Dropout
+
+__all__ = [
+    "Conv2d",
+    "Linear",
+    "BatchNorm2d",
+    "LeakyReLU",
+    "ReLU",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "Sequential",
+    "Flatten",
+    "Identity",
+    "Dropout",
+]

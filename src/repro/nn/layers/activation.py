@@ -1,0 +1,33 @@
+"""Activation layers."""
+
+from __future__ import annotations
+
+from repro.nn import functional as F
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+__all__ = ["LeakyReLU", "ReLU"]
+
+
+class LeakyReLU(Module):
+    """Leaky ReLU — the activation used after every conv layer in the paper."""
+
+    def __init__(self, negative_slope: float = 0.01) -> None:
+        super().__init__()
+        self.negative_slope = negative_slope
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.leaky_relu(x, self.negative_slope)
+
+    def __repr__(self) -> str:
+        return f"LeakyReLU(negative_slope={self.negative_slope})"
+
+
+class ReLU(Module):
+    """Standard rectified linear unit."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.relu(x)
+
+    def __repr__(self) -> str:
+        return "ReLU()"

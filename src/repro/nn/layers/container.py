@@ -1,0 +1,59 @@
+"""Structural layers: Sequential, Flatten, Identity."""
+
+from __future__ import annotations
+
+from repro.nn import functional as F
+from repro.nn.module import Module, ModuleList
+from repro.nn.tensor import Tensor
+
+__all__ = ["Sequential", "Flatten", "Identity"]
+
+
+class Sequential(Module):
+    """Run modules in order, feeding each output to the next."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self.children_list = ModuleList(modules)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for module in self.children_list:
+            x = module(x)
+        return x
+
+    def __iter__(self):
+        return iter(self.children_list)
+
+    def __len__(self) -> int:
+        return len(self.children_list)
+
+    def __getitem__(self, idx: int) -> Module:
+        return self.children_list[idx]
+
+    def append(self, module: Module) -> None:
+        """Add a module at the end of the chain."""
+        self.children_list.append(module)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(m) for m in self.children_list)
+        return f"Sequential({inner})"
+
+
+class Flatten(Module):
+    """Collapse non-batch dimensions: (N, ...) -> (N, prod(...))."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.flatten(x)
+
+    def __repr__(self) -> str:
+        return "Flatten()"
+
+
+class Identity(Module):
+    """Pass-through module (used for ResNet shortcut branches)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+    def __repr__(self) -> str:
+        return "Identity()"

@@ -1,0 +1,75 @@
+"""2-D convolution layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn import functional as F
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor
+
+__all__ = ["Conv2d"]
+
+
+class Conv2d(Module):
+    """Convolutional layer over NCHW inputs.
+
+    The weight has shape ``(out_channels, in_channels, kernel, kernel)``;
+    axis 0 is the *filter* axis along which FLightNN selects per-filter
+    ``k`` values.
+
+    Args:
+        in_channels: Input channel count.
+        out_channels: Number of filters.
+        kernel_size: Square kernel side.
+        stride: Spatial stride.
+        padding: Zero padding on each side.
+        bias: Whether to learn an additive per-filter bias.  The paper's
+            networks put batch-norm after every convolution, so bias
+            defaults to ``False``.
+        rng: Seed or generator for Kaiming initialisation.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = False,
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if min(in_channels, out_channels, kernel_size, stride) < 1:
+            raise ConfigurationError(
+                "Conv2d channel counts, kernel size and stride must be positive"
+            )
+        if padding < 0:
+            raise ConfigurationError("Conv2d padding must be non-negative")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        shape = (out_channels, in_channels, kernel_size, kernel_size)
+        self.weight = Parameter(init.kaiming_normal(shape, rng=rng), name="conv.weight")
+        self.bias = Parameter(init.zeros((out_channels,)), name="conv.bias") if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.conv2d(x, self.weight, self.bias, stride=self.stride, padding=self.padding)
+
+    def output_spatial(self, height: int, width: int) -> tuple[int, int]:
+        """Spatial output size for an input of ``height`` x ``width``."""
+        return (
+            F.conv_output_size(height, self.kernel_size, self.stride, self.padding),
+            F.conv_output_size(width, self.kernel_size, self.stride, self.padding),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Conv2d({self.in_channels}, {self.out_channels}, kernel={self.kernel_size}, "
+            f"stride={self.stride}, padding={self.padding}, bias={self.bias is not None})"
+        )

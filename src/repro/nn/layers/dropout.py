@@ -1,0 +1,46 @@
+"""Inverted dropout layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+from repro.utils.rng import as_generator
+
+__all__ = ["Dropout"]
+
+
+class Dropout(Module):
+    """Inverted dropout: active only in training mode.
+
+    Each element is zeroed with probability ``p`` and the survivors are
+    scaled by ``1/(1-p)`` so the expected activation is unchanged; at
+    evaluation time the layer is the identity.
+
+    Args:
+        p: Drop probability in [0, 1).
+        rng: Seed or generator for the mask stream.
+    """
+
+    def __init__(self, p: float = 0.5, rng: int | np.random.Generator | None = None) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ConfigurationError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self._rng = as_generator(rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        keep = 1.0 - self.p
+        mask = (self._rng.random(x.shape) < keep) / keep
+
+        def backward(g: np.ndarray) -> None:
+            x.accumulate_grad(g * mask)
+
+        return Tensor.from_op(x.data * mask, (x,), backward)
+
+    def __repr__(self) -> str:
+        return f"Dropout(p={self.p})"

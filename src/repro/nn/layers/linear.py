@@ -1,0 +1,40 @@
+"""Fully-connected layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn import functional as F
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor
+
+__all__ = ["Linear"]
+
+
+class Linear(Module):
+    """Affine layer ``y = x W^T + b`` over (N, in_features) inputs."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if min(in_features, out_features) < 1:
+            raise ConfigurationError("Linear feature counts must be positive")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            init.kaiming_uniform((out_features, in_features), rng=rng), name="linear.weight"
+        )
+        self.bias = Parameter(init.zeros((out_features,)), name="linear.bias") if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.linear(x, self.weight, self.bias)
+
+    def __repr__(self) -> str:
+        return f"Linear({self.in_features}, {self.out_features}, bias={self.bias is not None})"

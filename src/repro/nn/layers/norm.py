@@ -1,0 +1,68 @@
+"""Batch normalisation.
+
+The paper follows every convolution with batch-norm and Leaky ReLU
+(Sec. 5.1); batch-norm is also what lets aggressively quantized weights keep
+activations in a trainable range.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor
+
+__all__ = ["BatchNorm2d"]
+
+
+class BatchNorm2d(Module):
+    """Batch normalisation over the channel axis of NCHW tensors.
+
+    Args:
+        num_features: Channel count ``C``.
+        eps: Variance floor for numerical stability.
+        momentum: Running-statistics update rate.
+    """
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1) -> None:
+        super().__init__()
+        if num_features < 1:
+            raise ConfigurationError("BatchNorm2d num_features must be positive")
+        if not 0.0 < momentum <= 1.0:
+            raise ConfigurationError(f"momentum must be in (0, 1], got {momentum}")
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.gamma = Parameter(init.ones((num_features,)), name="bn.gamma")
+        self.beta = Parameter(init.zeros((num_features,)), name="bn.beta")
+        self.register_buffer("running_mean", np.zeros(num_features))
+        self.register_buffer("running_var", np.ones(num_features))
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 4 or x.shape[1] != self.num_features:
+            raise ShapeError(
+                f"BatchNorm2d expects (N, {self.num_features}, H, W), got {x.shape}"
+            )
+        if self.training:
+            mean = x.mean(axis=(0, 2, 3), keepdims=True)
+            centred = x - mean
+            var = (centred * centred).mean(axis=(0, 2, 3), keepdims=True)
+            # Update running statistics outside the autograd graph.
+            m = self.momentum
+            self.running_mean[...] = (1 - m) * self.running_mean + m * mean.data.reshape(-1)
+            n = x.size / self.num_features
+            unbiased = var.data.reshape(-1) * (n / max(n - 1, 1))
+            self.running_var[...] = (1 - m) * self.running_var + m * unbiased
+            x_hat = centred / (var + self.eps).sqrt()
+        else:
+            mean = self.running_mean.reshape(1, -1, 1, 1)
+            std = np.sqrt(self.running_var + self.eps).reshape(1, -1, 1, 1)
+            x_hat = (x - mean) * (1.0 / std)
+        gamma = self.gamma.reshape(1, self.num_features, 1, 1)
+        beta = self.beta.reshape(1, self.num_features, 1, 1)
+        return x_hat * gamma + beta
+
+    def __repr__(self) -> str:
+        return f"BatchNorm2d({self.num_features}, eps={self.eps}, momentum={self.momentum})"

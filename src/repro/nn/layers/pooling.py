@@ -1,0 +1,54 @@
+"""Pooling layers."""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.nn import functional as F
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+__all__ = ["MaxPool2d", "AvgPool2d", "GlobalAvgPool2d"]
+
+
+class MaxPool2d(Module):
+    """Max pooling over square windows (stride defaults to the kernel)."""
+
+    def __init__(self, kernel: int, stride: int | None = None) -> None:
+        super().__init__()
+        if kernel < 1:
+            raise ConfigurationError("pooling kernel must be positive")
+        self.kernel = kernel
+        self.stride = stride if stride is not None else kernel
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.max_pool2d(x, self.kernel, self.stride)
+
+    def __repr__(self) -> str:
+        return f"MaxPool2d(kernel={self.kernel}, stride={self.stride})"
+
+
+class AvgPool2d(Module):
+    """Average pooling over square windows."""
+
+    def __init__(self, kernel: int, stride: int | None = None) -> None:
+        super().__init__()
+        if kernel < 1:
+            raise ConfigurationError("pooling kernel must be positive")
+        self.kernel = kernel
+        self.stride = stride if stride is not None else kernel
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.avg_pool2d(x, self.kernel, self.stride)
+
+    def __repr__(self) -> str:
+        return f"AvgPool2d(kernel={self.kernel}, stride={self.stride})"
+
+
+class GlobalAvgPool2d(Module):
+    """Collapse each channel's spatial extent to its mean, giving (N, C)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.global_avg_pool2d(x)
+
+    def __repr__(self) -> str:
+        return "GlobalAvgPool2d()"

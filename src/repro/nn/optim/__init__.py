@@ -1,0 +1,8 @@
+"""Optimizers and learning-rate schedules."""
+
+from repro.nn.optim.base import Optimizer
+from repro.nn.optim.sgd import SGD
+from repro.nn.optim.adam import Adam
+from repro.nn.optim.lr_scheduler import ConstantLR, CosineDecayLR, StepDecayLR
+
+__all__ = ["Optimizer", "SGD", "Adam", "ConstantLR", "StepDecayLR", "CosineDecayLR"]

@@ -1,0 +1,46 @@
+"""Optimizer base class."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.nn.tensor import Tensor
+
+__all__ = ["Optimizer"]
+
+
+class Optimizer:
+    """Base class holding the parameter list and learning rate.
+
+    Subclasses implement :meth:`step` which reads ``param.grad`` and updates
+    ``param.data`` in place.  In Algorithm 1 the parameters handed to the
+    optimizer are the *full-precision master weights* plus biases,
+    batch-norm affines, and FLightNN thresholds ``t``; gradients arrive on
+    them via the STE/sigmoid relaxations in :mod:`repro.quant`.
+    """
+
+    def __init__(self, params: Sequence[Tensor], lr: float) -> None:
+        params = list(params)
+        if not params:
+            raise ConfigurationError("optimizer received an empty parameter list")
+        if lr <= 0:
+            raise ConfigurationError(f"learning rate must be positive, got {lr}")
+        seen: set[int] = set()
+        for p in params:
+            if not isinstance(p, Tensor) or not p.requires_grad:
+                raise ConfigurationError("optimizer parameters must be Tensors requiring grad")
+            if id(p) in seen:
+                raise ConfigurationError("duplicate parameter passed to optimizer")
+            seen.add(id(p))
+        self.params = params
+        self.lr = float(lr)
+
+    def zero_grad(self) -> None:
+        """Clear gradients of all managed parameters."""
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:
+        """Apply one update using the accumulated gradients."""
+        raise NotImplementedError

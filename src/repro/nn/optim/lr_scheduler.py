@@ -1,0 +1,72 @@
+"""Learning-rate schedules.
+
+Schedules mutate ``optimizer.lr`` once per epoch via :meth:`step`.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+from repro.nn.optim.base import Optimizer
+
+__all__ = ["ConstantLR", "StepDecayLR", "CosineDecayLR"]
+
+
+class _Scheduler:
+    """Base scheduler tracking the epoch counter and initial LR."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> float:
+        """Advance one epoch and return the new learning rate."""
+        self.epoch += 1
+        lr = self._lr_at(self.epoch)
+        self.optimizer.lr = lr
+        return lr
+
+    def _lr_at(self, epoch: int) -> float:
+        raise NotImplementedError
+
+
+class ConstantLR(_Scheduler):
+    """Keep the learning rate fixed (explicit no-op schedule)."""
+
+    def _lr_at(self, epoch: int) -> float:
+        return self.base_lr
+
+
+class StepDecayLR(_Scheduler):
+    """Multiply LR by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1) -> None:
+        super().__init__(optimizer)
+        if step_size < 1:
+            raise ConfigurationError(f"step_size must be >= 1, got {step_size}")
+        if not 0.0 < gamma <= 1.0:
+            raise ConfigurationError(f"gamma must be in (0, 1], got {gamma}")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def _lr_at(self, epoch: int) -> float:
+        return self.base_lr * self.gamma ** (epoch // self.step_size)
+
+
+class CosineDecayLR(_Scheduler):
+    """Cosine-anneal LR from the base value to ``min_lr`` over ``total_epochs``."""
+
+    def __init__(self, optimizer: Optimizer, total_epochs: int, min_lr: float = 0.0) -> None:
+        super().__init__(optimizer)
+        if total_epochs < 1:
+            raise ConfigurationError(f"total_epochs must be >= 1, got {total_epochs}")
+        if min_lr < 0:
+            raise ConfigurationError(f"min_lr must be non-negative, got {min_lr}")
+        self.total_epochs = total_epochs
+        self.min_lr = min_lr
+
+    def _lr_at(self, epoch: int) -> float:
+        progress = min(epoch, self.total_epochs) / self.total_epochs
+        return self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (1.0 + math.cos(math.pi * progress))

@@ -1,0 +1,53 @@
+"""Stochastic gradient descent with optional momentum and weight decay."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn.optim.base import Optimizer
+from repro.nn.tensor import Tensor
+
+__all__ = ["SGD"]
+
+
+class SGD(Optimizer):
+    """Classic SGD: ``v = mu*v + g``; ``w -= lr * v``.
+
+    Args:
+        params: Parameters to update.
+        lr: Learning rate.
+        momentum: Momentum coefficient ``mu`` (0 disables).
+        weight_decay: L2 penalty added to the gradient.
+    """
+
+    def __init__(
+        self,
+        params: Sequence[Tensor],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ConfigurationError(f"momentum must be in [0, 1), got {momentum}")
+        if weight_decay < 0.0:
+            raise ConfigurationError(f"weight_decay must be non-negative, got {weight_decay}")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for p, v in zip(self.params, self._velocity):
+            if p.grad is None:
+                continue
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            if self.momentum:
+                v *= self.momentum
+                v += g
+                g = v
+            p.data -= self.lr * g

@@ -1,0 +1,464 @@
+"""Reverse-mode automatic differentiation on numpy arrays.
+
+This module is the computational substrate for the whole reproduction: a
+define-by-run autograd :class:`Tensor` in the spirit of PyTorch, implemented
+on plain :mod:`numpy`.  Every differentiable operation builds a node in an
+implicit DAG; :meth:`Tensor.backward` topologically sorts the graph and
+accumulates gradients into ``.grad`` buffers.
+
+Only the operations required by the FLightNN reproduction are provided, but
+they are provided *correctly*: every op handles broadcasting, and the test
+suite checks each against numerical differentiation (see
+:mod:`repro.nn.gradcheck`).
+
+Example:
+    >>> import numpy as np
+    >>> from repro.nn.tensor import Tensor
+    >>> x = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+    >>> y = (x * x).sum()
+    >>> y.backward()
+    >>> x.grad
+    array([2., 4.])
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import GradientError, ShapeError
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "as_tensor"]
+
+ArrayLike = "np.ndarray | float | int | Sequence"
+
+_GRAD_ENABLED = [True]
+
+
+def is_grad_enabled() -> bool:
+    """Return whether new operations will record gradient information."""
+    return _GRAD_ENABLED[-1]
+
+
+@contextlib.contextmanager
+def no_grad() -> Iterator[None]:
+    """Context manager disabling graph construction (inference mode)."""
+    _GRAD_ENABLED.append(False)
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED.pop()
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape``, inverting numpy broadcasting rules."""
+    if grad.shape == shape:
+        return grad
+    # Sum over leading axes added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were broadcast from size 1.
+    axes = tuple(i for i, (g, s) in enumerate(zip(grad.shape, shape)) if s == 1 and g != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def as_tensor(value: "Tensor | ArrayLike", dtype=np.float64) -> "Tensor":
+    """Coerce ``value`` to a :class:`Tensor` (no-op when already one)."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(np.asarray(value, dtype=dtype))
+
+
+class Tensor:
+    """A numpy array with reverse-mode autodiff support.
+
+    Args:
+        data: Array contents (copied only if not already a float ndarray).
+        requires_grad: Whether gradients should be accumulated for this leaf.
+        name: Optional debug label shown in ``repr``.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "name", "_backward", "_parents")
+
+    def __init__(
+        self,
+        data: "ArrayLike",
+        requires_grad: bool = False,
+        name: str | None = None,
+    ) -> None:
+        arr = np.asarray(data)
+        if arr.dtype.kind not in "fiu":
+            raise ShapeError(f"Tensor data must be numeric, got dtype {arr.dtype}")
+        if arr.dtype.kind in "iu":
+            arr = arr.astype(np.float64)
+        self.data: np.ndarray = arr
+        self.grad: np.ndarray | None = None
+        self.requires_grad: bool = bool(requires_grad)
+        self.name = name
+        self._backward: Callable[[np.ndarray], None] | None = None
+        self._parents: tuple[Tensor, ...] = ()
+
+    # -- construction helpers -------------------------------------------------
+
+    @staticmethod
+    def from_op(
+        data: np.ndarray,
+        parents: Iterable["Tensor"],
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        """Build the result tensor of an operation.
+
+        ``backward`` receives the upstream gradient and must call
+        :meth:`accumulate_grad` on each parent that requires grad.  When grad
+        mode is off or no parent requires grad, a detached tensor is returned.
+        """
+        parents = tuple(parents)
+        out = Tensor(data)
+        if is_grad_enabled() and any(p.requires_grad for p in parents):
+            out.requires_grad = True
+            out._parents = parents
+            out._backward = backward
+        return out
+
+    def accumulate_grad(self, grad: np.ndarray) -> None:
+        """Add ``grad`` into this tensor's gradient buffer (broadcast-aware)."""
+        grad = _unbroadcast(np.asarray(grad, dtype=self.data.dtype), self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad += grad
+
+    # -- basic properties ------------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Shape of the underlying array."""
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        """Number of dimensions of the underlying array."""
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        """Total number of elements."""
+        return self.data.size
+
+    @property
+    def dtype(self):
+        """Data type of the underlying array."""
+        return self.data.dtype
+
+    def item(self) -> float:
+        """Return the single element of a scalar tensor as a Python float."""
+        return float(self.data.item())
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (shared, not copied)."""
+        return self.data
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut from the graph."""
+        return Tensor(self.data)
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient to ``None``."""
+        self.grad = None
+
+    def __repr__(self) -> str:
+        label = f" name={self.name!r}" if self.name else ""
+        return f"Tensor(shape={self.data.shape}, requires_grad={self.requires_grad}{label})"
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    # -- backward --------------------------------------------------------------
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Run reverse-mode autodiff from this tensor.
+
+        Args:
+            grad: Upstream gradient.  Defaults to 1 for scalar outputs.
+
+        Raises:
+            GradientError: If called on a tensor that does not require grad,
+                or on a non-scalar tensor without an explicit ``grad``.
+        """
+        if not self.requires_grad:
+            raise GradientError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise GradientError(
+                    f"backward() on non-scalar tensor of shape {self.shape} requires an explicit gradient"
+                )
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=self.data.dtype)
+        if grad.shape != self.data.shape:
+            raise ShapeError(f"gradient shape {grad.shape} does not match tensor shape {self.shape}")
+
+        order = self._topological_order()
+        self.accumulate_grad(grad)
+        for node in reversed(order):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+    def _topological_order(self) -> list["Tensor"]:
+        """Return graph nodes reachable from ``self`` in topological order."""
+        order: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+        return order
+
+    # -- arithmetic ------------------------------------------------------------
+
+    def __add__(self, other: "Tensor | ArrayLike") -> "Tensor":
+        other = as_tensor(other)
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self.accumulate_grad(g)
+            if other.requires_grad:
+                other.accumulate_grad(g)
+
+        return Tensor.from_op(self.data + other.data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(g: np.ndarray) -> None:
+            self.accumulate_grad(-g)
+
+        return Tensor.from_op(-self.data, (self,), backward)
+
+    def __sub__(self, other: "Tensor | ArrayLike") -> "Tensor":
+        other = as_tensor(other)
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self.accumulate_grad(g)
+            if other.requires_grad:
+                other.accumulate_grad(-g)
+
+        return Tensor.from_op(self.data - other.data, (self, other), backward)
+
+    def __rsub__(self, other: "Tensor | ArrayLike") -> "Tensor":
+        return as_tensor(other).__sub__(self)
+
+    def __mul__(self, other: "Tensor | ArrayLike") -> "Tensor":
+        other = as_tensor(other)
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self.accumulate_grad(g * other.data)
+            if other.requires_grad:
+                other.accumulate_grad(g * self.data)
+
+        return Tensor.from_op(self.data * other.data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: "Tensor | ArrayLike") -> "Tensor":
+        other = as_tensor(other)
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self.accumulate_grad(g / other.data)
+            if other.requires_grad:
+                other.accumulate_grad(-g * self.data / (other.data**2))
+
+        return Tensor.from_op(self.data / other.data, (self, other), backward)
+
+    def __rtruediv__(self, other: "Tensor | ArrayLike") -> "Tensor":
+        return as_tensor(other).__truediv__(self)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise ShapeError("Tensor.__pow__ supports scalar exponents only")
+
+        def backward(g: np.ndarray) -> None:
+            self.accumulate_grad(g * exponent * self.data ** (exponent - 1))
+
+        return Tensor.from_op(self.data**exponent, (self,), backward)
+
+    def __matmul__(self, other: "Tensor | ArrayLike") -> "Tensor":
+        other = as_tensor(other)
+        if self.ndim != 2 or other.ndim != 2:
+            raise ShapeError(
+                f"matmul requires 2-D tensors, got {self.shape} @ {other.shape}"
+            )
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self.accumulate_grad(g @ other.data.T)
+            if other.requires_grad:
+                other.accumulate_grad(self.data.T @ g)
+
+        return Tensor.from_op(self.data @ other.data, (self, other), backward)
+
+    # -- elementwise functions ---------------------------------------------------
+
+    def exp(self) -> "Tensor":
+        """Elementwise exponential."""
+        out_data = np.exp(self.data)
+
+        def backward(g: np.ndarray) -> None:
+            self.accumulate_grad(g * out_data)
+
+        return Tensor.from_op(out_data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        """Elementwise natural logarithm."""
+
+        def backward(g: np.ndarray) -> None:
+            self.accumulate_grad(g / self.data)
+
+        return Tensor.from_op(np.log(self.data), (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        """Elementwise square root."""
+        out_data = np.sqrt(self.data)
+
+        def backward(g: np.ndarray) -> None:
+            self.accumulate_grad(g * 0.5 / out_data)
+
+        return Tensor.from_op(out_data, (self,), backward)
+
+    def abs(self) -> "Tensor":
+        """Elementwise absolute value (subgradient 0 at zero)."""
+
+        def backward(g: np.ndarray) -> None:
+            self.accumulate_grad(g * np.sign(self.data))
+
+        return Tensor.from_op(np.abs(self.data), (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        """Elementwise logistic sigmoid (numerically stable)."""
+        out_data = _stable_sigmoid(self.data)
+
+        def backward(g: np.ndarray) -> None:
+            self.accumulate_grad(g * out_data * (1.0 - out_data))
+
+        return Tensor.from_op(out_data, (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        """Elementwise hyperbolic tangent."""
+        out_data = np.tanh(self.data)
+
+        def backward(g: np.ndarray) -> None:
+            self.accumulate_grad(g * (1.0 - out_data**2))
+
+        return Tensor.from_op(out_data, (self,), backward)
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        """Clamp values to ``[low, high]``; gradient flows inside the range."""
+
+        def backward(g: np.ndarray) -> None:
+            inside = (self.data >= low) & (self.data <= high)
+            self.accumulate_grad(g * inside)
+
+        return Tensor.from_op(np.clip(self.data, low, high), (self,), backward)
+
+    # -- reductions -------------------------------------------------------------
+
+    def sum(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
+        """Sum over ``axis`` (all axes when ``None``)."""
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(g: np.ndarray) -> None:
+            grad = g
+            if not keepdims and axis is not None:
+                grad = np.expand_dims(grad, axis)
+            self.accumulate_grad(np.broadcast_to(grad, self.data.shape))
+
+        return Tensor.from_op(out_data, (self,), backward)
+
+    def mean(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
+        """Arithmetic mean over ``axis`` (all axes when ``None``)."""
+        if axis is None:
+            count = self.data.size
+        elif isinstance(axis, tuple):
+            count = int(np.prod([self.data.shape[a] for a in axis]))
+        else:
+            count = self.data.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis: int | None = None, keepdims: bool = False) -> "Tensor":
+        """Maximum over ``axis``; ties split gradient equally."""
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(g: np.ndarray) -> None:
+            grad = g
+            full = out_data
+            if not keepdims and axis is not None:
+                grad = np.expand_dims(grad, axis)
+                full = np.expand_dims(full, axis)
+            mask = (self.data == full).astype(self.data.dtype)
+            mask /= mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
+            self.accumulate_grad(mask * grad)
+
+        return Tensor.from_op(out_data, (self,), backward)
+
+    # -- shape manipulation -------------------------------------------------------
+
+    def reshape(self, *shape: int) -> "Tensor":
+        """Return a reshaped view of this tensor."""
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+
+        def backward(g: np.ndarray) -> None:
+            self.accumulate_grad(g.reshape(self.data.shape))
+
+        return Tensor.from_op(self.data.reshape(shape), (self,), backward)
+
+    def transpose(self, *axes: int) -> "Tensor":
+        """Permute dimensions (reverse order when no axes are given)."""
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        perm = axes if axes else tuple(reversed(range(self.ndim)))
+        inverse = np.argsort(perm)
+
+        def backward(g: np.ndarray) -> None:
+            self.accumulate_grad(g.transpose(inverse))
+
+        return Tensor.from_op(self.data.transpose(perm), (self,), backward)
+
+    @property
+    def T(self) -> "Tensor":
+        """Transpose of a 2-D tensor."""
+        return self.transpose()
+
+    def __getitem__(self, index) -> "Tensor":
+        def backward(g: np.ndarray) -> None:
+            grad = np.zeros_like(self.data)
+            np.add.at(grad, index, g)
+            self.accumulate_grad(grad)
+
+        return Tensor.from_op(self.data[index], (self,), backward)
+
+
+def _stable_sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic sigmoid for arrays."""
+    out = np.empty_like(x, dtype=np.float64)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out

@@ -1,0 +1,111 @@
+"""Quantization package — the paper's contribution and its baselines.
+
+Contents:
+
+* :mod:`repro.quant.power_of_two` — ``R(x)`` rounding and LightNN's ``Q_k``.
+* :mod:`repro.quant.fixed_point` — uniform fixed-point baseline.
+* :mod:`repro.quant.lightnn` — LightNN-k quantizer with STE.
+* :mod:`repro.quant.flightnn` — FLightNN: per-filter flexible k with
+  trainable thresholds and the paper's sigmoid-relaxed gradients.
+* :mod:`repro.quant.activations` — 8-bit fixed-point activation quantizer.
+* :mod:`repro.quant.regularization` — residual group-lasso (Sec. 4.3).
+* :mod:`repro.quant.decompose` — the Fig. 3 k=2 -> 2x(k=1) conversion.
+* :mod:`repro.quant.qlayers` — QConv2d/QLinear with pluggable strategies.
+* :mod:`repro.quant.schemes` — the five model families of the tables.
+"""
+
+from repro.quant.power_of_two import (
+    PowerOfTwoConfig,
+    is_power_of_two_value,
+    quantize_lightnn,
+    round_power_of_two,
+)
+from repro.quant.fixed_point import FixedPointFormat, best_frac_bits, quantize_fixed_point
+from repro.quant.ste import ste_apply, ste_clipped_apply
+from repro.quant.lightnn import LightNNConfig, LightNNQuantizer
+from repro.quant.flightnn import FLightNNConfig, FLightNNQuantizer, FLightNNState
+from repro.quant.activations import (
+    ActivationQuantConfig,
+    QuantizedActivation,
+    quantize_activations,
+)
+from repro.quant.regularization import regularization_curve, residual_group_lasso
+from repro.quant.decompose import DecomposedFilterBank, decompose_filter_bank
+from repro.quant.qlayers import (
+    FixedPointWeights,
+    FLightNNWeights,
+    FullPrecisionWeights,
+    LightNNWeights,
+    QConv2d,
+    QLinear,
+    WeightQuantStrategy,
+)
+from repro.quant.binary import (
+    BinaryConnectConfig,
+    BinaryWeights,
+    binarize,
+    scheme_binaryconnect,
+)
+from repro.quant.dorefa import DoReFaConfig, DoReFaWeights, dorefa_quantize, scheme_dorefa
+from repro.quant.ptq import quantize_model
+from repro.quant.encoding import EncodedWeights, decode_terms, encode_terms
+from repro.quant.calibration import ActivationObserver, calibrate_activations
+from repro.quant.schemes import (
+    QuantizationScheme,
+    paper_schemes,
+    scheme_fixed_point,
+    scheme_flightnn,
+    scheme_full,
+    scheme_lightnn,
+)
+
+__all__ = [
+    "PowerOfTwoConfig",
+    "round_power_of_two",
+    "quantize_lightnn",
+    "is_power_of_two_value",
+    "FixedPointFormat",
+    "quantize_fixed_point",
+    "best_frac_bits",
+    "ste_apply",
+    "ste_clipped_apply",
+    "LightNNConfig",
+    "LightNNQuantizer",
+    "FLightNNConfig",
+    "FLightNNQuantizer",
+    "FLightNNState",
+    "ActivationQuantConfig",
+    "QuantizedActivation",
+    "quantize_activations",
+    "residual_group_lasso",
+    "regularization_curve",
+    "DecomposedFilterBank",
+    "decompose_filter_bank",
+    "WeightQuantStrategy",
+    "FullPrecisionWeights",
+    "FixedPointWeights",
+    "LightNNWeights",
+    "FLightNNWeights",
+    "QConv2d",
+    "QLinear",
+    "QuantizationScheme",
+    "paper_schemes",
+    "scheme_full",
+    "scheme_fixed_point",
+    "scheme_lightnn",
+    "scheme_flightnn",
+    "BinaryConnectConfig",
+    "BinaryWeights",
+    "binarize",
+    "scheme_binaryconnect",
+    "DoReFaConfig",
+    "DoReFaWeights",
+    "dorefa_quantize",
+    "scheme_dorefa",
+    "quantize_model",
+    "EncodedWeights",
+    "encode_terms",
+    "decode_terms",
+    "ActivationObserver",
+    "calibrate_activations",
+]

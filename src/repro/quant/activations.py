@@ -1,0 +1,90 @@
+"""Fixed-point activation quantization.
+
+Every quantized model in the paper uses 8-bit fixed-point activations
+("8A"); only the weight treatment differs between schemes.  The quantizer
+here is symmetric with a per-call power-of-two scale so the hardware stays
+shift-friendly, and trains through with a clipped STE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import QuantizationError
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+from repro.quant.ste import ste_clipped_apply
+
+__all__ = ["ActivationQuantConfig", "quantize_activations", "QuantizedActivation"]
+
+
+@dataclass(frozen=True)
+class ActivationQuantConfig:
+    """Activation quantizer settings.
+
+    Args:
+        bits: Total bit width (sign included).  The paper uses 8.
+        max_abs: Fixed clipping range ``[-max_abs, max_abs)``.  Batch-norm
+            keeps pre-activation magnitudes of order one, so the default
+            range of 8 (a Q3.4 format at 8 bits) loses almost nothing.
+    """
+
+    bits: int = 8
+    max_abs: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.bits < 2:
+            raise QuantizationError(f"activation bits must be >= 2, got {self.bits}")
+        if self.max_abs <= 0:
+            raise QuantizationError(f"max_abs must be positive, got {self.max_abs}")
+
+    @property
+    def step(self) -> float:
+        """LSB value of the fixed-point grid."""
+        return 2.0 * self.max_abs / (2.0**self.bits)
+
+
+def quantize_activations(x: np.ndarray, config: ActivationQuantConfig) -> np.ndarray:
+    """Quantize to the symmetric fixed-point grid with saturation."""
+    step = config.step
+    codes = np.rint(np.asarray(x, dtype=np.float64) / step)
+    half = 2.0 ** (config.bits - 1)
+    codes = np.clip(codes, -half, half - 1)
+    return codes * step
+
+
+class QuantizedActivation(Module):
+    """Layer inserting activation quantization into the forward graph.
+
+    Quantizes during both training (with clipped STE backward) and
+    inference, so accuracy numbers reflect deployed precision.  Set
+    ``enabled=False`` to build a full-precision network with an identical
+    module structure.
+    """
+
+    def __init__(self, config: ActivationQuantConfig | None = None, enabled: bool = True) -> None:
+        super().__init__()
+        self.config = config or ActivationQuantConfig()
+        self.enabled = enabled
+        # When set, the most recent pre-quantization input Tensor is kept
+        # (training mode only) for the activation-distribution regularizer.
+        self.record_input: bool = False
+        self.last_input: Tensor | None = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.record_input and self.training:
+            self.last_input = x
+        if not self.enabled:
+            return x
+        cfg = self.config
+        return ste_clipped_apply(
+            x,
+            lambda data: quantize_activations(data, cfg),
+            low=-cfg.max_abs,
+            high=cfg.max_abs - cfg.step,
+        )
+
+    def __repr__(self) -> str:
+        return f"QuantizedActivation(bits={self.config.bits}, max_abs={self.config.max_abs}, enabled={self.enabled})"

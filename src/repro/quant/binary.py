@@ -1,0 +1,100 @@
+"""BinaryConnect-style binary weight quantization (paper's ref. [6]).
+
+The paper's related-work section positions LightNNs against binary
+networks: BinaryConnect constrains weights to {-a, +a} so multiplications
+become XNOR/sign flips, but "these models require an over-parameterized
+model size to maintain a high accuracy".  This module provides that
+baseline so the claim can be tested: a binary network needs grown width to
+match LightNN-1 at equal storage.
+
+Weights quantize to ``sign(w) * a`` with a per-filter scale ``a`` equal to
+the mean absolute weight (the XNOR-Net refinement of plain BinaryConnect,
+which trains much better and keeps the hardware cost identical when ``a``
+folds into batch-norm).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import QuantizationError
+from repro.nn.tensor import Tensor
+from repro.quant.activations import ActivationQuantConfig
+from repro.quant.qlayers import WeightQuantStrategy
+from repro.quant.schemes import QuantizationScheme
+from repro.quant.ste import ste_clipped_apply
+
+__all__ = ["BinaryConnectConfig", "binarize", "BinaryWeights", "scheme_binaryconnect"]
+
+
+@dataclass(frozen=True)
+class BinaryConnectConfig:
+    """Binary weight quantizer settings.
+
+    Args:
+        per_filter_scale: Scale each filter by its mean |w| (XNOR-Net
+            style).  ``False`` uses a global scale of 1 (plain
+            BinaryConnect).
+        clip: STE clipping range; gradients vanish outside ``[-clip, clip]``
+            as in the original BinaryConnect.
+    """
+
+    per_filter_scale: bool = True
+    clip: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.clip <= 0:
+            raise QuantizationError(f"clip must be positive, got {self.clip}")
+
+
+def binarize(w: np.ndarray, config: BinaryConnectConfig) -> np.ndarray:
+    """Quantize to ``sign(w) * a`` (``a`` per filter or 1)."""
+    w = np.asarray(w, dtype=np.float64)
+    signs = np.where(w >= 0, 1.0, -1.0)
+    if not config.per_filter_scale:
+        return signs
+    flat = np.abs(w).reshape(w.shape[0], -1)
+    scale = flat.mean(axis=1)
+    shape = (w.shape[0],) + (1,) * (w.ndim - 1)
+    return signs * scale.reshape(shape)
+
+
+class BinaryWeights(WeightQuantStrategy):
+    """1-bit weights: the BinaryConnect baseline of the related work."""
+
+    def __init__(self, config: BinaryConnectConfig | None = None) -> None:
+        self.config = config or BinaryConnectConfig()
+
+    def apply(self, weight: Tensor, thresholds: Tensor | None) -> Tensor:
+        cfg = self.config
+        return ste_clipped_apply(
+            weight, lambda data: binarize(data, cfg), low=-cfg.clip, high=cfg.clip
+        )
+
+    def quantize_array(self, w: np.ndarray, t: np.ndarray | None) -> np.ndarray:
+        return binarize(w, self.config)
+
+    def filter_k(self, w: np.ndarray, t: np.ndarray | None) -> np.ndarray:
+        # A binary multiply is a sign flip — zero shifts (cheaper than one).
+        return np.zeros(np.asarray(w).shape[0], dtype=int)
+
+    def bits_per_weight(self, w: np.ndarray, t: np.ndarray | None) -> np.ndarray:
+        return np.full(np.asarray(w).shape[0], 1.0)
+
+
+def scheme_binaryconnect(
+    config: BinaryConnectConfig | None = None,
+    activation: ActivationQuantConfig | None = None,
+) -> QuantizationScheme:
+    """Model family: binary weights + 8-bit activations (``BC_1W8A``)."""
+    config = config or BinaryConnectConfig()
+    activation = activation or ActivationQuantConfig(bits=8)
+    return QuantizationScheme(
+        name=f"BC_1W{activation.bits}A",
+        kind="binary",
+        strategy_factory=lambda: BinaryWeights(config),
+        activation=activation,
+        weight_bits_label=1,
+    )

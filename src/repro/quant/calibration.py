@@ -1,0 +1,104 @@
+"""Activation-range calibration.
+
+The paper fixes 8-bit activations; the quality of an 8-bit code depends on
+the clipping range.  This module implements the standard post-training
+calibration pass: run sample batches through the network, observe each
+:class:`~repro.quant.activations.QuantizedActivation`'s input distribution,
+and set its clipping range to a percentile of the observed magnitudes
+(rounded up to a power of two so the hardware scale stays a pure shift).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor, no_grad
+from repro.quant.activations import ActivationQuantConfig, QuantizedActivation
+
+__all__ = ["ActivationObserver", "calibrate_activations"]
+
+
+class ActivationObserver:
+    """Records per-layer absolute-magnitude percentiles during forwards."""
+
+    def __init__(self, percentile: float = 99.9) -> None:
+        if not 0.0 < percentile <= 100.0:
+            raise ConfigurationError(f"percentile must be in (0, 100], got {percentile}")
+        self.percentile = percentile
+        self._samples: dict[int, list[float]] = {}
+
+    def observe(self, layer_id: int, values: np.ndarray) -> None:
+        """Record one batch's magnitude percentile for ``layer_id``."""
+        magnitude = float(np.percentile(np.abs(values), self.percentile))
+        self._samples.setdefault(layer_id, []).append(magnitude)
+
+    def range_for(self, layer_id: int) -> float:
+        """Aggregate observed range for a layer (max over batches)."""
+        if layer_id not in self._samples:
+            raise ConfigurationError(f"no observations recorded for layer {layer_id}")
+        return max(self._samples[layer_id])
+
+
+def _next_power_of_two(x: float) -> float:
+    """Smallest power of two >= x (minimum 2^-8 to keep a usable grid)."""
+    if x <= 0:
+        return 2.0**-8
+    return float(2.0 ** max(-8, math.ceil(math.log2(x))))
+
+
+def calibrate_activations(
+    model: Module,
+    batches: list[np.ndarray],
+    percentile: float = 99.9,
+) -> dict[int, float]:
+    """Set every activation quantizer's range from observed data.
+
+    Runs ``batches`` through ``model`` in inference mode with quantizers
+    temporarily disabled (so observations reflect the unclipped
+    distribution), then rewrites each enabled
+    :class:`QuantizedActivation`'s ``max_abs`` to the next power of two at
+    or above the observed percentile magnitude.
+
+    Returns:
+        Mapping from quantizer index (enumeration order in
+        ``model.modules()``) to the new ``max_abs``.
+    """
+    quantizers = [
+        m for m in model.modules() if isinstance(m, QuantizedActivation) and m.enabled
+    ]
+    if not quantizers:
+        return {}
+    observer = ActivationObserver(percentile)
+
+    # Temporarily record instead of quantizing.
+    originals = []
+    for index, module in enumerate(quantizers):
+        def make_forward(i, m):
+            def forward(x: Tensor) -> Tensor:
+                observer.observe(i, x.data)
+                return x
+            return forward
+        originals.append(module.forward)
+        module.forward = make_forward(index, module)
+
+    was_training = model.training
+    model.eval()
+    try:
+        with no_grad():
+            for batch in batches:
+                model(Tensor(np.asarray(batch)))
+    finally:
+        for module, original in zip(quantizers, originals):
+            module.forward = original
+        model.train(was_training)
+
+    new_ranges: dict[int, float] = {}
+    for index, module in enumerate(quantizers):
+        max_abs = _next_power_of_two(observer.range_for(index))
+        module.config = ActivationQuantConfig(bits=module.config.bits, max_abs=max_abs)
+        new_ranges[index] = max_abs
+    return new_ranges

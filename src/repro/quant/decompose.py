@@ -1,0 +1,69 @@
+"""Filter decomposition (paper Fig. 3).
+
+A convolution with a ``k_i = 2`` filter equals the sum of two convolutions,
+each with a ``k_i = 1`` (single power-of-two) filter.  This transformation
+lets FLightNN hardware be implemented as a LightNN-1 datapath plus one
+feature-map summation per layer: each filter contributes exactly ``k_i``
+single-shift filter passes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import QuantizationError
+from repro.quant.flightnn import FLightNNQuantizer
+from repro.quant.power_of_two import is_power_of_two_value
+
+__all__ = ["DecomposedFilterBank", "decompose_filter_bank"]
+
+
+@dataclass
+class DecomposedFilterBank:
+    """Result of splitting a flexible-k filter bank into single-shift banks.
+
+    Attributes:
+        terms: List of length ``k_max``; ``terms[j]`` holds the level-``j``
+            single-shift filter bank (same shape as the quantized weights).
+            Every element of every term is zero or an exact power of two.
+        filter_k: Effective shift count per filter.
+    """
+
+    terms: list[np.ndarray]
+    filter_k: np.ndarray
+
+    @property
+    def total_single_shift_filters(self) -> int:
+        """Number of k=1 filter passes the LightNN-1 datapath must run."""
+        return int(self.filter_k.sum())
+
+    def reconstruct(self) -> np.ndarray:
+        """Sum the single-shift banks back into the quantized weights."""
+        return np.sum(self.terms, axis=0)
+
+
+def decompose_filter_bank(
+    w: np.ndarray,
+    thresholds: np.ndarray,
+    quantizer: FLightNNQuantizer,
+) -> DecomposedFilterBank:
+    """Split ``Q_k(w | t)`` into per-level single-shift filter banks.
+
+    The reconstruction invariant ``sum_j terms[j] == Q_k(w | t)`` holds
+    exactly (each level's gated rounded residual *is* the term), so by
+    linearity of convolution the Fig. 3 equivalence follows.
+    """
+    state = quantizer.quantize(w, thresholds)
+    shape = np.asarray(w).shape
+    terms: list[np.ndarray] = []
+    for j in range(quantizer.config.k_max):
+        gated = state.gates[j][:, None] * state.rounded[j]
+        term = gated.reshape(shape)
+        if not is_power_of_two_value(term).all():
+            raise QuantizationError(
+                f"decomposition level {j} produced a non power-of-two entry"
+            )
+        terms.append(term)
+    return DecomposedFilterBank(terms=terms, filter_k=quantizer.filter_k(w, thresholds))

@@ -1,0 +1,96 @@
+"""DoReFa-style uniform low-bit weight quantization (paper's ref. [31]).
+
+Zhou et al. explore DNN accuracy across a wide range of uniform bit
+widths.  This baseline quantizes weights with the DoReFa-Net weight
+transform:
+
+    w_q = 2 * quantize_k( tanh(w) / (2 * max|tanh(w)|) + 1/2 ) - 1
+
+where ``quantize_k`` rounds to ``2^bits - 1`` uniform levels in [0, 1].
+The result lies in [-1, 1] on a uniform grid — a *normalised* fixed-point
+code, complementing :mod:`repro.quant.fixed_point`'s absolute Q-format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import QuantizationError
+from repro.nn.tensor import Tensor
+from repro.quant.activations import ActivationQuantConfig
+from repro.quant.qlayers import WeightQuantStrategy
+from repro.quant.schemes import QuantizationScheme
+from repro.quant.ste import ste_apply
+
+__all__ = ["DoReFaConfig", "dorefa_quantize", "DoReFaWeights", "scheme_dorefa"]
+
+
+@dataclass(frozen=True)
+class DoReFaConfig:
+    """DoReFa weight quantizer settings.
+
+    Args:
+        bits: Weight bit width (>= 2; 1-bit DoReFa degenerates to
+            BinaryConnect, provided separately).
+    """
+
+    bits: int = 4
+
+    def __post_init__(self) -> None:
+        if self.bits < 2:
+            raise QuantizationError(f"DoReFa weight bits must be >= 2, got {self.bits}")
+
+    @property
+    def levels(self) -> int:
+        """Number of uniform quantization levels."""
+        return 2**self.bits - 1
+
+
+def dorefa_quantize(w: np.ndarray, config: DoReFaConfig) -> np.ndarray:
+    """Apply the DoReFa-Net weight transform (output grid in [-1, 1])."""
+    w = np.asarray(w, dtype=np.float64)
+    squashed = np.tanh(w)
+    max_abs = np.abs(squashed).max()
+    if max_abs == 0.0:
+        return np.zeros_like(w)
+    unit = squashed / (2.0 * max_abs) + 0.5  # in [0, 1]
+    levels = config.levels
+    return 2.0 * (np.rint(unit * levels) / levels) - 1.0
+
+
+class DoReFaWeights(WeightQuantStrategy):
+    """Uniform low-bit weights via the DoReFa transform."""
+
+    def __init__(self, config: DoReFaConfig | None = None) -> None:
+        self.config = config or DoReFaConfig()
+
+    def apply(self, weight: Tensor, thresholds: Tensor | None) -> Tensor:
+        cfg = self.config
+        return ste_apply(weight, lambda data: dorefa_quantize(data, cfg))
+
+    def quantize_array(self, w: np.ndarray, t: np.ndarray | None) -> np.ndarray:
+        return dorefa_quantize(w, self.config)
+
+    def filter_k(self, w: np.ndarray, t: np.ndarray | None) -> np.ndarray:
+        return np.zeros(np.asarray(w).shape[0], dtype=int)
+
+    def bits_per_weight(self, w: np.ndarray, t: np.ndarray | None) -> np.ndarray:
+        return np.full(np.asarray(w).shape[0], float(self.config.bits))
+
+
+def scheme_dorefa(
+    bits: int = 4,
+    activation: ActivationQuantConfig | None = None,
+) -> QuantizationScheme:
+    """Model family: DoReFa weights + 8-bit activations (``DF_xW8A``)."""
+    config = DoReFaConfig(bits=bits)
+    activation = activation or ActivationQuantConfig(bits=8)
+    return QuantizationScheme(
+        name=f"DF_{bits}W{activation.bits}A",
+        kind="fixed",  # multiplies on real multipliers, like fixed point
+        strategy_factory=lambda: DoReFaWeights(config),
+        activation=activation,
+        weight_bits_label=bits,
+    )

@@ -1,0 +1,76 @@
+"""Uniform fixed-point quantization — the paper's ``FP_{4W8A}`` baseline.
+
+A signed fixed-point format with ``bits`` total bits and ``frac_bits``
+fractional bits represents multiples of ``2**-frac_bits`` in
+``[-2^(bits-1), 2^(bits-1)-1] * 2^-frac_bits``.  The paper's baseline uses
+4-bit weights and 8-bit activations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import QuantizationError
+
+__all__ = ["FixedPointFormat", "quantize_fixed_point", "best_frac_bits"]
+
+
+@dataclass(frozen=True)
+class FixedPointFormat:
+    """Signed fixed-point format descriptor.
+
+    Args:
+        bits: Total bit width including the sign bit.
+        frac_bits: Number of fractional bits (may be negative or exceed
+            ``bits`` to express pure scaling).
+    """
+
+    bits: int
+    frac_bits: int
+
+    def __post_init__(self) -> None:
+        if self.bits < 2:
+            raise QuantizationError(f"fixed-point needs >= 2 bits, got {self.bits}")
+
+    @property
+    def step(self) -> float:
+        """Quantization step (value of one LSB)."""
+        return float(2.0**-self.frac_bits)
+
+    @property
+    def min_value(self) -> float:
+        """Most negative representable value."""
+        return -(2.0 ** (self.bits - 1)) * self.step
+
+    @property
+    def max_value(self) -> float:
+        """Most positive representable value."""
+        return (2.0 ** (self.bits - 1) - 1) * self.step
+
+    def __str__(self) -> str:
+        return f"Q{self.bits - 1 - self.frac_bits}.{self.frac_bits}"
+
+
+def quantize_fixed_point(x: np.ndarray, fmt: FixedPointFormat) -> np.ndarray:
+    """Round-to-nearest-even quantization with saturation to the format range."""
+    x = np.asarray(x, dtype=np.float64)
+    codes = np.rint(x / fmt.step)
+    codes = np.clip(codes, -(2.0 ** (fmt.bits - 1)), 2.0 ** (fmt.bits - 1) - 1)
+    return codes * fmt.step
+
+
+def best_frac_bits(x: np.ndarray, bits: int, candidates: range = range(-4, 17)) -> int:
+    """Pick the fractional-bit count minimising MSE for data ``x``.
+
+    Mirrors how fixed-point DNN deployments calibrate per-layer formats.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    best, best_err = None, np.inf
+    for frac in candidates:
+        fmt = FixedPointFormat(bits, frac)
+        err = float(np.mean((quantize_fixed_point(x, fmt) - x) ** 2))
+        if err < best_err:
+            best, best_err = frac, err
+    return int(best)

@@ -1,0 +1,57 @@
+"""LightNN-k quantizer (Ding et al., GLSVLSI 2017) — the paper's baseline.
+
+LightNN-k constrains every weight of the network to a sum of exactly ``k``
+powers of two (within the hardware exponent window).  It is the special case
+of FLightNN with all gates forced on; the paper's LightNN-1 and LightNN-2
+baselines use ``k = 1`` and ``k = 2``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import QuantizationError
+from repro.nn.tensor import Tensor
+from repro.quant.power_of_two import PowerOfTwoConfig, quantize_lightnn
+from repro.quant.ste import ste_apply
+
+__all__ = ["LightNNConfig", "LightNNQuantizer"]
+
+
+@dataclass(frozen=True)
+class LightNNConfig:
+    """Hyper-parameters of the LightNN-k quantizer.
+
+    Args:
+        k: Number of power-of-two terms per weight.
+        pow2: Exponent window for each term.
+    """
+
+    k: int = 2
+    pow2: PowerOfTwoConfig = field(default_factory=PowerOfTwoConfig)
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise QuantizationError(f"LightNN k must be >= 1, got {self.k}")
+
+
+class LightNNQuantizer:
+    """Uniform-k power-of-two quantizer with STE training gradient."""
+
+    def __init__(self, config: LightNNConfig | None = None) -> None:
+        self.config = config or LightNNConfig()
+
+    def quantize(self, w: np.ndarray) -> np.ndarray:
+        """Quantize an array to a sum of ``k`` powers of two per element."""
+        return quantize_lightnn(w, self.config.k, self.config.pow2)
+
+    def apply(self, weight: Tensor) -> Tensor:
+        """Differentiable quantization (STE backward) for training."""
+        return ste_apply(weight, self.quantize)
+
+    def filter_k(self, w: np.ndarray) -> np.ndarray:
+        """Per-filter shift count — constant ``k`` by construction."""
+        w = np.asarray(w)
+        return np.full(w.shape[0], self.config.k, dtype=int)

@@ -1,0 +1,132 @@
+"""Power-of-two rounding — the primitive behind LightNN and FLightNN.
+
+The paper's Sec. 3 defines ``R(x) = sign(x) * 2^[log2(|x|)]`` which rounds a
+value to the nearest power of two ([.] is round-to-integer on the exponent),
+and the recursive LightNN-k quantizer
+
+    Q_k(w) = Q_{k-1}(w) + Q_1(w - Q_{k-1}(w)),   Q_1(w) = R(w).
+
+Hardware constrains the exponent to a small signed range (the "4W" encoding
+is one sign bit plus a 3-bit exponent field), so :class:`PowerOfTwoConfig`
+carries an explicit exponent window; values rounding below the window snap
+to zero (representable — a gated-off shifter), values above clamp to the top
+exponent.
+
+Note on [log2|x|] rounding: rounding the *exponent* to the nearest integer
+is not the same as rounding the *value* to the nearest power of two.  The
+midpoint between 2^e and 2^(e+1) in exponent space is 2^(e+0.5) = 2^e*sqrt(2)
+(geometric mean), not 1.5*2^e.  We follow the paper and round in exponent
+space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import QuantizationError
+
+__all__ = ["PowerOfTwoConfig", "round_power_of_two", "quantize_lightnn", "is_power_of_two_value"]
+
+
+@dataclass(frozen=True)
+class PowerOfTwoConfig:
+    """Exponent window for power-of-two codes.
+
+    Args:
+        exp_min: Smallest representable exponent (inclusive).  Residuals that
+            round below it quantize to zero.
+        exp_max: Largest representable exponent (inclusive).  Larger values
+            clamp to ``2**exp_max``.
+
+    The default window [-6, 1] gives 8 exponent levels, i.e. a 3-bit exponent
+    field plus a sign bit — the paper's 4-bit-per-shift "4W" encoding.
+    """
+
+    exp_min: int = -6
+    exp_max: int = 1
+
+    def __post_init__(self) -> None:
+        if self.exp_min > self.exp_max:
+            raise QuantizationError(
+                f"exp_min ({self.exp_min}) must not exceed exp_max ({self.exp_max})"
+            )
+
+    @property
+    def levels(self) -> int:
+        """Number of representable exponents."""
+        return self.exp_max - self.exp_min + 1
+
+    @property
+    def bits_per_term(self) -> int:
+        """Bits to encode one shift term: sign + exponent field."""
+        return 1 + max(1, int(np.ceil(np.log2(self.levels))))
+
+    @property
+    def min_magnitude(self) -> float:
+        """Smallest non-zero representable magnitude."""
+        return float(2.0**self.exp_min)
+
+    @property
+    def max_magnitude(self) -> float:
+        """Largest representable magnitude."""
+        return float(2.0**self.exp_max)
+
+
+def round_power_of_two(x: np.ndarray, config: PowerOfTwoConfig | None = None) -> np.ndarray:
+    """Round elementwise to the nearest power of two: the paper's ``R(x)``.
+
+    Zeros map to zero.  With a ``config``, exponents round within
+    ``[exp_min, exp_max]``; magnitudes whose rounded exponent falls below
+    ``exp_min`` (including the underflow midpoint) become zero, and larger
+    ones clamp to ``2**exp_max``.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    magnitude = np.abs(x)
+    nonzero = magnitude > 0
+    exponent = np.zeros_like(x)
+    with np.errstate(divide="ignore"):
+        exponent[nonzero] = np.rint(np.log2(magnitude[nonzero]))
+    out = np.where(nonzero, np.sign(x) * np.exp2(exponent), 0.0)
+    if config is not None:
+        underflow = exponent < config.exp_min
+        out = np.where(underflow, 0.0, out)
+        overflow = exponent > config.exp_max
+        out = np.where(overflow, np.sign(x) * config.max_magnitude, out)
+    return out
+
+
+def quantize_lightnn(
+    w: np.ndarray,
+    k: int,
+    config: PowerOfTwoConfig | None = None,
+) -> np.ndarray:
+    """LightNN-k quantization: ``Q_k`` of Sec. 3 (sum of ``k`` powers of two).
+
+    Args:
+        w: Full-precision weights (any shape).
+        k: Number of power-of-two terms per weight; ``k=0`` returns zeros.
+        config: Exponent window; ``None`` for unbounded exponents.
+    """
+    if k < 0:
+        raise QuantizationError(f"k must be non-negative, got {k}")
+    w = np.asarray(w, dtype=np.float64)
+    quantized = np.zeros_like(w)
+    for _ in range(k):
+        residual = w - quantized
+        quantized = quantized + round_power_of_two(residual, config)
+    return quantized
+
+
+def is_power_of_two_value(x: np.ndarray, config: PowerOfTwoConfig | None = None) -> np.ndarray:
+    """Boolean mask: which elements are zero or exactly ``±2^e`` (``e`` in window)."""
+    x = np.asarray(x, dtype=np.float64)
+    magnitude = np.abs(x)
+    zero = magnitude == 0
+    with np.errstate(divide="ignore"):
+        exponent = np.where(zero, 0.0, np.log2(np.where(zero, 1.0, magnitude)))
+    exact = exponent == np.rint(exponent)
+    if config is not None:
+        exact &= (exponent >= config.exp_min) & (exponent <= config.exp_max)
+    return zero | exact

@@ -1,0 +1,72 @@
+"""Post-training quantization (PTQ) — the no-retraining baseline.
+
+The paper's contribution is a *training* algorithm; the natural ablation is
+to skip it: train a full-precision model, then quantize its weights with
+each scheme and evaluate directly.  The accuracy gap between PTQ and the
+quantization-aware training of Algorithm 1 measures what the training
+procedure buys (it is large for aggressive codes like LightNN-1).
+
+:func:`quantize_model` rebuilds the network under the target scheme and
+copies the source model's weights (which become the quantized layers'
+full-precision master copies), biases and batch-norm state across.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigurationError
+from repro.quant.schemes import QuantizationScheme
+
+if TYPE_CHECKING:  # avoid a circular import (models depends on quant)
+    from repro.models.network import QuantizedNetwork
+
+__all__ = ["quantize_model"]
+
+
+def quantize_model(
+    source: "QuantizedNetwork",
+    scheme: QuantizationScheme,
+    num_classes: int,
+) -> "QuantizedNetwork":
+    """Return a copy of ``source`` re-quantized under ``scheme`` (no training).
+
+    Args:
+        source: A trained network (typically full precision).
+        scheme: Target quantization scheme.
+        num_classes: Classifier width (must match the source).
+
+    Raises:
+        ConfigurationError: If the architectures do not line up (they are
+            rebuilt from the same :class:`NetworkConfig`, so this only
+            happens when the source was built with non-default classes).
+    """
+    from repro.models.registry import build_from_config  # deferred: circular
+
+    target = build_from_config(
+        source.config,
+        scheme,
+        num_classes=num_classes,
+        image_size=source.image_size,
+        in_channels=source.in_channels,
+        rng=0,
+    )
+    source_state = source.state_dict()
+    target_state = target.state_dict()
+    missing = set(target_state) - set(source_state)
+    # FLightNN targets add threshold parameters absent from the source;
+    # keep their fresh (zero) initialisation and copy everything else.
+    transferable = {}
+    for name in target_state:
+        if name in source_state:
+            if source_state[name].shape != target_state[name].shape:
+                raise ConfigurationError(
+                    f"architecture mismatch at {name!r}: "
+                    f"{source_state[name].shape} vs {target_state[name].shape}"
+                )
+            transferable[name] = source_state[name]
+        elif not name.endswith("thresholds"):
+            raise ConfigurationError(f"unexpected new parameter {name!r} in target")
+    merged = {name: transferable.get(name, target_state[name]) for name in target_state}
+    target.load_state_dict(merged)
+    return target

@@ -1,0 +1,288 @@
+"""Quantized layers: convolution/linear with a pluggable weight quantizer.
+
+Each quantized layer keeps a *full-precision master weight* (Algorithm 1's
+``w^{p-1}``); the forward pass quantizes it on the fly through an autograd
+op so that STE / threshold gradients reach the master copy and, for
+FLightNN, the trainable thresholds ``t``.
+
+Weight-quantization strategies implement a tiny protocol
+(:class:`WeightQuantStrategy`) so the same layer class serves the paper's
+five model families: full precision, fixed point, LightNN-1, LightNN-2 and
+FLightNN.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn import functional as F
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor
+from repro.quant.fixed_point import FixedPointFormat, quantize_fixed_point
+from repro.quant.flightnn import FLightNNConfig, FLightNNQuantizer
+from repro.quant.lightnn import LightNNConfig, LightNNQuantizer
+from repro.quant.ste import ste_clipped_apply
+
+__all__ = [
+    "WeightQuantStrategy",
+    "FullPrecisionWeights",
+    "FixedPointWeights",
+    "LightNNWeights",
+    "FLightNNWeights",
+    "QConv2d",
+    "QLinear",
+]
+
+
+class WeightQuantStrategy:
+    """Protocol for weight quantizers pluggable into :class:`QConv2d`.
+
+    Attributes:
+        needs_thresholds: Whether the layer must allocate a trainable
+            threshold vector ``t`` for this strategy.
+    """
+
+    needs_thresholds: bool = False
+
+    def apply(self, weight: Tensor, thresholds: Tensor | None) -> Tensor:
+        """Quantize ``weight`` as an autograd op."""
+        raise NotImplementedError
+
+    def quantize_array(self, w: np.ndarray, t: np.ndarray | None) -> np.ndarray:
+        """Quantize raw arrays (inference / inspection, no graph)."""
+        raise NotImplementedError
+
+    def filter_k(self, w: np.ndarray, t: np.ndarray | None) -> np.ndarray:
+        """Shift terms used per filter (0 for non-shift strategies)."""
+        raise NotImplementedError
+
+    def bits_per_weight(self, w: np.ndarray, t: np.ndarray | None) -> np.ndarray:
+        """Storage cost per weight, reported per filter; shape (F,)."""
+        raise NotImplementedError
+
+    @property
+    def name(self) -> str:
+        """Short strategy label."""
+        return type(self).__name__
+
+
+class FullPrecisionWeights(WeightQuantStrategy):
+    """Identity strategy: 32-bit floating-point weights."""
+
+    def apply(self, weight: Tensor, thresholds: Tensor | None) -> Tensor:
+        return weight
+
+    def quantize_array(self, w: np.ndarray, t: np.ndarray | None) -> np.ndarray:
+        return np.asarray(w, dtype=np.float64)
+
+    def filter_k(self, w: np.ndarray, t: np.ndarray | None) -> np.ndarray:
+        return np.zeros(np.asarray(w).shape[0], dtype=int)
+
+    def bits_per_weight(self, w: np.ndarray, t: np.ndarray | None) -> np.ndarray:
+        return np.full(np.asarray(w).shape[0], 32.0)
+
+
+class FixedPointWeights(WeightQuantStrategy):
+    """Uniform fixed-point weights (the paper's FP_{4W8A} baseline)."""
+
+    def __init__(self, fmt: FixedPointFormat | None = None) -> None:
+        # Q0.3 at 4 bits: weights in [-1, 0.875], step 1/8 — a good match
+        # for batch-normalised conv weights.
+        self.fmt = fmt or FixedPointFormat(bits=4, frac_bits=3)
+
+    def apply(self, weight: Tensor, thresholds: Tensor | None) -> Tensor:
+        fmt = self.fmt
+        return ste_clipped_apply(
+            weight,
+            lambda data: quantize_fixed_point(data, fmt),
+            low=fmt.min_value,
+            high=fmt.max_value,
+        )
+
+    def quantize_array(self, w: np.ndarray, t: np.ndarray | None) -> np.ndarray:
+        return quantize_fixed_point(w, self.fmt)
+
+    def filter_k(self, w: np.ndarray, t: np.ndarray | None) -> np.ndarray:
+        return np.zeros(np.asarray(w).shape[0], dtype=int)
+
+    def bits_per_weight(self, w: np.ndarray, t: np.ndarray | None) -> np.ndarray:
+        return np.full(np.asarray(w).shape[0], float(self.fmt.bits))
+
+
+class LightNNWeights(WeightQuantStrategy):
+    """Uniform-k power-of-two weights (LightNN-1 / LightNN-2)."""
+
+    def __init__(self, config: LightNNConfig | None = None) -> None:
+        self.quantizer = LightNNQuantizer(config)
+
+    def apply(self, weight: Tensor, thresholds: Tensor | None) -> Tensor:
+        return self.quantizer.apply(weight)
+
+    def quantize_array(self, w: np.ndarray, t: np.ndarray | None) -> np.ndarray:
+        return self.quantizer.quantize(w)
+
+    def filter_k(self, w: np.ndarray, t: np.ndarray | None) -> np.ndarray:
+        return self.quantizer.filter_k(w)
+
+    def bits_per_weight(self, w: np.ndarray, t: np.ndarray | None) -> np.ndarray:
+        bits = self.quantizer.config.k * self.quantizer.config.pow2.bits_per_term
+        return np.full(np.asarray(w).shape[0], float(bits))
+
+
+class FLightNNWeights(WeightQuantStrategy):
+    """Flexible per-filter k — the paper's contribution."""
+
+    needs_thresholds = True
+
+    def __init__(self, config: FLightNNConfig | None = None) -> None:
+        self.quantizer = FLightNNQuantizer(config)
+
+    def apply(self, weight: Tensor, thresholds: Tensor | None) -> Tensor:
+        if thresholds is None:
+            raise ConfigurationError("FLightNNWeights requires a thresholds tensor")
+        return self.quantizer.apply(weight, thresholds)
+
+    def quantize_array(self, w: np.ndarray, t: np.ndarray | None) -> np.ndarray:
+        if t is None:
+            raise ConfigurationError("FLightNNWeights requires thresholds")
+        return self.quantizer.quantize(w, t).quantized
+
+    def filter_k(self, w: np.ndarray, t: np.ndarray | None) -> np.ndarray:
+        if t is None:
+            raise ConfigurationError("FLightNNWeights requires thresholds")
+        return self.quantizer.filter_k(w, t)
+
+    def bits_per_weight(self, w: np.ndarray, t: np.ndarray | None) -> np.ndarray:
+        per_term = self.quantizer.config.pow2.bits_per_term
+        return self.filter_k(w, t).astype(float) * per_term
+
+
+class QConv2d(Module):
+    """Convolution whose weights pass through a quantization strategy.
+
+    Args:
+        in_channels / out_channels / kernel_size / stride / padding: As in
+            :class:`~repro.nn.layers.Conv2d`.
+        strategy: Weight quantization strategy; defaults to full precision.
+        rng: Seed or generator for weight init.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        strategy: WeightQuantStrategy | None = None,
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if min(in_channels, out_channels, kernel_size, stride) < 1 or padding < 0:
+            raise ConfigurationError("invalid QConv2d geometry")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.strategy = strategy or FullPrecisionWeights()
+        shape = (out_channels, in_channels, kernel_size, kernel_size)
+        self.weight = Parameter(init.kaiming_normal(shape, rng=rng), name="qconv.weight")
+        if self.strategy.needs_thresholds:
+            k_max = self.strategy.quantizer.config.k_max
+            # Paper Sec. 5.1: thresholds initialised to 0 (gradual quantization).
+            self.thresholds = Parameter(np.zeros(k_max), name="qconv.thresholds")
+        else:
+            self.thresholds = None
+        # Input spatial size seen by the most recent forward pass; the
+        # hardware cost models read this after a probe inference.
+        self.last_input_hw: tuple[int, int] | None = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        self.last_input_hw = (x.shape[2], x.shape[3])
+        wq = self.strategy.apply(self.weight, self.thresholds)
+        return F.conv2d(x, wq, stride=self.stride, padding=self.padding)
+
+    def quantized_weight(self) -> np.ndarray:
+        """Current deployed (quantized) weights, outside the graph."""
+        t = None if self.thresholds is None else self.thresholds.data
+        return self.strategy.quantize_array(self.weight.data, t)
+
+    def filter_k(self) -> np.ndarray:
+        """Shift terms per filter under the current strategy/thresholds."""
+        t = None if self.thresholds is None else self.thresholds.data
+        return self.strategy.filter_k(self.weight.data, t)
+
+    def bits_per_weight(self) -> np.ndarray:
+        """Per-filter storage cost in bits per weight."""
+        t = None if self.thresholds is None else self.thresholds.data
+        return self.strategy.bits_per_weight(self.weight.data, t)
+
+    def output_spatial(self, height: int, width: int) -> tuple[int, int]:
+        """Spatial output size for an input of ``height`` x ``width``."""
+        return (
+            F.conv_output_size(height, self.kernel_size, self.stride, self.padding),
+            F.conv_output_size(width, self.kernel_size, self.stride, self.padding),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"QConv2d({self.in_channels}, {self.out_channels}, kernel={self.kernel_size}, "
+            f"stride={self.stride}, padding={self.padding}, strategy={self.strategy.name})"
+        )
+
+
+class QLinear(Module):
+    """Fully-connected layer with quantized weights.
+
+    For shift-count purposes each output neuron's weight row is treated as
+    one "filter" (axis 0), mirroring the convolutional case.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        strategy: WeightQuantStrategy | None = None,
+        bias: bool = True,
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if min(in_features, out_features) < 1:
+            raise ConfigurationError("invalid QLinear geometry")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.strategy = strategy or FullPrecisionWeights()
+        self.weight = Parameter(
+            init.kaiming_uniform((out_features, in_features), rng=rng), name="qlinear.weight"
+        )
+        self.bias = Parameter(init.zeros((out_features,)), name="qlinear.bias") if bias else None
+        if self.strategy.needs_thresholds:
+            k_max = self.strategy.quantizer.config.k_max
+            self.thresholds = Parameter(np.zeros(k_max), name="qlinear.thresholds")
+        else:
+            self.thresholds = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        wq = self.strategy.apply(self.weight, self.thresholds)
+        return F.linear(x, wq, self.bias)
+
+    def quantized_weight(self) -> np.ndarray:
+        """Current deployed (quantized) weights, outside the graph."""
+        t = None if self.thresholds is None else self.thresholds.data
+        return self.strategy.quantize_array(self.weight.data, t)
+
+    def filter_k(self) -> np.ndarray:
+        """Shift terms per output neuron under the current strategy."""
+        t = None if self.thresholds is None else self.thresholds.data
+        return self.strategy.filter_k(self.weight.data, t)
+
+    def bits_per_weight(self) -> np.ndarray:
+        """Per-neuron storage cost in bits per weight."""
+        t = None if self.thresholds is None else self.thresholds.data
+        return self.strategy.bits_per_weight(self.weight.data, t)
+
+    def __repr__(self) -> str:
+        return f"QLinear({self.in_features}, {self.out_features}, strategy={self.strategy.name})"

@@ -1,0 +1,169 @@
+"""Residual group-lasso regularizer (paper Sec. 4.3).
+
+``L_reg,k(w) = sum_{j=0}^{k-1} lambda_j * sum_i ||r_{i,j}||_2``
+
+where ``r_{i,j}`` is filter ``i``'s residual entering quantization level
+``j``.  The ``j = 0`` term is a plain group lasso on whole filters (it can
+prune filters outright); the ``j > 0`` terms shrink the residual left after
+``j`` shifts, steering filters toward needing fewer shift terms.
+
+Gradient treatment: the regularizer is defined on the *full-precision*
+weights (Algorithm 1 computes it from ``w^{p-1}``).  We differentiate each
+``||r_{i,j}||_2`` w.r.t. ``w`` holding the already-rounded terms ``R(r_l)``
+(l < j) and the gates fixed, i.e. ``d r_{i,j} / d w = I``.  This gives the
+classic group-lasso direction ``r / ||r||`` pulling each weight toward the
+nearest point representable with ``j`` shifts — the behaviour Fig. 4 plots.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn.tensor import Tensor
+from repro.quant.flightnn import FLightNNQuantizer
+
+__all__ = ["residual_group_lasso", "regularization_curve", "proximal_residual_shrink"]
+
+
+def residual_group_lasso(
+    weight: Tensor,
+    thresholds: Tensor,
+    lambdas: Sequence[float],
+    quantizer: FLightNNQuantizer,
+) -> Tensor:
+    """Compute ``L_reg,k`` for one layer as an autograd scalar.
+
+    Args:
+        weight: Full-precision master weights (filter axis first).
+        thresholds: Current threshold vector ``t`` (used to evaluate the
+            gated recursion that produces the residuals; receives no
+            gradient from this loss — see module docstring).
+        lambdas: Per-level coefficients ``lambda_0 .. lambda_{k-1}``.
+        quantizer: The layer's FLightNN quantizer (supplies k_max and the
+            exponent window).
+
+    Returns:
+        Scalar loss tensor with gradient w.r.t. ``weight``.
+    """
+    lambdas = np.asarray(list(lambdas), dtype=np.float64)
+    k_max = quantizer.config.k_max
+    if lambdas.shape != (k_max,):
+        raise ConfigurationError(
+            f"need one lambda per level: got {lambdas.shape[0]}, expected {k_max}"
+        )
+    if (lambdas < 0).any():
+        raise ConfigurationError("regularization lambdas must be non-negative")
+
+    state = quantizer.quantize(weight.data, thresholds.data)
+    norm_scale = (
+        1.0 / np.sqrt(state.residuals[0].shape[1]) if quantizer.config.norm_per_element else 1.0
+    )
+    # Raw L2 norms per level/filter (state.norms may be RMS-scaled).
+    raw_norms = np.stack([np.linalg.norm(r, axis=1) for r in state.residuals])
+    loss_value = float((lambdas[:, None] * raw_norms).sum())
+
+    def backward(g: np.ndarray) -> None:
+        if not weight.requires_grad:
+            return
+        grad = np.zeros_like(state.residuals[0])
+        for j in range(k_max):
+            if lambdas[j] == 0.0:
+                continue
+            r = state.residuals[j]
+            s = raw_norms[j]
+            safe = np.where(s > 0, s, 1.0)
+            direction = r / safe[:, None]
+            direction[s == 0] = 0.0
+            grad += lambdas[j] * direction
+        weight.accumulate_grad(float(g) * grad.reshape(weight.shape))
+
+    # ``thresholds`` is listed as a parent so graph bookkeeping stays
+    # consistent, but it intentionally receives no gradient here.
+    return Tensor.from_op(np.asarray(loss_value), (weight, thresholds), backward)
+
+
+def proximal_residual_shrink(
+    weight: np.ndarray,
+    thresholds: np.ndarray,
+    lambdas: Sequence[float],
+    quantizer: FLightNNQuantizer,
+    step_size: float,
+) -> np.ndarray:
+    """Proximal update for ``L_reg,k``: shrink each level's residual norm.
+
+    The group lasso is famous for producing *exactly* zero groups, which is
+    what turns a filter's extra shift off (``||r_{i,j}|| = 0`` fails the
+    ``> t_j`` gate and the rounded residual vanishes).  A plain (sub)gradient
+    step only approaches zero asymptotically — and under Adam the
+    coefficient magnitude is normalised away entirely — so the trainer's
+    default applies the classic proximal operator instead:
+
+        r_{i,j} <- max(0, 1 - step_size * lambda_j / s_{i,j}) * r_{i,j}
+
+    level by level (``j = 0`` shrinks whole filters, matching the paper's
+    "t_0 determines whether this filter is pruned out").  ``s_{i,j}`` uses
+    the quantizer's norm convention (RMS by default) so one ``lambda`` is
+    meaningful across layers of different filter sizes; consequently the
+    numerical ``lambda`` scale differs from the paper's loss-coefficient
+    scale (see EXPERIMENTS.md).
+
+    Args:
+        weight: Full-precision master weights (modified copy is returned).
+        thresholds: Current thresholds (determine the gated recursion).
+        lambdas: Per-level shrinkage coefficients.
+        quantizer: Layer quantizer (supplies k_max / window / norm mode).
+        step_size: Current learning rate ``eta``.
+
+    Returns:
+        The shrunk weight array (same shape as ``weight``).
+    """
+    lambdas = np.asarray(list(lambdas), dtype=np.float64)
+    k_max = quantizer.config.k_max
+    if lambdas.shape != (k_max,):
+        raise ConfigurationError(
+            f"need one lambda per level: got {lambdas.shape[0]}, expected {k_max}"
+        )
+    if (lambdas < 0).any():
+        raise ConfigurationError("regularization lambdas must be non-negative")
+    if step_size < 0:
+        raise ConfigurationError(f"step_size must be non-negative, got {step_size}")
+
+    w = np.asarray(weight, dtype=np.float64).copy()
+    shape = w.shape
+    for j in range(k_max):
+        if lambdas[j] == 0.0:
+            continue
+        state = quantizer.quantize(w, np.asarray(thresholds, dtype=np.float64))
+        flat_r = state.residuals[j]
+        quantized_part = w.reshape(flat_r.shape) - flat_r
+        s = quantizer.filter_norm(flat_r)
+        safe = np.where(s > 0, s, 1.0)
+        shrink = np.maximum(0.0, 1.0 - step_size * lambdas[j] / safe)
+        shrink = np.where(s > 0, shrink, 0.0)
+        w = (quantized_part + shrink[:, None] * flat_r).reshape(shape)
+    return w
+
+
+def regularization_curve(
+    weights: np.ndarray,
+    lambdas: Sequence[float],
+    quantizer: FLightNNQuantizer,
+) -> np.ndarray:
+    """Per-level regularization losses for scalar "filters" (Fig. 4 data).
+
+    Treats each entry of ``weights`` as a one-element filter and returns an
+    array of shape (k_max + 1, len(weights)): one row per level's
+    ``lambda_j * |r_j|`` and a final row with the total — exactly the three
+    curves plotted in the paper's Fig. 4.
+    """
+    weights = np.asarray(weights, dtype=np.float64).reshape(-1, 1)
+    lambdas = np.asarray(list(lambdas), dtype=np.float64)
+    k_max = quantizer.config.k_max
+    thresholds = np.zeros(k_max)
+    state = quantizer.quantize(weights, thresholds)
+    rows = [lambdas[j] * np.abs(state.residuals[j][:, 0]) for j in range(k_max)]
+    rows.append(np.sum(rows, axis=0))
+    return np.stack(rows)

@@ -1,0 +1,175 @@
+"""Model-level quantization schemes — the paper's five model families.
+
+A :class:`QuantizationScheme` bundles everything the model builders and the
+hardware models need to know about one row of the paper's tables: how to
+quantize weights, how many activation bits to use, the regularization
+lambdas (FLightNN only) and the paper's label convention
+(``Full``, ``L-2_8W8A``, ``L-1_4W8A``, ``FP_4W8A``, ``FL``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.errors import ConfigurationError
+from repro.quant.activations import ActivationQuantConfig
+from repro.quant.fixed_point import FixedPointFormat
+from repro.quant.flightnn import FLightNNConfig
+from repro.quant.lightnn import LightNNConfig
+from repro.quant.power_of_two import PowerOfTwoConfig
+from repro.quant.qlayers import (
+    FixedPointWeights,
+    FLightNNWeights,
+    FullPrecisionWeights,
+    LightNNWeights,
+    WeightQuantStrategy,
+)
+
+__all__ = [
+    "QuantizationScheme",
+    "scheme_full",
+    "scheme_fixed_point",
+    "scheme_lightnn",
+    "scheme_flightnn",
+    "paper_schemes",
+]
+
+
+@dataclass(frozen=True)
+class QuantizationScheme:
+    """One quantized-model recipe.
+
+    Attributes:
+        name: Paper-style label (e.g. ``"L-1_4W8A"``).
+        kind: One of ``full | fixed | lightnn | flightnn``.
+        strategy_factory: Zero-arg callable building a fresh weight
+            strategy per layer (strategies are cheap and stateless, but a
+            factory keeps per-layer independence explicit).
+        activation: Activation quantizer settings, ``None`` for FP32
+            activations.
+        lambdas: Residual group-lasso coefficients (FLightNN only).
+        weight_bits_label: Nominal weight bits, for the ``xWyA`` subscript.
+    """
+
+    name: str
+    kind: str
+    strategy_factory: Callable[[], WeightQuantStrategy]
+    activation: ActivationQuantConfig | None
+    lambdas: tuple[float, ...] = ()
+    weight_bits_label: int | None = None
+
+    def make_strategy(self) -> WeightQuantStrategy:
+        """Build a fresh weight-quantization strategy for one layer."""
+        return self.strategy_factory()
+
+    @property
+    def quantizes_activations(self) -> bool:
+        """Whether activations are quantized (all schemes except ``Full``)."""
+        return self.activation is not None
+
+    @property
+    def is_flightnn(self) -> bool:
+        """Whether the scheme trains per-filter flexible k."""
+        return self.kind == "flightnn"
+
+    @property
+    def uses_shift_multiplier(self) -> bool:
+        """Whether multiplies are realised as shifts ((F)LightNN families)."""
+        return self.kind in ("lightnn", "flightnn")
+
+
+_ACT8 = ActivationQuantConfig(bits=8)
+
+
+def scheme_full() -> QuantizationScheme:
+    """32-bit floating-point reference model (paper's ``Full``)."""
+    return QuantizationScheme(
+        name="Full",
+        kind="full",
+        strategy_factory=FullPrecisionWeights,
+        activation=None,
+        weight_bits_label=32,
+    )
+
+
+def scheme_fixed_point(
+    fmt: FixedPointFormat | None = None,
+    activation: ActivationQuantConfig = _ACT8,
+) -> QuantizationScheme:
+    """Fixed-point baseline (paper's ``FP_4W8A``)."""
+    fmt = fmt or FixedPointFormat(bits=4, frac_bits=3)
+    return QuantizationScheme(
+        name=f"FP_{fmt.bits}W{activation.bits}A",
+        kind="fixed",
+        strategy_factory=lambda: FixedPointWeights(fmt),
+        activation=activation,
+        weight_bits_label=fmt.bits,
+    )
+
+
+def scheme_lightnn(
+    k: int,
+    pow2: PowerOfTwoConfig | None = None,
+    activation: ActivationQuantConfig = _ACT8,
+) -> QuantizationScheme:
+    """LightNN-k baseline (``L-1_4W8A`` for k=1, ``L-2_8W8A`` for k=2)."""
+    if k < 1:
+        raise ConfigurationError(f"LightNN k must be >= 1, got {k}")
+    pow2 = pow2 or PowerOfTwoConfig()
+    weight_bits = k * pow2.bits_per_term
+    return QuantizationScheme(
+        name=f"L-{k}_{weight_bits}W{activation.bits}A",
+        kind="lightnn",
+        strategy_factory=lambda: LightNNWeights(LightNNConfig(k=k, pow2=pow2)),
+        activation=activation,
+        weight_bits_label=weight_bits,
+    )
+
+
+def scheme_flightnn(
+    lambdas: Sequence[float],
+    k_max: int = 2,
+    pow2: PowerOfTwoConfig | None = None,
+    activation: ActivationQuantConfig = _ACT8,
+    label: str = "FL",
+) -> QuantizationScheme:
+    """FLightNN with residual regularization coefficients ``lambdas``.
+
+    The paper trains two FLightNNs per network (subscripts ``a``/``b``) by
+    varying ``lambdas``; pass e.g. ``label="FL_a"`` to tag them.
+    """
+    lambdas = tuple(float(v) for v in lambdas)
+    if len(lambdas) != k_max:
+        raise ConfigurationError(
+            f"need one lambda per level: got {len(lambdas)}, expected k_max={k_max}"
+        )
+    pow2 = pow2 or PowerOfTwoConfig()
+    config = FLightNNConfig(k_max=k_max, pow2=pow2)
+    return QuantizationScheme(
+        name=label,
+        kind="flightnn",
+        strategy_factory=lambda: FLightNNWeights(config),
+        activation=activation,
+        lambdas=lambdas,
+        weight_bits_label=k_max * pow2.bits_per_term,
+    )
+
+
+def paper_schemes(
+    fl_lambdas_a: Sequence[float] = (1e-5, 3e-5),
+    fl_lambdas_b: Sequence[float] = (1e-6, 3e-6),
+) -> dict[str, QuantizationScheme]:
+    """The five model families of Tables 2-5, keyed by short name.
+
+    ``FL_a`` uses stronger regularization (cheaper/faster model), ``FL_b``
+    weaker (more accurate), matching the paper's subscript convention.
+    """
+    return {
+        "Full": scheme_full(),
+        "L-2": scheme_lightnn(2),
+        "L-1": scheme_lightnn(1),
+        "FP": scheme_fixed_point(),
+        "FL_a": scheme_flightnn(fl_lambdas_a, label="FL_a"),
+        "FL_b": scheme_flightnn(fl_lambdas_b, label="FL_b"),
+    }

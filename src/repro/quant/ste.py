@@ -1,0 +1,53 @@
+"""Straight-through estimator (STE) plumbing.
+
+The paper (Sec. 4.2) trains through non-differentiable quantizers by defining
+``d(wq)/d(w) := 1`` (Bengio et al., 2013): the forward pass sees quantized
+values, the backward pass routes the upstream gradient to the full-precision
+master copy unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+__all__ = ["ste_apply", "ste_clipped_apply"]
+
+
+def ste_apply(x: Tensor, transform: Callable[[np.ndarray], np.ndarray]) -> Tensor:
+    """Apply a non-differentiable ``transform`` with identity backward.
+
+    Args:
+        x: Input tensor (typically a full-precision master weight).
+        transform: Array function executed on the forward values.
+    """
+    out_data = transform(x.data)
+
+    def backward(g: np.ndarray) -> None:
+        x.accumulate_grad(g)
+
+    return Tensor.from_op(np.asarray(out_data), (x,), backward)
+
+
+def ste_clipped_apply(
+    x: Tensor,
+    transform: Callable[[np.ndarray], np.ndarray],
+    low: float,
+    high: float,
+) -> Tensor:
+    """STE variant that zeroes gradient outside ``[low, high]``.
+
+    Saturating quantizers (fixed point) conventionally clip the estimator so
+    weights pushed past the representable range stop receiving gradient in
+    the saturating direction.
+    """
+    out_data = transform(x.data)
+    inside = (x.data >= low) & (x.data <= high)
+
+    def backward(g: np.ndarray) -> None:
+        x.accumulate_grad(g * inside)
+
+    return Tensor.from_op(np.asarray(out_data), (x,), backward)

@@ -1,0 +1,22 @@
+"""Training harness implementing the paper's Algorithm 1."""
+
+from repro.train.history import EpochStats, TrainHistory
+from repro.train.metrics import RunningAverage, accuracy, topk_accuracy
+from repro.train.trainer import TrainConfig, Trainer
+from repro.train.checkpoint import checkpoint_metadata, load_checkpoint, save_checkpoint
+from repro.train.sweep import SweepPoint, sweep_flightnn_lambdas
+
+__all__ = [
+    "TrainConfig",
+    "Trainer",
+    "TrainHistory",
+    "EpochStats",
+    "accuracy",
+    "topk_accuracy",
+    "RunningAverage",
+    "save_checkpoint",
+    "load_checkpoint",
+    "checkpoint_metadata",
+    "SweepPoint",
+    "sweep_flightnn_lambdas",
+]

@@ -1,0 +1,80 @@
+"""Activation-distribution regularization (the paper's future-work item).
+
+Sec. 6 of the paper: "Future work will further improve training efficiency
+by using optimized training loss [7]" — ref. [7] being Ding et al.,
+*Regularizing Activation Distribution for Training Binarized Deep
+Networks* (CVPR 2019).  That work penalises degenerate pre-quantization
+activation distributions so the quantizer's levels stay well used.
+
+This module implements the distribution loss for the 8-bit activation
+quantizers of this library: for each quantizer input ``x`` (per channel
+when 4-D),
+
+    L_act = lambda * mean_c [ mu_c^2 + (sigma_c - target_std)^2 ]
+
+pushing pre-quantization activations toward zero mean and a healthy spread
+so the fixed clipping range neither saturates nor wastes codes.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+from repro.quant.activations import QuantizedActivation
+
+__all__ = ["activation_distribution_loss", "collect_quantizer_inputs"]
+
+
+def collect_quantizer_inputs(model: Module) -> list[Tensor]:
+    """The recorded inputs of every enabled activation quantizer.
+
+    Requires ``record_input=True`` on the quantizers (see
+    :class:`~repro.quant.activations.QuantizedActivation`) and a forward
+    pass since the flag was set.
+    """
+    tensors = []
+    for module in model.modules():
+        if isinstance(module, QuantizedActivation) and module.enabled:
+            if module.last_input is not None:
+                tensors.append(module.last_input)
+    return tensors
+
+
+def activation_distribution_loss(
+    inputs: list[Tensor],
+    coefficient: float,
+    target_std: float = 1.0,
+) -> Tensor | None:
+    """Distribution loss over recorded quantizer inputs (graph-connected).
+
+    Args:
+        inputs: Pre-quantization activation tensors (from
+            :func:`collect_quantizer_inputs`); must still be part of the
+            current autograd graph.
+        coefficient: Loss weight ``lambda``; 0 disables (returns ``None``).
+        target_std: Desired per-channel standard deviation.
+
+    Returns:
+        Scalar loss tensor, or ``None`` when disabled or nothing recorded.
+    """
+    if coefficient < 0:
+        raise ConfigurationError(f"coefficient must be non-negative, got {coefficient}")
+    if target_std <= 0:
+        raise ConfigurationError(f"target_std must be positive, got {target_std}")
+    if coefficient == 0.0 or not inputs:
+        return None
+
+    total: Tensor | None = None
+    for x in inputs:
+        if x.ndim == 4:
+            axes = (0, 2, 3)
+        else:
+            axes = (0,)
+        mean = x.mean(axis=axes, keepdims=True)
+        centred = x - mean
+        var = (centred * centred).mean(axis=axes, keepdims=True)
+        std = (var + 1e-12).sqrt()
+        term = (mean * mean).mean() + ((std - target_std) ** 2).mean()
+        total = term if total is None else total + term
+    return total * (coefficient / len(inputs))

@@ -1,0 +1,70 @@
+"""Model checkpointing to ``.npz`` archives.
+
+Saves every parameter and buffer of a :class:`~repro.nn.module.Module`
+(flat name -> array) plus a small metadata record, and restores them with
+strict shape checking.  Works for any module tree, including quantized
+networks with FLightNN thresholds.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn.module import Module
+
+__all__ = ["save_checkpoint", "load_checkpoint", "checkpoint_metadata"]
+
+_META_KEY = "__checkpoint_meta__"
+
+
+def save_checkpoint(model: Module, path: str | Path, metadata: dict | None = None) -> Path:
+    """Write the model's parameters and buffers (plus metadata) to ``path``.
+
+    Args:
+        model: Module tree to snapshot.
+        path: Target file (``.npz`` appended by numpy if missing).
+        metadata: JSON-serialisable extras (scheme name, epoch, accuracy...).
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    state = model.state_dict()
+    if _META_KEY in state:
+        raise ConfigurationError(f"state dict may not contain the reserved key {_META_KEY!r}")
+    meta = dict(metadata or {})
+    arrays = dict(state)
+    arrays[_META_KEY] = np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8)
+    np.savez(path, **arrays)
+    if path.suffix != ".npz":
+        path = path.with_name(path.name + ".npz")
+    return path
+
+
+def load_checkpoint(model: Module, path: str | Path) -> dict:
+    """Restore a snapshot written by :func:`save_checkpoint`.
+
+    Returns:
+        The metadata dictionary stored alongside the arrays.
+
+    Raises:
+        ConfigurationError: On missing/unknown entries or shape mismatches
+            (delegated to :meth:`Module.load_state_dict`).
+    """
+    with np.load(Path(path)) as archive:
+        arrays = {name: archive[name] for name in archive.files}
+    meta_raw = arrays.pop(_META_KEY, None)
+    model.load_state_dict(arrays)
+    if meta_raw is None:
+        return {}
+    return json.loads(meta_raw.tobytes().decode("utf-8"))
+
+
+def checkpoint_metadata(path: str | Path) -> dict:
+    """Read only the metadata record of a checkpoint (no model needed)."""
+    with np.load(Path(path)) as archive:
+        if _META_KEY not in archive.files:
+            return {}
+        return json.loads(archive[_META_KEY].tobytes().decode("utf-8"))

@@ -1,0 +1,112 @@
+"""Command-line training entry point.
+
+Usage:
+    python -m repro.train.cli --network 1 --scheme FL_a --epochs 8 \
+        --dataset cifar10 --width-scale 0.25 --checkpoint out/model.npz
+
+Trains one (network, scheme) pair on a synthetic benchmark dataset (or an
+``.npz`` archive via ``--data-file``) and prints per-epoch metrics plus the
+hardware measurements of the trained model.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.data.benchmarks import DATASET_BUILDERS
+from repro.data.files import load_npz_split
+from repro.experiments.common import build_scheme, get_profile
+from repro.hw import AsicEnergyModel, FPGAModel, network_largest_layer_ops
+from repro.models import build_network, render_summary
+from repro.train.checkpoint import save_checkpoint
+from repro.train.trainer import TrainConfig, Trainer
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument schema."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--network", type=int, default=1, choices=range(1, 9),
+                        help="Table-1 network id")
+    parser.add_argument("--scheme", default="FL_a",
+                        choices=["Full", "L-2", "L-1", "FP", "FL_a", "FL_b"],
+                        help="quantization scheme")
+    parser.add_argument("--dataset", default=None, choices=sorted(DATASET_BUILDERS),
+                        help="synthetic benchmark dataset (default: the network's)")
+    parser.add_argument("--data-file", default=None,
+                        help=".npz dataset archive (overrides --dataset)")
+    parser.add_argument("--epochs", type=int, default=8)
+    parser.add_argument("--batch-size", type=int, default=64)
+    parser.add_argument("--lr", type=float, default=3e-3)
+    parser.add_argument("--width-scale", type=float, default=0.25)
+    parser.add_argument("--size-scale", type=float, default=0.5,
+                        help="synthetic dataset resolution scale")
+    parser.add_argument("--samples", type=int, default=512,
+                        help="synthetic training samples")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--checkpoint", default=None,
+                        help="write the trained model to this .npz path")
+    parser.add_argument("--summary", action="store_true",
+                        help="print the layer-by-layer model summary")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Train one model from command-line arguments; returns an exit code."""
+    args = build_parser().parse_args(argv)
+    profile = get_profile()
+
+    if args.data_file:
+        split = load_npz_split(args.data_file)
+    else:
+        from repro.models.configs import NETWORK_CONFIGS
+
+        dataset_key = args.dataset or NETWORK_CONFIGS[args.network].dataset
+        split = DATASET_BUILDERS[dataset_key](
+            size_scale=args.size_scale, samples=args.samples
+        )
+    print(f"dataset: {split.name} {split.image_shape}, "
+          f"{len(split.train)} train / {len(split.test)} test, "
+          f"{split.num_classes} classes")
+
+    scheme = build_scheme(args.scheme, profile)
+    model = build_network(
+        args.network, scheme, num_classes=split.num_classes,
+        image_size=split.image_shape[1], width_scale=args.width_scale,
+        rng=args.seed,
+    )
+    print(f"model: {model} ({model.num_parameters():,} params)")
+
+    config = TrainConfig(
+        epochs=args.epochs, batch_size=args.batch_size, lr=args.lr,
+        lambda_warmup_epochs=min(2, args.epochs - 1) if args.epochs > 1 else 0,
+        threshold_freeze_epoch=max(1, args.epochs - 3),
+        threshold_lr_scale=10.0, seed=args.seed,
+    )
+    history = Trainer(model, config).fit(split)
+    for epoch in history.epochs:
+        print(f"  epoch {epoch.epoch}: loss={epoch.train_loss:.4f} "
+              f"test={100 * epoch.test_accuracy:.1f}% k={epoch.mean_filter_k:.2f}")
+
+    ops = network_largest_layer_ops(model)
+    design = FPGAModel().map_layer(ops)
+    energy = AsicEnergyModel().layer_energy_uj(ops)
+    print(f"storage: {model.storage_mb():.4f} MB | largest layer: "
+          f"{design.throughput:,.0f} img/s on ZC706, {energy:.4f} uJ at 65nm")
+
+    if args.summary:
+        print(render_summary(model))
+    if args.checkpoint:
+        path = save_checkpoint(model, args.checkpoint, metadata={
+            "scheme": scheme.name,
+            "network": args.network,
+            "test_accuracy": history.final.test_accuracy,
+        })
+        print(f"checkpoint written to {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,54 @@
+"""Training-run records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["EpochStats", "TrainHistory"]
+
+
+@dataclass(frozen=True)
+class EpochStats:
+    """Metrics recorded at the end of one epoch."""
+
+    epoch: int
+    train_loss: float
+    train_accuracy: float
+    test_accuracy: float
+    test_top5: float
+    mean_filter_k: float
+    storage_mb: float
+    learning_rate: float
+
+
+@dataclass
+class TrainHistory:
+    """Full per-epoch record of one training run."""
+
+    scheme_name: str
+    network_id: int
+    epochs: list[EpochStats] = field(default_factory=list)
+
+    def append(self, stats: EpochStats) -> None:
+        """Record one epoch."""
+        self.epochs.append(stats)
+
+    @property
+    def final(self) -> EpochStats:
+        """Stats of the last epoch."""
+        if not self.epochs:
+            raise IndexError("history is empty")
+        return self.epochs[-1]
+
+    @property
+    def best_test_accuracy(self) -> float:
+        """Best test accuracy seen over the run."""
+        return max(e.test_accuracy for e in self.epochs)
+
+    def as_dict(self) -> dict:
+        """JSON-friendly representation."""
+        return {
+            "scheme": self.scheme_name,
+            "network_id": self.network_id,
+            "epochs": [vars(e) for e in self.epochs],
+        }

@@ -1,0 +1,52 @@
+"""Classification metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+__all__ = ["accuracy", "topk_accuracy", "RunningAverage"]
+
+
+def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 accuracy in [0, 1] for (N, classes) logits."""
+    return topk_accuracy(logits, labels, k=1)
+
+
+def topk_accuracy(logits: np.ndarray, labels: np.ndarray, k: int) -> float:
+    """Top-k accuracy in [0, 1]; Table 5 reports top-5 for ImageNet."""
+    logits = np.asarray(logits)
+    labels = np.asarray(labels)
+    if logits.ndim != 2 or labels.shape != (logits.shape[0],):
+        raise ShapeError(
+            f"expected (N, C) logits and (N,) labels, got {logits.shape} / {labels.shape}"
+        )
+    if not 1 <= k <= logits.shape[1]:
+        raise ShapeError(f"k={k} out of range for {logits.shape[1]} classes")
+    topk = np.argpartition(-logits, kth=k - 1, axis=1)[:, :k]
+    hits = (topk == labels[:, None]).any(axis=1)
+    return float(hits.mean())
+
+
+class RunningAverage:
+    """Streaming weighted mean (per-epoch loss/accuracy accumulation)."""
+
+    def __init__(self) -> None:
+        self._total = 0.0
+        self._count = 0
+
+    def update(self, value: float, weight: int = 1) -> None:
+        """Add ``value`` observed over ``weight`` samples."""
+        self._total += float(value) * weight
+        self._count += weight
+
+    @property
+    def value(self) -> float:
+        """Current mean (0.0 when nothing has been recorded)."""
+        return self._total / self._count if self._count else 0.0
+
+    @property
+    def count(self) -> int:
+        """Number of samples accumulated."""
+        return self._count

@@ -1,0 +1,89 @@
+"""Lambda sweeps: trace the FLightNN accuracy/cost trade-off curve.
+
+The paper generates its Pareto points "by varying lambda" (Sec. 5.1).
+:func:`sweep_flightnn_lambdas` automates that: trains one FLightNN per
+lambda value on a fixed network/dataset and returns the operating points,
+ready for :func:`repro.analysis.pareto.pareto_front`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.data.dataset import DataSplit
+from repro.errors import ConfigurationError
+from repro.hw.asic import AsicEnergyModel
+from repro.hw.ops import network_largest_layer_ops
+from repro.models.registry import build_network
+from repro.quant.schemes import scheme_flightnn
+from repro.train.trainer import TrainConfig, Trainer
+
+__all__ = ["SweepPoint", "sweep_flightnn_lambdas"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One trained FLightNN operating point."""
+
+    lambda_1: float
+    accuracy: float          # best test accuracy, percent
+    storage_mb: float
+    energy_uj: float
+    mean_filter_k: float
+
+    @property
+    def storage_accuracy(self) -> tuple[float, float]:
+        """(cost, value) pair for storage-axis Pareto analysis."""
+        return (self.storage_mb, self.accuracy)
+
+    @property
+    def energy_accuracy(self) -> tuple[float, float]:
+        """(cost, value) pair for energy-axis Pareto analysis."""
+        return (self.energy_uj, self.accuracy)
+
+
+def sweep_flightnn_lambdas(
+    network_id: int,
+    split: DataSplit,
+    lambdas: Sequence[float],
+    config: TrainConfig,
+    width_scale: float = 1.0,
+    lambda_0: float = 0.0,
+    rng_seed: int = 0,
+) -> list[SweepPoint]:
+    """Train one FLightNN per ``lambda_1`` value and measure each.
+
+    Args:
+        network_id: Table-1 network.
+        split: Dataset.
+        lambdas: Level-1 regularization strengths to sweep (ascending
+            strength = descending cost).
+        config: Shared training configuration.
+        width_scale: Network width multiplier.
+        lambda_0: Level-0 (filter-pruning) coefficient, default off.
+        rng_seed: Weight-init seed shared across the sweep so points
+            differ only in lambda.
+    """
+    if not lambdas:
+        raise ConfigurationError("sweep requires at least one lambda value")
+    energy_model = AsicEnergyModel()
+    points: list[SweepPoint] = []
+    for lam in lambdas:
+        scheme = scheme_flightnn((lambda_0, float(lam)), label=f"FL(l={lam:g})")
+        model = build_network(
+            network_id, scheme, num_classes=split.num_classes,
+            image_size=split.image_shape[1], width_scale=width_scale, rng=rng_seed,
+        )
+        history = Trainer(model, config).fit(split)
+        energy = energy_model.layer_energy_uj(network_largest_layer_ops(model))
+        points.append(
+            SweepPoint(
+                lambda_1=float(lam),
+                accuracy=100.0 * history.best_test_accuracy,
+                storage_mb=model.storage_mb(),
+                energy_uj=energy,
+                mean_filter_k=model.mean_filter_k(),
+            )
+        )
+    return points

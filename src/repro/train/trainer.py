@@ -1,0 +1,298 @@
+"""Quantization-aware training — the paper's Algorithm 1.
+
+Each iteration: (1) the quantized layers compute ``wq = Q_k(w | t)`` inside
+the forward graph, (2) the loss is cross-entropy plus — for FLightNN — the
+residual group-lasso ``L_reg,k``, (3) backward propagates ``dL/dwq`` to the
+full-precision master weights via STE and ``dL/dt`` via the sigmoid-relaxed
+indicator, (4) the optimizer (Adam, as in the paper) updates ``w``, biases,
+batch-norm affines and thresholds ``t``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import ArrayDataset, DataLoader, DataSplit
+from repro.errors import ConfigurationError
+from repro.models.network import QuantizedNetwork
+from repro.nn import functional as F
+from repro.nn.optim import SGD, Adam, ConstantLR, CosineDecayLR, StepDecayLR
+from repro.nn.tensor import Tensor, no_grad
+from repro.quant.activations import QuantizedActivation
+from repro.quant.regularization import proximal_residual_shrink, residual_group_lasso
+from repro.train.act_reg import activation_distribution_loss, collect_quantizer_inputs
+from repro.train.history import EpochStats, TrainHistory
+from repro.train.metrics import RunningAverage, accuracy, topk_accuracy
+from repro.utils.logging import get_logger
+from repro.utils.rng import as_generator
+
+__all__ = ["TrainConfig", "Trainer"]
+
+_LOGGER = get_logger("train.trainer")
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    """Hyper-parameters of one training run.
+
+    Args:
+        epochs: Training epochs.
+        batch_size: Mini-batch size.
+        lr: Learning rate (Adam step size).
+        optimizer: ``"adam"`` (paper) or ``"sgd"``.
+        momentum: SGD momentum (ignored for Adam).
+        threshold_lr_scale: Multiplier on ``lr`` for the FLightNN threshold
+            parameters.  Thresholds always train with plain SGD (their
+            gradient magnitude carries meaning that Adam's per-parameter
+            normalisation would erase).
+        gate_pressure: Strength multiplier for the L0-style gate-count
+            penalty on thresholds (see
+            :meth:`FLightNNQuantizer.gate_pressure_gradient`); scaled by the
+            scheme's per-level lambdas.  0 disables it.
+        threshold_freeze_epoch: Epoch after which thresholds stop moving
+            (no gradient step, no gate pressure) so the network fine-tunes
+            against a settled per-filter k assignment.  ``None`` keeps them
+            trainable throughout.
+        lambda_warmup_epochs: Ramp the regularization strength linearly
+            from 0 to its full value over this many epochs — the "gradual
+            quantization" behaviour the paper credits for FLightNN's
+            accuracy edge over LightNN-1 (Sec. 5.2): the network first
+            trains with the full two-shift budget, then constraints tighten.
+        regularization_mode: How ``L_reg,k`` is applied to FLightNN layers:
+            ``"proximal"`` (default) applies the exact group-lasso proximal
+            shrinkage after each optimizer step — this is what produces
+            exactly-zero residual groups, i.e. filters that genuinely drop
+            to smaller k; ``"gradient"`` adds the differentiable loss of
+            Sec. 4.3 to the objective instead (the paper's formulation,
+            which needs far longer schedules to sparsify).
+        activation_reg: Coefficient of the activation-distribution loss
+            (the paper's Sec.-6 future-work item, ref. [7]); 0 disables.
+        lr_schedule: Per-epoch learning-rate schedule for the main
+            optimizer: ``"constant"``, ``"cosine"`` (anneal to 0 over the
+            run) or ``"step"`` (x0.1 at 2/3 of the run).
+        seed: Shuffling seed.
+        eval_batch_size: Batch size for evaluation passes.
+    """
+
+    epochs: int = 10
+    batch_size: int = 64
+    lr: float = 1e-3
+    optimizer: str = "adam"
+    momentum: float = 0.9
+    threshold_lr_scale: float = 1.0
+    gate_pressure: float = 1.0
+    threshold_freeze_epoch: int | None = None
+    lambda_warmup_epochs: int = 0
+    regularization_mode: str = "proximal"
+    activation_reg: float = 0.0
+    lr_schedule: str = "constant"
+    seed: int = 0
+    eval_batch_size: int = 256
+
+    def __post_init__(self) -> None:
+        if self.epochs < 1 or self.batch_size < 1:
+            raise ConfigurationError("epochs and batch_size must be positive")
+        if self.optimizer not in ("adam", "sgd"):
+            raise ConfigurationError(f"unknown optimizer {self.optimizer!r}")
+        if self.threshold_lr_scale <= 0:
+            raise ConfigurationError("threshold_lr_scale must be positive")
+        if self.regularization_mode not in ("proximal", "gradient"):
+            raise ConfigurationError(
+                f"unknown regularization_mode {self.regularization_mode!r}"
+            )
+        if self.lambda_warmup_epochs < 0:
+            raise ConfigurationError("lambda_warmup_epochs must be non-negative")
+        if self.gate_pressure < 0:
+            raise ConfigurationError("gate_pressure must be non-negative")
+        if self.threshold_freeze_epoch is not None and self.threshold_freeze_epoch < 0:
+            raise ConfigurationError("threshold_freeze_epoch must be non-negative")
+        if self.lr_schedule not in ("constant", "cosine", "step"):
+            raise ConfigurationError(f"unknown lr_schedule {self.lr_schedule!r}")
+        if self.activation_reg < 0:
+            raise ConfigurationError("activation_reg must be non-negative")
+
+
+class Trainer:
+    """Runs Algorithm 1 for one network/scheme pair."""
+
+    def __init__(self, model: QuantizedNetwork, config: TrainConfig | None = None) -> None:
+        self.model = model
+        self.config = config or TrainConfig()
+        self.scheme = model.scheme
+        threshold_ids = {
+            id(layer.thresholds)
+            for layer in model.conv_layers() + model.linear_layers()
+            if layer.thresholds is not None
+        }
+        main_params = [p for p in model.parameters() if id(p) not in threshold_ids]
+        threshold_params = [p for p in model.parameters() if id(p) in threshold_ids]
+        self.optimizer = self._make_optimizer(main_params, self.config.lr)
+        # Thresholds use plain SGD: their gradient magnitude (how strongly a
+        # gate helps or hurts the loss) must survive into the update.
+        self.threshold_optimizer = (
+            SGD(threshold_params, lr=self.config.lr * self.config.threshold_lr_scale)
+            if threshold_params
+            else None
+        )
+        self._flightnn_layers = [
+            layer
+            for layer in model.conv_layers() + model.linear_layers()
+            if layer.thresholds is not None
+        ]
+        if self.config.activation_reg > 0:
+            for module in model.modules():
+                if isinstance(module, QuantizedActivation):
+                    module.record_input = True
+        if self.config.lr_schedule == "cosine":
+            self._scheduler = CosineDecayLR(self.optimizer, total_epochs=self.config.epochs)
+        elif self.config.lr_schedule == "step":
+            self._scheduler = StepDecayLR(
+                self.optimizer, step_size=max(1, (2 * self.config.epochs) // 3)
+            )
+        else:
+            self._scheduler = ConstantLR(self.optimizer)
+
+    def _make_optimizer(self, params, lr):
+        if self.config.optimizer == "adam":
+            return Adam(params, lr=lr)
+        return SGD(params, lr=lr, momentum=self.config.momentum)
+
+    # -- loss -----------------------------------------------------------------
+
+    def regularization_loss(self) -> Tensor | None:
+        """The paper's ``L_reg,k`` summed over FLightNN layers (else None).
+
+        Only used as a training objective term in ``"gradient"`` mode, but
+        always available for inspection/logging.
+        """
+        if not self.scheme.is_flightnn or not self._flightnn_layers:
+            return None
+        total: Tensor | None = None
+        for layer in self._flightnn_layers:
+            term = residual_group_lasso(
+                layer.weight,
+                layer.thresholds,
+                self.scheme.lambdas,
+                layer.strategy.quantizer,
+            )
+            total = term if total is None else total + term
+        return total
+
+    # -- training -------------------------------------------------------------
+
+    def fit(self, split: DataSplit, log: bool = False) -> TrainHistory:
+        """Train on ``split.train``, evaluating on ``split.test`` per epoch."""
+        history = TrainHistory(
+            scheme_name=self.scheme.name, network_id=self.model.config.network_id
+        )
+        loader = DataLoader(
+            split.train,
+            self.config.batch_size,
+            shuffle=True,
+            rng=as_generator(self.config.seed),
+        )
+        for epoch in range(self.config.epochs):
+            train_loss, train_acc = self._run_epoch(loader, epoch)
+            test = self.evaluate(split.test)
+            stats = EpochStats(
+                epoch=epoch,
+                train_loss=train_loss,
+                train_accuracy=train_acc,
+                test_accuracy=test["accuracy"],
+                test_top5=test["top5"],
+                mean_filter_k=self.model.mean_filter_k(),
+                storage_mb=self.model.storage_mb(),
+                learning_rate=self.optimizer.lr,
+            )
+            history.append(stats)
+            self._scheduler.step()
+            if log:
+                _LOGGER.info(
+                    "epoch %d: loss=%.4f train=%.3f test=%.3f k=%.2f",
+                    epoch, train_loss, train_acc, test["accuracy"], stats.mean_filter_k,
+                )
+        return history
+
+    def _run_epoch(self, loader: DataLoader, epoch: int) -> tuple[float, float]:
+        self.model.train()
+        loss_avg, acc_avg = RunningAverage(), RunningAverage()
+        use_gradient_reg = self.config.regularization_mode == "gradient"
+        warmup = self.config.lambda_warmup_epochs
+        lambda_ramp = min(1.0, (epoch + 1) / warmup) if warmup else 1.0
+        freeze = self.config.threshold_freeze_epoch
+        thresholds_active = freeze is None or epoch < freeze
+        for images, labels in loader:
+            self.model.zero_grad()
+            logits = self.model(Tensor(images))
+            loss = F.cross_entropy(logits, labels)
+            total = loss
+            if use_gradient_reg:
+                reg = self.regularization_loss()
+                if reg is not None:
+                    total = total + reg
+            if self.config.activation_reg > 0:
+                act_reg = activation_distribution_loss(
+                    collect_quantizer_inputs(self.model), self.config.activation_reg
+                )
+                if act_reg is not None:
+                    total = total + act_reg
+            total.backward()
+            if thresholds_active:
+                self._add_gate_pressure(lambda_ramp)
+            self.optimizer.step()
+            if self.threshold_optimizer is not None and thresholds_active:
+                self.threshold_optimizer.step()
+            if not use_gradient_reg:
+                self._apply_proximal_regularization(lambda_ramp)
+            n = len(labels)
+            loss_avg.update(loss.item(), n)
+            acc_avg.update(accuracy(logits.numpy(), labels), n)
+        return loss_avg.value, acc_avg.value
+
+    def _add_gate_pressure(self, lambda_ramp: float) -> None:
+        """Accumulate the gate-count penalty gradient onto each threshold."""
+        if not self.scheme.is_flightnn or self.config.gate_pressure == 0.0:
+            return
+        scale = self.config.gate_pressure * lambda_ramp
+        lambdas = np.asarray(self.scheme.lambdas) * scale
+        for layer in self._flightnn_layers:
+            grad = layer.strategy.quantizer.gate_pressure_gradient(
+                layer.weight.data, layer.thresholds.data, lambdas
+            )
+            layer.thresholds.accumulate_grad(grad)
+
+    def _apply_proximal_regularization(self, lambda_ramp: float = 1.0) -> None:
+        """Shrink per-level residual norms of every FLightNN layer in place."""
+        if not self.scheme.is_flightnn:
+            return
+        lambdas = tuple(lam * lambda_ramp for lam in self.scheme.lambdas)
+        for layer in self._flightnn_layers:
+            layer.weight.data[...] = proximal_residual_shrink(
+                layer.weight.data,
+                layer.thresholds.data,
+                lambdas,
+                layer.strategy.quantizer,
+                step_size=self.optimizer.lr,
+            )
+
+    # -- evaluation ------------------------------------------------------------
+
+    def evaluate(self, dataset: ArrayDataset) -> dict[str, float]:
+        """Loss / top-1 / top-5 on ``dataset`` in inference mode."""
+        self.model.eval()
+        loss_avg = RunningAverage()
+        acc_avg = RunningAverage()
+        top5_avg = RunningAverage()
+        k5 = min(5, dataset.num_classes)
+        loader = DataLoader(dataset, self.config.eval_batch_size, shuffle=False)
+        with no_grad():
+            for images, labels in loader:
+                logits = self.model(Tensor(images))
+                n = len(labels)
+                loss_avg.update(F.cross_entropy(logits, labels).item(), n)
+                acc_avg.update(accuracy(logits.numpy(), labels), n)
+                top5_avg.update(topk_accuracy(logits.numpy(), labels, k5), n)
+        self.model.train()
+        return {"loss": loss_avg.value, "accuracy": acc_avg.value, "top5": top5_avg.value}

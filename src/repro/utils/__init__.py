@@ -1,0 +1,13 @@
+"""Shared utilities: deterministic RNG handling, logging, serialization."""
+
+from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.logging import get_logger
+from repro.utils.serialization import load_json, save_json
+
+__all__ = [
+    "as_generator",
+    "spawn_generators",
+    "get_logger",
+    "load_json",
+    "save_json",
+]

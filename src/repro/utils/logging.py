@@ -1,0 +1,27 @@
+"""Library-wide logging configuration.
+
+The library never configures the root logger; it only attaches a
+``NullHandler`` so that applications decide where log records go.
+:func:`get_logger` namespaces every logger under ``repro.``.
+"""
+
+from __future__ import annotations
+
+import logging
+
+__all__ = ["get_logger"]
+
+_ROOT_NAME = "repro"
+
+logging.getLogger(_ROOT_NAME).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger namespaced under the library root.
+
+    Args:
+        name: Dotted suffix, e.g. ``"train.trainer"``.
+    """
+    if name.startswith(_ROOT_NAME):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")

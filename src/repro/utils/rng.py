@@ -1,0 +1,48 @@
+"""Deterministic random-number-generator helpers.
+
+Every stochastic component in the library accepts either an integer seed or a
+ready-made :class:`numpy.random.Generator`.  Funnelling both through
+:func:`as_generator` keeps experiments reproducible without global state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["as_generator", "spawn_generators"]
+
+
+def as_generator(seed_or_rng: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed_or_rng``.
+
+    Args:
+        seed_or_rng: An integer seed, an existing generator (returned as-is),
+            or ``None`` for a fixed default seed of 0 (the library is
+            deterministic by default).
+
+    Raises:
+        ConfigurationError: If the argument is of an unsupported type.
+    """
+    if seed_or_rng is None:
+        return np.random.default_rng(0)
+    if isinstance(seed_or_rng, np.random.Generator):
+        return seed_or_rng
+    if isinstance(seed_or_rng, (int, np.integer)):
+        return np.random.default_rng(int(seed_or_rng))
+    raise ConfigurationError(
+        f"expected int seed, numpy Generator or None, got {type(seed_or_rng).__name__}"
+    )
+
+
+def spawn_generators(seed_or_rng: int | np.random.Generator | None, n: int) -> list[np.random.Generator]:
+    """Split one seed into ``n`` statistically independent generators.
+
+    Useful when a pipeline has several stochastic stages (data generation,
+    weight init, shuffling) that must not share a stream.
+    """
+    if n < 0:
+        raise ConfigurationError(f"cannot spawn a negative number of generators: {n}")
+    root = as_generator(seed_or_rng)
+    return [np.random.default_rng(s) for s in root.bit_generator.seed_seq.spawn(n)]

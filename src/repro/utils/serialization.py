@@ -1,0 +1,49 @@
+"""Small JSON (de)serialization helpers tolerant of numpy scalar types.
+
+Experiment results mix Python and numpy scalars; :func:`save_json` converts
+numpy values transparently so result files stay plain JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+__all__ = ["save_json", "load_json"]
+
+
+class _NumpyEncoder(json.JSONEncoder):
+    """JSON encoder that understands numpy scalars and arrays."""
+
+    def default(self, o: Any) -> Any:
+        if isinstance(o, np.integer):
+            return int(o)
+        if isinstance(o, np.floating):
+            return float(o)
+        if isinstance(o, np.bool_):
+            return bool(o)
+        if isinstance(o, np.ndarray):
+            return o.tolist()
+        return super().default(o)
+
+
+def save_json(path: str | Path, obj: Any) -> Path:
+    """Serialize ``obj`` to ``path`` as pretty-printed JSON.
+
+    Returns the resolved path for chaining.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as fh:
+        json.dump(obj, fh, cls=_NumpyEncoder, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def load_json(path: str | Path) -> Any:
+    """Load a JSON document written by :func:`save_json`."""
+    with Path(path).open("r", encoding="utf-8") as fh:
+        return json.load(fh)

@@ -1,0 +1,114 @@
+"""Tests for Pareto-front utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.pareto import (
+    dominates,
+    front_dominates,
+    front_value_at,
+    pareto_front,
+    pareto_front_indices,
+)
+from repro.errors import ConfigurationError
+
+
+class TestDominates:
+    def test_strictly_better_both(self):
+        assert dominates((1.0, 0.9), (2.0, 0.8))
+
+    def test_equal_does_not_dominate(self):
+        assert not dominates((1.0, 0.9), (1.0, 0.9))
+
+    def test_better_on_one_axis(self):
+        assert dominates((1.0, 0.9), (1.0, 0.8))
+        assert dominates((0.5, 0.9), (1.0, 0.9))
+
+    def test_tradeoff_no_domination(self):
+        assert not dominates((1.0, 0.9), (2.0, 0.95))
+        assert not dominates((2.0, 0.95), (1.0, 0.9))
+
+
+class TestParetoFront:
+    def test_extracts_non_dominated(self):
+        points = [(1.0, 0.8), (2.0, 0.9), (1.5, 0.7), (3.0, 0.85)]
+        front = pareto_front(points)
+        assert front == [(1.0, 0.8), (2.0, 0.9)]
+
+    def test_sorted_by_cost(self):
+        points = [(3.0, 0.99), (1.0, 0.5), (2.0, 0.9)]
+        front = pareto_front(points)
+        assert [c for c, _ in front] == sorted(c for c, _ in front)
+
+    def test_all_on_front(self):
+        points = [(1.0, 0.5), (2.0, 0.7), (3.0, 0.9)]
+        assert pareto_front(points) == points
+
+    def test_single_point(self):
+        assert pareto_front([(1.0, 0.5)]) == [(1.0, 0.5)]
+
+    def test_duplicates_kept(self):
+        points = [(1.0, 0.5), (1.0, 0.5)]
+        assert len(pareto_front(points)) == 2
+
+    def test_shape_validated(self):
+        with pytest.raises(ConfigurationError):
+            pareto_front_indices(np.zeros((3, 3)))
+
+
+class TestFrontValueAt:
+    def test_best_feasible(self):
+        front = [(1.0, 0.5), (2.0, 0.8)]
+        assert front_value_at(front, 1.5) == 0.5
+        assert front_value_at(front, 2.0) == 0.8
+
+    def test_infeasible_is_minus_inf(self):
+        assert front_value_at([(1.0, 0.5)], 0.5) == float("-inf")
+
+
+class TestFrontDominates:
+    def test_upper_bound(self):
+        upper = [(1.0, 0.6), (2.0, 0.9)]
+        lower = [(1.0, 0.5), (2.0, 0.8)]
+        assert front_dominates(upper, lower)
+        assert not front_dominates(lower, upper)
+
+    def test_equal_fronts(self):
+        f = [(1.0, 0.5), (2.0, 0.8)]
+        assert front_dominates(f, f)
+        assert not front_dominates(f, f, strict_somewhere=True)
+
+    def test_strict_somewhere(self):
+        upper = [(1.0, 0.5), (2.0, 0.9)]
+        lower = [(1.0, 0.5), (2.0, 0.8)]
+        assert front_dominates(upper, lower, strict_somewhere=True)
+
+    def test_crossing_fronts_do_not_dominate(self):
+        a = [(1.0, 0.9), (2.0, 0.91)]
+        b = [(1.0, 0.5), (2.0, 0.95)]
+        assert not front_dominates(a, b)  # b wins at cost 2
+        assert not front_dominates(b, a)  # a wins at cost 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 2**16), n=st.integers(1, 30))
+def test_property_front_points_mutually_nondominated(seed, n):
+    rng = np.random.default_rng(seed)
+    points = [(float(c), float(v)) for c, v in rng.random((n, 2))]
+    front = pareto_front(points)
+    for i, a in enumerate(front):
+        for j, b in enumerate(front):
+            if i != j:
+                assert not dominates(a, b)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 2**16))
+def test_property_front_dominates_its_source(seed):
+    rng = np.random.default_rng(seed)
+    points = [(float(c), float(v)) for c, v in rng.random((12, 2))]
+    assert front_dominates(pareto_front(points), points)

@@ -1,0 +1,93 @@
+"""Tests for the reusable paper-shape checks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.shapes import (
+    check_energy_ordering,
+    check_flightnn_interpolation,
+    check_storage_ratios,
+    check_throughput_ordering,
+    run_all_checks,
+)
+from repro.experiments.common import ModelResult
+
+
+def make_row(key, accuracy=90.0, storage=0.01, throughput=1e4, energy=1.0, k=0.0):
+    return ModelResult(
+        network_id=1, scheme_key=key, scheme_name=key, accuracy=accuracy,
+        top5=99.0, accuracy_final=accuracy, storage_mb=storage,
+        mean_filter_k=k, throughput=throughput, batch_size=4,
+        fpga_lut=1, fpga_ff=1, fpga_dsp=1, fpga_bram=1,
+        fpga_bound_by=("bram",), energy_uj=energy, train_epochs=1,
+    )
+
+
+def consistent_rows():
+    """A row set satisfying every paper claim."""
+    return [
+        make_row("Full", storage=0.08, throughput=1e3, energy=100.0, k=0.0),
+        make_row("L-2", storage=0.02, throughput=8e3, energy=2.0, k=2.0),
+        make_row("L-1", storage=0.01, throughput=16e3, energy=1.0, k=1.0),
+        make_row("FP", storage=0.01, throughput=9e3, energy=3.0, k=0.0),
+        make_row("FL_a", storage=0.0105, throughput=15e3, energy=1.05, k=1.05),
+        make_row("FL_b", storage=0.016, throughput=10e3, energy=1.6, k=1.6),
+    ]
+
+
+class TestConsistentRows:
+    def test_no_violations(self):
+        assert run_all_checks(consistent_rows()) == []
+
+
+class TestStorage:
+    def test_detects_wrong_l2_ratio(self):
+        rows = consistent_rows()
+        rows[1] = make_row("L-2", storage=0.03, throughput=8e3, energy=2.0, k=2.0)
+        violations = check_storage_ratios(rows)
+        assert any("L-2/L-1" in v for v in violations)
+
+    def test_detects_fl_outside_band(self):
+        rows = consistent_rows()
+        rows[4] = make_row("FL_a", storage=0.05, throughput=15e3, energy=1.05, k=1.05)
+        assert any("FL_a" in v for v in check_storage_ratios(rows))
+
+    def test_partial_row_sets_ok(self):
+        assert check_storage_ratios([make_row("L-1")]) == []
+
+
+class TestThroughput:
+    def test_detects_inverted_order(self):
+        rows = consistent_rows()
+        rows[2] = make_row("L-1", storage=0.01, throughput=5e3, energy=1.0, k=1.0)
+        assert check_throughput_ordering(rows)
+
+    def test_detects_fl_slower_than_fp(self):
+        rows = consistent_rows()
+        rows[4] = make_row("FL_a", storage=0.0105, throughput=8e3, energy=1.05, k=1.05)
+        assert any("FL_a" in v for v in check_throughput_ordering(rows))
+
+
+class TestEnergy:
+    def test_detects_fp_cheaper_than_l2(self):
+        rows = consistent_rows()
+        rows[3] = make_row("FP", storage=0.01, throughput=9e3, energy=1.5, k=0.0)
+        assert any("FP" in v for v in check_energy_ordering(rows))
+
+    def test_detects_full_not_dominant(self):
+        rows = consistent_rows()
+        rows[0] = make_row("Full", storage=0.08, throughput=1e3, energy=4.0, k=0.0)
+        assert any("Full" in v for v in check_energy_ordering(rows))
+
+
+class TestInterpolation:
+    def test_detects_bad_lightnn_k(self):
+        rows = consistent_rows()
+        rows[2] = make_row("L-1", storage=0.01, throughput=16e3, energy=1.0, k=1.5)
+        assert any("L-1" in v for v in check_flightnn_interpolation(rows))
+
+    def test_detects_lambda_ordering_violation(self):
+        rows = consistent_rows()
+        rows[4] = make_row("FL_a", storage=0.0105, throughput=15e3, energy=1.05, k=1.9)
+        assert any("FL_a" in v for v in check_flightnn_interpolation(rows))

@@ -1,0 +1,39 @@
+"""Tests for table formatting helpers."""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table, format_throughput_value
+
+
+class TestThroughputFormat:
+    def test_paper_style_scientific(self):
+        assert format_throughput_value(2200) == "2.2e3"
+        assert format_throughput_value(320) == "3.2e2"
+        assert format_throughput_value(160000) == "1.6e5"
+
+    def test_small_values_plain(self):
+        assert format_throughput_value(39.2) == "39.2"
+        assert format_throughput_value(1.3) == "1.3"
+
+    def test_zero_and_negative(self):
+        assert format_throughput_value(0) == "0"
+        assert format_throughput_value(-5) == "0"
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        out = format_table(["A", "Blong"], [[1, 2], [333, 4]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "A" in lines[1] and "Blong" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert len(lines) == 5
+
+    def test_empty_rows(self):
+        out = format_table(["A"], [])
+        assert "A" in out
+
+    def test_column_width_from_cells(self):
+        out = format_table(["X"], [["longvalue"]])
+        header_line = out.splitlines()[0]
+        assert len(header_line) >= len("longvalue")

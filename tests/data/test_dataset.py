@@ -1,0 +1,94 @@
+"""Tests for dataset containers and loaders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import ArrayDataset, DataLoader, DataSplit
+from repro.errors import DataError
+
+
+def tiny_dataset(n=10, classes=3, rng=None):
+    rng = rng or np.random.default_rng(0)
+    return ArrayDataset(rng.normal(size=(n, 3, 4, 4)), rng.integers(0, classes, n), classes)
+
+
+class TestArrayDataset:
+    def test_basic_properties(self):
+        ds = tiny_dataset(12)
+        assert len(ds) == 12
+        assert ds.image_shape == (3, 4, 4)
+
+    def test_shape_validation(self):
+        with pytest.raises(DataError):
+            ArrayDataset(np.zeros((5, 4, 4)), np.zeros(5, dtype=int), 2)
+        with pytest.raises(DataError):
+            ArrayDataset(np.zeros((5, 3, 4, 4)), np.zeros(4, dtype=int), 2)
+
+    def test_label_range_validation(self):
+        with pytest.raises(DataError):
+            ArrayDataset(np.zeros((3, 1, 2, 2)), np.array([0, 1, 5]), 3)
+        with pytest.raises(DataError):
+            ArrayDataset(np.zeros((2, 1, 2, 2)), np.array([0, -1]), 3)
+
+    def test_num_classes_validation(self):
+        with pytest.raises(DataError):
+            ArrayDataset(np.zeros((2, 1, 2, 2)), np.zeros(2, dtype=int), 1)
+
+    def test_subset(self):
+        ds = tiny_dataset(10)
+        sub = ds.subset(np.array([0, 3, 5]))
+        assert len(sub) == 3
+        np.testing.assert_array_equal(sub.labels, ds.labels[[0, 3, 5]])
+
+
+class TestDataSplit:
+    def test_mismatched_classes_rejected(self):
+        a = tiny_dataset(classes=3)
+        b = ArrayDataset(np.zeros((4, 3, 4, 4)), np.zeros(4, dtype=int), 4)
+        with pytest.raises(DataError):
+            DataSplit(a, b)
+
+    def test_mismatched_shapes_rejected(self):
+        a = tiny_dataset()
+        b = ArrayDataset(np.zeros((4, 3, 5, 5)), np.zeros(4, dtype=int), 3)
+        with pytest.raises(DataError):
+            DataSplit(a, b)
+
+    def test_properties(self):
+        split = DataSplit(tiny_dataset(8), tiny_dataset(4), name="t")
+        assert split.num_classes == 3
+        assert split.image_shape == (3, 4, 4)
+
+
+class TestDataLoader:
+    def test_batch_sizes(self):
+        loader = DataLoader(tiny_dataset(10), batch_size=4, shuffle=False)
+        sizes = [len(y) for _, y in loader]
+        assert sizes == [4, 4, 2]
+        assert len(loader) == 3
+
+    def test_covers_all_samples_shuffled(self):
+        ds = ArrayDataset(
+            np.arange(8).reshape(8, 1, 1, 1).astype(float), np.zeros(8, dtype=int), 2
+        )
+        loader = DataLoader(ds, batch_size=3, shuffle=True, rng=0)
+        seen = np.concatenate([x.ravel() for x, _ in loader])
+        np.testing.assert_array_equal(np.sort(seen), np.arange(8))
+
+    def test_deterministic_with_seed(self):
+        ds = tiny_dataset(16)
+        order1 = [y.tolist() for _, y in DataLoader(ds, 4, shuffle=True, rng=7)]
+        order2 = [y.tolist() for _, y in DataLoader(ds, 4, shuffle=True, rng=7)]
+        assert order1 == order2
+
+    def test_no_shuffle_preserves_order(self):
+        ds = tiny_dataset(6)
+        loader = DataLoader(ds, batch_size=6, shuffle=False)
+        _, labels = next(iter(loader))
+        np.testing.assert_array_equal(labels, ds.labels)
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(DataError):
+            DataLoader(tiny_dataset(), batch_size=0)

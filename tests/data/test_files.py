@@ -1,0 +1,60 @@
+"""Tests for .npz dataset loading/saving."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import load_npz_split, make_cifar10_like, save_npz_split
+from repro.errors import DataError
+
+
+class TestRoundTrip:
+    def test_save_then_load(self, tmp_path):
+        split = make_cifar10_like(size_scale=0.25, samples=16)
+        path = save_npz_split(split, tmp_path / "data.npz")
+        loaded = load_npz_split(path, normalize=False)
+        np.testing.assert_allclose(loaded.train.images, split.train.images)
+        np.testing.assert_array_equal(loaded.test.labels, split.test.labels)
+        assert loaded.num_classes == split.num_classes
+
+    def test_name_from_stem(self, tmp_path):
+        split = make_cifar10_like(size_scale=0.25, samples=8)
+        path = save_npz_split(split, tmp_path / "mydata.npz")
+        assert load_npz_split(path).name == "mydata"
+
+
+class TestLayouts:
+    def _archive(self, tmp_path, train_images):
+        path = tmp_path / "d.npz"
+        np.savez(path,
+                 train_images=train_images,
+                 train_labels=np.zeros(len(train_images), dtype=int),
+                 test_images=train_images,
+                 test_labels=np.zeros(len(train_images), dtype=int))
+        return path
+
+    def test_nhwc_transposed(self, tmp_path, rng):
+        path = self._archive(tmp_path, rng.normal(size=(4, 8, 8, 3)))
+        split = load_npz_split(path, normalize=False)
+        assert split.image_shape == (3, 8, 8)
+
+    def test_nchw_kept(self, tmp_path, rng):
+        path = self._archive(tmp_path, rng.normal(size=(4, 3, 8, 8)))
+        assert load_npz_split(path, normalize=False).image_shape == (3, 8, 8)
+
+    def test_ambiguous_layout_rejected(self, tmp_path, rng):
+        path = self._archive(tmp_path, rng.normal(size=(4, 8, 8, 8)))
+        with pytest.raises(DataError):
+            load_npz_split(path)
+
+    def test_missing_keys_rejected(self, tmp_path, rng):
+        path = tmp_path / "bad.npz"
+        np.savez(path, train_images=rng.normal(size=(2, 3, 4, 4)))
+        with pytest.raises(DataError):
+            load_npz_split(path)
+
+    def test_normalization_applied(self, tmp_path, rng):
+        path = self._archive(tmp_path, rng.normal(loc=100.0, size=(8, 3, 6, 6)))
+        split = load_npz_split(path, normalize=True)
+        assert abs(split.train.images.mean()) < 1e-6

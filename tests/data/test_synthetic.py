@@ -1,0 +1,133 @@
+"""Tests for the synthetic task generator and named dataset builders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.benchmarks import (
+    DATASET_BUILDERS,
+    make_cifar10_like,
+    make_cifar100_like,
+    make_imagenet_like,
+    make_svhn_like,
+)
+from repro.data.synthetic import SyntheticImageConfig, generate_synthetic_images
+from repro.data.transforms import normalize_images, random_flip
+from repro.errors import DataError
+
+
+class TestSyntheticConfig:
+    def test_validation(self):
+        with pytest.raises(DataError):
+            SyntheticImageConfig(num_classes=1)
+        with pytest.raises(DataError):
+            SyntheticImageConfig(noise=-0.1)
+        with pytest.raises(DataError):
+            SyntheticImageConfig(prototype_grid=100, image_size=16)
+
+
+class TestGenerator:
+    def test_shapes_and_sizes(self):
+        cfg = SyntheticImageConfig(num_classes=4, channels=2, image_size=8,
+                                   train_size=20, test_size=10, seed=3)
+        split = generate_synthetic_images(cfg)
+        assert split.train.images.shape == (20, 2, 8, 8)
+        assert split.test.images.shape == (10, 2, 8, 8)
+        assert split.num_classes == 4
+
+    def test_deterministic(self):
+        cfg = SyntheticImageConfig(train_size=16, test_size=8, seed=5)
+        a = generate_synthetic_images(cfg)
+        b = generate_synthetic_images(cfg)
+        np.testing.assert_array_equal(a.train.images, b.train.images)
+        np.testing.assert_array_equal(a.test.labels, b.test.labels)
+
+    def test_different_seed_different_task(self):
+        a = generate_synthetic_images(SyntheticImageConfig(seed=1, train_size=8, test_size=4))
+        b = generate_synthetic_images(SyntheticImageConfig(seed=2, train_size=8, test_size=4))
+        assert not np.allclose(a.train.images, b.train.images)
+
+    def test_task_is_learnable_by_nearest_prototype(self):
+        """Class structure must be strong enough that a trivial classifier
+        beats chance — otherwise accuracy comparisons are meaningless."""
+        cfg = SyntheticImageConfig(num_classes=5, train_size=200, test_size=100,
+                                   noise=0.5, seed=7)
+        split = generate_synthetic_images(cfg)
+        # Nearest class-mean classifier fit on train.
+        means = np.stack([
+            split.train.images[split.train.labels == c].mean(axis=0)
+            for c in range(5)
+        ]).reshape(5, -1)
+        flat = split.test.images.reshape(len(split.test), -1)
+        pred = np.argmax(flat @ means.T, axis=1)
+        acc = (pred == split.test.labels).mean()
+        assert acc > 0.6
+
+    def test_noise_reduces_separability(self):
+        def margin(noise):
+            cfg = SyntheticImageConfig(num_classes=4, train_size=120, test_size=60,
+                                       noise=noise, seed=9)
+            split = generate_synthetic_images(cfg)
+            means = np.stack([
+                split.train.images[split.train.labels == c].mean(axis=0)
+                for c in range(4)
+            ]).reshape(4, -1)
+            flat = split.test.images.reshape(len(split.test), -1)
+            pred = np.argmax(flat @ means.T, axis=1)
+            return (pred == split.test.labels).mean()
+
+        assert margin(0.1) >= margin(2.5)
+
+
+class TestNamedBuilders:
+    def test_registry_complete(self):
+        assert set(DATASET_BUILDERS) == {"cifar10", "svhn", "cifar100", "imagenet"}
+
+    def test_cifar10_like(self):
+        split = make_cifar10_like(size_scale=0.25, samples=32)
+        assert split.num_classes == 10
+        assert split.image_shape[0] == 3
+        assert split.name == "cifar10-like"
+
+    def test_svhn_like(self):
+        assert make_svhn_like(size_scale=0.25, samples=32).num_classes == 10
+
+    def test_cifar100_like_class_count(self):
+        assert make_cifar100_like(size_scale=0.25, samples=32).num_classes == 20
+        assert make_cifar100_like(size_scale=0.25, samples=32, num_classes=100).num_classes == 100
+
+    def test_imagenet_like(self):
+        split = make_imagenet_like(size_scale=0.25, samples=32)
+        assert split.num_classes == 20
+
+    def test_size_scale_changes_resolution(self):
+        small = make_cifar10_like(size_scale=0.25, samples=16)
+        big = make_cifar10_like(size_scale=1.0, samples=16)
+        assert big.image_shape[1] == 32
+        assert small.image_shape[1] == 8
+
+
+class TestTransforms:
+    def test_normalize_zero_mean_unit_std(self, rng):
+        x = rng.normal(loc=4.0, scale=3.0, size=(10, 3, 5, 5))
+        out = normalize_images(x)
+        np.testing.assert_allclose(out.mean(axis=(0, 2, 3)), 0.0, atol=1e-10)
+        np.testing.assert_allclose(out.std(axis=(0, 2, 3)), 1.0, atol=1e-6)
+
+    def test_normalize_rejects_bad_shape(self, rng):
+        with pytest.raises(DataError):
+            normalize_images(rng.normal(size=(3, 5, 5)))
+
+    def test_random_flip_probability_one(self, rng):
+        x = rng.normal(size=(4, 1, 3, 3))
+        out = random_flip(x, rng=0, probability=1.0)
+        np.testing.assert_array_equal(out, x[:, :, :, ::-1])
+
+    def test_random_flip_probability_zero(self, rng):
+        x = rng.normal(size=(4, 1, 3, 3))
+        np.testing.assert_array_equal(random_flip(x, rng=0, probability=0.0), x)
+
+    def test_random_flip_invalid_probability(self, rng):
+        with pytest.raises(DataError):
+            random_flip(rng.normal(size=(1, 1, 2, 2)), probability=1.5)

@@ -1,0 +1,58 @@
+"""Tests for the ablation-study entry points (tiny settings)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.synthetic import SyntheticImageConfig, generate_synthetic_images
+from repro.experiments.ablations import (
+    AblationPoint,
+    ablate_exponent_window,
+    ablate_gradual_quantization,
+    ablate_regularization_mode,
+    ablate_threshold_freeze,
+    train_point,
+)
+from repro.quant.schemes import scheme_lightnn
+from repro.train import TrainConfig
+
+
+@pytest.fixture(scope="module")
+def split():
+    return generate_synthetic_images(
+        SyntheticImageConfig(num_classes=5, image_size=10, train_size=96,
+                             test_size=48, noise=0.4, seed=77)
+    )
+
+
+class TestTrainPoint:
+    def test_returns_summary(self, split):
+        point = train_point(
+            "probe", scheme_lightnn(1), split,
+            TrainConfig(epochs=2, batch_size=32, lr=3e-3),
+            width_scale=0.15,
+        )
+        assert isinstance(point, AblationPoint)
+        assert point.label == "probe"
+        assert 0.0 <= point.accuracy <= 100.0
+        assert point.mean_filter_k == pytest.approx(1.0)
+
+
+class TestStudies:
+    def test_gradual_quantization_keys(self, split):
+        points = ablate_gradual_quantization(split, epochs=3)
+        assert set(points) == {"gradual", "immediate"}
+
+    def test_threshold_freeze_keys(self, split):
+        points = ablate_threshold_freeze(split, epochs=3)
+        assert set(points) == {"frozen", "churning"}
+
+    def test_exponent_window_direction(self, split):
+        points = ablate_exponent_window(split, epochs=3)
+        assert set(points) == {"wide", "narrow"}
+        # At worst a tie at this tiny scale; never a large inversion.
+        assert points["wide"].accuracy >= points["narrow"].accuracy - 10.0
+
+    def test_regularization_mode_sparsity_gap(self, split):
+        points = ablate_regularization_mode(split, epochs=3)
+        assert points["proximal"].mean_filter_k <= points["gradient"].mean_filter_k + 1e-9

@@ -1,0 +1,154 @@
+"""Tests for experiment infrastructure (profiles, runner, cache)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.common import (
+    PROFILES,
+    ExperimentProfile,
+    ModelResult,
+    build_scheme,
+    get_profile,
+    make_split,
+    run_scheme,
+)
+
+
+@pytest.fixture
+def tiny_profile():
+    """A profile small enough for per-test training."""
+    return ExperimentProfile(
+        name="tiny",
+        size_scale=0.3,
+        train_samples=96,
+        width_scale=0.15,
+        epochs=2,
+        batch_size=32,
+        lr=3e-3,
+        lambda_warmup_epochs=1,
+        threshold_freeze_epoch=1,
+        threshold_lr_scale=10.0,
+        fl_lambdas_a=(0.0, 0.02),
+        fl_lambdas_b=(0.0, 0.002),
+    )
+
+
+class TestProfiles:
+    def test_registry_names(self):
+        assert {"small", "medium", "paper"} <= set(PROFILES)
+
+    def test_get_profile_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
+        assert get_profile().name == "small"
+
+    def test_get_profile_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "medium")
+        assert get_profile().name == "medium"
+
+    def test_get_profile_unknown(self):
+        with pytest.raises(ConfigurationError):
+            get_profile("galactic")
+
+    def test_fingerprint_changes_with_fields(self):
+        a = PROFILES["small"]
+        b = dataclasses.replace(a, epochs=a.epochs + 1)
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_train_config_round_trip(self):
+        cfg = PROFILES["small"].train_config()
+        assert cfg.epochs == PROFILES["small"].epochs
+        assert cfg.threshold_freeze_epoch == PROFILES["small"].threshold_freeze_epoch
+
+
+class TestBuildScheme:
+    def test_all_keys(self):
+        profile = PROFILES["small"]
+        for key, kind in (("Full", "full"), ("L-2", "lightnn"), ("L-1", "lightnn"),
+                          ("FP", "fixed"), ("FL_a", "flightnn"), ("FL_b", "flightnn")):
+            assert build_scheme(key, profile).kind == kind
+
+    def test_fl_lambdas_from_profile(self):
+        profile = PROFILES["small"]
+        assert build_scheme("FL_a", profile).lambdas == profile.fl_lambdas_a
+        assert build_scheme("FL_b", profile).lambdas == profile.fl_lambdas_b
+
+    def test_unknown_key(self):
+        with pytest.raises(ConfigurationError):
+            build_scheme("L-3", PROFILES["small"])
+
+
+class TestMakeSplit:
+    def test_known_datasets(self, tiny_profile):
+        for key, classes in (("cifar10", 10), ("svhn", 10),
+                             ("cifar100", 20), ("imagenet", 20)):
+            split = make_split(key, tiny_profile)
+            assert split.num_classes == classes
+            assert len(split.train) == tiny_profile.train_samples
+
+    def test_unknown_dataset(self, tiny_profile):
+        with pytest.raises(ConfigurationError):
+            make_split("mnist", tiny_profile)
+
+
+class TestModelResult:
+    def test_round_trip(self):
+        result = ModelResult(
+            network_id=1, scheme_key="L-1", scheme_name="L-1_4W8A",
+            accuracy=80.0, top5=99.0, accuracy_final=78.0,
+            storage_mb=0.01, mean_filter_k=1.0,
+            throughput=1e4, batch_size=8, fpga_lut=1, fpga_ff=2, fpga_dsp=3,
+            fpga_bram=4, fpga_bound_by=("bram",), energy_uj=0.5,
+            train_epochs=2, fingerprint="abc",
+        )
+        again = ModelResult.from_dict(result.as_dict())
+        assert again == result
+
+    def test_from_dict_tolerates_missing_new_fields(self):
+        d = ModelResult(
+            network_id=1, scheme_key="L-1", scheme_name="L-1_4W8A",
+            accuracy=80.0, top5=99.0, accuracy_final=78.0,
+            storage_mb=0.01, mean_filter_k=1.0,
+            throughput=1e4, batch_size=8, fpga_lut=1, fpga_ff=2, fpga_dsp=3,
+            fpga_bram=4, fpga_bound_by=("bram",), energy_uj=0.5,
+            train_epochs=2, fingerprint="abc",
+        ).as_dict()
+        del d["accuracy_final"]
+        assert ModelResult.from_dict(d).accuracy_final == 80.0
+
+
+class TestRunScheme:
+    def test_trains_and_caches(self, tiny_profile, tmp_path):
+        split = make_split("cifar10", tiny_profile)
+        first = run_scheme(1, "L-1", split, tiny_profile, cache_dir=tmp_path)
+        assert 0.0 <= first.accuracy <= 100.0
+        assert first.mean_filter_k == pytest.approx(1.0)
+        assert first.throughput > 0
+        # Second call hits the cache (identical result, no retraining).
+        second = run_scheme(1, "L-1", split, tiny_profile, cache_dir=tmp_path)
+        assert second == first
+        assert (tmp_path / "tiny" / "net1_L-1.json").exists()
+
+    def test_stale_cache_recomputed(self, tiny_profile, tmp_path):
+        split = make_split("cifar10", tiny_profile)
+        run_scheme(1, "L-1", split, tiny_profile, cache_dir=tmp_path)
+        changed = dataclasses.replace(tiny_profile, epochs=1)
+        fresh = run_scheme(1, "L-1", split, changed, cache_dir=tmp_path)
+        assert fresh.fingerprint == changed.fingerprint()
+        assert fresh.train_epochs == 1
+
+    def test_cache_tag_separates_variants(self, tiny_profile, tmp_path):
+        split = make_split("cifar10", tiny_profile)
+        run_scheme(1, "L-1", split, tiny_profile, cache_dir=tmp_path,
+                   width_scale=0.3, cache_tag="w2")
+        assert (tmp_path / "tiny" / "net1_L-1_w2.json").exists()
+
+    def test_flightnn_records_mixed_precision_fields(self, tiny_profile, tmp_path):
+        split = make_split("cifar10", tiny_profile)
+        result = run_scheme(1, "FL_a", split, tiny_profile, cache_dir=tmp_path)
+        assert 0.0 <= result.mean_filter_k <= 2.0
+        assert result.energy_uj > 0

@@ -1,0 +1,21 @@
+"""Tests for the full-suite reproducer CLI (argument handling only —
+the heavy path is exercised by the benchmark suite)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.reproduce import main
+
+
+class TestReproduceCli:
+    def test_unknown_profile_raises(self):
+        with pytest.raises(ConfigurationError):
+            main(["--profile", "galactic"])
+
+    def test_help_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        assert "--profile" in capsys.readouterr().out

@@ -1,0 +1,133 @@
+"""Tests for table/figure experiment plumbing (tiny profile, fast)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.accuracy_tables import (
+    TABLE_SPECS,
+    AccuracyTable,
+    run_accuracy_table,
+)
+from repro.experiments.common import ExperimentProfile
+from repro.experiments.figures import run_fig4, run_fig6
+from repro.experiments.table6 import FL_EMULATION_PERCENTILES, render_table6, run_table6
+
+
+@pytest.fixture(scope="module")
+def tiny_profile():
+    return ExperimentProfile(
+        name="tinytab",
+        size_scale=0.3,
+        train_samples=96,
+        width_scale=0.15,
+        epochs=2,
+        batch_size=32,
+        lr=3e-3,
+        lambda_warmup_epochs=1,
+        threshold_freeze_epoch=1,
+        threshold_lr_scale=10.0,
+        fl_lambdas_a=(0.0, 0.02),
+        fl_lambdas_b=(0.0, 0.002),
+    )
+
+
+class TestTableSpecs:
+    def test_all_four_tables(self):
+        assert set(TABLE_SPECS) == {"table2", "table3", "table4", "table5"}
+
+    def test_table5_is_top5_and_shift_only(self):
+        networks, dataset, schemes, metric = TABLE_SPECS["table5"]
+        assert networks == (8,)
+        assert dataset == "imagenet"
+        assert metric == "top5"
+        assert "Full" not in schemes and "FP" not in schemes
+
+    def test_all_46_paper_models_covered(self):
+        """The paper reports 46 FPGA-design experiments: 7 networks x 6
+        model families + network 8 x 4 shift families = 46 rows."""
+        total = sum(len(nets) * len(schemes) for nets, _, schemes, _ in TABLE_SPECS.values())
+        assert total == 46
+
+
+class TestRunAccuracyTable:
+    def test_unknown_table(self):
+        with pytest.raises(ConfigurationError):
+            run_accuracy_table("table9")
+
+    def test_table3_end_to_end_tiny(self, tiny_profile, tmp_path):
+        table = run_accuracy_table("table3", tiny_profile, cache_dir=tmp_path)
+        assert len(table.rows) == 12  # nets 4, 5 x 6 schemes
+        rendered = table.render()
+        assert "Table 3" in rendered
+        assert "L-1_4W8A" in rendered
+        # Speedup of the Full row is exactly 1x.
+        full_rows = [r for r in table.rows if r.scheme_key == "Full"]
+        for row in full_rows:
+            assert table.speedup_of(row) == pytest.approx(1.0)
+
+    def test_accuracy_metric_selection(self, tiny_profile, tmp_path):
+        table = run_accuracy_table("table3", tiny_profile, cache_dir=tmp_path)
+        row = table.rows[0]
+        assert table.accuracy_of(row) == row.accuracy
+        table5like = AccuracyTable(table_id="x", dataset="d", metric="top5", rows=[row])
+        assert table5like.accuracy_of(row) == row.top5
+
+    def test_baseline_missing_network(self):
+        table = AccuracyTable(table_id="x", dataset="d", metric="top1")
+        with pytest.raises(ConfigurationError):
+            table.baseline_throughput(1)
+
+
+class TestTable6:
+    def test_rows_and_pattern(self, tiny_profile):
+        rows = run_table6(tiny_profile)
+        assert len(rows) == 10  # 6 rows for net 7 + 4 for net 8
+        names7 = [r.scheme_name for r in rows if r.network_id == 7]
+        assert "Full" in names7 and "FP_4W8A" in names7
+        names8 = [r.scheme_name for r in rows if r.network_id == 8]
+        assert "Full" not in names8
+        rendered = render_table6(rows)
+        assert "Available" in rendered
+
+    def test_fl_emulation_gives_lower_k_for_a(self, tiny_profile):
+        rows = {(r.network_id, r.scheme_name): r for r in run_table6(tiny_profile)}
+        assert rows[(7, "FL_a")].mean_k < rows[(7, "FL_b")].mean_k
+        assert rows[(7, "FL_a")].mean_k < 1.5
+
+    def test_percentiles_documented(self):
+        assert set(FL_EMULATION_PERCENTILES) == {"FL_a", "FL_b"}
+
+
+class TestFig4:
+    def test_series_structure(self):
+        series = run_fig4()
+        assert set(series) == {"weight", "first_term", "second_term", "total"}
+        assert series["weight"].shape == series["total"].shape
+
+    def test_paper_lambdas_default(self):
+        series = run_fig4()
+        w = series["weight"]
+        np.testing.assert_allclose(series["first_term"], 1e-5 * np.abs(w))
+
+    def test_custom_range(self):
+        series = run_fig4(weight_range=(0.0, 1.0), samples=11)
+        assert series["weight"].min() == 0.0
+        assert series["weight"].max() == 1.0
+        assert len(series["weight"]) == 11
+
+
+class TestFig6:
+    def test_structure_tiny(self, tiny_profile, tmp_path):
+        result = run_fig6(tiny_profile, cache_dir=tmp_path, width_multipliers=(1.0, 2.0))
+        assert len(result.lightnn_points) == 4
+        assert len(result.flightnn_points) == 4
+        assert all(s > 0 for s, _ in result.lightnn_points)
+        # Fronts are subsets of their point sets.
+        assert set(result.lightnn_front) <= set(result.lightnn_points)
+        rendered = result.render()
+        assert "FLightNN" in rendered

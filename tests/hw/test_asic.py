@@ -1,0 +1,95 @@
+"""Tests for the 65 nm ASIC energy model (Fig. 5 ordering)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import HardwareModelError
+from repro.hw.asic import AsicEnergyModel, EnergyTable65nm
+from repro.hw.ops import network_largest_layer_ops
+from repro.models import build_network
+from repro.quant.schemes import paper_schemes
+
+SCHEMES = paper_schemes()
+
+
+def layer_ops(scheme_key, nid=1):
+    net = build_network(nid, SCHEMES[scheme_key], num_classes=10,
+                        image_size=16, width_scale=0.5, rng=0)
+    return network_largest_layer_ops(net)
+
+
+@pytest.fixture(scope="module")
+def energies():
+    model = AsicEnergyModel()
+    return {key: model.layer_energy_uj(layer_ops(key)) for key in ("Full", "L-2", "L-1", "FP")}
+
+
+class TestEnergyTable:
+    def test_defaults_encode_op_cost_ordering(self):
+        t = EnergyTable65nm()
+        assert t.shift < t.int_add < t.int_mult_4x8 < t.int_mult_8x8 < t.fp32_mult
+        assert t.fp32_add < t.fp32_mult
+
+    def test_positive_validated(self):
+        with pytest.raises(HardwareModelError):
+            EnergyTable65nm(shift=0.0)
+
+
+class TestFig5Ordering:
+    def test_l1_cheapest(self, energies):
+        assert energies["L-1"] < energies["L-2"]
+        assert energies["L-1"] < energies["FP"]
+
+    def test_l2_cheaper_than_fixed_point(self, energies):
+        """Fig. 5: LightNN-2 sits left of (or equal to) FP in energy."""
+        assert energies["L-2"] < energies["FP"] * 1.5
+
+    def test_full_precision_most_expensive_by_far(self, energies):
+        for key in ("L-2", "L-1", "FP"):
+            assert energies["Full"] > 10 * energies[key]
+
+    def test_l2_roughly_twice_l1(self, energies):
+        assert energies["L-2"] == pytest.approx(2 * energies["L-1"], rel=0.05)
+
+    def test_flightnn_interpolates(self):
+        model = AsicEnergyModel()
+        net = build_network(1, SCHEMES["FL_a"], num_classes=10, image_size=16,
+                            width_scale=0.5, rng=0)
+        layer = net.largest_conv_layer()
+        norms = layer.strategy.quantizer.residual_norms(layer.weight.data, np.zeros(2))
+        layer.thresholds.data[1] = float(np.median(norms[1]))
+        ops = network_largest_layer_ops(net)
+        e_fl = model.layer_energy_uj(ops)
+        e1 = model.layer_energy_uj(layer_ops("L-1"))
+        e2 = model.layer_energy_uj(layer_ops("L-2"))
+        assert e1 < e_fl < e2
+
+
+class TestModelMechanics:
+    def test_energy_scales_with_macs(self):
+        model = AsicEnergyModel()
+        small = model.layer_energy_uj(layer_ops("L-1", nid=4))
+        large = model.layer_energy_uj(layer_ops("L-1", nid=1))
+        assert large != small  # different largest layers
+
+    def test_energy_per_mac(self):
+        model = AsicEnergyModel()
+        ops = layer_ops("Full")
+        per_mac = model.energy_per_mac_pj(ops)
+        t = model.table
+        assert per_mac == pytest.approx(t.fp32_mult + t.fp32_add)
+
+    def test_unknown_scheme_kind(self):
+        from dataclasses import replace
+
+        ops = replace(layer_ops("L-1"), scheme_kind="mystery")
+        with pytest.raises(HardwareModelError):
+            AsicEnergyModel().layer_energy_uj(ops)
+
+    def test_custom_table(self):
+        cheap_shift = EnergyTable65nm(shift=0.001)
+        default = EnergyTable65nm()
+        ops = layer_ops("L-1")
+        assert AsicEnergyModel(cheap_shift).layer_energy_uj(ops) < AsicEnergyModel(default).layer_energy_uj(ops)

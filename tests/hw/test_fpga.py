@@ -1,0 +1,176 @@
+"""Tests for the FPGA design-point model, including Table-6 pattern checks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import HardwareModelError
+from repro.hw.fpga import (
+    FPGA_ZC706,
+    OVERHEAD,
+    UNIT_COSTS,
+    FPGAModel,
+    FPGAResources,
+    bram_blocks,
+)
+from repro.hw.ops import network_largest_layer_ops
+from repro.models import build_network
+from repro.quant.schemes import paper_schemes
+
+SCHEMES = paper_schemes()
+
+
+def layer_ops(scheme_key, nid=7, image_size=32, width_scale=1.0):
+    net = build_network(nid, SCHEMES[scheme_key], num_classes=10,
+                        image_size=image_size, width_scale=width_scale, rng=0)
+    return network_largest_layer_ops(net)
+
+
+@pytest.fixture(scope="module")
+def net7_points():
+    model = FPGAModel()
+    return {key: model.map_layer(layer_ops(key)) for key in ("Full", "L-2", "L-1", "FP")}
+
+
+class TestResources:
+    def test_zc706_matches_table6_available_row(self):
+        assert FPGA_ZC706.lut == 218_600
+        assert FPGA_ZC706.ff == 437_200
+        assert FPGA_ZC706.dsp == 900
+        assert FPGA_ZC706.bram == 1_090
+
+    def test_fits_in(self):
+        small = FPGAResources(lut=10, ff=10, dsp=1, bram=1)
+        assert small.fits_in(FPGA_ZC706)
+        assert not FPGAResources(lut=10**9, ff=0, dsp=0, bram=0).fits_in(FPGA_ZC706)
+
+    def test_negative_rejected(self):
+        with pytest.raises(HardwareModelError):
+            FPGAResources(lut=-1, ff=0, dsp=0, bram=0)
+
+    def test_bram_blocks(self):
+        assert bram_blocks(0) == 0
+        assert bram_blocks(1) == 1
+        assert bram_blocks(18 * 1024) == 1
+        assert bram_blocks(18 * 1024 + 1) == 2
+        with pytest.raises(HardwareModelError):
+            bram_blocks(-5)
+
+    def test_unit_costs_encode_the_papers_mechanism(self):
+        assert UNIT_COSTS["full"].dsp > UNIT_COSTS["fixed"].dsp > UNIT_COSTS["lightnn"].dsp
+        assert UNIT_COSTS["lightnn"].dsp == 0  # shifts need no DSP
+        assert UNIT_COSTS["lightnn"].lut > 0   # shifts live in LUTs
+
+
+class TestModelValidation:
+    def test_bad_construction(self):
+        with pytest.raises(HardwareModelError):
+            FPGAModel(units_per_lane=0)
+        with pytest.raises(HardwareModelError):
+            FPGAModel(frequency_hz=0)
+
+    def test_unknown_scheme_kind(self):
+        from dataclasses import replace
+
+        ops = replace(layer_ops("L-1"), scheme_kind="mystery")
+        with pytest.raises(HardwareModelError):
+            FPGAModel().map_layer(ops)
+
+
+class TestTable6Patterns:
+    """The qualitative resource-utilisation claims of the paper's Table 6."""
+
+    def test_dsp_high_for_full_and_fixed_low_for_lightnn(self, net7_points):
+        assert net7_points["Full"].usage.dsp > 100
+        assert net7_points["FP"].usage.dsp > 100
+        assert net7_points["L-2"].usage.dsp == OVERHEAD.dsp  # "only need DSP for addition"
+        assert net7_points["L-1"].usage.dsp == OVERHEAD.dsp
+
+    def test_lightnn_lut_heavy_but_not_binding(self, net7_points):
+        for key in ("L-2", "L-1"):
+            frac = net7_points[key].usage.utilization(FPGA_ZC706)["lut"]
+            assert frac > 0.2        # uses real LUT area for shift units
+            assert frac < 0.9        # but LUT is not the binding resource
+
+    def test_bram_binds_lightnns(self, net7_points):
+        assert "bram" in net7_points["L-2"].bound_by
+        assert "bram" in net7_points["L-1"].bound_by
+
+    def test_every_design_fits_budget(self, net7_points):
+        for point in net7_points.values():
+            assert point.usage.fits_in(FPGA_ZC706)
+
+
+class TestThroughputOrdering:
+    """The qualitative throughput claims of Tables 2-5."""
+
+    def test_l1_roughly_2x_l2(self, net7_points):
+        # Paper ratios range 1.65x (net 2) to 3.9x (net 3); the pure
+        # compute ratio is 2x, modulated by BRAM lane counts.
+        ratio = net7_points["L-1"].throughput / net7_points["L-2"].throughput
+        assert 1.5 <= ratio <= 3.0
+
+    def test_lightnns_beat_fixed_point(self, net7_points):
+        assert net7_points["L-1"].throughput > net7_points["FP"].throughput
+        # "up to 2x speedup" over fixed point:
+        assert net7_points["L-1"].throughput / net7_points["FP"].throughput <= 2.5
+
+    def test_everything_beats_full_precision(self, net7_points):
+        full = net7_points["Full"].throughput
+        for key in ("L-2", "L-1", "FP"):
+            assert net7_points[key].throughput > 4 * full
+
+    def test_flightnn_between_l1_and_l2_when_k_is_mixed(self):
+        """Force a mixed-k FLightNN via thresholds and check interpolation."""
+        model = FPGAModel()
+        net = build_network(7, SCHEMES["FL_a"], num_classes=10, image_size=32, rng=0)
+        layer = net.largest_conv_layer()
+        norms = layer.strategy.quantizer.residual_norms(layer.weight.data, np.zeros(2))
+        # Threshold at the median level-1 residual: ~half the filters drop to k=1.
+        layer.thresholds.data[1] = float(np.median(norms[1]))
+        ops = network_largest_layer_ops(net)
+        assert 1.0 < ops.mean_k < 2.0
+        fl = model.map_layer(ops)
+        l1 = model.map_layer(layer_ops("L-1"))
+        l2 = model.map_layer(layer_ops("L-2"))
+        assert l2.throughput < fl.throughput < l1.throughput
+
+    def test_full_precision_weights_streamed(self, net7_points):
+        assert not net7_points["Full"].weights_on_chip
+        assert net7_points["L-1"].weights_on_chip
+
+
+class TestScalingBehaviour:
+    def test_higher_frequency_higher_throughput(self):
+        ops = layer_ops("L-1")
+        slow = FPGAModel(frequency_hz=100e6).map_layer(ops)
+        fast = FPGAModel(frequency_hz=200e6).map_layer(ops)
+        assert fast.throughput == pytest.approx(2 * slow.throughput)
+
+    def test_double_buffering_costs_bram(self):
+        ops = layer_ops("L-1")
+        single = FPGAModel(double_buffer=False).map_layer(ops)
+        double = FPGAModel(double_buffer=True).map_layer(ops)
+        assert double.batch_size <= single.batch_size
+
+    def test_tiny_budget_rejected(self):
+        ops = layer_ops("L-1")
+        tiny = FPGAResources(lut=16_000, ff=9_000, dsp=5, bram=33)
+        with pytest.raises(HardwareModelError):
+            FPGAModel(budget=tiny).map_layer(ops)
+
+    def test_total_units_consistent(self, net7_points):
+        for p in net7_points.values():
+            assert p.total_units == p.batch_size * p.units_per_lane
+
+
+@settings(max_examples=20, deadline=None)
+@given(width_scale=st.sampled_from([0.25, 0.5, 1.0]), key=st.sampled_from(["L-1", "L-2", "FP"]))
+def test_property_designs_always_fit_budget(width_scale, key):
+    ops = layer_ops(key, nid=1, image_size=16, width_scale=width_scale)
+    point = FPGAModel().map_layer(ops)
+    assert point.usage.fits_in(FPGA_ZC706)
+    assert point.throughput > 0

@@ -1,0 +1,47 @@
+"""Tests for the off-chip weight-streaming path of the FPGA model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw.fpga import FPGAModel
+from repro.hw.ops import network_largest_layer_ops
+from repro.models import build_network
+from repro.quant.schemes import paper_schemes
+
+SCHEMES = paper_schemes()
+
+
+@pytest.fixture(scope="module")
+def full_precision_net7_ops():
+    """Network 7's FP32 largest layer: 18.9 Mb of weights, too big for BRAM."""
+    net = build_network(7, SCHEMES["Full"], num_classes=10, image_size=32, rng=0)
+    return network_largest_layer_ops(net)
+
+
+class TestWeightStreaming:
+    def test_oversized_weights_streamed(self, full_precision_net7_ops):
+        point = FPGAModel().map_layer(full_precision_net7_ops)
+        assert not point.weights_on_chip
+
+    def test_streamed_design_reports_no_weight_bram(self, full_precision_net7_ops):
+        point = FPGAModel().map_layer(full_precision_net7_ops)
+        # BRAM usage = overhead + activation lanes only; must be far less
+        # than overhead + full weight storage (1024 blocks) + lanes.
+        assert point.usage.bram < 1090
+        assert point.batch_size >= 1
+
+    def test_bandwidth_bound_kicks_in_when_starved(self, full_precision_net7_ops):
+        wide = FPGAModel(ddr_bandwidth=6.4e9).map_layer(full_precision_net7_ops)
+        starved = FPGAModel(ddr_bandwidth=6.4e5).map_layer(full_precision_net7_ops)
+        assert starved.throughput < wide.throughput
+        # At 640 KB/s, streaming 2.36 MB of weights per batch dominates.
+        weight_bytes = full_precision_net7_ops.weight_bits / 8
+        expected = 6.4e5 * starved.batch_size / weight_bytes
+        assert starved.throughput == pytest.approx(expected)
+
+    def test_small_layer_stays_on_chip(self):
+        net = build_network(1, SCHEMES["Full"], num_classes=10, image_size=16,
+                            width_scale=0.25, rng=0)
+        point = FPGAModel().map_layer(network_largest_layer_ops(net))
+        assert point.weights_on_chip

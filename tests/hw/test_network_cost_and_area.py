@@ -1,0 +1,95 @@
+"""Tests for the whole-network cost estimator and the ASIC area model."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.errors import HardwareModelError
+from repro.hw import (
+    AreaTable65nm,
+    AsicAreaModel,
+    estimate_network_cost,
+    network_largest_layer_ops,
+)
+from repro.models import build_network
+from repro.quant import paper_schemes, scheme_binaryconnect
+
+SCHEMES = paper_schemes()
+
+
+def net(scheme_key, nid=1):
+    scheme = SCHEMES[scheme_key] if scheme_key in SCHEMES else scheme_key
+    return build_network(nid, scheme, num_classes=10, image_size=16,
+                         width_scale=0.25, rng=0)
+
+
+class TestNetworkCost:
+    def test_total_macs_sum_of_layers(self):
+        est = estimate_network_cost(net("Full"))
+        assert est.total_macs == sum(p.macs for p in est.layer_ops)
+        assert len(est.layer_ops) == 7  # VGG-7
+
+    def test_probe_automatic(self):
+        model = net("L-1")
+        # No manual probe: estimator must handle it.
+        est = estimate_network_cost(model)
+        assert est.throughput > 0
+
+    def test_energy_ordering_across_schemes(self):
+        energies = {key: estimate_network_cost(net(key)).total_energy_uj
+                    for key in ("Full", "L-2", "L-1", "FP")}
+        assert energies["L-1"] < energies["L-2"] < energies["FP"] < energies["Full"]
+
+    def test_latency_positive_and_consistent(self):
+        est = estimate_network_cost(net("L-1"))
+        assert est.latency_s > 0
+        assert est.throughput > 0
+        assert 0 < est.largest_layer_fraction <= 1.0
+
+    def test_l1_network_faster_than_l2(self):
+        assert (estimate_network_cost(net("L-1")).throughput
+                > estimate_network_cost(net("L-2")).throughput)
+
+    def test_resnet_supported(self):
+        est = estimate_network_cost(net("L-1", nid=2))
+        assert len(est.layer_ops) > 10  # ResNet-18 conv layers incl. shortcuts
+
+
+class TestAreaModel:
+    def test_unit_area_ordering(self):
+        areas = {}
+        for key in ("Full", "FP", "L-1"):
+            ops = network_largest_layer_ops(net(key))
+            areas[key] = AsicAreaModel().unit_area_um2(ops)
+        bc_ops = network_largest_layer_ops(net(scheme_binaryconnect()))
+        areas["BC"] = AsicAreaModel().unit_area_um2(bc_ops)
+        # The paper's claim: shifts are more area-efficient than multipliers.
+        assert areas["BC"] < areas["L-1"] < areas["FP"] < areas["Full"]
+
+    def test_lightnn_unit_is_shift_plus_add(self):
+        ops = network_largest_layer_ops(net("L-1"))
+        table = AreaTable65nm()
+        assert AsicAreaModel(table).unit_area_um2(ops) == table.shift + table.int_add
+
+    def test_datapath_scales_with_units(self):
+        ops = network_largest_layer_ops(net("L-1"))
+        model = AsicAreaModel()
+        assert model.datapath_area_mm2(ops, 200) == pytest.approx(
+            200 * model.unit_area_um2(ops) / 1e6
+        )
+
+    def test_invalid_units(self):
+        ops = network_largest_layer_ops(net("L-1"))
+        with pytest.raises(HardwareModelError):
+            AsicAreaModel().datapath_area_mm2(ops, 0)
+
+    def test_unknown_kind(self):
+        ops = replace(network_largest_layer_ops(net("L-1")), scheme_kind="mystery")
+        with pytest.raises(HardwareModelError):
+            AsicAreaModel().unit_area_um2(ops)
+
+    def test_table_validated(self):
+        with pytest.raises(HardwareModelError):
+            AreaTable65nm(shift=-1.0)

@@ -1,0 +1,84 @@
+"""Tests for per-layer operation accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import HardwareModelError
+from repro.hw.ops import conv_layer_ops, network_largest_layer_ops
+from repro.models import build_network
+from repro.nn.tensor import Tensor
+from repro.quant.schemes import paper_schemes
+
+SCHEMES = paper_schemes()
+
+
+def probed_net(scheme_key, nid=1, width_scale=0.25, image_size=16):
+    net = build_network(nid, SCHEMES[scheme_key], num_classes=10,
+                        image_size=image_size, width_scale=width_scale, rng=0)
+    net.probe()
+    return net
+
+
+class TestConvLayerOps:
+    def test_requires_probe(self):
+        net = build_network(1, SCHEMES["Full"], num_classes=10, image_size=16,
+                            width_scale=0.25, rng=0)
+        with pytest.raises(HardwareModelError):
+            conv_layer_ops(net.conv_layers()[0], net.scheme)
+
+    def test_mac_count_formula(self):
+        net = probed_net("Full")
+        layer = net.conv_layers()[0]
+        ops = conv_layer_ops(layer, net.scheme)
+        ih, iw = layer.last_input_hw
+        oh, ow = layer.output_spatial(ih, iw)
+        expected = oh * ow * layer.out_channels * layer.in_channels * layer.kernel_size**2
+        assert ops.macs == expected
+
+    def test_full_precision_ops(self):
+        net = probed_net("Full")
+        ops = conv_layer_ops(net.conv_layers()[0], net.scheme)
+        assert ops.mult_ops == ops.macs
+        assert ops.shift_ops == 0
+        assert ops.act_bits == 32
+        assert ops.cycles_per_image_factor == 1.0
+
+    def test_lightnn2_ops(self):
+        net = probed_net("L-2")
+        ops = conv_layer_ops(net.conv_layers()[0], net.scheme)
+        assert ops.shift_ops == 2 * ops.macs
+        assert ops.add_ops == 2 * ops.macs
+        assert ops.mult_ops == 0
+        assert ops.mean_k == 2.0
+        assert ops.act_bits == 8
+        assert ops.cycles_per_image_factor == 2.0
+
+    def test_lightnn1_half_the_shifts_of_l2(self):
+        ops1 = network_largest_layer_ops(probed_net("L-1"))
+        ops2 = network_largest_layer_ops(probed_net("L-2"))
+        assert ops2.shift_ops == 2 * ops1.shift_ops
+
+    def test_weight_bits_by_scheme(self):
+        bits = {}
+        for key in ("Full", "L-2", "L-1", "FP"):
+            ops = network_largest_layer_ops(probed_net(key))
+            bits[key] = ops.weight_bits / ops.weight_count
+        assert bits["Full"] == 32
+        assert bits["L-2"] == 8
+        assert bits["L-1"] == 4
+        assert bits["FP"] == 4
+
+    def test_flightnn_ops_track_filter_k(self):
+        net = probed_net("FL_a")
+        layer = net.largest_conv_layer()
+        ops = conv_layer_ops(layer, net.scheme)
+        k = layer.filter_k().astype(float)
+        assert ops.mean_k == pytest.approx(k.mean())
+        assert ops.shift_ops <= 2 * ops.macs + 1e-9
+
+    def test_largest_layer_is_widest(self):
+        net = probed_net("Full", nid=7)
+        ops = network_largest_layer_ops(net)
+        assert ops.out_channels == max(c.out_channels for c in net.conv_layers())

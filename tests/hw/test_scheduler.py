@@ -1,0 +1,71 @@
+"""Tests for the HLS-style loop-nest cycle model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import HardwareModelError
+from repro.hw.fpga import HlsDirectives, schedule_conv_layer
+from repro.hw.ops import network_largest_layer_ops
+from repro.models import build_network
+from repro.quant.schemes import paper_schemes
+
+SCHEMES = paper_schemes()
+
+
+def layer_ops(scheme_key="L-1", nid=1):
+    net = build_network(nid, SCHEMES[scheme_key], num_classes=10, image_size=16,
+                        width_scale=0.25, rng=0)
+    return network_largest_layer_ops(net)
+
+
+class TestDirectives:
+    def test_validation(self):
+        with pytest.raises(HardwareModelError):
+            HlsDirectives(unroll=0)
+        with pytest.raises(HardwareModelError):
+            HlsDirectives(initiation_interval=0.5)
+        with pytest.raises(HardwareModelError):
+            HlsDirectives(pipeline_depth=0)
+
+
+class TestSchedule:
+    def test_unroll_reduces_cycles(self):
+        ops = layer_ops()
+        serial = schedule_conv_layer(ops, HlsDirectives(unroll=1))
+        parallel = schedule_conv_layer(ops, HlsDirectives(unroll=8))
+        assert parallel.total_cycles < serial.total_cycles
+
+    def test_fully_unrolled_floor_is_pipeline_depth(self):
+        ops = layer_ops()
+        directives = HlsDirectives(unroll=10**6, pipeline_depth=4)
+        schedule = schedule_conv_layer(ops, directives)
+        assert schedule.reduction_trips == 1
+        assert schedule.cycles_per_output == 1 + 4
+
+    def test_ii_scales_cycles(self):
+        ops = layer_ops()
+        ii1 = schedule_conv_layer(ops, HlsDirectives(unroll=1, initiation_interval=1))
+        ii2 = schedule_conv_layer(ops, HlsDirectives(unroll=1, initiation_interval=2))
+        assert ii2.total_cycles > 1.8 * ii1.total_cycles
+
+    def test_lightnn2_doubles_reduction_work(self):
+        d = HlsDirectives(unroll=1)
+        s1 = schedule_conv_layer(layer_ops("L-1"), d)
+        s2 = schedule_conv_layer(layer_ops("L-2"), d)
+        assert s2.reduction_trips == 2 * s1.reduction_trips
+
+    def test_agrees_with_coarse_model_up_to_pipeline_fill(self):
+        """total_cycles ~ macs * k / unroll, plus fill overhead."""
+        ops = layer_ops("L-2")
+        directives = HlsDirectives(unroll=4, initiation_interval=1, pipeline_depth=4)
+        schedule = schedule_conv_layer(ops, directives)
+        coarse = ops.macs * ops.cycles_per_image_factor / directives.unroll
+        fill = directives.pipeline_depth * schedule.output_elements
+        assert coarse <= schedule.total_cycles <= coarse * 1.25 + fill
+
+    def test_latency_seconds(self):
+        schedule = schedule_conv_layer(layer_ops(), HlsDirectives())
+        assert schedule.latency_s(100e6) == pytest.approx(schedule.total_cycles / 100e6)
+        with pytest.raises(HardwareModelError):
+            schedule.latency_s(0.0)

@@ -1,0 +1,59 @@
+"""Tests for hardware-model sensitivity analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import HardwareModelError
+from repro.hw import energy_ordering_sensitivity, throughput_ordering_sensitivity
+from repro.hw.fpga.resources import UNIT_COSTS
+from repro.hw.ops import network_largest_layer_ops
+from repro.models import build_network
+from repro.quant.schemes import paper_schemes
+
+SCHEMES = paper_schemes()
+
+
+@pytest.fixture(scope="module")
+def ops_by_scheme():
+    out = {}
+    for key in ("Full", "L-2", "L-1", "FP"):
+        net = build_network(7, SCHEMES[key], num_classes=10, image_size=32, rng=0)
+        out[key] = network_largest_layer_ops(net)
+    return out
+
+
+class TestEnergySensitivity:
+    def test_ordering_robust_over_2x_perturbations(self, ops_by_scheme):
+        outcome = energy_ordering_sensitivity(ops_by_scheme)
+        assert outcome.trials == 9
+        assert outcome.robust, outcome.violations
+
+    def test_extreme_shift_cost_breaks_ordering(self, ops_by_scheme):
+        """Sanity: the check can fail — a 50x shift cost flips L-1 vs FP."""
+        outcome = energy_ordering_sensitivity(
+            {k: ops_by_scheme[k] for k in ("L-1", "L-2", "FP")},
+            shift_scales=(50.0,),
+            mult_scales=(1.0,),
+        )
+        assert not outcome.robust
+
+    def test_needs_two_schemes(self, ops_by_scheme):
+        with pytest.raises(HardwareModelError):
+            energy_ordering_sensitivity({"L-1": ops_by_scheme["L-1"]})
+
+
+class TestThroughputSensitivity:
+    def test_ordering_robust(self, ops_by_scheme):
+        outcome = throughput_ordering_sensitivity(ops_by_scheme)
+        assert outcome.trials == 9
+        assert outcome.robust, outcome.violations
+
+    def test_unit_costs_restored_after_run(self, ops_by_scheme):
+        before = dict(UNIT_COSTS)
+        throughput_ordering_sensitivity(ops_by_scheme)
+        assert UNIT_COSTS == before
+
+    def test_needs_l1_and_l2(self, ops_by_scheme):
+        with pytest.raises(HardwareModelError):
+            throughput_ordering_sensitivity({"L-1": ops_by_scheme["L-1"]})

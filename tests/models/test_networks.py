@@ -1,0 +1,163 @@
+"""Tests for the Table-1 model zoo."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.models import (
+    NETWORK_CONFIGS,
+    build_network,
+    resnet_stage_plan,
+    scaled_config,
+    vgg_channel_plan,
+)
+from repro.nn.tensor import Tensor
+from repro.quant.qlayers import QConv2d
+from repro.quant.schemes import paper_schemes
+
+SCHEMES = paper_schemes()
+
+
+class TestConfigs:
+    def test_table1_complete(self):
+        assert sorted(NETWORK_CONFIGS) == list(range(1, 9))
+
+    def test_table1_values(self):
+        assert NETWORK_CONFIGS[3].width == 512
+        assert NETWORK_CONFIGS[8].structure == "resnet"
+        assert NETWORK_CONFIGS[8].depth == 10
+        assert NETWORK_CONFIGS[4].dataset == "svhn"
+
+    def test_scaled_config_rounds_to_multiple_of_4(self):
+        cfg = scaled_config(NETWORK_CONFIGS[1], 0.3)  # 64 * 0.3 = 19.2 -> 20
+        assert cfg.width % 4 == 0
+        assert cfg.width == 20
+
+    def test_scaled_config_validates(self):
+        with pytest.raises(ConfigurationError):
+            scaled_config(NETWORK_CONFIGS[1], -1.0)
+
+
+class TestPlans:
+    def test_vgg7_plan_depth(self):
+        plan = vgg_channel_plan(7, 64)
+        assert len(plan) == 7
+        assert plan[-1][0] == 64  # widest layer hits the configured width
+
+    def test_vgg4_plan_doubles(self):
+        plan = vgg_channel_plan(4, 64)
+        assert [c for c, _ in plan] == [8, 16, 32, 64]
+
+    def test_vgg_plan_monotone_channels(self):
+        for depth, width in ((4, 128), (7, 512), (6, 64)):
+            channels = [c for c, _ in vgg_channel_plan(depth, width)]
+            assert channels == sorted(channels)
+
+    def test_resnet18_plan(self):
+        plan = resnet_stage_plan(18, 128)
+        assert sum(b for b, _, _ in plan) == 8  # 8 basic blocks
+        assert plan[-1][1] == 128
+
+    def test_resnet10_plan(self):
+        plan = resnet_stage_plan(10, 256)
+        assert sum(b for b, _, _ in plan) == 4
+        assert plan[-1][1] == 256
+
+    def test_resnet_too_shallow(self):
+        with pytest.raises(ConfigurationError):
+            resnet_stage_plan(2, 64)
+
+
+class TestParameterCounts:
+    @pytest.mark.parametrize("nid", range(1, 9))
+    def test_within_factor_two_of_table1(self, nid):
+        cfg = NETWORK_CONFIGS[nid]
+        net = build_network(nid, SCHEMES["Full"], num_classes=10, image_size=32, rng=0)
+        ratio = net.num_parameters() / cfg.nominal_params
+        assert 0.4 < ratio < 2.0, f"network {nid}: {ratio:.2f}x of Table 1"
+
+
+class TestForward:
+    @pytest.mark.parametrize("nid", [1, 2, 4, 8])
+    @pytest.mark.parametrize("scheme_key", ["Full", "L-2", "L-1", "FP", "FL_a"])
+    def test_all_schemes_forward(self, nid, scheme_key, rng):
+        net = build_network(
+            nid, SCHEMES[scheme_key], num_classes=7, image_size=16, width_scale=0.25, rng=0
+        )
+        out = net(Tensor(rng.normal(size=(2, 3, 16, 16))))
+        assert out.shape == (2, 7)
+        assert np.isfinite(out.numpy()).all()
+
+    def test_small_images_supported(self, rng):
+        net = build_network(3, SCHEMES["Full"], num_classes=5, image_size=8,
+                            width_scale=0.125, rng=0)
+        assert net(Tensor(rng.normal(size=(1, 3, 8, 8)))).shape == (1, 5)
+
+    def test_unknown_network_id(self):
+        with pytest.raises(ConfigurationError):
+            build_network(99, SCHEMES["Full"], num_classes=10, image_size=16)
+
+    def test_gradients_reach_all_parameters(self, rng):
+        from repro.nn import functional as F
+
+        net = build_network(2, SCHEMES["FL_a"], num_classes=4, image_size=8,
+                            width_scale=0.125, rng=0)
+        logits = net(Tensor(rng.normal(size=(4, 3, 8, 8))))
+        F.cross_entropy(logits, np.array([0, 1, 2, 3])).backward()
+        missing = [n for n, p in net.named_parameters() if p.grad is None]
+        assert not missing, f"parameters without gradient: {missing}"
+
+
+class TestNetworkIntrospection:
+    def test_largest_layer_is_widest(self):
+        net = build_network(7, SCHEMES["L-1"], num_classes=10, image_size=16,
+                            width_scale=0.25, rng=0)
+        layer = net.largest_conv_layer()
+        assert layer.out_channels == max(c.out_channels for c in net.conv_layers())
+
+    def test_storage_ratios_between_schemes(self):
+        """L-2 storage = 2x L-1 = 2x FP; Full = 8x L-2 (paper's Storage column)."""
+        sizes = {}
+        for key in ("Full", "L-2", "L-1", "FP"):
+            net = build_network(1, SCHEMES[key], num_classes=10, image_size=16,
+                                width_scale=0.5, rng=0)
+            sizes[key] = net.storage_mb()
+        assert sizes["L-2"] == pytest.approx(2 * sizes["L-1"])
+        assert sizes["L-1"] == pytest.approx(sizes["FP"])
+        assert sizes["Full"] == pytest.approx(4 * sizes["L-2"])  # 32 vs 8 bits
+
+    def test_flightnn_storage_between_l1_and_l2(self):
+        nets = {
+            key: build_network(1, SCHEMES[key], num_classes=10, image_size=16,
+                               width_scale=0.5, rng=0)
+            for key in ("L-2", "L-1", "FL_a")
+        }
+        fl = nets["FL_a"].storage_mb()
+        assert nets["L-1"].storage_mb() <= fl <= nets["L-2"].storage_mb() + 1e-9
+
+    def test_mean_filter_k_by_scheme(self):
+        for key, expected in (("L-1", 1.0), ("L-2", 2.0), ("Full", 0.0), ("FP", 0.0)):
+            net = build_network(1, SCHEMES[key], num_classes=10, image_size=16,
+                                width_scale=0.25, rng=0)
+            assert net.mean_filter_k() == pytest.approx(expected)
+
+    def test_storage_with_overhead_larger(self):
+        net = build_network(1, SCHEMES["L-1"], num_classes=10, image_size=16,
+                            width_scale=0.25, rng=0)
+        assert net.storage_mb(include_overhead=True) > net.storage_mb()
+
+    def test_probe_records_input_sizes(self):
+        net = build_network(1, SCHEMES["Full"], num_classes=10, image_size=16,
+                            width_scale=0.25, rng=0)
+        net.probe()
+        assert all(c.last_input_hw is not None for c in net.conv_layers())
+
+    def test_conv_layer_count_matches_depth(self):
+        net = build_network(1, SCHEMES["Full"], num_classes=10, image_size=16, rng=0)
+        assert len(net.conv_layers()) == NETWORK_CONFIGS[1].depth
+
+    def test_repr(self):
+        net = build_network(1, SCHEMES["Full"], num_classes=10, image_size=16, rng=0)
+        assert "vgg-7" in repr(net)

@@ -1,0 +1,55 @@
+"""Tests for model summaries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models import build_network, render_summary, summarize_network
+from repro.quant.schemes import paper_schemes
+
+SCHEMES = paper_schemes()
+
+
+class TestSummary:
+    def test_row_count_covers_all_layers(self):
+        net = build_network(1, SCHEMES["L-1"], num_classes=10, image_size=16,
+                            width_scale=0.25, rng=0)
+        rows = summarize_network(net)
+        assert len(rows) == len(net.conv_layers()) + len(net.linear_layers())
+
+    def test_params_match_network_total(self):
+        net = build_network(1, SCHEMES["Full"], num_classes=10, image_size=16,
+                            width_scale=0.25, rng=0)
+        rows = summarize_network(net)
+        quantized_params = sum(r.params for r in rows)
+        # Summary covers conv/linear weights (+bias); BN affines are extra.
+        assert quantized_params < net.num_parameters()
+        assert quantized_params > 0.8 * net.num_parameters()
+
+    def test_storage_matches_network_storage(self):
+        net = build_network(1, SCHEMES["L-2"], num_classes=10, image_size=16,
+                            width_scale=0.25, rng=0)
+        rows = summarize_network(net)
+        total_mb = sum(r.storage_bits for r in rows) / 8 / 1e6
+        assert total_mb == pytest.approx(net.storage_mb())
+
+    def test_mean_k_column(self):
+        net = build_network(1, SCHEMES["L-2"], num_classes=10, image_size=16,
+                            width_scale=0.25, rng=0)
+        for row in summarize_network(net):
+            assert row.mean_k == pytest.approx(2.0)
+
+    def test_render_contains_total(self):
+        net = build_network(4, SCHEMES["L-1"], num_classes=10, image_size=16,
+                            width_scale=0.5, rng=0)
+        text = render_summary(net)
+        assert "total" in text
+        assert "conv" in text and "linear" in text
+
+    def test_macs_positive_and_spatial_recorded(self):
+        net = build_network(2, SCHEMES["Full"], num_classes=10, image_size=16,
+                            width_scale=0.25, rng=0)
+        rows = summarize_network(net)
+        conv_rows = [r for r in rows if r.kind == "conv"]
+        assert all(r.macs > 0 for r in conv_rows)
+        assert all(r.output_hw is not None for r in conv_rows)

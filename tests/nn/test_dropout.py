@@ -1,0 +1,58 @@
+"""Tests for the Dropout layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn.layers import Dropout
+from repro.nn.tensor import Tensor
+
+
+class TestDropout:
+    def test_invalid_probability(self):
+        with pytest.raises(ConfigurationError):
+            Dropout(p=1.0)
+        with pytest.raises(ConfigurationError):
+            Dropout(p=-0.1)
+
+    def test_eval_is_identity(self, rng):
+        layer = Dropout(p=0.5, rng=0)
+        layer.eval()
+        x = Tensor(rng.normal(size=(3, 4)))
+        assert layer(x) is x
+
+    def test_p_zero_is_identity(self, rng):
+        layer = Dropout(p=0.0)
+        x = Tensor(rng.normal(size=(3, 4)))
+        assert layer(x) is x
+
+    def test_training_zeroes_roughly_p_fraction(self, rng):
+        layer = Dropout(p=0.3, rng=0)
+        x = Tensor(np.ones((100, 100)))
+        out = layer(x).numpy()
+        frac_zero = (out == 0).mean()
+        assert 0.25 < frac_zero < 0.35
+
+    def test_survivors_scaled(self):
+        layer = Dropout(p=0.5, rng=0)
+        out = layer(Tensor(np.ones((50, 50)))).numpy()
+        survivors = out[out != 0]
+        np.testing.assert_allclose(survivors, 2.0)
+
+    def test_expected_value_preserved(self, rng):
+        layer = Dropout(p=0.4, rng=0)
+        x = Tensor(np.ones((200, 200)))
+        assert layer(x).numpy().mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_gradient_masked_like_forward(self, rng):
+        layer = Dropout(p=0.5, rng=0)
+        x = Tensor(rng.normal(size=(10, 10)), requires_grad=True)
+        out = layer(x)
+        out.backward(np.ones((10, 10)))
+        mask = out.numpy() != 0
+        assert ((x.grad != 0) == mask).all()
+
+    def test_repr(self):
+        assert "0.5" in repr(Dropout(0.5))

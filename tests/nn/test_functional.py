@@ -1,0 +1,241 @@
+"""Tests for conv/pool/activation/loss ops, including scipy cross-checks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import signal
+
+from repro.errors import ShapeError
+from repro.nn import functional as F
+from repro.nn.gradcheck import check_gradients
+from repro.nn.tensor import Tensor
+
+
+def make(shape, rng, requires_grad=True):
+    return Tensor(rng.normal(size=shape), requires_grad=requires_grad)
+
+
+class TestConvOutputSize:
+    def test_basic(self):
+        assert F.conv_output_size(32, 3, 1, 1) == 32
+        assert F.conv_output_size(32, 3, 2, 1) == 16
+        assert F.conv_output_size(5, 3, 1, 0) == 3
+
+    def test_invalid_raises(self):
+        with pytest.raises(ShapeError):
+            F.conv_output_size(2, 5, 1, 0)
+
+
+class TestConv2dForward:
+    def test_matches_scipy_correlate(self, rng):
+        x = rng.normal(size=(2, 3, 8, 8))
+        w = rng.normal(size=(4, 3, 3, 3))
+        out = F.conv2d(Tensor(x), Tensor(w), stride=1, padding=0).numpy()
+        expected = np.zeros_like(out)
+        for n in range(2):
+            for f in range(4):
+                acc = np.zeros((6, 6))
+                for c in range(3):
+                    acc += signal.correlate2d(x[n, c], w[f, c], mode="valid")
+                expected[n, f] = acc
+        np.testing.assert_allclose(out, expected, rtol=1e-10)
+
+    def test_padding_matches_scipy(self, rng):
+        x = rng.normal(size=(1, 2, 6, 6))
+        w = rng.normal(size=(3, 2, 3, 3))
+        out = F.conv2d(Tensor(x), Tensor(w), stride=1, padding=1).numpy()
+        xp = np.pad(x, ((0, 0), (0, 0), (1, 1), (1, 1)))
+        for f in range(3):
+            expected = sum(
+                signal.correlate2d(xp[0, c], w[f, c], mode="valid") for c in range(2)
+            )
+            np.testing.assert_allclose(out[0, f], expected, rtol=1e-10)
+
+    def test_stride_subsamples(self, rng):
+        x = rng.normal(size=(1, 1, 8, 8))
+        w = rng.normal(size=(1, 1, 3, 3))
+        full = F.conv2d(Tensor(x), Tensor(w), stride=1).numpy()
+        strided = F.conv2d(Tensor(x), Tensor(w), stride=2).numpy()
+        np.testing.assert_allclose(strided[0, 0], full[0, 0][::2, ::2])
+
+    def test_bias_added_per_filter(self, rng):
+        x = rng.normal(size=(1, 1, 4, 4))
+        w = np.zeros((2, 1, 3, 3))
+        b = np.array([1.5, -2.0])
+        out = F.conv2d(Tensor(x), Tensor(w), Tensor(b)).numpy()
+        np.testing.assert_allclose(out[0, 0], 1.5)
+        np.testing.assert_allclose(out[0, 1], -2.0)
+
+    def test_channel_mismatch_raises(self, rng):
+        with pytest.raises(ShapeError):
+            F.conv2d(make((1, 3, 5, 5), rng), make((2, 4, 3, 3), rng))
+
+    def test_bias_shape_checked(self, rng):
+        with pytest.raises(ShapeError):
+            F.conv2d(make((1, 1, 5, 5), rng), make((2, 1, 3, 3), rng), make((3,), rng))
+
+    def test_non_4d_raises(self, rng):
+        with pytest.raises(ShapeError):
+            F.conv2d(make((3, 5, 5), rng), make((2, 3, 3, 3), rng))
+
+
+class TestConv2dGradients:
+    def test_gradcheck_all_inputs(self, rng):
+        x = make((2, 2, 5, 5), rng)
+        w = make((3, 2, 3, 3), rng)
+        b = make((3,), rng)
+        check_gradients(lambda: (F.conv2d(x, w, b, stride=1, padding=1) ** 2).sum(), [x, w, b])
+
+    def test_gradcheck_strided(self, rng):
+        x = make((1, 2, 6, 6), rng)
+        w = make((2, 2, 3, 3), rng)
+        check_gradients(lambda: (F.conv2d(x, w, stride=2) ** 2).sum(), [x, w])
+
+
+class TestPooling:
+    def test_max_pool_values(self):
+        x = Tensor(np.arange(16.0).reshape(1, 1, 4, 4))
+        out = F.max_pool2d(x, 2).numpy()
+        np.testing.assert_allclose(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_max_pool_gradcheck(self, rng):
+        # Use distinct values to avoid argmax ties (non-differentiable points).
+        x = Tensor(rng.permutation(32).reshape(1, 2, 4, 4).astype(float), requires_grad=True)
+        check_gradients(lambda: (F.max_pool2d(x, 2) ** 2).sum(), [x])
+
+    def test_max_pool_strided(self, rng):
+        x = make((1, 1, 5, 5), rng, requires_grad=False)
+        out = F.max_pool2d(x, 3, stride=2)
+        assert out.shape == (1, 1, 2, 2)
+
+    def test_avg_pool_values(self):
+        x = Tensor(np.arange(16.0).reshape(1, 1, 4, 4))
+        out = F.avg_pool2d(x, 2).numpy()
+        np.testing.assert_allclose(out[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_avg_pool_gradcheck(self, rng):
+        x = make((1, 2, 4, 4), rng)
+        check_gradients(lambda: (F.avg_pool2d(x, 2) ** 2).sum(), [x])
+
+    def test_global_avg_pool(self, rng):
+        x = make((2, 3, 4, 4), rng)
+        out = F.global_avg_pool2d(x)
+        assert out.shape == (2, 3)
+        np.testing.assert_allclose(out.numpy(), x.data.mean(axis=(2, 3)))
+        check_gradients(lambda: (F.global_avg_pool2d(x) ** 2).sum(), [x])
+
+
+class TestPadAndFlatten:
+    def test_pad2d_shape_and_grad(self, rng):
+        x = make((1, 2, 3, 3), rng)
+        out = F.pad2d(x, 2)
+        assert out.shape == (1, 2, 7, 7)
+        check_gradients(lambda: (F.pad2d(x, 2) ** 2).sum(), [x])
+
+    def test_pad2d_zero_is_identity(self, rng):
+        x = make((1, 1, 3, 3), rng)
+        assert F.pad2d(x, 0) is x
+
+    def test_flatten(self, rng):
+        x = make((2, 3, 4, 5), rng)
+        assert F.flatten(x).shape == (2, 60)
+        check_gradients(lambda: (F.flatten(x) ** 2).sum(), [x])
+
+
+class TestActivations:
+    def test_relu_values(self):
+        x = Tensor(np.array([-1.0, 0.0, 2.0]))
+        np.testing.assert_allclose(F.relu(x).numpy(), [0.0, 0.0, 2.0])
+
+    def test_relu_gradcheck(self, rng):
+        x = Tensor(rng.normal(size=8) + np.where(rng.normal(size=8) > 0, 0.5, -0.5), requires_grad=True)
+        check_gradients(lambda: (F.relu(x) ** 2).sum(), [x])
+
+    def test_leaky_relu_values(self):
+        x = Tensor(np.array([-2.0, 3.0]))
+        np.testing.assert_allclose(F.leaky_relu(x, 0.1).numpy(), [-0.2, 3.0])
+
+    def test_leaky_relu_gradcheck(self, rng):
+        x = Tensor(np.array([-2.0, -0.7, 0.3, 1.9]), requires_grad=True)
+        check_gradients(lambda: (F.leaky_relu(x, 0.05) ** 2).sum(), [x])
+
+
+class TestSoftmaxAndLosses:
+    def test_softmax_rows_sum_to_one(self, rng):
+        x = make((4, 7), rng, requires_grad=False)
+        np.testing.assert_allclose(F.softmax(x).numpy().sum(axis=1), np.ones(4))
+
+    def test_softmax_stable_for_large_logits(self):
+        x = Tensor(np.array([[1000.0, 1000.0, 0.0]]))
+        out = F.softmax(x).numpy()
+        assert np.isfinite(out).all()
+        np.testing.assert_allclose(out[0, :2], [0.5, 0.5], atol=1e-9)
+
+    def test_softmax_gradcheck(self, rng):
+        x = make((3, 4), rng)
+        w = Tensor(rng.normal(size=(3, 4)))
+        check_gradients(lambda: (F.softmax(x) * w).sum(), [x])
+
+    def test_log_softmax_gradcheck(self, rng):
+        x = make((3, 4), rng)
+        w = Tensor(rng.normal(size=(3, 4)))
+        check_gradients(lambda: (F.log_softmax(x) * w).sum(), [x])
+
+    def test_cross_entropy_matches_manual(self, rng):
+        logits = rng.normal(size=(5, 3))
+        labels = np.array([0, 2, 1, 1, 0])
+        loss = F.cross_entropy(Tensor(logits), labels).item()
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        logp = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+        np.testing.assert_allclose(loss, -logp[np.arange(5), labels].mean())
+
+    def test_cross_entropy_gradcheck(self, rng):
+        logits = make((4, 3), rng)
+        labels = np.array([0, 1, 2, 1])
+        check_gradients(lambda: F.cross_entropy(logits, labels), [logits])
+
+    def test_cross_entropy_uniform_bound(self):
+        # Loss at uniform logits equals log(C).
+        logits = Tensor(np.zeros((2, 10)))
+        np.testing.assert_allclose(F.cross_entropy(logits, np.array([3, 7])).item(), np.log(10))
+
+    def test_cross_entropy_shape_errors(self, rng):
+        with pytest.raises(ShapeError):
+            F.cross_entropy(make((2, 3, 4), rng), np.array([0, 1]))
+        with pytest.raises(ShapeError):
+            F.cross_entropy(make((2, 3), rng), np.array([0, 1, 2]))
+
+    def test_linear_matches_numpy(self, rng):
+        x, w, b = rng.normal(size=(4, 5)), rng.normal(size=(3, 5)), rng.normal(size=3)
+        out = F.linear(Tensor(x), Tensor(w), Tensor(b)).numpy()
+        np.testing.assert_allclose(out, x @ w.T + b, rtol=1e-12)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 2**16),
+    kernel=st.sampled_from([1, 3]),
+    padding=st.sampled_from([0, 1]),
+    stride=st.sampled_from([1, 2]),
+)
+def test_property_conv_shape_formula(seed, kernel, padding, stride):
+    rng = np.random.default_rng(seed)
+    x = Tensor(rng.normal(size=(1, 2, 8, 8)))
+    w = Tensor(rng.normal(size=(3, 2, kernel, kernel)))
+    out = F.conv2d(x, w, stride=stride, padding=padding)
+    expected = (8 + 2 * padding - kernel) // stride + 1
+    assert out.shape == (1, 3, expected, expected)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 2**16))
+def test_property_conv_linearity_in_input(seed):
+    rng = np.random.default_rng(seed)
+    x1, x2 = rng.normal(size=(1, 1, 6, 6)), rng.normal(size=(1, 1, 6, 6))
+    w = Tensor(rng.normal(size=(2, 1, 3, 3)))
+    lhs = F.conv2d(Tensor(x1 + 2.0 * x2), w).numpy()
+    rhs = F.conv2d(Tensor(x1), w).numpy() + 2.0 * F.conv2d(Tensor(x2), w).numpy()
+    np.testing.assert_allclose(lhs, rhs, rtol=1e-9, atol=1e-9)

@@ -1,0 +1,156 @@
+"""End-to-end integration tests of the nn substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.layers import (
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    LeakyReLU,
+    Linear,
+    MaxPool2d,
+    Sequential,
+)
+from repro.nn.optim import Adam
+from repro.nn.tensor import Tensor, no_grad
+
+
+def make_toy_problem(rng, n=32, classes=3, size=8):
+    """A tiny separable problem: class = location of the bright quadrant."""
+    images = rng.normal(scale=0.3, size=(n, 1, size, size))
+    labels = rng.integers(0, classes, size=n)
+    half = size // 2
+    slices = [(slice(0, half), slice(0, half)),
+              (slice(0, half), slice(half, None)),
+              (slice(half, None), slice(0, half))]
+    for i, label in enumerate(labels):
+        sy, sx = slices[label]
+        images[i, 0, sy, sx] += 2.0
+    return images, labels
+
+
+class TestEndToEndTraining:
+    def test_small_cnn_overfits_toy_problem(self, rng):
+        """The substrate must drive training loss near zero on a tiny task."""
+        images, labels = make_toy_problem(rng)
+        model = Sequential(
+            Conv2d(1, 8, 3, padding=1, rng=0),
+            BatchNorm2d(8),
+            LeakyReLU(),
+            MaxPool2d(2),
+            Flatten(),
+            Linear(8 * 4 * 4, 3, rng=0),
+        )
+        opt = Adam(model.parameters(), lr=1e-2)
+        losses = []
+        for _ in range(60):
+            model.zero_grad()
+            loss = F.cross_entropy(model(Tensor(images)), labels)
+            loss.backward()
+            opt.step()
+            losses.append(loss.item())
+        assert losses[-1] < 0.05
+        model.eval()
+        with no_grad():
+            preds = model(Tensor(images)).numpy().argmax(axis=1)
+        assert (preds == labels).mean() == 1.0
+
+    def test_global_avg_pool_head_trains(self, rng):
+        images, labels = make_toy_problem(rng, n=24)
+        model = Sequential(
+            Conv2d(1, 6, 3, padding=1, rng=1),
+            BatchNorm2d(6),
+            LeakyReLU(),
+            GlobalAvgPool2d(),
+            Linear(6, 3, rng=1),
+        )
+        opt = Adam(model.parameters(), lr=2e-2)
+        first = last = None
+        for step in range(50):
+            model.zero_grad()
+            loss = F.cross_entropy(model(Tensor(images)), labels)
+            loss.backward()
+            opt.step()
+            if step == 0:
+                first = loss.item()
+            last = loss.item()
+        assert last < first * 0.5
+
+    def test_dropout_network_still_converges(self, rng):
+        images, labels = make_toy_problem(rng, n=24)
+        model = Sequential(
+            Conv2d(1, 6, 3, padding=1, rng=2),
+            LeakyReLU(),
+            Flatten(),
+            Dropout(0.2, rng=0),
+            Linear(6 * 8 * 8, 3, rng=2),
+        )
+        opt = Adam(model.parameters(), lr=1e-2)
+        for _ in range(60):
+            model.zero_grad()
+            loss = F.cross_entropy(model(Tensor(images)), labels)
+            loss.backward()
+            opt.step()
+        model.eval()
+        with no_grad():
+            preds = model(Tensor(images)).numpy().argmax(axis=1)
+        assert (preds == labels).mean() > 0.9
+
+
+class TestTrainEvalConsistency:
+    def test_batchnorm_eval_close_to_train_stats_after_convergence(self, rng):
+        bn = BatchNorm2d(3, momentum=0.2)
+        x = Tensor(rng.normal(loc=1.5, scale=2.0, size=(32, 3, 6, 6)))
+        for _ in range(60):
+            bn(x)
+        train_out = bn(x).numpy()
+        bn.eval()
+        eval_out = bn(x).numpy()
+        np.testing.assert_allclose(train_out, eval_out, atol=0.15)
+
+    def test_eval_mode_is_deterministic_with_dropout(self, rng):
+        model = Sequential(Dropout(0.5, rng=0), Linear(4, 2, rng=0))
+        model.eval()
+        x = Tensor(rng.normal(size=(3, 4)))
+        with no_grad():
+            np.testing.assert_array_equal(model(x).numpy(), model(x).numpy())
+
+
+class TestGradientFlowThroughDeepStacks:
+    def test_ten_layer_conv_stack_gradcheck_like(self, rng):
+        """Gradient magnitude stays finite and non-zero through depth."""
+        layers = []
+        for _ in range(10):
+            layers += [Conv2d(4, 4, 3, padding=1, rng=3), LeakyReLU()]
+        model = Sequential(*layers)
+        x = Tensor(rng.normal(size=(2, 4, 6, 6)), requires_grad=True)
+        out = model(x)
+        (out * out).sum().backward()
+        assert np.isfinite(x.grad).all()
+        assert np.abs(x.grad).max() > 0
+
+    def test_gradient_accumulation_matches_larger_batch(self, rng):
+        """Two half-batch backward passes equal one full-batch pass."""
+        conv = Conv2d(1, 2, 3, rng=4)
+        x = rng.normal(size=(4, 1, 5, 5))
+        labels = np.array([0, 1, 0, 1])
+
+        def head(images):
+            return F.flatten(conv(Tensor(images)))
+
+        w = Tensor(rng.normal(size=(2, 2 * 9)))
+        conv.zero_grad()
+        F.cross_entropy(F.linear(head(x), Tensor(w.data)), labels).backward()
+        full_grad = conv.weight.grad.copy()
+
+        conv.zero_grad()
+        for half, lab in ((x[:2], labels[:2]), (x[2:], labels[2:])):
+            loss = F.cross_entropy(F.linear(head(half), Tensor(w.data)), lab)
+            (loss * 0.5).backward()
+        np.testing.assert_allclose(conv.weight.grad, full_grad, rtol=1e-10)

@@ -1,0 +1,194 @@
+"""Tests for layer modules and the Module system."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.nn import layers
+from repro.nn.gradcheck import check_gradients
+from repro.nn.module import Module, ModuleList, Parameter
+from repro.nn.tensor import Tensor
+
+
+class TestModuleSystem:
+    def test_parameter_requires_grad(self):
+        p = Parameter(np.zeros(3))
+        assert p.requires_grad
+
+    def test_named_parameters_recursive(self):
+        model = layers.Sequential(
+            layers.Conv2d(1, 2, 3, rng=0),
+            layers.BatchNorm2d(2),
+            layers.Linear(4, 5, rng=0),
+        )
+        names = dict(model.named_parameters())
+        assert any("weight" in n for n in names)
+        assert any("gamma" in n for n in names)
+        assert len(model.parameters()) == 5  # conv w, bn gamma/beta, linear w/b
+
+    def test_train_eval_propagates(self):
+        model = layers.Sequential(layers.BatchNorm2d(2), layers.LeakyReLU())
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+    def test_zero_grad(self):
+        lin = layers.Linear(3, 2, rng=0)
+        out = lin(Tensor(np.ones((1, 3)))).sum()
+        out.backward()
+        assert lin.weight.grad is not None
+        lin.zero_grad()
+        assert lin.weight.grad is None
+
+    def test_state_dict_roundtrip(self):
+        a = layers.Sequential(layers.Conv2d(1, 2, 3, rng=0), layers.BatchNorm2d(2))
+        b = layers.Sequential(layers.Conv2d(1, 2, 3, rng=99), layers.BatchNorm2d(2))
+        a[1].running_mean[...] = 5.0
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_allclose(b[0].weight.data, a[0].weight.data)
+        np.testing.assert_allclose(b[1].running_mean, 5.0)
+
+    def test_state_dict_unknown_key_raises(self):
+        lin = layers.Linear(2, 2, rng=0)
+        state = lin.state_dict()
+        state["bogus"] = np.zeros(1)
+        with pytest.raises(ConfigurationError):
+            lin.load_state_dict(state)
+
+    def test_state_dict_missing_key_raises(self):
+        lin = layers.Linear(2, 2, rng=0)
+        state = lin.state_dict()
+        del state["weight"]
+        with pytest.raises(ConfigurationError):
+            lin.load_state_dict(state)
+
+    def test_state_dict_shape_mismatch_raises(self):
+        lin = layers.Linear(2, 2, rng=0)
+        state = lin.state_dict()
+        state["weight"] = np.zeros((3, 3))
+        with pytest.raises(ConfigurationError):
+            lin.load_state_dict(state)
+
+    def test_module_list_type_checked(self):
+        with pytest.raises(ConfigurationError):
+            ModuleList([layers.LeakyReLU(), "not a module"])
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module()(Tensor(np.zeros(1)))
+
+    def test_num_parameters(self):
+        lin = layers.Linear(3, 4, rng=0)
+        assert lin.num_parameters() == 3 * 4 + 4
+
+
+class TestConv2dLayer:
+    def test_forward_shape(self, rng):
+        conv = layers.Conv2d(3, 8, 3, stride=1, padding=1, rng=0)
+        out = conv(Tensor(rng.normal(size=(2, 3, 16, 16))))
+        assert out.shape == (2, 8, 16, 16)
+
+    def test_output_spatial(self):
+        conv = layers.Conv2d(1, 1, 3, stride=2, padding=1, rng=0)
+        assert conv.output_spatial(32, 32) == (16, 16)
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            layers.Conv2d(0, 4, 3)
+        with pytest.raises(ConfigurationError):
+            layers.Conv2d(1, 4, 3, padding=-1)
+
+    def test_no_bias_by_default(self):
+        assert layers.Conv2d(1, 1, 3, rng=0).bias is None
+
+    def test_repr(self):
+        assert "Conv2d(3, 8" in repr(layers.Conv2d(3, 8, 3, rng=0))
+
+
+class TestLinearLayer:
+    def test_forward(self, rng):
+        lin = layers.Linear(5, 3, rng=0)
+        out = lin(Tensor(rng.normal(size=(2, 5))))
+        assert out.shape == (2, 3)
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            layers.Linear(0, 3)
+
+
+class TestBatchNorm2d:
+    def test_train_normalizes_batch(self, rng):
+        bn = layers.BatchNorm2d(4)
+        x = Tensor(rng.normal(loc=3.0, scale=2.0, size=(8, 4, 5, 5)))
+        out = bn(x).numpy()
+        np.testing.assert_allclose(out.mean(axis=(0, 2, 3)), 0.0, atol=1e-10)
+        np.testing.assert_allclose(out.std(axis=(0, 2, 3)), 1.0, atol=1e-3)
+
+    def test_eval_uses_running_stats(self, rng):
+        bn = layers.BatchNorm2d(2)
+        x = Tensor(rng.normal(loc=1.0, size=(16, 2, 4, 4)))
+        for _ in range(50):
+            bn(x)
+        bn.eval()
+        out = bn(x).numpy()
+        np.testing.assert_allclose(out.mean(axis=(0, 2, 3)), 0.0, atol=0.05)
+
+    def test_running_stats_updated(self, rng):
+        bn = layers.BatchNorm2d(2)
+        x = Tensor(rng.normal(loc=5.0, size=(8, 2, 3, 3)))
+        bn(x)
+        assert (bn.running_mean > 0).all()
+
+    def test_gradcheck(self, rng):
+        bn = layers.BatchNorm2d(2)
+        x = Tensor(rng.normal(size=(4, 2, 3, 3)), requires_grad=True)
+        check_gradients(lambda: (bn(x) ** 2).sum(), [x, bn.gamma, bn.beta], rtol=1e-3, atol=1e-5)
+
+    def test_shape_validated(self, rng):
+        bn = layers.BatchNorm2d(3)
+        with pytest.raises(ShapeError):
+            bn(Tensor(rng.normal(size=(2, 4, 3, 3))))
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ConfigurationError):
+            layers.BatchNorm2d(2, momentum=0.0)
+
+
+class TestContainers:
+    def test_sequential_chains(self, rng):
+        model = layers.Sequential(
+            layers.Conv2d(1, 2, 3, padding=1, rng=0),
+            layers.LeakyReLU(),
+            layers.MaxPool2d(2),
+            layers.Flatten(),
+        )
+        out = model(Tensor(rng.normal(size=(2, 1, 8, 8))))
+        assert out.shape == (2, 2 * 4 * 4)
+
+    def test_sequential_indexing_len_iter(self):
+        model = layers.Sequential(layers.LeakyReLU(), layers.ReLU())
+        assert len(model) == 2
+        assert isinstance(model[0], layers.LeakyReLU)
+        assert [type(m).__name__ for m in model] == ["LeakyReLU", "ReLU"]
+
+    def test_sequential_append(self):
+        model = layers.Sequential()
+        model.append(layers.ReLU())
+        assert len(model) == 1
+
+    def test_identity(self, rng):
+        x = Tensor(rng.normal(size=(2, 2)))
+        assert layers.Identity()(x) is x
+
+    def test_pooling_invalid_kernel(self):
+        with pytest.raises(ConfigurationError):
+            layers.MaxPool2d(0)
+        with pytest.raises(ConfigurationError):
+            layers.AvgPool2d(-1)
+
+    def test_global_avg_pool_layer(self, rng):
+        out = layers.GlobalAvgPool2d()(Tensor(rng.normal(size=(2, 3, 4, 4))))
+        assert out.shape == (2, 3)

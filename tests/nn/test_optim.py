@@ -1,0 +1,145 @@
+"""Tests for optimizers and learning-rate schedules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn.optim import SGD, Adam, ConstantLR, CosineDecayLR, StepDecayLR
+from repro.nn.tensor import Tensor
+
+
+def quadratic_loss(param: Tensor, target: np.ndarray) -> Tensor:
+    diff = param - Tensor(target)
+    return (diff * diff).sum()
+
+
+def run_steps(optimizer, param, target, steps):
+    for _ in range(steps):
+        optimizer.zero_grad()
+        loss = quadratic_loss(param, target)
+        loss.backward()
+        optimizer.step()
+    return quadratic_loss(param, target).item()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = Tensor(np.zeros(4), requires_grad=True)
+        target = np.array([1.0, -2.0, 0.5, 3.0])
+        final = run_steps(SGD([p], lr=0.1), p, target, 200)
+        assert final < 1e-8
+
+    def test_momentum_accelerates(self):
+        target = np.array([2.0])
+        p_plain = Tensor(np.zeros(1), requires_grad=True)
+        p_mom = Tensor(np.zeros(1), requires_grad=True)
+        plain = run_steps(SGD([p_plain], lr=0.01), p_plain, target, 50)
+        mom = run_steps(SGD([p_mom], lr=0.01, momentum=0.9), p_mom, target, 50)
+        assert mom < plain
+
+    def test_weight_decay_shrinks_solution(self):
+        target = np.array([1.0])
+        p = Tensor(np.zeros(1), requires_grad=True)
+        run_steps(SGD([p], lr=0.05, weight_decay=1.0), p, target, 500)
+        # Ridge solution of (x-1)^2*... : minimiser below 1.
+        assert 0.0 < p.data[0] < 1.0
+
+    def test_skips_params_without_grad(self):
+        p = Tensor(np.ones(2), requires_grad=True)
+        opt = SGD([p], lr=0.1)
+        opt.step()  # no grad accumulated; must not crash or move params
+        np.testing.assert_allclose(p.data, 1.0)
+
+    def test_invalid_args(self):
+        p = Tensor(np.ones(1), requires_grad=True)
+        with pytest.raises(ConfigurationError):
+            SGD([p], lr=-1.0)
+        with pytest.raises(ConfigurationError):
+            SGD([p], lr=0.1, momentum=1.5)
+        with pytest.raises(ConfigurationError):
+            SGD([p], lr=0.1, weight_decay=-0.1)
+        with pytest.raises(ConfigurationError):
+            SGD([], lr=0.1)
+        with pytest.raises(ConfigurationError):
+            SGD([p, p], lr=0.1)
+        with pytest.raises(ConfigurationError):
+            SGD([Tensor(np.ones(1))], lr=0.1)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = Tensor(np.zeros(3), requires_grad=True)
+        target = np.array([1.0, -1.0, 2.0])
+        final = run_steps(Adam([p], lr=0.05), p, target, 500)
+        assert final < 1e-6
+
+    def test_scale_invariance_of_first_steps(self):
+        # Adam's first step size is ~lr regardless of gradient magnitude.
+        p1 = Tensor(np.zeros(1), requires_grad=True)
+        p2 = Tensor(np.zeros(1), requires_grad=True)
+        for p, scale in ((p1, 1.0), (p2, 1000.0)):
+            opt = Adam([p], lr=0.1)
+            loss = (p * scale).sum()
+            loss.backward()
+            opt.step()
+        np.testing.assert_allclose(p1.data, p2.data, rtol=1e-3)
+
+    def test_invalid_args(self):
+        p = Tensor(np.ones(1), requires_grad=True)
+        with pytest.raises(ConfigurationError):
+            Adam([p], lr=0.1, betas=(1.0, 0.999))
+        with pytest.raises(ConfigurationError):
+            Adam([p], lr=0.1, eps=0.0)
+
+    def test_weight_decay(self):
+        p = Tensor(np.ones(1) * 5.0, requires_grad=True)
+        opt = Adam([p], lr=0.1, weight_decay=1.0)
+        for _ in range(300):
+            opt.zero_grad()
+            (p * 0.0).sum().backward()
+            opt.step()
+        assert abs(p.data[0]) < 1.0
+
+
+class TestSchedulers:
+    def _opt(self):
+        return SGD([Tensor(np.ones(1), requires_grad=True)], lr=1.0)
+
+    def test_constant(self):
+        opt = self._opt()
+        sched = ConstantLR(opt)
+        for _ in range(5):
+            assert sched.step() == 1.0
+
+    def test_step_decay(self):
+        opt = self._opt()
+        sched = StepDecayLR(opt, step_size=2, gamma=0.1)
+        lrs = [sched.step() for _ in range(4)]
+        np.testing.assert_allclose(lrs, [1.0, 0.1, 0.1, 0.01])
+
+    def test_cosine_endpoints(self):
+        opt = self._opt()
+        sched = CosineDecayLR(opt, total_epochs=10, min_lr=0.0)
+        lrs = [sched.step() for _ in range(10)]
+        assert lrs[0] < 1.0
+        np.testing.assert_allclose(lrs[-1], 0.0, atol=1e-12)
+        assert all(a >= b for a, b in zip(lrs, lrs[1:]))
+
+    def test_cosine_clamps_past_horizon(self):
+        opt = self._opt()
+        sched = CosineDecayLR(opt, total_epochs=3, min_lr=0.1)
+        for _ in range(5):
+            lr = sched.step()
+        np.testing.assert_allclose(lr, 0.1)
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigurationError):
+            StepDecayLR(self._opt(), step_size=0)
+        with pytest.raises(ConfigurationError):
+            StepDecayLR(self._opt(), step_size=1, gamma=0.0)
+        with pytest.raises(ConfigurationError):
+            CosineDecayLR(self._opt(), total_epochs=0)
+        with pytest.raises(ConfigurationError):
+            CosineDecayLR(self._opt(), total_epochs=5, min_lr=-0.1)

@@ -1,0 +1,277 @@
+"""Unit and property tests for the autograd Tensor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GradientError, ShapeError
+from repro.nn.gradcheck import check_gradients
+from repro.nn.tensor import Tensor, as_tensor, is_grad_enabled, no_grad
+
+
+def make(shape, rng, requires_grad=True):
+    return Tensor(rng.normal(size=shape), requires_grad=requires_grad)
+
+
+class TestBasics:
+    def test_construction_from_list(self):
+        t = Tensor([1.0, 2.0, 3.0])
+        assert t.shape == (3,)
+        assert not t.requires_grad
+
+    def test_int_data_promoted_to_float(self):
+        t = Tensor(np.array([1, 2, 3]))
+        assert t.dtype.kind == "f"
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(ShapeError):
+            Tensor(np.array(["a", "b"]))
+
+    def test_item_and_numpy(self):
+        t = Tensor(np.array(3.5))
+        assert t.item() == 3.5
+        assert t.numpy() is t.data
+
+    def test_detach_cuts_graph(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        y = (x * 2).detach()
+        assert not y.requires_grad
+
+    def test_repr_mentions_shape(self):
+        assert "shape=(2,)" in repr(Tensor(np.zeros(2)))
+
+    def test_as_tensor_passthrough(self):
+        t = Tensor(np.ones(2))
+        assert as_tensor(t) is t
+        assert isinstance(as_tensor([1.0, 2.0]), Tensor)
+
+    def test_len(self):
+        assert len(Tensor(np.zeros((4, 2)))) == 4
+
+
+class TestBackwardSemantics:
+    def test_backward_requires_grad(self):
+        with pytest.raises(GradientError):
+            Tensor(np.zeros(2)).backward()
+
+    def test_backward_nonscalar_needs_grad_arg(self):
+        x = Tensor(np.zeros(3), requires_grad=True)
+        y = x * 2
+        with pytest.raises(GradientError):
+            y.backward()
+        y.backward(np.ones(3))
+        np.testing.assert_allclose(x.grad, 2 * np.ones(3))
+
+    def test_backward_grad_shape_checked(self):
+        x = Tensor(np.zeros(3), requires_grad=True)
+        with pytest.raises(ShapeError):
+            (x * 1).backward(np.ones(4))
+
+    def test_grad_accumulates_across_uses(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        y = x * 3 + x * 4  # dy/dx = 7
+        y.backward(np.ones(1))
+        np.testing.assert_allclose(x.grad, [7.0])
+
+    def test_grad_accumulates_across_backward_calls(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        (x * 2).backward(np.ones(1))
+        (x * 2).backward(np.ones(1))
+        np.testing.assert_allclose(x.grad, [4.0])
+
+    def test_zero_grad(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        (x * 2).backward(np.ones(1))
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_diamond_graph(self):
+        # f = (x+x) * (x*2); df/dx = 8x
+        x = Tensor(np.array([3.0]), requires_grad=True)
+        f = ((x + x) * (x * 2)).sum()
+        f.backward()
+        np.testing.assert_allclose(x.grad, [24.0])
+
+    def test_no_grad_context(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+            y = x * 2
+        assert is_grad_enabled()
+        assert not y.requires_grad
+
+    def test_deep_chain_no_recursion_limit(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        y = x
+        for _ in range(3000):
+            y = y + 0.001
+        y.backward(np.ones(1))
+        np.testing.assert_allclose(x.grad, [1.0])
+
+
+class TestArithmeticGradients:
+    def test_add(self, rng):
+        a, b = make((3, 4), rng), make((3, 4), rng)
+        check_gradients(lambda: (a + b).sum(), [a, b])
+
+    def test_add_broadcast(self, rng):
+        a, b = make((3, 4), rng), make((4,), rng)
+        check_gradients(lambda: (a + b).sum(), [a, b])
+
+    def test_sub_and_rsub(self, rng):
+        a = make((2, 3), rng)
+        check_gradients(lambda: (5.0 - a).sum(), [a])
+        check_gradients(lambda: (a - 2.0).sum(), [a])
+
+    def test_mul_broadcast_scalar_tensor(self, rng):
+        a, s = make((2, 3), rng), make((), rng)
+        check_gradients(lambda: (a * s).sum(), [a, s])
+
+    def test_div(self, rng):
+        a = make((2, 3), rng)
+        b = Tensor(rng.uniform(1.0, 2.0, size=(2, 3)), requires_grad=True)
+        check_gradients(lambda: (a / b).sum(), [a, b])
+
+    def test_pow(self, rng):
+        a = Tensor(rng.uniform(0.5, 2.0, size=(4,)), requires_grad=True)
+        check_gradients(lambda: (a**3).sum(), [a])
+
+    def test_pow_rejects_tensor_exponent(self, rng):
+        a = make((2,), rng)
+        with pytest.raises(ShapeError):
+            a ** a  # noqa: B015
+
+    def test_neg(self, rng):
+        a = make((3,), rng)
+        check_gradients(lambda: (-a).sum(), [a])
+
+    def test_matmul(self, rng):
+        a, b = make((3, 4), rng), make((4, 2), rng)
+        check_gradients(lambda: (a @ b).sum(), [a, b])
+
+    def test_matmul_rejects_non_2d(self, rng):
+        with pytest.raises(ShapeError):
+            make((2, 3, 4), rng) @ make((4, 2), rng)
+
+
+class TestElementwiseGradients:
+    def test_exp(self, rng):
+        a = make((3,), rng)
+        check_gradients(lambda: a.exp().sum(), [a])
+
+    def test_log(self, rng):
+        a = Tensor(rng.uniform(0.5, 3.0, size=(3,)), requires_grad=True)
+        check_gradients(lambda: a.log().sum(), [a])
+
+    def test_sqrt(self, rng):
+        a = Tensor(rng.uniform(0.5, 3.0, size=(3,)), requires_grad=True)
+        check_gradients(lambda: a.sqrt().sum(), [a])
+
+    def test_abs(self, rng):
+        a = Tensor(rng.choice([-1.5, 2.5], size=(6,)) + rng.normal(scale=0.1, size=6), requires_grad=True)
+        check_gradients(lambda: a.abs().sum(), [a])
+
+    def test_sigmoid(self, rng):
+        a = make((5,), rng)
+        check_gradients(lambda: a.sigmoid().sum(), [a])
+
+    def test_sigmoid_extreme_values_stable(self):
+        a = Tensor(np.array([-1000.0, 1000.0]))
+        out = a.sigmoid().numpy()
+        np.testing.assert_allclose(out, [0.0, 1.0], atol=1e-12)
+
+    def test_tanh(self, rng):
+        a = make((5,), rng)
+        check_gradients(lambda: a.tanh().sum(), [a])
+
+    def test_clip(self, rng):
+        a = Tensor(np.array([-2.0, -0.5, 0.5, 2.0]), requires_grad=True)
+        check_gradients(lambda: a.clip(-1.0, 1.0).sum(), [a])
+        out = a.clip(-1.0, 1.0).numpy()
+        assert out.min() >= -1.0 and out.max() <= 1.0
+
+
+class TestReductionsAndShapes:
+    def test_sum_axis_keepdims(self, rng):
+        a = make((2, 3, 4), rng)
+        check_gradients(lambda: (a.sum(axis=1, keepdims=True) ** 2).sum(), [a])
+
+    def test_sum_tuple_axis(self, rng):
+        a = make((2, 3, 4), rng)
+        check_gradients(lambda: (a.sum(axis=(0, 2)) ** 2).sum(), [a])
+
+    def test_mean(self, rng):
+        a = make((2, 3), rng)
+        check_gradients(lambda: a.mean(), [a])
+        np.testing.assert_allclose(a.mean().item(), a.data.mean())
+
+    def test_mean_tuple_axis_matches_numpy(self, rng):
+        a = make((2, 3, 4), rng)
+        np.testing.assert_allclose(a.mean(axis=(0, 2)).numpy(), a.data.mean(axis=(0, 2)))
+
+    def test_max_axis(self, rng):
+        a = Tensor(rng.permutation(12).reshape(3, 4).astype(float), requires_grad=True)
+        check_gradients(lambda: a.max(axis=1).sum(), [a])
+
+    def test_max_tie_splits_gradient(self):
+        a = Tensor(np.array([[1.0, 1.0, 0.0]]), requires_grad=True)
+        a.max(axis=1).backward(np.ones(1))
+        np.testing.assert_allclose(a.grad, [[0.5, 0.5, 0.0]])
+
+    def test_reshape(self, rng):
+        a = make((2, 6), rng)
+        check_gradients(lambda: (a.reshape(3, 4) ** 2).sum(), [a])
+
+    def test_transpose(self, rng):
+        a = make((2, 3, 4), rng)
+        check_gradients(lambda: (a.transpose(2, 0, 1) ** 2).sum(), [a])
+        assert a.transpose(2, 0, 1).shape == (4, 2, 3)
+
+    def test_T(self, rng):
+        a = make((2, 5), rng)
+        assert a.T.shape == (5, 2)
+
+    def test_getitem_slice(self, rng):
+        a = make((4, 5), rng)
+        check_gradients(lambda: (a[1:3, ::2] ** 2).sum(), [a])
+
+    def test_getitem_repeated_index_accumulates(self):
+        a = Tensor(np.arange(3.0), requires_grad=True)
+        a[np.array([0, 0, 1])].sum().backward()
+        np.testing.assert_allclose(a.grad, [2.0, 1.0, 0.0])
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    shape=st.sampled_from([(2,), (3, 2), (2, 3, 2)]),
+    seed=st.integers(0, 2**16),
+)
+def test_property_sum_matches_numpy(shape, seed):
+    data = np.random.default_rng(seed).normal(size=shape)
+    np.testing.assert_allclose(Tensor(data).sum().item(), data.sum())
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 2**16))
+def test_property_mul_gradient_is_other_operand(seed):
+    rng = np.random.default_rng(seed)
+    a = Tensor(rng.normal(size=(4,)), requires_grad=True)
+    b = Tensor(rng.normal(size=(4,)))
+    (a * b).sum().backward()
+    np.testing.assert_allclose(a.grad, b.data)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 2**16), extra_dims=st.integers(0, 2))
+def test_property_broadcast_grad_shape_matches_param(seed, extra_dims):
+    rng = np.random.default_rng(seed)
+    small = Tensor(rng.normal(size=(3,)), requires_grad=True)
+    big_shape = (2,) * extra_dims + (4, 3)
+    big = Tensor(rng.normal(size=big_shape))
+    (small + big).sum().backward()
+    assert small.grad.shape == small.shape
+    np.testing.assert_allclose(small.grad, np.full(3, np.prod(big_shape[:-1], dtype=float)))

@@ -1,0 +1,73 @@
+"""Tests for 8-bit activation quantization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import QuantizationError
+from repro.nn.tensor import Tensor
+from repro.quant.activations import (
+    ActivationQuantConfig,
+    QuantizedActivation,
+    quantize_activations,
+)
+
+
+class TestConfig:
+    def test_step(self):
+        cfg = ActivationQuantConfig(bits=8, max_abs=8.0)
+        assert cfg.step == 16.0 / 256
+
+    def test_validation(self):
+        with pytest.raises(QuantizationError):
+            ActivationQuantConfig(bits=1)
+        with pytest.raises(QuantizationError):
+            ActivationQuantConfig(max_abs=0.0)
+
+
+class TestQuantizeActivations:
+    def test_on_grid(self, rng):
+        cfg = ActivationQuantConfig()
+        x = rng.normal(size=100)
+        q = quantize_activations(x, cfg)
+        codes = q / cfg.step
+        np.testing.assert_allclose(codes, np.rint(codes))
+
+    def test_saturation(self):
+        cfg = ActivationQuantConfig(bits=8, max_abs=8.0)
+        q = quantize_activations(np.array([100.0, -100.0]), cfg)
+        np.testing.assert_allclose(q, [8.0 - cfg.step, -8.0])
+
+    def test_error_bound(self, rng):
+        cfg = ActivationQuantConfig()
+        x = rng.uniform(-7.5, 7.5, size=500)
+        assert np.abs(quantize_activations(x, cfg) - x).max() <= cfg.step / 2 + 1e-12
+
+    def test_idempotent(self, rng):
+        cfg = ActivationQuantConfig()
+        q = quantize_activations(rng.normal(size=50), cfg)
+        np.testing.assert_allclose(quantize_activations(q, cfg), q)
+
+
+class TestQuantizedActivationLayer:
+    def test_forward_quantizes(self, rng):
+        layer = QuantizedActivation()
+        x = Tensor(rng.normal(size=(2, 3)))
+        out = layer(x)
+        codes = out.numpy() / layer.config.step
+        np.testing.assert_allclose(codes, np.rint(codes))
+
+    def test_disabled_is_identity(self, rng):
+        layer = QuantizedActivation(enabled=False)
+        x = Tensor(rng.normal(size=(2, 3)))
+        assert layer(x) is x
+
+    def test_ste_gradient_clipped(self):
+        layer = QuantizedActivation(ActivationQuantConfig(bits=8, max_abs=1.0))
+        x = Tensor(np.array([-2.0, 0.5, 2.0]), requires_grad=True)
+        layer(x).backward(np.ones(3))
+        np.testing.assert_allclose(x.grad, [0.0, 1.0, 0.0])
+
+    def test_repr(self):
+        assert "bits=8" in repr(QuantizedActivation())

@@ -1,0 +1,86 @@
+"""Tests for activation-range calibration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.models import build_network
+from repro.quant import ActivationObserver, calibrate_activations, paper_schemes
+from repro.quant.activations import QuantizedActivation
+
+SCHEMES = paper_schemes()
+
+
+class TestObserver:
+    def test_percentile_validated(self):
+        with pytest.raises(ConfigurationError):
+            ActivationObserver(percentile=0.0)
+        with pytest.raises(ConfigurationError):
+            ActivationObserver(percentile=101.0)
+
+    def test_range_is_max_over_batches(self, rng):
+        obs = ActivationObserver(percentile=100.0)
+        obs.observe(0, np.array([1.0, -2.0]))
+        obs.observe(0, np.array([0.5]))
+        assert obs.range_for(0) == 2.0
+
+    def test_missing_layer_raises(self):
+        with pytest.raises(ConfigurationError):
+            ActivationObserver().range_for(3)
+
+
+class TestCalibration:
+    def test_sets_power_of_two_ranges(self, rng):
+        net = build_network(1, SCHEMES["L-1"], num_classes=5, image_size=8,
+                            width_scale=0.15, rng=0)
+        batches = [rng.normal(size=(4, 3, 8, 8)) for _ in range(2)]
+        ranges = calibrate_activations(net, batches)
+        assert ranges  # at least one quantizer calibrated
+        for max_abs in ranges.values():
+            assert max_abs > 0
+            assert np.log2(max_abs) == np.rint(np.log2(max_abs))
+
+    def test_quantizers_updated_in_place(self, rng):
+        net = build_network(1, SCHEMES["L-1"], num_classes=5, image_size=8,
+                            width_scale=0.15, rng=0)
+        before = [m.config.max_abs for m in net.modules()
+                  if isinstance(m, QuantizedActivation) and m.enabled]
+        calibrate_activations(net, [rng.normal(scale=0.2, size=(4, 3, 8, 8))])
+        after = [m.config.max_abs for m in net.modules()
+                 if isinstance(m, QuantizedActivation) and m.enabled]
+        assert len(before) == len(after)
+        assert before != after  # at least the input quantizer tightens
+
+    def test_full_precision_model_is_noop(self, rng):
+        net = build_network(1, SCHEMES["Full"], num_classes=5, image_size=8,
+                            width_scale=0.15, rng=0)
+        assert calibrate_activations(net, [rng.normal(size=(2, 3, 8, 8))]) == {}
+
+    def test_forward_restored_after_calibration(self, rng):
+        """Calibration must not leave observation hooks behind."""
+        from repro.nn.tensor import Tensor, no_grad
+
+        net = build_network(1, SCHEMES["L-1"], num_classes=5, image_size=8,
+                            width_scale=0.15, rng=0)
+        calibrate_activations(net, [rng.normal(size=(2, 3, 8, 8))])
+        net.eval()
+        x = Tensor(rng.normal(size=(1, 3, 8, 8)))
+        with no_grad():
+            out1 = net(x).numpy()
+            out2 = net(x).numpy()
+        np.testing.assert_array_equal(out1, out2)
+        # Outputs must actually be quantized (hooks removed, quantizer active).
+        quantizer = next(m for m in net.modules()
+                         if isinstance(m, QuantizedActivation) and m.enabled)
+        probe = Tensor(rng.normal(size=(2, 2)))
+        codes = quantizer(probe).numpy() / quantizer.config.step
+        np.testing.assert_allclose(codes, np.rint(codes))
+
+    def test_calibration_tightens_small_activations(self, rng):
+        """Tiny activations get a much smaller range than the default 8.0."""
+        net = build_network(1, SCHEMES["L-1"], num_classes=5, image_size=8,
+                            width_scale=0.15, rng=0)
+        ranges = calibrate_activations(net, [0.01 * rng.normal(size=(4, 3, 8, 8))])
+        assert min(ranges.values()) < 8.0

@@ -1,0 +1,78 @@
+"""Tests for the Fig. 3 filter decomposition (k=2 -> two k=1 convolutions)."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+from repro.quant.decompose import decompose_filter_bank
+from repro.quant.flightnn import FLightNNConfig, FLightNNQuantizer
+from repro.quant.power_of_two import PowerOfTwoConfig, is_power_of_two_value
+
+
+def quantizer(k_max=2):
+    return FLightNNQuantizer(FLightNNConfig(k_max=k_max, pow2=PowerOfTwoConfig()))
+
+
+class TestDecomposition:
+    def test_reconstruction_exact(self, rng):
+        q = quantizer()
+        w = rng.normal(scale=0.5, size=(6, 3, 3, 3))
+        t = np.array([0.0, 0.02])
+        bank = decompose_filter_bank(w, t, q)
+        np.testing.assert_allclose(bank.reconstruct(), q.quantize(w, t).quantized)
+
+    def test_every_term_is_single_shift(self, rng):
+        q = quantizer()
+        w = rng.normal(scale=0.5, size=(4, 2, 3, 3))
+        bank = decompose_filter_bank(w, np.zeros(2), q)
+        for term in bank.terms:
+            assert is_power_of_two_value(term).all()
+
+    def test_total_single_shift_filters(self, rng):
+        q = quantizer()
+        w = rng.normal(scale=0.5, size=(8, 2, 3, 3))
+        norms = q.residual_norms(w, np.zeros(2))
+        t = np.array([0.0, float(np.median(norms[1]))])
+        bank = decompose_filter_bank(w, t, q)
+        assert bank.total_single_shift_filters == int(bank.filter_k.sum())
+        assert bank.total_single_shift_filters < 16  # some filters dropped to k=1
+
+    def test_fig3_conv_equivalence(self, rng):
+        """conv(x, Q(w)) == sum_j conv(x, term_j) — the paper's Fig. 3."""
+        q = quantizer()
+        w = rng.normal(scale=0.5, size=(4, 3, 3, 3))
+        t = np.array([0.0, 0.05])
+        x = Tensor(rng.normal(size=(2, 3, 8, 8)))
+        bank = decompose_filter_bank(w, t, q)
+        combined = F.conv2d(x, Tensor(q.quantize(w, t).quantized), padding=1).numpy()
+        summed = sum(
+            F.conv2d(x, Tensor(term), padding=1).numpy() for term in bank.terms
+        )
+        np.testing.assert_allclose(combined, summed, rtol=1e-10, atol=1e-12)
+
+    def test_fig3_numeric_example(self):
+        """The exact 3x3 example matrix from Fig. 3 splits into two k=1 parts."""
+        w = np.array(
+            [[[[0.75, 0.5, 0.375], [0.625, 0.75, 0.5], [1.25, 0.625, 0.25]]]]
+        )
+        q = quantizer()
+        bank = decompose_filter_bank(w, np.zeros(2), q)
+        np.testing.assert_allclose(bank.reconstruct(), q.quantize(w, np.zeros(2)).quantized)
+        assert bank.filter_k[0] == 2
+        assert is_power_of_two_value(bank.terms[0]).all()
+        assert is_power_of_two_value(bank.terms[1]).all()
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 2**16), k_max=st.integers(1, 3))
+def test_property_reconstruction_invariant(seed, k_max):
+    rng = np.random.default_rng(seed)
+    q = quantizer(k_max=k_max)
+    w = rng.normal(scale=0.5, size=(5, 2, 2, 2))
+    t = rng.uniform(0, 0.2, size=k_max)
+    bank = decompose_filter_bank(w, t, q)
+    np.testing.assert_allclose(bank.reconstruct(), q.quantize(w, t).quantized)

@@ -1,0 +1,98 @@
+"""Tests for the hardware weight encoding (sign/exponent code planes)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QuantizationError
+from repro.quant.decompose import DecomposedFilterBank, decompose_filter_bank
+from repro.quant.encoding import decode_terms, encode_terms
+from repro.quant.flightnn import FLightNNConfig, FLightNNQuantizer
+from repro.quant.power_of_two import PowerOfTwoConfig
+
+
+CONFIG = PowerOfTwoConfig(exp_min=-6, exp_max=1)
+
+
+def make_bank(rng, thresholds=None, filters=6):
+    q = FLightNNQuantizer(FLightNNConfig(k_max=2, pow2=CONFIG))
+    w = rng.normal(scale=0.4, size=(filters, 2, 3, 3))
+    t = np.zeros(2) if thresholds is None else thresholds
+    return decompose_filter_bank(w, t, q), q.quantize(w, t).quantized
+
+
+class TestRoundTrip:
+    def test_decode_reconstructs_exactly(self, rng):
+        bank, quantized = make_bank(rng)
+        encoded = encode_terms(bank, CONFIG)
+        np.testing.assert_array_equal(decode_terms(encoded), quantized)
+
+    def test_mixed_k_round_trip(self, rng):
+        q = FLightNNQuantizer(FLightNNConfig(k_max=2, pow2=CONFIG))
+        w = rng.normal(scale=0.4, size=(8, 12))
+        norms = q.residual_norms(w, np.zeros(2))
+        t = np.array([0.0, float(np.median(norms[1]))])
+        bank = decompose_filter_bank(w, t, q)
+        encoded = encode_terms(bank, CONFIG)
+        np.testing.assert_array_equal(decode_terms(encoded), q.quantize(w, t).quantized)
+
+    def test_code_planes_shape(self, rng):
+        bank, _ = make_bank(rng, filters=5)
+        encoded = encode_terms(bank, CONFIG)
+        assert encoded.signs.shape == (2, 5, 2, 3, 3)
+        assert encoded.exponent_codes.shape == encoded.signs.shape
+        assert encoded.signs.dtype == np.uint8
+
+
+class TestBitAccounting:
+    def test_bits_per_code(self, rng):
+        bank, _ = make_bank(rng)
+        encoded = encode_terms(bank, CONFIG)
+        # 8 exponents + zero code = 9 levels -> 4-bit field + sign = 5 bits.
+        assert encoded.bits_per_code == 5
+
+    def test_total_bits_scale_with_filter_k(self, rng):
+        q = FLightNNQuantizer(FLightNNConfig(k_max=2, pow2=CONFIG))
+        w = rng.normal(scale=0.4, size=(6, 2, 3, 3))
+        all_on = decompose_filter_bank(w, np.zeros(2), q)
+        all_off = decompose_filter_bank(w, np.array([0.0, 1e9]), q)
+        bits_on = encode_terms(all_on, CONFIG).total_bits
+        bits_off = encode_terms(all_off, CONFIG).total_bits
+        assert bits_on == pytest.approx(2 * bits_off, rel=0.01)
+
+
+class TestValidation:
+    def test_non_power_of_two_rejected(self):
+        bad = DecomposedFilterBank(
+            terms=[np.full((2, 4), 0.3)], filter_k=np.array([1, 1])
+        )
+        with pytest.raises(QuantizationError):
+            encode_terms(bad, CONFIG)
+
+    def test_out_of_window_exponent_rejected(self):
+        bad = DecomposedFilterBank(
+            terms=[np.full((1, 2), 2.0**5)], filter_k=np.array([1])
+        )
+        with pytest.raises(QuantizationError):
+            encode_terms(bad, CONFIG)
+
+    def test_zero_code_reserved(self, rng):
+        bank, _ = make_bank(rng, thresholds=np.array([0.0, 1e9]))
+        encoded = encode_terms(bank, CONFIG)
+        # Every level-1 code must be the zero code (gates all off).
+        assert (encoded.exponent_codes[1] == 0).all()
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 2**16))
+def test_property_encode_decode_identity(seed):
+    rng = np.random.default_rng(seed)
+    q = FLightNNQuantizer(FLightNNConfig(k_max=2, pow2=CONFIG))
+    w = rng.normal(scale=0.5, size=(4, 6))
+    t = rng.uniform(0, 0.1, size=2)
+    bank = decompose_filter_bank(w, t, q)
+    encoded = encode_terms(bank, CONFIG)
+    np.testing.assert_array_equal(decode_terms(encoded), q.quantize(w, t).quantized)

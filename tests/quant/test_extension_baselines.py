@@ -1,0 +1,138 @@
+"""Tests for the related-work baselines: BinaryConnect and DoReFa."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QuantizationError
+from repro.hw import AsicEnergyModel, FPGAModel, network_largest_layer_ops
+from repro.models import build_network
+from repro.nn.tensor import Tensor
+from repro.quant.binary import (
+    BinaryConnectConfig,
+    BinaryWeights,
+    binarize,
+    scheme_binaryconnect,
+)
+from repro.quant.dorefa import DoReFaConfig, DoReFaWeights, dorefa_quantize, scheme_dorefa
+from repro.quant.schemes import scheme_lightnn
+
+
+class TestBinarize:
+    def test_output_is_sign_times_scale(self, rng):
+        w = rng.normal(size=(4, 6))
+        q = binarize(w, BinaryConnectConfig())
+        scales = np.abs(w).reshape(4, -1).mean(axis=1)
+        np.testing.assert_allclose(np.abs(q), scales[:, None] * np.ones((4, 6)))
+        np.testing.assert_array_equal(np.sign(q), np.where(w >= 0, 1.0, -1.0))
+
+    def test_plain_binaryconnect_scale_one(self, rng):
+        w = rng.normal(size=(3, 5))
+        q = binarize(w, BinaryConnectConfig(per_filter_scale=False))
+        assert set(np.unique(q)) <= {-1.0, 1.0}
+
+    def test_clip_validated(self):
+        with pytest.raises(QuantizationError):
+            BinaryConnectConfig(clip=0.0)
+
+    def test_strategy_one_bit_storage(self, rng):
+        s = BinaryWeights()
+        w = rng.normal(size=(4, 3, 3, 3))
+        np.testing.assert_array_equal(s.bits_per_weight(w, None), 1.0)
+        np.testing.assert_array_equal(s.filter_k(w, None), 0)
+
+    def test_ste_clips_gradient(self):
+        s = BinaryWeights(BinaryConnectConfig(clip=1.0))
+        w = Tensor(np.array([[-2.0, 0.5, 2.0]]), requires_grad=True)
+        s.apply(w, None).backward(np.ones((1, 3)))
+        np.testing.assert_allclose(w.grad, [[0.0, 1.0, 0.0]])
+
+
+class TestDoReFa:
+    def test_output_on_uniform_grid(self, rng):
+        cfg = DoReFaConfig(bits=3)
+        q = dorefa_quantize(rng.normal(size=50), cfg)
+        codes = (q + 1.0) / 2.0 * cfg.levels
+        np.testing.assert_allclose(codes, np.rint(codes), atol=1e-9)
+        assert q.min() >= -1.0 and q.max() <= 1.0
+
+    def test_extreme_weight_maps_to_extreme_level(self, rng):
+        w = np.array([5.0, -5.0, 0.0])
+        q = dorefa_quantize(w, DoReFaConfig(bits=4))
+        assert q[0] == pytest.approx(1.0)
+        assert q[1] == pytest.approx(-1.0)
+
+    def test_all_zero_input(self):
+        np.testing.assert_array_equal(dorefa_quantize(np.zeros(4), DoReFaConfig()), 0.0)
+
+    def test_bits_validated(self):
+        with pytest.raises(QuantizationError):
+            DoReFaConfig(bits=1)
+
+    def test_more_bits_less_error(self, rng):
+        w = rng.normal(size=200)
+        err = {
+            bits: np.abs(dorefa_quantize(w, DoReFaConfig(bits=bits)) - np.tanh(w) / np.abs(np.tanh(w)).max()).mean()
+            for bits in (2, 4, 8)
+        }
+        assert err[8] < err[4] < err[2]
+
+    def test_strategy_storage(self, rng):
+        s = DoReFaWeights(DoReFaConfig(bits=4))
+        np.testing.assert_array_equal(s.bits_per_weight(rng.normal(size=(3, 4)), None), 4.0)
+
+
+class TestSchemesAndHardware:
+    def test_scheme_labels(self):
+        assert scheme_binaryconnect().name == "BC_1W8A"
+        assert scheme_dorefa(4).name == "DF_4W8A"
+
+    def test_binary_storage_quarter_of_lightnn1(self):
+        nets = {}
+        for scheme in (scheme_binaryconnect(), scheme_lightnn(1)):
+            nets[scheme.name] = build_network(
+                1, scheme, num_classes=10, image_size=16, width_scale=0.25, rng=0
+            )
+        assert nets["BC_1W8A"].storage_mb() == pytest.approx(
+            nets["L-1_4W8A"].storage_mb() / 4
+        )
+
+    def test_binary_cheapest_on_both_hardware_models(self):
+        results = {}
+        for scheme in (scheme_binaryconnect(), scheme_lightnn(1), scheme_dorefa(4)):
+            net = build_network(1, scheme, num_classes=10, image_size=16,
+                                width_scale=0.25, rng=0)
+            ops = network_largest_layer_ops(net)
+            results[scheme.name] = (
+                FPGAModel().map_layer(ops).throughput,
+                AsicEnergyModel().layer_energy_uj(ops),
+            )
+        assert results["BC_1W8A"][0] >= results["L-1_4W8A"][0]
+        assert results["BC_1W8A"][1] < results["L-1_4W8A"][1]
+        assert results["DF_4W8A"][1] > results["L-1_4W8A"][1]
+
+    def test_binary_network_trains(self, rng):
+        from repro.data.synthetic import SyntheticImageConfig, generate_synthetic_images
+        from repro.train import TrainConfig, Trainer
+
+        split = generate_synthetic_images(
+            SyntheticImageConfig(num_classes=5, image_size=10, train_size=128,
+                                 test_size=64, noise=0.4, seed=33)
+        )
+        net = build_network(1, scheme_binaryconnect(), num_classes=5,
+                            image_size=10, width_scale=0.25, rng=0)
+        history = Trainer(net, TrainConfig(epochs=4, batch_size=32, lr=3e-3)).fit(split)
+        assert history.final.test_accuracy > 0.3  # clearly above 0.2 chance
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 2**16))
+def test_property_binarize_idempotent_signs(seed):
+    w = np.random.default_rng(seed).normal(size=(3, 8))
+    cfg = BinaryConnectConfig()
+    q1 = binarize(w, cfg)
+    q2 = binarize(q1, cfg)
+    np.testing.assert_array_equal(np.sign(q1), np.sign(q2))

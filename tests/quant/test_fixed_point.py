@@ -1,0 +1,79 @@
+"""Tests for the fixed-point baseline quantizer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QuantizationError
+from repro.quant.fixed_point import FixedPointFormat, best_frac_bits, quantize_fixed_point
+
+
+class TestFormat:
+    def test_step_and_range(self):
+        fmt = FixedPointFormat(bits=4, frac_bits=3)
+        assert fmt.step == 0.125
+        assert fmt.min_value == -1.0
+        assert fmt.max_value == 0.875
+
+    def test_str(self):
+        assert str(FixedPointFormat(bits=8, frac_bits=4)) == "Q3.4"
+
+    def test_too_few_bits(self):
+        with pytest.raises(QuantizationError):
+            FixedPointFormat(bits=1, frac_bits=0)
+
+
+class TestQuantize:
+    def test_grid_values_unchanged(self):
+        fmt = FixedPointFormat(bits=4, frac_bits=3)
+        grid = np.arange(-8, 8) * fmt.step
+        np.testing.assert_allclose(quantize_fixed_point(grid, fmt), grid)
+
+    def test_saturation(self):
+        fmt = FixedPointFormat(bits=4, frac_bits=3)
+        out = quantize_fixed_point(np.array([5.0, -5.0]), fmt)
+        np.testing.assert_allclose(out, [fmt.max_value, fmt.min_value])
+
+    def test_rounding_nearest(self):
+        fmt = FixedPointFormat(bits=8, frac_bits=3)
+        np.testing.assert_allclose(quantize_fixed_point(np.array([0.3]), fmt), [0.25])
+
+    def test_error_bounded_by_half_step(self, rng):
+        fmt = FixedPointFormat(bits=8, frac_bits=4)
+        x = rng.uniform(fmt.min_value, fmt.max_value, size=200)
+        err = np.abs(quantize_fixed_point(x, fmt) - x)
+        assert err.max() <= fmt.step / 2 + 1e-12
+
+
+class TestBestFracBits:
+    def test_small_weights_get_more_frac_bits(self, rng):
+        small = rng.normal(scale=0.01, size=500)
+        large = rng.normal(scale=2.0, size=500)
+        assert best_frac_bits(small, 4) > best_frac_bits(large, 4)
+
+    def test_returns_int(self, rng):
+        assert isinstance(best_frac_bits(rng.normal(size=10), 4), int)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 2**16), bits=st.integers(2, 8), frac=st.integers(0, 6))
+def test_property_output_on_grid_and_in_range(seed, bits, frac):
+    fmt = FixedPointFormat(bits=bits, frac_bits=frac)
+    x = np.random.default_rng(seed).normal(scale=3.0, size=64)
+    q = quantize_fixed_point(x, fmt)
+    codes = q / fmt.step
+    np.testing.assert_allclose(codes, np.rint(codes))
+    assert q.min() >= fmt.min_value - 1e-12
+    assert q.max() <= fmt.max_value + 1e-12
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 2**16))
+def test_property_idempotent(seed):
+    fmt = FixedPointFormat(bits=6, frac_bits=3)
+    x = np.random.default_rng(seed).normal(size=32)
+    q = quantize_fixed_point(x, fmt)
+    np.testing.assert_allclose(quantize_fixed_point(q, fmt), q)

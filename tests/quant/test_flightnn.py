@@ -1,0 +1,232 @@
+"""Tests for the FLightNN quantizer — the paper's core contribution."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QuantizationError, ShapeError
+from repro.nn.tensor import Tensor, _stable_sigmoid
+from repro.quant.flightnn import FLightNNConfig, FLightNNQuantizer
+from repro.quant.lightnn import LightNNQuantizer, LightNNConfig
+from repro.quant.power_of_two import PowerOfTwoConfig, is_power_of_two_value
+
+
+def make_quantizer(k_max=2, norm_per_element=True, exp_min=-6, exp_max=1):
+    return FLightNNQuantizer(
+        FLightNNConfig(
+            k_max=k_max,
+            pow2=PowerOfTwoConfig(exp_min=exp_min, exp_max=exp_max),
+            norm_per_element=norm_per_element,
+        )
+    )
+
+
+class TestConfig:
+    def test_k_max_validated(self):
+        with pytest.raises(QuantizationError):
+            FLightNNConfig(k_max=0)
+
+    def test_threshold_shape_validated(self, rng):
+        q = make_quantizer(k_max=2)
+        with pytest.raises(ShapeError):
+            q.quantize(rng.normal(size=(4, 9)), np.zeros(3))
+
+    def test_weight_ndim_validated(self, rng):
+        q = make_quantizer()
+        with pytest.raises(ShapeError):
+            q.quantize(rng.normal(size=7), np.zeros(2))
+
+
+class TestForwardQuantization:
+    def test_zero_thresholds_match_lightnn2(self, rng):
+        """At t = 0 every gate with non-zero residual fires: FLightNN == LightNN-2."""
+        w = rng.normal(scale=0.4, size=(6, 3, 3, 3))
+        fl = make_quantizer(k_max=2)
+        ln = LightNNQuantizer(LightNNConfig(k=2, pow2=fl.config.pow2))
+        np.testing.assert_allclose(fl.quantize(w, np.zeros(2)).quantized, ln.quantize(w))
+
+    def test_quantization_flow_matches_fig2(self):
+        """Walk the Fig. 2 flow for a hand-built filter (k = 2)."""
+        q = make_quantizer(k_max=2, norm_per_element=False)
+        w = np.array([[0.75, -0.375]])  # R: 0.75->1(? log2 0.75=-0.415->0->1) etc.
+        t = np.array([0.0, 0.0])
+        state = q.quantize(w, t)
+        # Level 0: r0 = w, s0 = ||w|| > 0 -> gate on, R(r0) computed.
+        assert state.gates[0, 0]
+        np.testing.assert_allclose(state.residuals[0], w)
+        # Level 1: r1 = w - R(w); gate on iff ||r1|| > 0.
+        r1 = w - state.rounded[0]
+        np.testing.assert_allclose(state.residuals[1], r1)
+        expected = state.rounded[0] + state.gates[1, 0] * state.rounded[1]
+        np.testing.assert_allclose(state.quantized, expected)
+
+    def test_huge_threshold_prunes_everything(self, rng):
+        q = make_quantizer()
+        w = rng.normal(size=(4, 8))
+        state = q.quantize(w, np.array([1e9, 1e9]))
+        np.testing.assert_allclose(state.quantized, 0.0)
+        np.testing.assert_array_equal(q.filter_k(w, np.array([1e9, 1e9])), 0)
+
+    def test_intermediate_threshold_gives_mixed_k(self, rng):
+        """Thresholding level 1 by the median residual norm splits filters."""
+        q = make_quantizer()
+        w = rng.normal(scale=0.4, size=(16, 27))
+        norms = q.residual_norms(w, np.zeros(2))
+        t1 = float(np.median(norms[1]))
+        k = q.filter_k(w, np.array([0.0, t1]))
+        assert (k == 1).any() and (k == 2).any()
+
+    def test_output_is_sum_of_powers_of_two(self, rng):
+        q = make_quantizer()
+        w = rng.normal(scale=0.5, size=(8, 16))
+        state = q.quantize(w, np.array([0.0, 0.05]))
+        for j in range(2):
+            gated = state.gates[j][:, None] * state.rounded[j]
+            assert is_power_of_two_value(gated).all()
+        np.testing.assert_allclose(
+            state.quantized,
+            sum(state.gates[j][:, None] * state.rounded[j] for j in range(2)),
+        )
+
+    def test_filter_k_ignores_degenerate_levels(self):
+        """A level whose rounded residual is all-zero adds no effective shift."""
+        q = make_quantizer(exp_min=-3)
+        # Weights exactly powers of two: level-1 residual is 0 -> rounded 0.
+        w = np.array([[0.5, -0.25, 1.0, 0.5]])
+        k = q.filter_k(w, np.zeros(2))
+        np.testing.assert_array_equal(k, [1])
+
+    def test_norm_per_element_scaling(self, rng):
+        w = rng.normal(size=(3, 100))
+        q_rms = make_quantizer(norm_per_element=True)
+        q_l2 = make_quantizer(norm_per_element=False)
+        s_rms = q_rms.residual_norms(w, np.zeros(2))[0]
+        s_l2 = q_l2.residual_norms(w, np.zeros(2))[0]
+        np.testing.assert_allclose(s_l2, s_rms * 10.0)
+
+    def test_residual_norms_shape(self, rng):
+        q = make_quantizer(k_max=3)
+        norms = q.residual_norms(rng.normal(size=(5, 9)), np.zeros(3))
+        assert norms.shape == (3, 5)
+
+    def test_residual_norm_decreases_over_active_levels(self, rng):
+        q = make_quantizer(k_max=3)
+        w = rng.normal(scale=0.5, size=(10, 32))
+        norms = q.residual_norms(w, np.zeros(3))
+        assert (norms[1] <= norms[0] + 1e-12).all()
+        assert (norms[2] <= norms[1] + 1e-12).all()
+
+
+class TestGradients:
+    def test_weight_gradient_is_ste(self, rng):
+        q = make_quantizer()
+        w = Tensor(rng.normal(size=(4, 2, 3, 3)), requires_grad=True)
+        t = Tensor(np.zeros(2), requires_grad=True)
+        upstream = rng.normal(size=(4, 2, 3, 3))
+        q.apply(w, t).backward(upstream)
+        np.testing.assert_allclose(w.grad, upstream)
+
+    def test_threshold_gradient_shape(self, rng):
+        q = make_quantizer(k_max=3)
+        w = Tensor(rng.normal(size=(4, 8)), requires_grad=True)
+        t = Tensor(np.zeros(3), requires_grad=True)
+        q.apply(w, t).backward(rng.normal(size=(4, 8)))
+        assert t.grad.shape == (3,)
+
+    def test_threshold_gradient_matches_paper_forward_mode(self, rng):
+        """Reverse sweep vs an independent forward-mode coding of Sec. 4.2."""
+        cfg = FLightNNConfig(k_max=2, pow2=PowerOfTwoConfig(), norm_per_element=True,
+                             sigmoid_temperature=0.05)
+        q = FLightNNQuantizer(cfg)
+        w_data = rng.normal(scale=0.5, size=(5, 12))
+        t_data = rng.uniform(0.0, 0.2, size=2)
+        upstream = rng.normal(size=(5, 12))
+
+        w = Tensor(w_data.copy(), requires_grad=True)
+        t = Tensor(t_data.copy(), requires_grad=True)
+        q.apply(w, t).backward(upstream)
+        reverse_grad = t.grad.copy()
+
+        # Forward-mode: propagate d/dt_m through the relaxed recursion.
+        state = q.quantize(w_data, t_data)
+        scale = 1.0 / np.sqrt(w_data.shape[1])
+        tau = cfg.sigmoid_temperature
+        forward_grad = np.zeros(2)
+        for m in range(2):
+            dq = np.zeros_like(w_data)
+            dr = np.zeros_like(w_data)
+            for level in range(2):
+                r = state.residuals[level]
+                rounded = state.rounded[level]
+                s = state.norms[level]
+                sig = _stable_sigmoid((s - t_data[level]) / tau)
+                sig_prime = sig * (1 - sig) / tau
+                safe = np.where(s > 0, s, 1.0)
+                ds = (r / safe[:, None] * scale * dr).sum(axis=1)
+                ds[s == 0] = 0.0
+                dgate = sig_prime * (ds - (1.0 if level == m else 0.0))
+                contribution = dgate[:, None] * rounded + sig[:, None] * dr  # dR := dr (STE)
+                dq = dq + contribution
+                dr = dr - contribution
+            forward_grad[m] = (upstream * dq).sum()
+        np.testing.assert_allclose(reverse_grad, forward_grad, rtol=1e-10)
+
+    def test_threshold_gradient_sign_disables_harmful_gate(self, rng):
+        """If the level-1 contribution hurts (positive alignment with the
+        upstream gradient), gradient descent on t must raise t_1."""
+        q = make_quantizer(norm_per_element=False)
+        w_data = rng.normal(scale=0.4, size=(3, 8))
+        t = Tensor(np.zeros(2), requires_grad=True)
+        w = Tensor(w_data, requires_grad=True)
+        state = q.quantize(w_data, np.zeros(2))
+        # Upstream gradient aligned with the level-1 rounded residual: the
+        # second shift is "hurting" the loss.
+        upstream = state.rounded[1].copy()
+        q.apply(w, t).backward(upstream)
+        assert t.grad[1] < 0  # descent step t -= lr*grad increases t_1
+
+    def test_no_threshold_grad_when_not_required(self, rng):
+        q = make_quantizer()
+        w = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        t = Tensor(np.zeros(2))  # no grad
+        q.apply(w, t).backward(rng.normal(size=(3, 4)))
+        assert t.grad is None
+        assert w.grad is not None
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 2**16), k_max=st.integers(1, 3))
+def test_property_k_between_0_and_kmax(seed, k_max):
+    rng = np.random.default_rng(seed)
+    q = make_quantizer(k_max=k_max)
+    w = rng.normal(scale=0.5, size=(8, 18))
+    t = rng.uniform(0.0, 0.3, size=k_max)
+    k = q.filter_k(w, t)
+    assert (k >= 0).all() and (k <= k_max).all()
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 2**16))
+def test_property_raising_threshold_never_increases_k(seed):
+    rng = np.random.default_rng(seed)
+    q = make_quantizer()
+    w = rng.normal(scale=0.5, size=(10, 12))
+    t_low = rng.uniform(0.0, 0.1, size=2)
+    t_high = t_low + rng.uniform(0.0, 0.3, size=2)
+    assert (q.filter_k(w, t_high) <= q.filter_k(w, t_low)).all()
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 2**16))
+def test_property_quantization_error_no_worse_than_lightnn1(seed):
+    """With t = 0 (all gates on), two shifts approximate at least as well as one."""
+    rng = np.random.default_rng(seed)
+    q = make_quantizer()
+    w = rng.normal(scale=0.5, size=(6, 10))
+    err2 = np.abs(w - q.quantize(w, np.zeros(2)).quantized)
+    ln1 = LightNNQuantizer(LightNNConfig(k=1, pow2=q.config.pow2))
+    err1 = np.abs(w - ln1.quantize(w))
+    assert (err2 <= err1 + 1e-12).all()

@@ -1,0 +1,147 @@
+"""Tests for R(x) rounding and LightNN's recursive Q_k."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QuantizationError
+from repro.quant.power_of_two import (
+    PowerOfTwoConfig,
+    is_power_of_two_value,
+    quantize_lightnn,
+    round_power_of_two,
+)
+
+
+class TestRoundPowerOfTwo:
+    def test_exact_powers_fixed(self):
+        x = np.array([1.0, 2.0, 0.5, -4.0, -0.25])
+        np.testing.assert_allclose(round_power_of_two(x), x)
+
+    def test_rounding_in_exponent_space(self):
+        # [log2 3] = [1.585] = 2 -> 4 ; [log2 1.4] = [0.485] = 0 -> 1.
+        np.testing.assert_allclose(round_power_of_two(np.array([3.0, 1.4])), [4.0, 1.0])
+
+    def test_geometric_midpoint_behaviour(self):
+        # sqrt(2) is the exponent-space midpoint between 1 and 2; values just
+        # below round down, just above round up.
+        below, above = 2**0.499, 2**0.501
+        out = round_power_of_two(np.array([below, above]))
+        np.testing.assert_allclose(out, [1.0, 2.0])
+
+    def test_zero_maps_to_zero(self):
+        assert round_power_of_two(np.array([0.0]))[0] == 0.0
+
+    def test_sign_preserved(self):
+        out = round_power_of_two(np.array([-3.0, 3.0]))
+        np.testing.assert_allclose(out, [-4.0, 4.0])
+
+    def test_window_underflow_to_zero(self):
+        cfg = PowerOfTwoConfig(exp_min=-3, exp_max=1)
+        # 0.05 -> exponent rint(log2 0.05) = -4 < exp_min -> 0.
+        np.testing.assert_allclose(round_power_of_two(np.array([0.05]), cfg), [0.0])
+
+    def test_window_overflow_clamps(self):
+        cfg = PowerOfTwoConfig(exp_min=-3, exp_max=1)
+        np.testing.assert_allclose(round_power_of_two(np.array([100.0, -100.0]), cfg), [2.0, -2.0])
+
+    def test_window_interior_unchanged(self):
+        cfg = PowerOfTwoConfig(exp_min=-3, exp_max=1)
+        np.testing.assert_allclose(round_power_of_two(np.array([0.3]), cfg), [0.25])
+
+    def test_invalid_window(self):
+        with pytest.raises(QuantizationError):
+            PowerOfTwoConfig(exp_min=2, exp_max=1)
+
+    def test_config_properties(self):
+        cfg = PowerOfTwoConfig(exp_min=-6, exp_max=1)
+        assert cfg.levels == 8
+        assert cfg.bits_per_term == 4  # sign + 3-bit exponent
+        assert cfg.min_magnitude == 2**-6
+        assert cfg.max_magnitude == 2.0
+
+
+class TestQuantizeLightNN:
+    def test_k0_is_zero(self, rng):
+        w = rng.normal(size=(5,))
+        np.testing.assert_allclose(quantize_lightnn(w, 0), 0.0)
+
+    def test_k1_equals_r(self, rng):
+        w = rng.normal(size=(20,))
+        np.testing.assert_allclose(quantize_lightnn(w, 1), round_power_of_two(w))
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(QuantizationError):
+            quantize_lightnn(np.ones(2), -1)
+
+    def test_k2_example_from_fig3(self):
+        # Fig. 3: 0.75 = 0.5 + 0.25 with k = 2.
+        np.testing.assert_allclose(quantize_lightnn(np.array([0.75]), 2), [0.75])
+
+    def test_idempotent_on_quantized_values(self, rng):
+        w = rng.normal(size=(30,))
+        q = quantize_lightnn(w, 2)
+        np.testing.assert_allclose(quantize_lightnn(q, 2), q)
+
+    def test_residual_never_increases_with_k(self, rng):
+        w = rng.normal(size=(100,))
+        errs = [np.abs(w - quantize_lightnn(w, k)) for k in range(4)]
+        for lower, higher in zip(errs, errs[1:]):
+            assert (higher <= lower + 1e-12).all()
+
+    def test_window_respected(self, rng):
+        cfg = PowerOfTwoConfig(exp_min=-2, exp_max=0)
+        q = quantize_lightnn(rng.normal(size=50), 2, cfg)
+        # Every value is a sum of two terms from {0, ±2^-2..±2^0}.
+        assert np.abs(q).max() <= 2 * cfg.max_magnitude
+
+
+class TestIsPowerOfTwoValue:
+    def test_detects_powers_and_zero(self):
+        mask = is_power_of_two_value(np.array([0.0, 1.0, 0.5, -2.0, 3.0, 0.3]))
+        np.testing.assert_array_equal(mask, [True, True, True, True, False, False])
+
+    def test_window_restriction(self):
+        cfg = PowerOfTwoConfig(exp_min=-1, exp_max=1)
+        mask = is_power_of_two_value(np.array([0.25, 0.5, 4.0]), cfg)
+        np.testing.assert_array_equal(mask, [False, True, False])
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(0, 2**20))
+def test_property_r_output_is_power_of_two(seed):
+    x = np.random.default_rng(seed).normal(scale=2.0, size=64)
+    assert is_power_of_two_value(round_power_of_two(x)).all()
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(0, 2**20), k=st.integers(1, 3))
+def test_property_qk_is_sum_of_k_powers(seed, k):
+    x = np.random.default_rng(seed).normal(size=32)
+    q = quantize_lightnn(x, k)
+    # Reconstruct greedily: subtracting R(residual) k times must reach q exactly.
+    acc = np.zeros_like(x)
+    for _ in range(k):
+        acc = acc + round_power_of_two(x - acc)
+    np.testing.assert_allclose(acc, q)
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(0, 2**20))
+def test_property_r_relative_error_bounded(seed):
+    # Exponent-space rounding changes a non-zero value by at most a factor
+    # in [2^-0.5, 2^0.5].
+    x = np.random.default_rng(seed).uniform(0.01, 10.0, size=64)
+    r = round_power_of_two(x)
+    ratio = r / x
+    assert (ratio >= 2**-0.5 - 1e-12).all() and (ratio <= 2**0.5 + 1e-12).all()
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 2**20))
+def test_property_r_is_odd_function(seed):
+    x = np.random.default_rng(seed).normal(size=32)
+    np.testing.assert_allclose(round_power_of_two(-x), -round_power_of_two(x))

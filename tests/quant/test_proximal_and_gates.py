@@ -1,0 +1,135 @@
+"""Tests for the proximal group-lasso operator and gate-pressure gradient."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.quant.flightnn import FLightNNConfig, FLightNNQuantizer
+from repro.quant.power_of_two import PowerOfTwoConfig
+from repro.quant.regularization import proximal_residual_shrink
+
+
+def quantizer(temp=0.02):
+    return FLightNNQuantizer(FLightNNConfig(k_max=2, sigmoid_temperature=temp))
+
+
+class TestProximalShrink:
+    def test_zero_lambda_is_identity(self, rng):
+        q = quantizer()
+        w = rng.normal(size=(4, 9))
+        out = proximal_residual_shrink(w, np.zeros(2), (0.0, 0.0), q, step_size=1e-3)
+        np.testing.assert_array_equal(out, w)
+
+    def test_zero_step_is_identity(self, rng):
+        q = quantizer()
+        w = rng.normal(size=(4, 9))
+        out = proximal_residual_shrink(w, np.zeros(2), (1.0, 1.0), q, step_size=0.0)
+        np.testing.assert_allclose(out, w)
+
+    def test_level1_shrink_reduces_residual_norm(self, rng):
+        q = quantizer()
+        w = rng.normal(scale=0.4, size=(6, 12))
+        out = proximal_residual_shrink(w, np.zeros(2), (0.0, 0.5), q, step_size=1e-2)
+        before = q.residual_norms(w, np.zeros(2))[1]
+        after = q.residual_norms(out, np.zeros(2))[1]
+        assert (after <= before + 1e-12).all()
+        assert after.sum() < before.sum()
+
+    def test_large_lambda_snaps_exactly_to_grid(self, rng):
+        """The group-lasso exact-zero property: residual becomes exactly 0."""
+        q = quantizer()
+        w = rng.normal(scale=0.4, size=(3, 8))
+        out = proximal_residual_shrink(w, np.zeros(2), (0.0, 1e6), q, step_size=1.0)
+        residual = q.residual_norms(out, np.zeros(2))[1]
+        np.testing.assert_allclose(residual, 0.0, atol=1e-15)
+        # With a zero level-1 residual the filter needs only one shift.
+        np.testing.assert_array_equal(q.filter_k(out, np.zeros(2)), 1)
+
+    def test_level0_shrink_moves_filters_toward_zero(self, rng):
+        q = quantizer()
+        w = rng.normal(size=(4, 6))
+        out = proximal_residual_shrink(w, np.zeros(2), (0.3, 0.0), q, step_size=1e-2)
+        assert np.linalg.norm(out) < np.linalg.norm(w)
+
+    def test_does_not_mutate_input(self, rng):
+        q = quantizer()
+        w = rng.normal(size=(3, 4))
+        copy = w.copy()
+        proximal_residual_shrink(w, np.zeros(2), (0.1, 0.1), q, step_size=1e-2)
+        np.testing.assert_array_equal(w, copy)
+
+    def test_validation(self, rng):
+        q = quantizer()
+        w = rng.normal(size=(2, 3))
+        with pytest.raises(ConfigurationError):
+            proximal_residual_shrink(w, np.zeros(2), (0.1,), q, step_size=1e-2)
+        with pytest.raises(ConfigurationError):
+            proximal_residual_shrink(w, np.zeros(2), (-0.1, 0.0), q, step_size=1e-2)
+        with pytest.raises(ConfigurationError):
+            proximal_residual_shrink(w, np.zeros(2), (0.1, 0.1), q, step_size=-1.0)
+
+
+class TestGatePressure:
+    def test_gradient_shape_and_sign(self, rng):
+        q = quantizer()
+        w = rng.normal(scale=0.4, size=(8, 12))
+        grad = q.gate_pressure_gradient(w, np.zeros(2), np.array([0.1, 0.1]))
+        assert grad.shape == (2,)
+        # Pressure is always downhill for t (i.e. gradient <= 0 so SGD raises t).
+        assert (grad <= 0).all()
+
+    def test_zero_lambda_zero_pressure(self, rng):
+        q = quantizer()
+        w = rng.normal(size=(4, 6))
+        grad = q.gate_pressure_gradient(w, np.zeros(2), np.zeros(2))
+        np.testing.assert_array_equal(grad, 0.0)
+
+    def test_pressure_scales_with_lambda(self, rng):
+        q = quantizer()
+        w = rng.normal(scale=0.4, size=(4, 6))
+        weak = q.gate_pressure_gradient(w, np.zeros(2), np.array([0.0, 0.1]))
+        strong = q.gate_pressure_gradient(w, np.zeros(2), np.array([0.0, 0.4]))
+        np.testing.assert_allclose(strong, 4 * weak)
+
+    def test_pressure_vanishes_far_from_boundary(self, rng):
+        """Once t sits far above every s, sigma' -> 0 and pressure stops."""
+        q = quantizer(temp=0.02)
+        w = rng.normal(scale=0.4, size=(4, 6))
+        far = q.gate_pressure_gradient(w, np.array([10.0, 10.0]), np.array([1.0, 1.0]))
+        near = q.gate_pressure_gradient(w, np.zeros(2), np.array([1.0, 1.0]))
+        assert np.abs(far).max() < 1e-12
+        assert np.abs(near).max() > 0
+
+    def test_lambda_shape_validated(self, rng):
+        q = quantizer()
+        with pytest.raises(ShapeError):
+            q.gate_pressure_gradient(rng.normal(size=(2, 3)), np.zeros(2), np.zeros(3))
+
+
+class TestSigmoidTemperature:
+    def test_config_validation(self):
+        with pytest.raises(Exception):
+            FLightNNConfig(sigmoid_temperature=0.0)
+
+    def test_smaller_temperature_sharper_selectivity(self, rng):
+        """At small tau, filters far from the boundary feel ~no gradient."""
+        w = rng.normal(scale=0.4, size=(16, 12))
+        sharp = quantizer(temp=0.005)
+        soft = quantizer(temp=1.0)
+        norms = sharp.residual_norms(w, np.zeros(2))[1]
+        t = np.array([0.0, float(np.median(norms))])
+        # Ratio of per-filter sigma' between the closest and farthest filter.
+        from repro.nn.tensor import _stable_sigmoid
+
+        def selectivity(q):
+            s = q.residual_norms(w, t)[1]
+            tau = q.config.sigmoid_temperature
+            sp = _stable_sigmoid((s - t[1]) / tau)
+            sp = sp * (1 - sp)
+            return sp.max() / max(sp.min(), 1e-300)
+
+        assert selectivity(sharp) > selectivity(soft) * 10

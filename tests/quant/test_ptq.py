@@ -1,0 +1,72 @@
+"""Tests for post-training quantization (the no-retraining ablation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import SyntheticImageConfig, generate_synthetic_images
+from repro.models import build_network
+from repro.nn.tensor import Tensor, no_grad
+from repro.quant import paper_schemes, quantize_model
+from repro.quant.power_of_two import is_power_of_two_value
+from repro.train import TrainConfig, Trainer
+
+SCHEMES = paper_schemes()
+
+
+@pytest.fixture(scope="module")
+def trained_full():
+    split = generate_synthetic_images(
+        SyntheticImageConfig(num_classes=5, image_size=10, train_size=160,
+                             test_size=80, noise=0.4, seed=44)
+    )
+    net = build_network(1, SCHEMES["Full"], num_classes=5, image_size=10,
+                        width_scale=0.2, rng=2)
+    trainer = Trainer(net, TrainConfig(epochs=5, batch_size=32, lr=3e-3))
+    trainer.fit(split)
+    return net, trainer, split
+
+
+class TestQuantizeModel:
+    def test_transfers_weights(self, trained_full):
+        source, _, _ = trained_full
+        target = quantize_model(source, SCHEMES["L-1"], num_classes=5)
+        np.testing.assert_array_equal(
+            target.conv_layers()[0].weight.data, source.conv_layers()[0].weight.data
+        )
+        assert is_power_of_two_value(target.conv_layers()[0].quantized_weight()).all()
+
+    def test_flightnn_target_gets_fresh_thresholds(self, trained_full):
+        source, _, _ = trained_full
+        target = quantize_model(source, SCHEMES["FL_a"], num_classes=5)
+        for layer in target.conv_layers():
+            np.testing.assert_array_equal(layer.thresholds.data, 0.0)
+
+    def test_ptq_l2_accuracy_close_to_source(self, trained_full):
+        """Two power-of-two terms approximate FP32 weights closely; PTQ to
+        LightNN-2 should retain most of the source accuracy."""
+        source, trainer, split = trained_full
+        target = quantize_model(source, SCHEMES["L-2"], num_classes=5)
+        src_acc = trainer.evaluate(split.test)["accuracy"]
+        tgt_acc = Trainer(target, TrainConfig(epochs=1)).evaluate(split.test)["accuracy"]
+        assert tgt_acc > src_acc - 0.15
+
+    def test_qat_beats_ptq_for_lightnn1(self, trained_full):
+        """The value of Algorithm 1: QAT LightNN-1 beats PTQ LightNN-1."""
+        source, trainer, split = trained_full
+        ptq = quantize_model(source, SCHEMES["L-1"], num_classes=5)
+        ptq_acc = Trainer(ptq, TrainConfig(epochs=1)).evaluate(split.test)["accuracy"]
+        qat = build_network(1, SCHEMES["L-1"], num_classes=5, image_size=10,
+                            width_scale=0.2, rng=2)
+        history = Trainer(qat, TrainConfig(epochs=5, batch_size=32, lr=3e-3)).fit(split)
+        assert history.final.test_accuracy >= ptq_acc - 0.05
+
+    def test_outputs_deterministic(self, trained_full, rng):
+        source, _, _ = trained_full
+        a = quantize_model(source, SCHEMES["FP"], num_classes=5)
+        b = quantize_model(source, SCHEMES["FP"], num_classes=5)
+        x = Tensor(rng.normal(size=(2, 3, 10, 10)))
+        a.eval(), b.eval()
+        with no_grad():
+            np.testing.assert_array_equal(a(x).numpy(), b(x).numpy())

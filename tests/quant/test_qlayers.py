@@ -1,0 +1,172 @@
+"""Tests for quantized layers and weight strategies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn.tensor import Tensor
+from repro.quant.fixed_point import FixedPointFormat
+from repro.quant.power_of_two import is_power_of_two_value
+from repro.quant.qlayers import (
+    FixedPointWeights,
+    FLightNNWeights,
+    FullPrecisionWeights,
+    LightNNWeights,
+    QConv2d,
+    QLinear,
+)
+from repro.quant.lightnn import LightNNConfig
+from repro.quant.schemes import paper_schemes
+
+
+class TestStrategies:
+    def test_full_precision_identity(self, rng):
+        s = FullPrecisionWeights()
+        w = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        assert s.apply(w, None) is w
+        np.testing.assert_array_equal(s.filter_k(w.data, None), 0)
+        np.testing.assert_array_equal(s.bits_per_weight(w.data, None), 32.0)
+
+    def test_fixed_point_bits(self, rng):
+        s = FixedPointWeights(FixedPointFormat(bits=4, frac_bits=3))
+        w = rng.normal(size=(5, 9))
+        np.testing.assert_array_equal(s.bits_per_weight(w, None), 4.0)
+        q = s.quantize_array(w, None)
+        assert np.abs(q).max() <= 1.0
+
+    def test_lightnn_bits_scale_with_k(self, rng):
+        w = rng.normal(size=(5, 9))
+        s1 = LightNNWeights(LightNNConfig(k=1))
+        s2 = LightNNWeights(LightNNConfig(k=2))
+        np.testing.assert_array_equal(s1.bits_per_weight(w, None), 4.0)
+        np.testing.assert_array_equal(s2.bits_per_weight(w, None), 8.0)
+
+    def test_flightnn_requires_thresholds(self, rng):
+        s = FLightNNWeights()
+        w = rng.normal(size=(3, 4))
+        with pytest.raises(ConfigurationError):
+            s.quantize_array(w, None)
+        with pytest.raises(ConfigurationError):
+            s.apply(Tensor(w, requires_grad=True), None)
+
+    def test_flightnn_bits_vary_per_filter(self, rng):
+        s = FLightNNWeights()
+        w = rng.normal(scale=0.4, size=(12, 27))
+        norms = s.quantizer.residual_norms(w, np.zeros(2))
+        t = np.array([0.0, float(np.median(norms[1]))])
+        bits = s.bits_per_weight(w, t)
+        assert len(np.unique(bits)) > 1  # mixed k -> mixed storage
+
+
+class TestQConv2d:
+    def test_forward_uses_quantized_weights(self, rng):
+        conv = QConv2d(2, 3, 3, strategy=LightNNWeights(LightNNConfig(k=1)), rng=0)
+        assert is_power_of_two_value(conv.quantized_weight()).all()
+        x = Tensor(rng.normal(size=(1, 2, 5, 5)))
+        out = conv(x)
+        assert out.shape == (1, 3, 3, 3)
+
+    def test_thresholds_only_for_flightnn(self):
+        assert QConv2d(1, 2, 3, rng=0).thresholds is None
+        fl = QConv2d(1, 2, 3, strategy=FLightNNWeights(), rng=0)
+        assert fl.thresholds is not None
+        np.testing.assert_allclose(fl.thresholds.data, 0.0)  # paper init
+
+    def test_thresholds_are_trainable_parameters(self):
+        fl = QConv2d(1, 2, 3, strategy=FLightNNWeights(), rng=0)
+        names = [n for n, _ in fl.named_parameters()]
+        assert any("thresholds" in n for n in names)
+
+    def test_master_weights_stay_full_precision(self, rng):
+        conv = QConv2d(1, 2, 3, strategy=LightNNWeights(LightNNConfig(k=1)), rng=0)
+        before = conv.weight.data.copy()
+        x = Tensor(rng.normal(size=(1, 1, 5, 5)))
+        loss = (conv(x) ** 2).sum()
+        loss.backward()
+        np.testing.assert_array_equal(conv.weight.data, before)
+        assert conv.weight.grad is not None
+
+    def test_filter_k_reporting(self):
+        conv = QConv2d(2, 4, 3, strategy=FLightNNWeights(), rng=0)
+        k = conv.filter_k()
+        assert k.shape == (4,)
+        assert (k <= 2).all()
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ConfigurationError):
+            QConv2d(0, 1, 3)
+
+    def test_output_spatial(self):
+        conv = QConv2d(1, 1, 3, stride=2, padding=1, rng=0)
+        assert conv.output_spatial(16, 16) == (8, 8)
+
+    def test_repr_shows_strategy(self):
+        assert "LightNNWeights" in repr(QConv2d(1, 1, 3, strategy=LightNNWeights(), rng=0))
+
+
+class TestQLinear:
+    def test_forward_shape(self, rng):
+        lin = QLinear(6, 4, strategy=FixedPointWeights(), rng=0)
+        out = lin(Tensor(rng.normal(size=(3, 6))))
+        assert out.shape == (3, 4)
+
+    def test_quantized_weight_on_grid(self):
+        lin = QLinear(6, 4, strategy=FixedPointWeights(FixedPointFormat(4, 3)), rng=0)
+        q = lin.quantized_weight()
+        codes = q / 0.125
+        np.testing.assert_allclose(codes, np.rint(codes))
+
+    def test_bias_optional(self):
+        assert QLinear(3, 2, bias=False, rng=0).bias is None
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ConfigurationError):
+            QLinear(0, 2)
+
+    def test_flightnn_thresholds(self):
+        lin = QLinear(8, 4, strategy=FLightNNWeights(), rng=0)
+        assert lin.thresholds.shape == (2,)
+        assert lin.filter_k().shape == (4,)
+
+
+class TestSchemes:
+    def test_paper_schemes_complete(self):
+        schemes = paper_schemes()
+        assert set(schemes) == {"Full", "L-2", "L-1", "FP", "FL_a", "FL_b"}
+
+    def test_labels_follow_paper_convention(self):
+        schemes = paper_schemes()
+        assert schemes["L-2"].name == "L-2_8W8A"
+        assert schemes["L-1"].name == "L-1_4W8A"
+        assert schemes["FP"].name == "FP_4W8A"
+
+    def test_only_full_keeps_fp32_activations(self):
+        schemes = paper_schemes()
+        assert not schemes["Full"].quantizes_activations
+        for key in ("L-2", "L-1", "FP", "FL_a", "FL_b"):
+            assert schemes[key].quantizes_activations
+            assert schemes[key].activation.bits == 8
+
+    def test_flightnn_lambdas_stored(self):
+        schemes = paper_schemes(fl_lambdas_a=(1e-5, 3e-5))
+        assert schemes["FL_a"].lambdas == (1e-5, 3e-5)
+        assert schemes["FL_a"].is_flightnn
+
+    def test_shift_multiplier_flag(self):
+        schemes = paper_schemes()
+        assert schemes["L-1"].uses_shift_multiplier
+        assert schemes["FL_a"].uses_shift_multiplier
+        assert not schemes["FP"].uses_shift_multiplier
+        assert not schemes["Full"].uses_shift_multiplier
+
+    def test_strategy_factories_independent(self):
+        scheme = paper_schemes()["FL_a"]
+        assert scheme.make_strategy() is not scheme.make_strategy()
+
+    def test_flightnn_lambda_count_validated(self):
+        from repro.quant.schemes import scheme_flightnn
+
+        with pytest.raises(ConfigurationError):
+            scheme_flightnn((1e-5,), k_max=2)

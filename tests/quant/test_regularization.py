@@ -1,0 +1,131 @@
+"""Tests for the residual group-lasso regularizer (Sec. 4.3 / Fig. 4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn.tensor import Tensor
+from repro.quant.flightnn import FLightNNConfig, FLightNNQuantizer
+from repro.quant.power_of_two import PowerOfTwoConfig
+from repro.quant.regularization import regularization_curve, residual_group_lasso
+
+
+def quantizer(norm_per_element=False):
+    return FLightNNQuantizer(
+        FLightNNConfig(k_max=2, pow2=PowerOfTwoConfig(), norm_per_element=norm_per_element)
+    )
+
+
+class TestLossValue:
+    def test_matches_manual_computation(self, rng):
+        q = quantizer()
+        w_data = rng.normal(scale=0.5, size=(4, 9))
+        w = Tensor(w_data, requires_grad=True)
+        t = Tensor(np.zeros(2))
+        lambdas = (1e-5, 3e-5)
+        loss = residual_group_lasso(w, t, lambdas, q)
+        state = q.quantize(w_data, np.zeros(2))
+        expected = sum(
+            lam * np.linalg.norm(state.residuals[j], axis=1).sum()
+            for j, lam in enumerate(lambdas)
+        )
+        np.testing.assert_allclose(loss.item(), expected)
+
+    def test_zero_lambdas_zero_loss(self, rng):
+        q = quantizer()
+        w = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        loss = residual_group_lasso(w, Tensor(np.zeros(2)), (0.0, 0.0), q)
+        assert loss.item() == 0.0
+
+    def test_level0_term_is_group_lasso_on_filters(self, rng):
+        """lambda_0 * sum_i ||w_i|| — the whole-filter pruning term."""
+        q = quantizer()
+        w_data = rng.normal(size=(5, 6))
+        w = Tensor(w_data, requires_grad=True)
+        loss = residual_group_lasso(w, Tensor(np.zeros(2)), (1.0, 0.0), q)
+        np.testing.assert_allclose(loss.item(), np.linalg.norm(w_data, axis=1).sum())
+
+    def test_lambda_count_validated(self, rng):
+        q = quantizer()
+        w = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        with pytest.raises(ConfigurationError):
+            residual_group_lasso(w, Tensor(np.zeros(2)), (1e-5,), q)
+
+    def test_negative_lambda_rejected(self, rng):
+        q = quantizer()
+        w = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        with pytest.raises(ConfigurationError):
+            residual_group_lasso(w, Tensor(np.zeros(2)), (-1e-5, 0.0), q)
+
+
+class TestGradient:
+    def test_level0_gradient_is_normalized_filter(self, rng):
+        q = quantizer()
+        w_data = rng.normal(size=(3, 4))
+        w = Tensor(w_data, requires_grad=True)
+        residual_group_lasso(w, Tensor(np.zeros(2)), (2.0, 0.0), q).backward()
+        expected = 2.0 * w_data / np.linalg.norm(w_data, axis=1, keepdims=True)
+        np.testing.assert_allclose(w.grad, expected)
+
+    def test_level1_gradient_points_toward_pow2_grid(self, rng):
+        """A descent step on the lambda_1 term must reduce ||w - Q_1(w)||."""
+        q = quantizer()
+        w_data = rng.normal(scale=0.5, size=(4, 8))
+        w = Tensor(w_data.copy(), requires_grad=True)
+        residual_group_lasso(w, Tensor(np.zeros(2)), (0.0, 1.0), q).backward()
+        stepped = w_data - 1e-3 * w.grad
+        state_before = q.quantize(w_data, np.zeros(2))
+        state_after = q.quantize(stepped, np.zeros(2))
+        before = np.linalg.norm(state_before.residuals[1], axis=1).sum()
+        after = np.linalg.norm(state_after.residuals[1], axis=1).sum()
+        assert after < before
+
+    def test_zero_filter_gets_zero_gradient(self):
+        q = quantizer()
+        w = Tensor(np.zeros((2, 3)), requires_grad=True)
+        residual_group_lasso(w, Tensor(np.zeros(2)), (1.0, 1.0), q).backward()
+        np.testing.assert_allclose(w.grad, 0.0)
+
+    def test_thresholds_receive_no_gradient(self, rng):
+        q = quantizer()
+        w = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        t = Tensor(np.zeros(2), requires_grad=True)
+        residual_group_lasso(w, t, (1e-5, 3e-5), q).backward()
+        assert t.grad is None
+
+
+class TestFig4Curve:
+    def test_shape_and_total(self):
+        q = quantizer()
+        weights = np.linspace(0.0, 2.0, 101)
+        rows = regularization_curve(weights, (1e-5, 3e-5), q)
+        assert rows.shape == (3, 101)
+        np.testing.assert_allclose(rows[2], rows[0] + rows[1])
+
+    def test_first_term_linear_in_weight(self):
+        q = quantizer()
+        weights = np.linspace(0.0, 2.0, 11)
+        rows = regularization_curve(weights, (1e-5, 0.0), q)
+        np.testing.assert_allclose(rows[0], 1e-5 * np.abs(weights))
+
+    def test_second_term_vanishes_at_powers_of_two(self):
+        q = quantizer()
+        rows = regularization_curve(np.array([0.25, 0.5, 1.0, 2.0]), (1e-5, 3e-5), q)
+        np.testing.assert_allclose(rows[1], 0.0, atol=1e-12)
+
+    def test_second_term_positive_off_grid(self):
+        q = quantizer()
+        rows = regularization_curve(np.array([0.7, 1.3]), (1e-5, 3e-5), q)
+        assert (rows[1] > 0).all()
+
+    def test_sawtooth_shape_peaks_between_grid_points(self):
+        """Fig. 4: the level-1 term rises then falls between adjacent powers."""
+        q = quantizer()
+        weights = np.linspace(0.51, 0.99, 49)
+        rows = regularization_curve(weights, (0.0, 1.0), q)
+        term = rows[1]
+        peak = term.argmax()
+        assert 0 < peak < len(term) - 1
+        assert term[0] < term[peak] and term[-1] < term[peak]

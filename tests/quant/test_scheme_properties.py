@@ -1,0 +1,92 @@
+"""Cross-scheme property tests: approximation-error and storage orderings."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quant.binary import BinaryConnectConfig, binarize
+from repro.quant.fixed_point import FixedPointFormat, quantize_fixed_point
+from repro.quant.power_of_two import PowerOfTwoConfig, quantize_lightnn
+from repro.quant.schemes import paper_schemes
+
+SCHEMES = paper_schemes()
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 2**16))
+def test_property_more_shifts_never_worse(seed):
+    """Q_k error is monotone non-increasing in k for every weight."""
+    w = np.random.default_rng(seed).normal(scale=0.5, size=128)
+    cfg = PowerOfTwoConfig()
+    errors = [np.abs(w - quantize_lightnn(w, k, cfg)) for k in (1, 2, 3)]
+    assert (errors[1] <= errors[0] + 1e-12).all()
+    assert (errors[2] <= errors[1] + 1e-12).all()
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 2**16))
+def test_property_binary_error_worst_of_all(seed):
+    """1-bit weights approximate worse (in MSE) than 1-shift weights."""
+    rng = np.random.default_rng(seed)
+    w = rng.normal(scale=0.5, size=(8, 16))
+    binary = binarize(w, BinaryConnectConfig())
+    pow2 = quantize_lightnn(w, 1, PowerOfTwoConfig())
+    mse_binary = np.mean((w - binary) ** 2)
+    mse_pow2 = np.mean((w - pow2) ** 2)
+    assert mse_pow2 <= mse_binary + 1e-12
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 2**16), bits=st.integers(3, 8))
+def test_property_fixed_point_error_shrinks_with_bits(seed, bits):
+    rng = np.random.default_rng(seed)
+    w = rng.uniform(-0.9, 0.9, size=64)
+    coarse = quantize_fixed_point(w, FixedPointFormat(bits=bits, frac_bits=bits - 1))
+    fine = quantize_fixed_point(w, FixedPointFormat(bits=bits + 2, frac_bits=bits + 1))
+    assert np.mean((w - fine) ** 2) <= np.mean((w - coarse) ** 2) + 1e-15
+
+
+class TestSchemeStorageOrdering:
+    @pytest.fixture(scope="class")
+    def strategies(self, rng=None):
+        rng = np.random.default_rng(0)
+        w = rng.normal(scale=0.4, size=(6, 3, 3, 3))
+        out = {}
+        for key in ("Full", "L-2", "L-1", "FP"):
+            strategy = SCHEMES[key].make_strategy()
+            out[key] = float(strategy.bits_per_weight(w, None).sum())
+        return out
+
+    def test_bits_ordering(self, strategies):
+        assert strategies["Full"] > strategies["L-2"] > strategies["L-1"]
+        assert strategies["L-1"] == strategies["FP"]
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 2**16))
+def test_property_quantizers_are_projections(seed):
+    """Every scheme's quantizer is idempotent on its own output."""
+    rng = np.random.default_rng(seed)
+    w = rng.normal(scale=0.5, size=(4, 9))
+    for key in ("L-2", "L-1", "FP"):
+        strategy = SCHEMES[key].make_strategy()
+        once = strategy.quantize_array(w, None)
+        twice = strategy.quantize_array(once, None)
+        np.testing.assert_allclose(twice, once, atol=1e-12)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 2**16))
+def test_property_flightnn_matches_lightnn_extremes(seed):
+    """FLightNN with all-on / all-off gates equals LightNN-2 / zero."""
+    rng = np.random.default_rng(seed)
+    w = rng.normal(scale=0.5, size=(5, 8))
+    fl = SCHEMES["FL_a"].make_strategy()
+    l2 = SCHEMES["L-2"].make_strategy()
+    np.testing.assert_allclose(
+        fl.quantize_array(w, np.zeros(2)), l2.quantize_array(w, None)
+    )
+    np.testing.assert_allclose(fl.quantize_array(w, np.full(2, 1e9)), 0.0)

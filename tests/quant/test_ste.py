@@ -1,0 +1,39 @@
+"""Tests for straight-through estimator plumbing."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+from repro.quant.ste import ste_apply, ste_clipped_apply
+
+
+class TestSTEApply:
+    def test_forward_applies_transform(self, rng):
+        x = Tensor(rng.normal(size=5), requires_grad=True)
+        out = ste_apply(x, np.sign)
+        np.testing.assert_allclose(out.numpy(), np.sign(x.data))
+
+    def test_backward_is_identity(self, rng):
+        x = Tensor(rng.normal(size=5), requires_grad=True)
+        upstream = rng.normal(size=5)
+        ste_apply(x, np.sign).backward(upstream)
+        np.testing.assert_allclose(x.grad, upstream)
+
+    def test_no_grad_without_requires(self, rng):
+        x = Tensor(rng.normal(size=5))
+        out = ste_apply(x, np.sign)
+        assert not out.requires_grad
+
+
+class TestSTEClipped:
+    def test_gradient_masked_outside_range(self):
+        x = Tensor(np.array([-2.0, 0.0, 2.0]), requires_grad=True)
+        out = ste_clipped_apply(x, lambda a: np.clip(a, -1, 1), low=-1.0, high=1.0)
+        out.backward(np.ones(3))
+        np.testing.assert_allclose(x.grad, [0.0, 1.0, 0.0])
+
+    def test_forward_transform_used(self):
+        x = Tensor(np.array([0.3]), requires_grad=True)
+        out = ste_clipped_apply(x, lambda a: np.round(a), low=-1, high=1)
+        np.testing.assert_allclose(out.numpy(), [0.0])

@@ -1,0 +1,52 @@
+"""Smoke tests for the runnable examples.
+
+Heavy training examples are exercised by the benchmark suite; here we run
+the fast, deterministic one end-to-end and check the others at least
+import cleanly (their ``main`` is guarded).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name: str):
+    spec = importlib.util.spec_from_file_location(f"example_{name}", EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_all_examples_exist(self):
+        names = {p.stem for p in EXAMPLES.glob("*.py")}
+        assert {"quickstart", "pareto_sweep", "fpga_deployment",
+                "filter_decomposition", "export_for_hardware"} <= names
+
+    @pytest.mark.parametrize(
+        "name", ["quickstart", "pareto_sweep", "fpga_deployment",
+                 "filter_decomposition", "export_for_hardware"]
+    )
+    def test_example_imports(self, name):
+        module = load_example(name)
+        assert callable(module.main)
+
+    def test_filter_decomposition_runs(self, capsys):
+        module = load_example("filter_decomposition")
+        module.main()
+        out = capsys.readouterr().out
+        assert "convolution equivalence" in out
+
+    def test_fpga_deployment_runs(self, capsys):
+        module = load_example("fpga_deployment")
+        module.main()
+        out = capsys.readouterr().out
+        assert "ZC706" in out
+        assert "L-1_4W8A" in out

@@ -1,0 +1,58 @@
+"""Public-API surface checks: every exported name resolves and is documented."""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.nn",
+    "repro.nn.layers",
+    "repro.nn.optim",
+    "repro.quant",
+    "repro.models",
+    "repro.data",
+    "repro.train",
+    "repro.hw",
+    "repro.hw.fpga",
+    "repro.hw.asic",
+    "repro.analysis",
+    "repro.experiments",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_all_names_resolve(name):
+    module = importlib.import_module(name)
+    assert hasattr(module, "__all__"), f"{name} has no __all__"
+    for exported in module.__all__:
+        assert hasattr(module, exported), f"{name}.{exported} missing"
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_module_docstrings(name):
+    module = importlib.import_module(name)
+    assert module.__doc__ and module.__doc__.strip(), f"{name} lacks a docstring"
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_public_callables_documented(name):
+    """Every public class/function reachable from __all__ carries a docstring."""
+    module = importlib.import_module(name)
+    undocumented = []
+    for exported in module.__all__:
+        obj = getattr(module, exported)
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            if not (obj.__doc__ and obj.__doc__.strip()):
+                undocumented.append(exported)
+    assert not undocumented, f"{name}: undocumented public items {undocumented}"
+
+
+def test_version_string():
+    import repro
+
+    parts = repro.__version__.split(".")
+    assert len(parts) == 3 and all(p.isdigit() for p in parts)

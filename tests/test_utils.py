@@ -1,0 +1,79 @@
+"""Tests for shared utilities (rng, serialization, logging)."""
+
+from __future__ import annotations
+
+import logging
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.utils.logging import get_logger
+from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.serialization import load_json, save_json
+
+
+class TestRng:
+    def test_int_seed_deterministic(self):
+        a = as_generator(42).normal(size=5)
+        b = as_generator(42).normal(size=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_none_gives_fixed_default(self):
+        np.testing.assert_array_equal(
+            as_generator(None).normal(size=3), as_generator(None).normal(size=3)
+        )
+
+    def test_invalid_type(self):
+        with pytest.raises(ConfigurationError):
+            as_generator("seed")
+
+    def test_spawn_independent_streams(self):
+        gens = spawn_generators(7, 3)
+        assert len(gens) == 3
+        draws = [g.normal(size=4) for g in gens]
+        assert not np.allclose(draws[0], draws[1])
+
+    def test_spawn_deterministic(self):
+        a = [g.normal() for g in spawn_generators(7, 2)]
+        b = [g.normal() for g in spawn_generators(7, 2)]
+        np.testing.assert_array_equal(a, b)
+
+    def test_spawn_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            spawn_generators(0, -1)
+
+
+class TestSerialization:
+    def test_round_trip_plain(self, tmp_path):
+        path = save_json(tmp_path / "x.json", {"a": 1, "b": [1.5, "s"]})
+        assert load_json(path) == {"a": 1, "b": [1.5, "s"]}
+
+    def test_numpy_values_converted(self, tmp_path):
+        obj = {
+            "i": np.int64(3),
+            "f": np.float64(2.5),
+            "b": np.bool_(True),
+            "arr": np.arange(3),
+        }
+        loaded = load_json(save_json(tmp_path / "np.json", obj))
+        assert loaded == {"i": 3, "f": 2.5, "b": True, "arr": [0, 1, 2]}
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = save_json(tmp_path / "deep" / "nested" / "x.json", [1])
+        assert path.exists()
+
+
+class TestLogging:
+    def test_namespaced_under_repro(self):
+        assert get_logger("train").name == "repro.train"
+
+    def test_existing_prefix_kept(self):
+        assert get_logger("repro.quant").name == "repro.quant"
+
+    def test_returns_logger(self):
+        assert isinstance(get_logger("x"), logging.Logger)

@@ -1,0 +1,87 @@
+"""Tests for the activation-distribution regularizer (future-work item)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import SyntheticImageConfig, generate_synthetic_images
+from repro.errors import ConfigurationError
+from repro.models import build_network
+from repro.nn.tensor import Tensor
+from repro.quant.activations import QuantizedActivation
+from repro.quant.schemes import paper_schemes
+from repro.train import TrainConfig, Trainer
+from repro.train.act_reg import activation_distribution_loss, collect_quantizer_inputs
+
+SCHEMES = paper_schemes()
+
+
+class TestLoss:
+    def test_zero_coefficient_disables(self, rng):
+        x = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        assert activation_distribution_loss([x], 0.0) is None
+
+    def test_empty_inputs(self):
+        assert activation_distribution_loss([], 1.0) is None
+
+    def test_validation(self, rng):
+        x = Tensor(rng.normal(size=(4, 3)))
+        with pytest.raises(ConfigurationError):
+            activation_distribution_loss([x], -1.0)
+        with pytest.raises(ConfigurationError):
+            activation_distribution_loss([x], 1.0, target_std=0.0)
+
+    def test_zero_for_standardized_input(self, rng):
+        data = rng.normal(size=(256, 8))
+        data = (data - data.mean(axis=0)) / data.std(axis=0)
+        loss = activation_distribution_loss([Tensor(data, requires_grad=True)], 1.0)
+        assert loss.item() < 1e-3
+
+    def test_penalises_shifted_and_collapsed(self, rng):
+        good = Tensor(rng.normal(size=(128, 4)), requires_grad=True)
+        shifted = Tensor(rng.normal(loc=3.0, size=(128, 4)), requires_grad=True)
+        collapsed = Tensor(0.01 * rng.normal(size=(128, 4)), requires_grad=True)
+        l_good = activation_distribution_loss([good], 1.0).item()
+        assert activation_distribution_loss([shifted], 1.0).item() > l_good + 1.0
+        assert activation_distribution_loss([collapsed], 1.0).item() > l_good + 0.5
+
+    def test_gradient_recentres(self, rng):
+        x = Tensor(rng.normal(loc=2.0, size=(64, 4)), requires_grad=True)
+        activation_distribution_loss([x], 1.0).backward()
+        # A descent step must reduce the mean offset.
+        stepped = x.data - 0.5 * x.grad
+        assert abs(stepped.mean()) < abs(x.data.mean())
+
+    def test_4d_uses_channel_statistics(self, rng):
+        x = Tensor(rng.normal(size=(8, 3, 5, 5)), requires_grad=True)
+        loss = activation_distribution_loss([x], 1.0)
+        assert np.isfinite(loss.item())
+
+
+class TestIntegration:
+    def test_collect_requires_recording(self, rng):
+        net = build_network(1, SCHEMES["L-1"], num_classes=5, image_size=8,
+                            width_scale=0.15, rng=0)
+        net(Tensor(rng.normal(size=(2, 3, 8, 8))))
+        assert collect_quantizer_inputs(net) == []
+        for m in net.modules():
+            if isinstance(m, QuantizedActivation):
+                m.record_input = True
+        net(Tensor(rng.normal(size=(2, 3, 8, 8))))
+        assert len(collect_quantizer_inputs(net)) > 0
+
+    def test_trainer_option_trains(self):
+        split = generate_synthetic_images(
+            SyntheticImageConfig(num_classes=5, image_size=10, train_size=96,
+                                 test_size=48, noise=0.4, seed=66)
+        )
+        net = build_network(1, SCHEMES["L-1"], num_classes=5, image_size=10,
+                            width_scale=0.2, rng=0)
+        config = TrainConfig(epochs=3, batch_size=32, lr=3e-3, activation_reg=0.01)
+        history = Trainer(net, config).fit(split)
+        assert history.final.train_loss < history.epochs[0].train_loss
+
+    def test_trainer_validates_coefficient(self):
+        with pytest.raises(ConfigurationError):
+            TrainConfig(activation_reg=-0.1)

@@ -1,0 +1,73 @@
+"""Tests for model checkpointing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.models import build_network
+from repro.nn.tensor import Tensor
+from repro.quant.schemes import paper_schemes
+from repro.train.checkpoint import checkpoint_metadata, load_checkpoint, save_checkpoint
+
+SCHEMES = paper_schemes()
+
+
+def make_net(scheme_key="FL_a", rng=0):
+    return build_network(1, SCHEMES[scheme_key], num_classes=5, image_size=8,
+                         width_scale=0.15, rng=rng)
+
+
+class TestCheckpoint:
+    def test_round_trip_restores_outputs(self, tmp_path, rng):
+        a = make_net(rng=0)
+        b = make_net(rng=7)
+        x = Tensor(rng.normal(size=(2, 3, 8, 8)))
+        a.eval(), b.eval()
+        assert not np.allclose(a(x).numpy(), b(x).numpy())
+        path = save_checkpoint(a, tmp_path / "model.npz")
+        load_checkpoint(b, path)
+        np.testing.assert_allclose(a(x).numpy(), b(x).numpy())
+
+    def test_metadata_round_trip(self, tmp_path):
+        net = make_net()
+        meta = {"scheme": "FL_a", "epoch": 7, "accuracy": 0.91}
+        path = save_checkpoint(net, tmp_path / "m.npz", metadata=meta)
+        assert load_checkpoint(make_net(rng=3), path) == meta
+        assert checkpoint_metadata(path) == meta
+
+    def test_no_metadata(self, tmp_path):
+        net = make_net()
+        path = save_checkpoint(net, tmp_path / "m.npz")
+        assert checkpoint_metadata(path) == {}
+
+    def test_thresholds_restored(self, tmp_path):
+        a = make_net()
+        layer = a.conv_layers()[0]
+        layer.thresholds.data[:] = [0.12, 0.34]
+        path = save_checkpoint(a, tmp_path / "m.npz")
+        b = make_net(rng=9)
+        load_checkpoint(b, path)
+        np.testing.assert_allclose(b.conv_layers()[0].thresholds.data, [0.12, 0.34])
+
+    def test_running_stats_restored(self, tmp_path, rng):
+        a = make_net()
+        a.train()
+        a(Tensor(rng.normal(size=(4, 3, 8, 8))))  # update BN running stats
+        path = save_checkpoint(a, tmp_path / "m.npz")
+        b = make_net(rng=9)
+        load_checkpoint(b, path)
+        key = next(k for k in a.state_dict() if k.endswith("running_mean"))
+        np.testing.assert_allclose(b.state_dict()[key], a.state_dict()[key])
+
+    def test_shape_mismatch_raises(self, tmp_path):
+        path = save_checkpoint(make_net(), tmp_path / "m.npz")
+        wrong = build_network(1, SCHEMES["FL_a"], num_classes=5, image_size=8,
+                              width_scale=0.3, rng=0)
+        with pytest.raises(ConfigurationError):
+            load_checkpoint(wrong, path)
+
+    def test_creates_directories(self, tmp_path):
+        path = save_checkpoint(make_net(), tmp_path / "deep" / "dir" / "m.npz")
+        assert path.exists()

@@ -1,0 +1,67 @@
+"""Tests for the command-line training entry point."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.train.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.network == 1
+        assert args.scheme == "FL_a"
+        assert args.epochs == 8
+
+    def test_invalid_network_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--network", "9"])
+
+    def test_invalid_scheme_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--scheme", "L-3"])
+
+
+class TestMain:
+    def test_tiny_training_run(self, capsys, tmp_path):
+        code = main([
+            "--network", "1", "--scheme", "L-1", "--epochs", "2",
+            "--width-scale", "0.15", "--size-scale", "0.3",
+            "--samples", "96", "--checkpoint", str(tmp_path / "m.npz"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "epoch 1" in out
+        assert "checkpoint written" in out
+        assert (tmp_path / "m.npz").exists()
+
+    def test_summary_flag(self, capsys):
+        code = main([
+            "--network", "4", "--scheme", "Full", "--epochs", "1",
+            "--width-scale", "0.2", "--size-scale", "0.3", "--samples", "64",
+            "--summary",
+        ])
+        assert code == 0
+        assert "total" in capsys.readouterr().out
+
+    def test_data_file_path(self, capsys, tmp_path):
+        from repro.data import make_cifar10_like, save_npz_split
+
+        archive = save_npz_split(
+            make_cifar10_like(size_scale=0.25, samples=48), tmp_path / "ds.npz"
+        )
+        code = main([
+            "--data-file", str(archive), "--scheme", "L-1", "--epochs", "1",
+            "--width-scale", "0.15",
+        ])
+        assert code == 0
+        assert "ds" in capsys.readouterr().out
+
+    def test_dataset_defaults_to_networks_table1_dataset(self, capsys):
+        code = main([
+            "--network", "6", "--scheme", "Full", "--epochs", "1",
+            "--width-scale", "0.1", "--size-scale", "0.25", "--samples", "48",
+        ])
+        assert code == 0
+        assert "cifar100" in capsys.readouterr().out

@@ -1,0 +1,60 @@
+"""Tests for classification metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.train.metrics import RunningAverage, accuracy, topk_accuracy
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        logits = np.eye(4) * 10
+        assert accuracy(logits, np.arange(4)) == 1.0
+
+    def test_zero(self):
+        logits = np.eye(2) * 10
+        assert accuracy(logits, np.array([1, 0])) == 0.0
+
+    def test_partial(self):
+        logits = np.array([[2.0, 1.0], [2.0, 1.0]])
+        assert accuracy(logits, np.array([0, 1])) == 0.5
+
+
+class TestTopK:
+    def test_top5_counts_near_misses(self):
+        logits = np.zeros((1, 10))
+        logits[0, :5] = [5, 4, 3, 2, 1]
+        assert topk_accuracy(logits, np.array([4]), k=5) == 1.0
+        assert topk_accuracy(logits, np.array([9]), k=5) == 0.0
+
+    def test_topk_monotone_in_k(self, rng):
+        logits = rng.normal(size=(50, 10))
+        labels = rng.integers(0, 10, 50)
+        accs = [topk_accuracy(logits, labels, k) for k in range(1, 11)]
+        assert all(a <= b + 1e-12 for a, b in zip(accs, accs[1:]))
+        assert accs[-1] == 1.0  # top-10 of 10 classes is always a hit
+
+    def test_invalid_k(self, rng):
+        with pytest.raises(ShapeError):
+            topk_accuracy(rng.normal(size=(3, 4)), np.zeros(3, dtype=int), k=5)
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ShapeError):
+            topk_accuracy(rng.normal(size=(3,)), np.zeros(3, dtype=int), k=1)
+        with pytest.raises(ShapeError):
+            topk_accuracy(rng.normal(size=(3, 4)), np.zeros(5, dtype=int), k=1)
+
+
+class TestRunningAverage:
+    def test_weighted_mean(self):
+        avg = RunningAverage()
+        avg.update(1.0, weight=3)
+        avg.update(5.0, weight=1)
+        assert avg.value == pytest.approx(2.0)
+        assert avg.count == 4
+
+    def test_empty_is_zero(self):
+        assert RunningAverage().value == 0.0

@@ -1,0 +1,47 @@
+"""Tests for the FLightNN lambda sweep."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.synthetic import SyntheticImageConfig, generate_synthetic_images
+from repro.errors import ConfigurationError
+from repro.train import TrainConfig, sweep_flightnn_lambdas
+
+
+@pytest.fixture(scope="module")
+def split():
+    return generate_synthetic_images(
+        SyntheticImageConfig(num_classes=5, image_size=10, train_size=128,
+                             test_size=64, noise=0.4, seed=55)
+    )
+
+
+def sweep_config():
+    return TrainConfig(epochs=4, batch_size=32, lr=3e-3, lambda_warmup_epochs=1,
+                       threshold_freeze_epoch=2, threshold_lr_scale=10.0)
+
+
+class TestSweep:
+    def test_empty_lambdas_rejected(self, split):
+        with pytest.raises(ConfigurationError):
+            sweep_flightnn_lambdas(1, split, [], sweep_config())
+
+    def test_points_cover_cost_range(self, split):
+        points = sweep_flightnn_lambdas(
+            1, split, [0.001, 0.05], sweep_config(), width_scale=0.2, rng_seed=1
+        )
+        assert len(points) == 2
+        weak, strong = points
+        assert weak.lambda_1 < strong.lambda_1
+        assert strong.mean_filter_k <= weak.mean_filter_k
+        assert strong.storage_mb <= weak.storage_mb + 1e-9
+        assert strong.energy_uj <= weak.energy_uj + 1e-12
+
+    def test_point_pair_accessors(self, split):
+        (point,) = sweep_flightnn_lambdas(
+            1, split, [0.01], sweep_config(), width_scale=0.2
+        )
+        assert point.storage_accuracy == (point.storage_mb, point.accuracy)
+        assert point.energy_accuracy == (point.energy_uj, point.accuracy)
+        assert 0.0 <= point.accuracy <= 100.0

@@ -1,0 +1,145 @@
+"""Integration tests for the Algorithm-1 trainer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import SyntheticImageConfig, generate_synthetic_images
+from repro.errors import ConfigurationError
+from repro.models import build_network
+from repro.quant.schemes import paper_schemes, scheme_flightnn
+from repro.train import TrainConfig, Trainer
+
+SCHEMES = paper_schemes()
+
+
+@pytest.fixture(scope="module")
+def split():
+    cfg = SyntheticImageConfig(
+        num_classes=5, image_size=10, train_size=160, test_size=80, noise=0.4, seed=21
+    )
+    return generate_synthetic_images(cfg)
+
+
+def small_net(scheme, split, rng=0):
+    return build_network(
+        1, scheme, num_classes=split.num_classes,
+        image_size=split.image_shape[1], width_scale=0.2, rng=rng,
+    )
+
+
+class TestConfigValidation:
+    def test_epochs_positive(self):
+        with pytest.raises(ConfigurationError):
+            TrainConfig(epochs=0)
+
+    def test_optimizer_name(self):
+        with pytest.raises(ConfigurationError):
+            TrainConfig(optimizer="rmsprop")
+
+    def test_threshold_scale_positive(self):
+        with pytest.raises(ConfigurationError):
+            TrainConfig(threshold_lr_scale=0.0)
+
+
+class TestTraining:
+    def test_full_precision_learns(self, split):
+        net = small_net(SCHEMES["Full"], split)
+        history = Trainer(net, TrainConfig(epochs=4, batch_size=32, lr=3e-3)).fit(split)
+        assert history.final.test_accuracy > 0.5
+        assert history.final.train_loss < history.epochs[0].train_loss
+
+    def test_lightnn1_learns_above_chance(self, split):
+        net = small_net(SCHEMES["L-1"], split)
+        history = Trainer(net, TrainConfig(epochs=4, batch_size=32, lr=3e-3)).fit(split)
+        assert history.final.test_accuracy > 0.4
+        assert history.final.mean_filter_k == pytest.approx(1.0)
+
+    def test_flightnn_trains_and_reports_k(self, split):
+        scheme = scheme_flightnn((3e-4, 1e-3), label="FL_test")
+        net = small_net(scheme, split)
+        history = Trainer(net, TrainConfig(epochs=4, batch_size=32, lr=3e-3)).fit(split)
+        assert history.final.test_accuracy > 0.35
+        assert 0.0 <= history.final.mean_filter_k <= 2.0
+
+    def test_strong_lambda_reduces_mean_k(self, split):
+        """The paper's knob: larger lambda -> fewer shifts per filter."""
+        results = {}
+        for label, lambdas in (("weak", (0.0, 0.001)), ("strong", (0.0, 0.05))):
+            net = small_net(scheme_flightnn(lambdas, label=label), split, rng=1)
+            config = TrainConfig(epochs=6, batch_size=32, lr=3e-3,
+                                 lambda_warmup_epochs=2, threshold_freeze_epoch=4,
+                                 threshold_lr_scale=10.0)
+            history = Trainer(net, config).fit(split)
+            results[label] = history.final.mean_filter_k
+        assert results["strong"] < results["weak"]
+        assert results["strong"] <= 1.3
+        assert results["weak"] >= 1.6
+
+    def test_gradient_mode_supported(self, split):
+        """The paper's literal formulation (loss term) also trains."""
+        net = small_net(scheme_flightnn((1e-5, 3e-5)), split)
+        config = TrainConfig(epochs=2, batch_size=32, lr=3e-3,
+                             regularization_mode="gradient")
+        history = Trainer(net, config).fit(split)
+        assert history.final.train_loss < history.epochs[0].train_loss
+
+    def test_gate_pressure_raises_thresholds(self, split):
+        net = small_net(scheme_flightnn((0.1, 0.3)), split, rng=1)
+        config = TrainConfig(epochs=3, batch_size=32, lr=3e-3,
+                             threshold_lr_scale=10.0)
+        Trainer(net, config).fit(split)
+        thresholds = np.concatenate(
+            [l.thresholds.data for l in net.conv_layers() if l.thresholds is not None]
+        )
+        assert (thresholds > 0).any()
+
+    def test_invalid_regularization_mode(self):
+        with pytest.raises(ConfigurationError):
+            TrainConfig(regularization_mode="magic")
+
+    def test_negative_gate_pressure_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TrainConfig(gate_pressure=-1.0)
+
+    def test_sgd_optimizer_supported(self, split):
+        net = small_net(SCHEMES["Full"], split)
+        history = Trainer(net, TrainConfig(epochs=2, batch_size=32, lr=0.05,
+                                           optimizer="sgd")).fit(split)
+        assert history.final.train_loss < history.epochs[0].train_loss
+
+    def test_history_bookkeeping(self, split):
+        net = small_net(SCHEMES["L-2"], split)
+        history = Trainer(net, TrainConfig(epochs=3, batch_size=32)).fit(split)
+        assert len(history.epochs) == 3
+        assert history.scheme_name == "L-2_8W8A"
+        assert history.best_test_accuracy >= history.final.test_accuracy - 1e-9
+        d = history.as_dict()
+        assert len(d["epochs"]) == 3 and d["network_id"] == 1
+
+    def test_history_final_empty_raises(self):
+        from repro.train.history import TrainHistory
+
+        with pytest.raises(IndexError):
+            TrainHistory("x", 1).final
+
+    def test_evaluate_returns_all_metrics(self, split):
+        net = small_net(SCHEMES["Full"], split)
+        out = Trainer(net, TrainConfig(epochs=1)).evaluate(split.test)
+        assert set(out) == {"loss", "accuracy", "top5"}
+        assert out["top5"] >= out["accuracy"]
+
+    def test_regularization_loss_only_for_flightnn(self, split):
+        fl = Trainer(small_net(scheme_flightnn((1e-5, 3e-5)), split))
+        assert fl.regularization_loss() is not None
+        base = Trainer(small_net(SCHEMES["L-1"], split))
+        assert base.regularization_loss() is None
+
+    def test_deterministic_given_seeds(self, split):
+        accs = []
+        for _ in range(2):
+            net = small_net(SCHEMES["Full"], split, rng=3)
+            history = Trainer(net, TrainConfig(epochs=2, batch_size=32, seed=3)).fit(split)
+            accs.append(history.final.test_accuracy)
+        assert accs[0] == accs[1]
