@@ -1,0 +1,217 @@
+"""Benchmark: eager vs compiled-engine inference throughput (BENCH_infer.json).
+
+Measures `Trainer.evaluate(use_engine=False)` (the eager autograd-free
+fallback) against the compiled :class:`~repro.infer.InferenceEngine` on
+synthetic CIFAR-shaped data for the small Table-1 configurations, plus:
+
+* multicore batch-sharding rows (thread / process backends) — note that the
+  recorded ``cpu_count`` bounds how much sharding *can* help on the host;
+* the float32 deployment mode (:func:`~repro.infer.plan.plan_dtype`) as a
+  supplementary row — it is not used for the parity criterion;
+* engine/eager logit parity for **all eight** Table-1 configs at the
+  engine's default float64 precision.
+
+Timing methodology: the machine's run-to-run variance swamps single-shot
+timings, so each (config, variant) pair is timed ``reps`` times with the
+variants *interleaved* inside each rep, and the median per variant is
+reported.  Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_infer.py
+
+or invoke the pytest smoke variant (marker ``infer_bench``)::
+
+    PYTHONPATH=src python -m pytest tests/infer/test_bench_smoke.py -m infer_bench
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.dataset import ArrayDataset
+from repro.infer import InferenceEngine, plan_dtype
+from repro.models.registry import build_network
+from repro.nn.layers.norm import BatchNorm2d
+from repro.nn.tensor import Tensor, no_grad
+from repro.quant.schemes import paper_schemes
+from repro.train.trainer import Trainer
+
+# The Table-1 "small" configurations (sub-megabyte nets 1, 4, 5) drive the
+# headline eager-vs-engine timing; all eight drive the parity table.
+TIMED_CONFIGS = (1, 4, 5)
+ALL_CONFIGS = tuple(range(1, 9))
+SCHEME = "FL_a"
+IMAGE_SIZE = 32
+NUM_CLASSES = 10
+# Parity-table width scale for the big configs (3, 7, 8), which would
+# otherwise dominate the benchmark's runtime without adding structure.
+PARITY_WIDTH_SCALE = {3: 0.25, 7: 0.25, 8: 0.5}
+
+
+def _build(network_id: int, scheme_key: str = SCHEME, width_scale: float = 1.0, seed: int = 0):
+    model = build_network(
+        network_id,
+        paper_schemes()[scheme_key],
+        num_classes=NUM_CLASSES,
+        image_size=IMAGE_SIZE,
+        width_scale=width_scale,
+        rng=seed,
+    )
+    # Non-trivial BN state so folding is exercised, as after real training.
+    rng = np.random.default_rng(seed + 1)
+    for m in model.modules():
+        if isinstance(m, BatchNorm2d):
+            c = m.num_features
+            m.gamma.data[...] = rng.uniform(0.5, 1.5, c)
+            m.beta.data[...] = rng.normal(0.0, 0.2, c)
+            m.running_mean[...] = rng.normal(0.0, 0.5, c)
+            m.running_var[...] = rng.uniform(0.5, 2.0, c)
+    model.eval()
+    return model
+
+
+def _dataset(n: int, seed: int = 0) -> ArrayDataset:
+    rng = np.random.default_rng(seed)
+    images = rng.normal(0.0, 1.0, (n, 3, IMAGE_SIZE, IMAGE_SIZE))
+    return ArrayDataset(images, rng.integers(0, NUM_CLASSES, n), NUM_CLASSES)
+
+
+def _timed(fn) -> float:
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+def _time_config(network_id: int, dataset: ArrayDataset, reps: int, workers: tuple[int, ...]):
+    model = _build(network_id)
+    trainer = Trainer(model)
+    engine = InferenceEngine(model)
+    engine32 = InferenceEngine(model, dtype=plan_dtype(model))
+
+    variants: dict[str, callable] = {
+        "eager": lambda: trainer.evaluate(dataset, use_engine=False),
+        "engine": lambda: engine.evaluate(dataset),
+        "engine_f32": lambda: engine32.evaluate(dataset),
+    }
+    for w in workers:
+        variants[f"engine_thread{w}"] = lambda w=w: engine.evaluate(dataset, workers=w)
+        variants[f"engine_process{w}"] = lambda w=w: engine.evaluate(
+            dataset, workers=w, backend="process"
+        )
+
+    for fn in variants.values():  # warm caches/buffers outside timing
+        fn()
+    times: dict[str, list[float]] = {k: [] for k in variants}
+    for _ in range(reps):  # interleave variants inside each rep
+        for key, fn in variants.items():
+            times[key].append(_timed(fn))
+
+    n = len(dataset)
+    med = {k: statistics.median(v) for k, v in times.items()}
+    row = {
+        "network_id": network_id,
+        "scheme": SCHEME,
+        "structure": model.config.structure,
+        "depth": model.config.depth,
+        "width": model.config.width,
+        "images": n,
+        "eager_s": med["eager"],
+        "engine_s": med["engine"],
+        "speedup": med["eager"] / med["engine"],
+        "eager_images_per_s": n / med["eager"],
+        "engine_images_per_s": n / med["engine"],
+        "sharding": {
+            k: {"time_s": med[k], "speedup_vs_eager": med["eager"] / med[k]}
+            for k in med
+            if k.startswith("engine_thread") or k.startswith("engine_process")
+        },
+        "float32_deployment": {
+            "time_s": med["engine_f32"],
+            "speedup_vs_eager": med["eager"] / med["engine_f32"],
+        },
+    }
+    return row
+
+
+def _parity_row(network_id: int, n_images: int = 16):
+    model = _build(network_id, width_scale=PARITY_WIDTH_SCALE.get(network_id, 1.0))
+    images = np.random.default_rng(network_id).normal(0.0, 1.0, (n_images, 3, IMAGE_SIZE, IMAGE_SIZE))
+    with no_grad():
+        want = model(Tensor(images)).numpy()
+    got = InferenceEngine(model).predict_logits(images)
+    return {
+        "network_id": network_id,
+        "scheme": SCHEME,
+        "max_abs_diff": float(np.max(np.abs(got - want))),
+    }
+
+
+def run_benchmark(
+    images: int = 512, reps: int = 5, workers: tuple[int, ...] = (2,), smoke: bool = False
+) -> dict:
+    """Run the full benchmark; ``smoke=True`` shrinks it to a seconds-scale
+    sanity pass (fewer images/reps, one timed config) for the pytest suite."""
+    if smoke:
+        images, reps, timed_ids = 64, 1, (4,)
+    else:
+        timed_ids = TIMED_CONFIGS
+    dataset = _dataset(images)
+    configs = [_time_config(nid, dataset, reps, workers) for nid in timed_ids]
+    parity = [_parity_row(nid, n_images=8 if smoke else 16) for nid in ALL_CONFIGS]
+    return {
+        "benchmark": "compiled inference engine vs eager Trainer.evaluate",
+        "metadata": {
+            "images": images,
+            "image_shape": [3, IMAGE_SIZE, IMAGE_SIZE],
+            "reps": reps,
+            "timing": "median over interleaved reps",
+            "scheme": SCHEME,
+            "cpu_count": os.cpu_count(),
+            "sharding_note": (
+                "worker rows can only scale beyond 1x the serial engine when "
+                "cpu_count > 1; on a single-core host they measure pure pool overhead"
+            ),
+            "numpy": np.__version__,
+            "engine_dtype": "float64 (default; float32 rows are the opt-in deployment mode)",
+            "smoke": smoke,
+        },
+        "configs": configs,
+        "parity_float64": parity,
+        "summary": {
+            "min_single_worker_speedup": min(c["speedup"] for c in configs),
+            "max_parity_abs_diff": max(p["max_abs_diff"] for p in parity),
+        },
+    }
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--images", type=int, default=512)
+    parser.add_argument("--reps", type=int, default=5)
+    parser.add_argument("--smoke", action="store_true")
+    parser.add_argument(
+        "--out", type=Path, default=Path(__file__).resolve().parent.parent / "BENCH_infer.json"
+    )
+    args = parser.parse_args(argv)
+    result = run_benchmark(images=args.images, reps=args.reps, smoke=args.smoke)
+    args.out.write_text(json.dumps(result, indent=2) + "\n")
+    for row in result["configs"]:
+        print(
+            f"net{row['network_id']} ({row['structure']}-{row['depth']} w{row['width']}): "
+            f"eager {row['eager_images_per_s']:.0f} img/s -> engine "
+            f"{row['engine_images_per_s']:.0f} img/s ({row['speedup']:.2f}x)"
+        )
+    print(
+        f"min speedup {result['summary']['min_single_worker_speedup']:.2f}x, "
+        f"max parity diff {result['summary']['max_parity_abs_diff']:.2e} -> {args.out}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -35,3 +35,11 @@ class HardwareModelError(ReproError):
 
 class DataError(ReproError):
     """A dataset or loader was asked for something it cannot provide."""
+
+
+class CompileError(ReproError):
+    """A model could not be compiled into an inference execution plan."""
+
+
+class StalePlanError(ReproError):
+    """A compiled plan's cached weights no longer match the source model."""

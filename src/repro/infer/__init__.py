@@ -1,0 +1,23 @@
+"""Compiled inference engine (plan / fold / cache / shard).
+
+Turns a trained :class:`~repro.models.network.QuantizedNetwork` into a flat
+grad-free execution plan with quantized-weight caching, conv+BN folding,
+scratch-buffer reuse and multicore batch sharding.  See
+:class:`~repro.infer.engine.InferenceEngine` for the entry point.
+"""
+
+from repro.infer.engine import InferenceEngine
+from repro.infer.fold import bn_eval_affine
+from repro.infer.plan import ExecutionContext, ExecutionPlan, compile_network, plan_dtype
+from repro.infer.pool import run_sharded, shard_slices
+
+__all__ = [
+    "InferenceEngine",
+    "ExecutionContext",
+    "ExecutionPlan",
+    "compile_network",
+    "plan_dtype",
+    "bn_eval_affine",
+    "run_sharded",
+    "shard_slices",
+]

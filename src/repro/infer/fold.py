@@ -1,0 +1,52 @@
+"""Conv + BatchNorm folding for the compiled inference engine.
+
+In eval mode batch-norm is the fixed affine map
+
+    y_c = gamma_c / sqrt(var_c + eps) * x_c + (beta_c - mean_c * gamma_c / sqrt(var_c + eps))
+
+per channel ``c``.  Because convolution is linear, the multiplicative part
+folds into the preceding convolution's weights (scaling each filter's row of
+the im2col matmul) and the additive part becomes a per-filter bias — batch
+norm then disappears from the execution plan entirely.
+
+Folding happens on the *effective* (already quantized) weights the engine
+caches, never on the master copies, so the model's training-time behaviour
+and the quantized-value semantics are untouched.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers.norm import BatchNorm2d
+
+__all__ = ["bn_eval_affine", "fold_scale_into_weight", "bn_fingerprint"]
+
+
+def bn_eval_affine(bn: BatchNorm2d) -> tuple[np.ndarray, np.ndarray]:
+    """Return the per-channel ``(scale, shift)`` of ``bn`` in eval mode."""
+    std = np.sqrt(bn.running_var + bn.eps)
+    scale = bn.gamma.data / std
+    shift = bn.beta.data - bn.running_mean * scale
+    return scale, shift
+
+
+def fold_scale_into_weight(weight2d: np.ndarray, scale: np.ndarray) -> np.ndarray:
+    """Scale each filter row of a flattened ``(F, C*kh*kw)`` weight matrix."""
+    return weight2d * scale[:, None]
+
+
+def bn_fingerprint(bn: BatchNorm2d) -> tuple:
+    """Cheap content fingerprint of everything BN folding depends on.
+
+    The affine parameters carry version counters, but the running statistics
+    are plain arrays mutated in place by training-mode forwards, so they are
+    fingerprinted by value.
+    """
+    return (
+        bn.gamma.version,
+        bn.beta.version,
+        float(bn.running_mean.sum()),
+        float(np.abs(bn.running_mean).sum()),
+        float(bn.running_var.sum()),
+    )

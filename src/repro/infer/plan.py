@@ -1,0 +1,676 @@
+"""Flat execution plans: compiling a model into grad-free ndarray ops.
+
+:func:`compile_network` walks a module tree once and emits a flat list of
+slot-addressed ops — a tiny SSA-style program.  Slot 0 holds the batch input;
+every op reads one or two slots and writes one.  Compilation is where all the
+inference-time work that eager evaluation repeats per batch happens exactly
+once:
+
+* quantized weights are pulled from the layer's version-keyed cache
+  (:meth:`~repro.quant.qlayers.QuantizedLayer.quantized_weight`) and
+  pre-flattened for the im2col matmul;
+* eval-mode batch-norm is folded into the preceding convolution's effective
+  per-filter scale and bias (see :mod:`repro.infer.fold`), so BN ops vanish;
+* elementwise ops (Leaky ReLU, activation quantizers) are marked in-place
+  wherever their input buffer has no other reader.
+
+Execution uses an :class:`ExecutionContext` of preallocated scratch buffers
+(im2col columns, padded inputs, matmul outputs) that are reused across
+batches, so steady-state inference performs no large allocations and builds
+no autograd graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+from numpy.lib.stride_tricks import as_strided
+
+from repro.errors import CompileError, ShapeError
+from repro.infer.fold import bn_eval_affine, bn_fingerprint, fold_scale_into_weight
+from repro.nn.layers.activation import LeakyReLU, ReLU
+from repro.nn.layers.container import Flatten, Identity, Sequential
+from repro.nn.layers.conv import Conv2d
+from repro.nn.layers.dropout import Dropout
+from repro.nn.layers.linear import Linear
+from repro.nn.layers.norm import BatchNorm2d
+from repro.nn.layers.pooling import AvgPool2d, GlobalAvgPool2d, MaxPool2d
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor, no_grad
+from repro.quant.activations import QuantizedActivation
+from repro.quant.qlayers import QConv2d, QLinear
+
+__all__ = ["ExecutionContext", "ExecutionPlan", "compile_network", "execute_ops", "plan_dtype"]
+
+
+class ExecutionContext:
+    """Per-worker slot table and scratch-buffer pool.
+
+    Buffers are keyed by ``(op_index, role)`` and reallocated only when the
+    requested shape or dtype changes (e.g. the final partial batch); a
+    context must never be shared between concurrently executing workers.
+    """
+
+    def __init__(self) -> None:
+        self.slots: dict[int, np.ndarray] = {}
+        self._buffers: dict[tuple[int, str], np.ndarray] = {}
+
+    def buffer(
+        self,
+        op_index: int,
+        role: str,
+        shape: tuple[int, ...],
+        dtype: np.dtype = np.float64,
+        zero: bool = False,
+    ) -> np.ndarray:
+        """Return a reusable buffer of ``shape``/``dtype`` for one op."""
+        key = (op_index, role)
+        buf = self._buffers.get(key)
+        if buf is None or buf.shape != shape or buf.dtype != dtype:
+            buf = np.zeros(shape, dtype) if zero else np.empty(shape, dtype)
+            self._buffers[key] = buf
+        return buf
+
+
+# -- ops ---------------------------------------------------------------------
+
+
+@dataclass
+class ConvOp:
+    """Fused convolution: im2col matmul + folded BN scale/shift epilogue."""
+
+    index: int
+    src: int
+    dst: int
+    weight2d: np.ndarray  # (F, C*kh*kw), quantized and BN-scale-folded
+    bias: np.ndarray | None  # (F,) — conv bias and/or folded BN shift
+    kernel: int
+    stride: int
+    padding: int
+
+    def run(self, ctx: ExecutionContext) -> None:
+        x = ctx.slots[self.src]
+        n, c, h, w = x.shape
+        k, s, p = self.kernel, self.stride, self.padding
+        f = self.weight2d.shape[0]
+        if k == 1 and s == 1 and p == 0:
+            cols, oh, ow = x.reshape(n, c, h * w), h, w
+        else:
+            if p:
+                xp = ctx.buffer(self.index, "pad", (n, c, h + 2 * p, w + 2 * p), x.dtype, zero=True)
+                xp[:, :, p:-p, p:-p] = x
+                x = xp
+            oh = (h + 2 * p - k) // s + 1
+            ow = (w + 2 * p - k) // s + 1
+            sn, sc, sh, sw = x.strides
+            windows = as_strided(
+                x,
+                shape=(n, c, k, k, oh, ow),
+                strides=(sn, sc, sh, sw, sh * s, sw * s),
+                writeable=False,
+            )
+            cols = ctx.buffer(self.index, "cols", (n, c * k * k, oh * ow), x.dtype)
+            cols.reshape(n, c, k, k, oh, ow)[...] = windows
+        out = ctx.buffer(self.index, "out", (n, f, oh * ow), x.dtype)
+        np.matmul(self.weight2d, cols, out=out)
+        if self.bias is not None:
+            out += self.bias[:, None]
+        ctx.slots[self.dst] = out.reshape(n, f, oh, ow)
+
+
+@dataclass
+class LinearOp:
+    """Affine map ``x @ W.T + b`` with the quantized weight cached."""
+
+    index: int
+    src: int
+    dst: int
+    weight_t: np.ndarray  # (in, out) — pre-transposed quantized weight
+    bias: np.ndarray | None
+
+    def run(self, ctx: ExecutionContext) -> None:
+        x = ctx.slots[self.src]
+        out = ctx.buffer(self.index, "out", (x.shape[0], self.weight_t.shape[1]), x.dtype)
+        np.matmul(x, self.weight_t, out=out)
+        if self.bias is not None:
+            out += self.bias
+        ctx.slots[self.dst] = out
+
+
+@dataclass
+class LeakyReluOp:
+    """Leaky ReLU (slope 0 gives plain ReLU); in-place when safe.
+
+    Uses ``max(x, slope*x)``, valid for ``0 <= slope < 1``, which runs as
+    two allocation-free ufunc passes instead of a boolean-mask select.
+    """
+
+    index: int
+    src: int
+    dst: int
+    slope: float
+    inplace: bool = False
+
+    def run(self, ctx: ExecutionContext) -> None:
+        x = ctx.slots[self.src]
+        if self.slope == 0.0:
+            out = x if self.inplace else ctx.buffer(self.index, "out", x.shape, x.dtype)
+            np.maximum(x, 0.0, out=out)
+        else:
+            tmp = ctx.buffer(self.index, "out", x.shape, x.dtype)
+            np.multiply(x, self.slope, out=tmp)
+            out = x if self.inplace else tmp
+            np.maximum(x, tmp, out=out)
+        ctx.slots[self.dst] = out
+
+
+@dataclass
+class ActQuantOp:
+    """Symmetric fixed-point activation quantization (rint + saturate)."""
+
+    index: int
+    src: int
+    dst: int
+    step: float
+    half: float  # 2**(bits-1)
+    inplace: bool = False
+
+    def run(self, ctx: ExecutionContext) -> None:
+        x = ctx.slots[self.src]
+        out = x if self.inplace else ctx.buffer(self.index, "out", x.shape, x.dtype)
+        np.multiply(x, 1.0 / self.step, out=out)
+        np.rint(out, out=out)
+        np.clip(out, -self.half, self.half - 1, out=out)
+        out *= self.step
+        ctx.slots[self.dst] = out
+
+
+@dataclass
+class AffineOp:
+    """Standalone per-channel scale/shift (a BN with no conv to fold into)."""
+
+    index: int
+    src: int
+    dst: int
+    scale: np.ndarray  # (C,)
+    shift: np.ndarray  # (C,)
+    inplace: bool = False
+
+    def run(self, ctx: ExecutionContext) -> None:
+        x = ctx.slots[self.src]
+        out = x if self.inplace else ctx.buffer(self.index, "out", x.shape, x.dtype)
+        np.multiply(x, self.scale[:, None, None], out=out)
+        out += self.shift[:, None, None]
+        ctx.slots[self.dst] = out
+
+
+def _pool_views(x: np.ndarray, kernel: int, stride: int):
+    """The ``kernel**2`` shifted strided views covering each pool window.
+
+    Reducing across k*k same-shaped views with binary ufuncs is much faster
+    than one ``np.max``/``np.mean`` over an ``as_strided`` 6-D window array,
+    whose non-contiguous reduction axes defeat vectorization.
+    """
+    n, c, h, w = x.shape
+    oh = (h - kernel) // stride + 1
+    ow = (w - kernel) // stride + 1
+    views = [
+        x[:, :, i : i + stride * oh : stride, j : j + stride * ow : stride]
+        for i in range(kernel)
+        for j in range(kernel)
+    ]
+    return views, oh, ow
+
+
+@dataclass
+class MaxPoolOp:
+    index: int
+    src: int
+    dst: int
+    kernel: int
+    stride: int
+
+    def run(self, ctx: ExecutionContext) -> None:
+        x = ctx.slots[self.src]
+        views, oh, ow = _pool_views(x, self.kernel, self.stride)
+        out = ctx.buffer(self.index, "out", x.shape[:2] + (oh, ow), x.dtype)
+        out[...] = views[0]
+        for v in views[1:]:
+            np.maximum(out, v, out=out)
+        ctx.slots[self.dst] = out
+
+
+@dataclass
+class AvgPoolOp:
+    index: int
+    src: int
+    dst: int
+    kernel: int
+    stride: int
+
+    def run(self, ctx: ExecutionContext) -> None:
+        x = ctx.slots[self.src]
+        views, oh, ow = _pool_views(x, self.kernel, self.stride)
+        out = ctx.buffer(self.index, "out", x.shape[:2] + (oh, ow), x.dtype)
+        out[...] = views[0]
+        for v in views[1:]:
+            out += v
+        out *= 1.0 / (self.kernel * self.kernel)
+        ctx.slots[self.dst] = out
+
+
+@dataclass
+class GlobalAvgPoolOp:
+    index: int
+    src: int
+    dst: int
+
+    def run(self, ctx: ExecutionContext) -> None:
+        x = ctx.slots[self.src]
+        out = ctx.buffer(self.index, "out", x.shape[:2], x.dtype)
+        np.mean(x, axis=(2, 3), out=out)
+        ctx.slots[self.dst] = out
+
+
+@dataclass
+class AddOp:
+    """Residual addition of two slots."""
+
+    index: int
+    src: int
+    src2: int
+    dst: int
+
+    def run(self, ctx: ExecutionContext) -> None:
+        a, b = ctx.slots[self.src], ctx.slots[self.src2]
+        out = ctx.buffer(self.index, "out", a.shape, a.dtype)
+        np.add(a, b, out=out)
+        ctx.slots[self.dst] = out
+
+
+@dataclass
+class FlattenOp:
+    index: int
+    src: int
+    dst: int
+
+    def run(self, ctx: ExecutionContext) -> None:
+        x = ctx.slots[self.src]
+        ctx.slots[self.dst] = x.reshape(x.shape[0], -1)
+
+
+@dataclass
+class FallbackOp:
+    """Escape hatch: run an uncompilable module's eager forward (no grad)."""
+
+    index: int
+    src: int
+    dst: int
+    module: Module
+
+    def run(self, ctx: ExecutionContext) -> None:
+        with no_grad():
+            ctx.slots[self.dst] = self.module(Tensor(ctx.slots[self.src])).data
+
+
+def execute_ops(
+    ops: list, x: np.ndarray, ctx: ExecutionContext, out_slot: int, dtype: np.dtype = np.float64
+) -> np.ndarray:
+    """Run a compiled op list on one batch; returns the output slot's buffer.
+
+    The returned array is owned by ``ctx`` and only valid until the next
+    call with the same context — callers that keep results across batches
+    must copy.
+    """
+    ctx.slots[0] = np.asarray(x, dtype=dtype)
+    for op in ops:
+        op.run(ctx)
+    return ctx.slots[out_slot]
+
+
+# -- weight bindings (cache invalidation) ------------------------------------
+
+
+@dataclass
+class WeightBinding:
+    """Link from one plan op back to the layer (+BN) its arrays came from."""
+
+    op_index: int
+    layer: Module  # QConv2d / QLinear / Conv2d / Linear
+    bn: BatchNorm2d | None
+    built_key: tuple = ()
+    built_fp: tuple = ()
+
+    def current_key(self) -> tuple:
+        """Version vector of every tensor the op's arrays derive from."""
+        key: list[Any] = [self.layer.weight.version]
+        thresholds = getattr(self.layer, "thresholds", None)
+        key.append(-1 if thresholds is None else thresholds.version)
+        bias = getattr(self.layer, "bias", None)
+        key.append(-1 if bias is None else bias.version)
+        if self.bn is not None:
+            key.extend(bn_fingerprint(self.bn))
+        return tuple(key)
+
+    def current_fp(self) -> tuple:
+        """Content fingerprint catching raw ``.data`` mutations that bypass
+        the version counters."""
+        w = self.layer.weight.data
+        return (float(w.sum()), float(np.abs(w).sum()))
+
+
+class ExecutionPlan:
+    """A compiled model: flat op program + weight bindings + output slot.
+
+    ``dtype`` is the compute precision of the whole plan.  The default is
+    float64, which reproduces the eager forward bit-for-bit up to GEMM
+    summation order (logits agree to ~1e-13); :func:`plan_dtype` describes
+    the opt-in float32 deployment mode for quantized networks, which halves
+    memory traffic at the cost of occasional one-LSB activation rounding
+    flips.
+    """
+
+    def __init__(
+        self,
+        ops: list,
+        out_slot: int,
+        bindings: list[WeightBinding],
+        dtype: np.dtype = np.float64,
+    ) -> None:
+        self.ops = ops
+        self.out_slot = out_slot
+        self.bindings = bindings
+        self.dtype = np.dtype(dtype)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def execute(self, x: np.ndarray, ctx: ExecutionContext) -> np.ndarray:
+        """Run one batch through the plan (see :func:`execute_ops`)."""
+        if np.ndim(x) != 4:
+            raise ShapeError(f"plan input must be NCHW, got shape {np.shape(x)}")
+        return execute_ops(self.ops, x, ctx, self.out_slot, self.dtype)
+
+    def stale_bindings(self, fingerprint: bool = True) -> list[WeightBinding]:
+        """Bindings whose source tensors changed since the plan was built.
+
+        Version counters catch every mutation made through repo code paths
+        (optimizer steps, ``load_state_dict``, proximal shrinkage); with
+        ``fingerprint=True`` a cheap content checksum additionally catches
+        raw in-place edits of ``.data`` that never bumped a version.
+        """
+        stale = []
+        for b in self.bindings:
+            if b.current_key() != b.built_key:
+                stale.append(b)
+            elif fingerprint and b.current_fp() != b.built_fp:
+                stale.append(b)
+        return stale
+
+    def refresh(self, bindings: list[WeightBinding] | None = None) -> int:
+        """Re-derive op arrays for ``bindings`` (default: the stale ones).
+
+        Returns the number of ops rebuilt.  Layers whose version counters
+        moved re-quantize through the layer cache; raw-mutation layers have
+        their cache dropped first so the re-quantization sees fresh data.
+        """
+        if bindings is None:
+            bindings = self.stale_bindings()
+        for b in bindings:
+            if hasattr(b.layer, "invalidate_weight_cache"):
+                b.layer.invalidate_weight_cache()
+            op = self.ops[b.op_index]
+            if isinstance(op, ConvOp):
+                weight2d, bias = _conv_arrays(b.layer, b.bn, self.dtype)
+                op.weight2d, op.bias = weight2d, bias
+            elif isinstance(op, LinearOp):
+                weight_t, bias = _linear_arrays(b.layer, self.dtype)
+                op.weight_t, op.bias = weight_t, bias
+            b.built_key = b.current_key()
+            b.built_fp = b.current_fp()
+        return len(bindings)
+
+
+# -- compilation --------------------------------------------------------------
+
+
+def _layer_weight(layer: Module) -> np.ndarray:
+    """Deployed weight array of a (possibly quantized) conv/linear layer."""
+    if isinstance(layer, (QConv2d, QLinear)):
+        return layer.quantized_weight(use_cache=True)
+    return layer.weight.data
+
+
+def _conv_arrays(
+    layer: Module, bn: BatchNorm2d | None, dtype: np.dtype = np.float64
+) -> tuple[np.ndarray, np.ndarray | None]:
+    wq = np.asarray(_layer_weight(layer), dtype=np.float64)
+    f = wq.shape[0]
+    weight2d = wq.reshape(f, -1)
+    bias = getattr(layer, "bias", None)
+    bias = None if bias is None else bias.data.copy()
+    if bn is not None:
+        # Folding happens in float64; only the finished arrays are cast to
+        # the plan's compute dtype.
+        scale, shift = bn_eval_affine(bn)
+        weight2d = fold_scale_into_weight(weight2d, scale)
+        bias = shift if bias is None else bias * scale + shift
+    else:
+        # Detach from the layer's cached array (and, for full-precision
+        # strategies, from the master weight itself) so plan ops never alias
+        # model state.
+        weight2d = weight2d.copy()
+    weight2d = np.ascontiguousarray(weight2d, dtype=dtype)
+    return weight2d, None if bias is None else bias.astype(dtype)
+
+
+def _linear_arrays(
+    layer: Module, dtype: np.dtype = np.float64
+) -> tuple[np.ndarray, np.ndarray | None]:
+    w = np.asarray(_layer_weight(layer), dtype=np.float64)
+    bias = getattr(layer, "bias", None)
+    return (
+        np.ascontiguousarray(w.T, dtype=dtype),
+        None if bias is None else bias.data.astype(dtype),
+    )
+
+
+class _Compiler:
+    def __init__(self, dtype: np.dtype = np.float64) -> None:
+        self.dtype = np.dtype(dtype)
+        self.ops: list = []
+        self.bindings: list[WeightBinding] = []
+        self._next_slot = 1  # slot 0 is the batch input
+
+    def _new_slot(self) -> int:
+        slot = self._next_slot
+        self._next_slot += 1
+        return slot
+
+    def _push(self, op) -> int:
+        self.ops.append(op)
+        return op.dst
+
+    def emit(self, module: Module, src: int) -> int:
+        """Emit ops for ``module`` reading slot ``src``; returns output slot."""
+        if isinstance(module, Sequential):
+            return self.emit_sequence(list(module), src)
+        if isinstance(module, (Identity, Dropout)):
+            return src
+        if isinstance(module, (QConv2d, Conv2d)):
+            return self.emit_conv(module, None, src)
+        if isinstance(module, BatchNorm2d):
+            scale, shift = bn_eval_affine(module)
+            return self._push(
+                AffineOp(
+                    len(self.ops), src, self._new_slot(),
+                    scale.astype(self.dtype), shift.astype(self.dtype),
+                )
+            )
+        if isinstance(module, LeakyReLU):
+            return self._push(
+                LeakyReluOp(len(self.ops), src, self._new_slot(), module.negative_slope)
+            )
+        if isinstance(module, ReLU):
+            return self._push(LeakyReluOp(len(self.ops), src, self._new_slot(), 0.0))
+        if isinstance(module, QuantizedActivation):
+            return self.emit_actquant(module, src)
+        if isinstance(module, MaxPool2d):
+            return self._push(
+                MaxPoolOp(len(self.ops), src, self._new_slot(), module.kernel, module.stride)
+            )
+        if isinstance(module, AvgPool2d):
+            return self._push(
+                AvgPoolOp(len(self.ops), src, self._new_slot(), module.kernel, module.stride)
+            )
+        if isinstance(module, GlobalAvgPool2d):
+            return self._push(GlobalAvgPoolOp(len(self.ops), src, self._new_slot()))
+        if isinstance(module, Flatten):
+            return self._push(FlattenOp(len(self.ops), src, self._new_slot()))
+        if isinstance(module, (QLinear, Linear)):
+            weight_t, bias = _linear_arrays(module, self.dtype)
+            op = LinearOp(len(self.ops), src, self._new_slot(), weight_t, bias)
+            self._bind(op.index, module, None)
+            return self._push(op)
+        # Avoid a hard dependency cycle: BasicBlock lives in repro.models.
+        if type(module).__name__ == "BasicBlock" and hasattr(module, "shortcut"):
+            return self.emit_basic_block(module, src)
+        if not any(True for _ in module.named_children()) and not list(
+            module.named_parameters()
+        ):
+            # Stateless leaf module (e.g. a custom activation): safe fallback.
+            return self._push(FallbackOp(len(self.ops), src, self._new_slot(), module))
+        raise CompileError(
+            f"cannot compile module of type {type(module).__name__}; "
+            "add a lowering rule in repro.infer.plan or mark it stateless"
+        )
+
+    def emit_sequence(self, mods: list[Module], src: int) -> int:
+        i = 0
+        while i < len(mods):
+            module = mods[i]
+            if (
+                isinstance(module, (QConv2d, Conv2d))
+                and i + 1 < len(mods)
+                and isinstance(mods[i + 1], BatchNorm2d)
+            ):
+                src = self.emit_conv(module, mods[i + 1], src)
+                i += 2
+            else:
+                src = self.emit(module, src)
+                i += 1
+        return src
+
+    def emit_conv(self, layer: Module, bn: BatchNorm2d | None, src: int) -> int:
+        weight2d, bias = _conv_arrays(layer, bn, self.dtype)
+        op = ConvOp(
+            len(self.ops), src, self._new_slot(), weight2d, bias,
+            layer.kernel_size, layer.stride, layer.padding,
+        )
+        self._bind(op.index, layer, bn)
+        return self._push(op)
+
+    def emit_actquant(self, module: QuantizedActivation, src: int) -> int:
+        if not module.enabled:
+            return src
+        cfg = module.config
+        return self._push(
+            ActQuantOp(
+                len(self.ops), src, self._new_slot(), cfg.step, 2.0 ** (cfg.bits - 1)
+            )
+        )
+
+    def emit_basic_block(self, block: Module, src: int) -> int:
+        out = self.emit_conv(block.conv1, block.bn1, src)
+        out = self._push(
+            LeakyReluOp(len(self.ops), out, self._new_slot(), block.act.negative_slope)
+        )
+        out = self.emit_actquant(block.act_quant1, out)
+        out = self.emit_conv(block.conv2, block.bn2, out)
+        shortcut = self.emit(block.shortcut, src)
+        out = self._push(AddOp(len(self.ops), out, shortcut, self._new_slot()))
+        out = self._push(
+            LeakyReluOp(len(self.ops), out, self._new_slot(), block.act.negative_slope)
+        )
+        return self.emit_actquant(block.act_quant2, out)
+
+    def _bind(self, op_index: int, layer: Module, bn: BatchNorm2d | None) -> None:
+        binding = WeightBinding(op_index, layer, bn)
+        binding.built_key = binding.current_key()
+        binding.built_fp = binding.current_fp()
+        self.bindings.append(binding)
+
+    def mark_inplace(self) -> None:
+        """Allow elementwise ops to overwrite inputs nobody else reads.
+
+        Slot 0 is caller-owned and never overwritten; a slot feeding a
+        residual shortcut has two readers and stays protected.
+        """
+        # Flatten emits a view of its input buffer, so reads are counted
+        # against the aliased root slot.
+        alias: dict[int, int] = {}
+        for op in self.ops:
+            if isinstance(op, FlattenOp):
+                alias[op.dst] = alias.get(op.src, op.src)
+
+        def root(slot: int) -> int:
+            return alias.get(slot, slot)
+
+        reads: dict[int, int] = {}
+        for op in self.ops:
+            reads[root(op.src)] = reads.get(root(op.src), 0) + 1
+            src2 = getattr(op, "src2", None)
+            if src2 is not None:
+                reads[root(src2)] = reads.get(root(src2), 0) + 1
+        for op in self.ops:
+            if isinstance(op, (LeakyReluOp, ActQuantOp, AffineOp)):
+                r = root(op.src)
+                if r != 0 and reads.get(r, 0) == 1:
+                    op.inplace = True
+
+
+def plan_dtype(model: Module) -> np.dtype:
+    """Recommended *deployment* precision: float32 when quantization makes
+    it numerically safe, else float64.
+
+    Single precision is structurally safe when the network re-quantizes its
+    activations: every fixed-point grid value and every quantized weight
+    (powers of two, 4-bit fixed point) is exactly representable in float32,
+    and each :class:`~repro.quant.activations.QuantizedActivation` snaps the
+    ~1e-7 relative accumulation error back onto the grid.  The one caveat —
+    and the reason float32 is opt-in rather than the default — is rounding
+    ties: an activation landing within a float32 ulp of a code boundary can
+    round to the adjacent code, so float32 logits match float64 only to
+    about one activation LSB (~3e-2), not to 1e-5.  Top-1/top-5 metrics are
+    unaffected in practice; pass ``dtype=plan_dtype(model)`` to
+    :class:`~repro.infer.engine.InferenceEngine` to accept that trade for
+    ~2x less memory traffic.
+    """
+    for m in model.modules():
+        if isinstance(m, QuantizedActivation) and m.enabled:
+            return np.dtype(np.float32)
+    return np.dtype(np.float64)
+
+
+def compile_network(model: Module, dtype: "np.dtype | None" = None) -> ExecutionPlan:
+    """Compile ``model`` into a flat, grad-free :class:`ExecutionPlan`.
+
+    Works on any module tree built from the repo's layer catalogue; a
+    :class:`~repro.models.network.QuantizedNetwork` compiles as its feature
+    trunk followed by its classifier.  Raises
+    :class:`~repro.errors.CompileError` for module types with no lowering
+    rule.  ``dtype`` defaults to float64, which reproduces eager logits to
+    ~1e-13; see :func:`plan_dtype` for the float32 deployment mode.
+    """
+    compiler = _Compiler(np.float64 if dtype is None else np.dtype(dtype))
+    if hasattr(model, "features") and hasattr(model, "classifier"):
+        out = compiler.emit(model.features, 0)
+        out = compiler.emit(model.classifier, out)
+    else:
+        out = compiler.emit(model, 0)
+    if not compiler.ops:
+        raise CompileError("model compiled to an empty plan")
+    compiler.mark_inplace()
+    return ExecutionPlan(compiler.ops, out, compiler.bindings, compiler.dtype)

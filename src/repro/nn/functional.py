@@ -47,6 +47,10 @@ def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
 def _im2col(x: np.ndarray, kh: int, kw: int, stride: int, padding: int) -> tuple[np.ndarray, int, int]:
     """Unfold ``x`` (N,C,H,W) into columns of shape (N, C*kh*kw, OH*OW)."""
     n, c, h, w = x.shape
+    if kh == 1 and kw == 1 and stride == 1 and padding == 0:
+        # 1x1/stride-1 convolutions are a pure matmul over the channel axis;
+        # the column matrix is just a reshaped view of the input, no copy.
+        return x.reshape(n, c, h * w), h, w
     if padding:
         x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
     oh = (h + 2 * padding - kh) // stride + 1
@@ -59,7 +63,9 @@ def _im2col(x: np.ndarray, kh: int, kw: int, stride: int, padding: int) -> tuple
         writeable=False,
     )
     cols = windows.reshape(n, c * kh * kw, oh * ow)
-    return np.ascontiguousarray(cols), oh, ow
+    if not cols.flags["C_CONTIGUOUS"]:
+        cols = np.ascontiguousarray(cols)
+    return cols, oh, ow
 
 
 def _col2im(
@@ -74,13 +80,19 @@ def _col2im(
 ) -> np.ndarray:
     """Fold column gradients back into an input-shaped gradient (adjoint of im2col)."""
     n, c, h, w = x_shape
+    if kh == 1 and kw == 1 and stride == 1 and padding == 0:
+        return dcols.reshape(n, c, h, w)
     dx = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=dcols.dtype)
     d6 = dcols.reshape(n, c, kh, kw, oh, ow)
-    for i in range(kh):
-        h_end = i + oh * stride
-        for j in range(kw):
-            w_end = j + ow * stride
-            dx[:, :, i:h_end:stride, j:w_end:stride] += d6[:, :, i, j]
+    if kh == 1 and kw == 1:
+        # 1x1 kernels never overlap: a single strided assignment suffices.
+        dx[:, :, : oh * stride : stride, : ow * stride : stride] = d6[:, :, 0, 0]
+    else:
+        for i in range(kh):
+            h_end = i + oh * stride
+            for j in range(kw):
+                w_end = j + ow * stride
+                dx[:, :, i:h_end:stride, j:w_end:stride] += d6[:, :, i, j]
     if padding:
         dx = dx[:, :, padding:-padding, padding:-padding]
     return dx

@@ -114,6 +114,8 @@ class Module:
                     f"shape mismatch for {name!r}: model {target.shape}, state {np.asarray(value).shape}"
                 )
             target[...] = value
+            if name in params:
+                params[name].bump_version()
         missing = (set(params) | set(buffers)) - set(state)
         if missing:
             raise ConfigurationError(f"state dict is missing entries: {sorted(missing)}")

@@ -51,3 +51,4 @@ class SGD(Optimizer):
                 v += g
                 g = v
             p.data -= self.lr * g
+            p.bump_version()

@@ -83,7 +83,7 @@ class Tensor:
         name: Optional debug label shown in ``repr``.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "name", "_backward", "_parents")
+    __slots__ = ("data", "grad", "requires_grad", "name", "_backward", "_parents", "_version")
 
     def __init__(
         self,
@@ -102,6 +102,7 @@ class Tensor:
         self.name = name
         self._backward: Callable[[np.ndarray], None] | None = None
         self._parents: tuple[Tensor, ...] = ()
+        self._version: int = 0
 
     # -- construction helpers -------------------------------------------------
 
@@ -154,6 +155,22 @@ class Tensor:
     def dtype(self):
         """Data type of the underlying array."""
         return self.data.dtype
+
+    @property
+    def version(self) -> int:
+        """Mutation counter for cache invalidation.
+
+        Every code path in this repo that rewrites ``.data`` in place
+        (optimizer steps, ``load_state_dict``, proximal shrinkage) calls
+        :meth:`bump_version`, so caches keyed on ``version`` (e.g. quantized
+        weights in :mod:`repro.infer`) know when to re-derive.  Code that
+        mutates ``.data`` directly must call :meth:`bump_version` itself.
+        """
+        return self._version
+
+    def bump_version(self) -> None:
+        """Mark the tensor's data as mutated (invalidates version-keyed caches)."""
+        self._version += 1
 
     def item(self) -> float:
         """Return the single element of a scalar tensor as a Python float."""

@@ -31,6 +31,7 @@ __all__ = [
     "FixedPointWeights",
     "LightNNWeights",
     "FLightNNWeights",
+    "QuantizedLayer",
     "QConv2d",
     "QLinear",
 ]
@@ -159,7 +160,69 @@ class FLightNNWeights(WeightQuantStrategy):
         return self.filter_k(w, t).astype(float) * per_term
 
 
-class QConv2d(Module):
+class QuantizedLayer(Module):
+    """Shared master-weight / threshold / quantized-weight-cache plumbing.
+
+    Subclasses (:class:`QConv2d`, :class:`QLinear`) set ``self.weight``,
+    ``self.strategy`` and ``self.thresholds`` in their constructors; this
+    base provides the deployment-side accessors plus a *quantize-once*
+    cache: :meth:`quantized_weight` with ``use_cache=True`` re-runs the
+    (potentially expensive) quantizer only when the master weight or the
+    thresholds have been mutated since the cached copy was taken, as
+    tracked by :attr:`~repro.nn.tensor.Tensor.version`.  The inference
+    engine (:mod:`repro.infer`) and the trainer's evaluation passes share
+    this cache, so weights are quantized once per optimizer step instead of
+    once per forward.
+    """
+
+    weight: Parameter
+    thresholds: Parameter | None
+    strategy: WeightQuantStrategy
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._qcache_key: tuple[int, int] | None = None
+        self._qcache_value: np.ndarray | None = None
+
+    def weight_cache_key(self) -> tuple[int, int]:
+        """Version pair identifying the current (weight, thresholds) state."""
+        t_version = -1 if self.thresholds is None else self.thresholds.version
+        return (self.weight.version, t_version)
+
+    def quantized_weight(self, use_cache: bool = False) -> np.ndarray:
+        """Current deployed (quantized) weights, outside the graph.
+
+        Args:
+            use_cache: Reuse the last quantization result while the master
+                weight / threshold versions are unchanged.  Callers must
+                treat the returned array as read-only.
+        """
+        t = None if self.thresholds is None else self.thresholds.data
+        if not use_cache:
+            return self.strategy.quantize_array(self.weight.data, t)
+        key = self.weight_cache_key()
+        if self._qcache_value is None or self._qcache_key != key:
+            self._qcache_value = self.strategy.quantize_array(self.weight.data, t)
+            self._qcache_key = key
+        return self._qcache_value
+
+    def invalidate_weight_cache(self) -> None:
+        """Drop the cached quantized weights (forces re-quantization)."""
+        self._qcache_key = None
+        self._qcache_value = None
+
+    def filter_k(self) -> np.ndarray:
+        """Shift terms per filter (axis-0 slice) under the current strategy."""
+        t = None if self.thresholds is None else self.thresholds.data
+        return self.strategy.filter_k(self.weight.data, t)
+
+    def bits_per_weight(self) -> np.ndarray:
+        """Per-filter storage cost in bits per weight."""
+        t = None if self.thresholds is None else self.thresholds.data
+        return self.strategy.bits_per_weight(self.weight.data, t)
+
+
+class QConv2d(QuantizedLayer):
     """Convolution whose weights pass through a quantization strategy.
 
     Args:
@@ -205,21 +268,6 @@ class QConv2d(Module):
         wq = self.strategy.apply(self.weight, self.thresholds)
         return F.conv2d(x, wq, stride=self.stride, padding=self.padding)
 
-    def quantized_weight(self) -> np.ndarray:
-        """Current deployed (quantized) weights, outside the graph."""
-        t = None if self.thresholds is None else self.thresholds.data
-        return self.strategy.quantize_array(self.weight.data, t)
-
-    def filter_k(self) -> np.ndarray:
-        """Shift terms per filter under the current strategy/thresholds."""
-        t = None if self.thresholds is None else self.thresholds.data
-        return self.strategy.filter_k(self.weight.data, t)
-
-    def bits_per_weight(self) -> np.ndarray:
-        """Per-filter storage cost in bits per weight."""
-        t = None if self.thresholds is None else self.thresholds.data
-        return self.strategy.bits_per_weight(self.weight.data, t)
-
     def output_spatial(self, height: int, width: int) -> tuple[int, int]:
         """Spatial output size for an input of ``height`` x ``width``."""
         return (
@@ -234,7 +282,7 @@ class QConv2d(Module):
         )
 
 
-class QLinear(Module):
+class QLinear(QuantizedLayer):
     """Fully-connected layer with quantized weights.
 
     For shift-count purposes each output neuron's weight row is treated as
@@ -268,21 +316,6 @@ class QLinear(Module):
     def forward(self, x: Tensor) -> Tensor:
         wq = self.strategy.apply(self.weight, self.thresholds)
         return F.linear(x, wq, self.bias)
-
-    def quantized_weight(self) -> np.ndarray:
-        """Current deployed (quantized) weights, outside the graph."""
-        t = None if self.thresholds is None else self.thresholds.data
-        return self.strategy.quantize_array(self.weight.data, t)
-
-    def filter_k(self) -> np.ndarray:
-        """Shift terms per output neuron under the current strategy."""
-        t = None if self.thresholds is None else self.thresholds.data
-        return self.strategy.filter_k(self.weight.data, t)
-
-    def bits_per_weight(self) -> np.ndarray:
-        """Per-neuron storage cost in bits per weight."""
-        t = None if self.thresholds is None else self.thresholds.data
-        return self.strategy.bits_per_weight(self.weight.data, t)
 
     def __repr__(self) -> str:
         return f"QLinear({self.in_features}, {self.out_features}, strategy={self.strategy.name})"

@@ -276,11 +276,26 @@ class Trainer:
                 layer.strategy.quantizer,
                 step_size=self.optimizer.lr,
             )
+            layer.weight.bump_version()
 
     # -- evaluation ------------------------------------------------------------
 
-    def evaluate(self, dataset: ArrayDataset) -> dict[str, float]:
-        """Loss / top-1 / top-5 on ``dataset`` in inference mode."""
+    def evaluate(self, dataset: ArrayDataset, use_engine: bool = True) -> dict[str, float]:
+        """Loss / top-1 / top-5 on ``dataset`` in inference mode.
+
+        By default evaluation runs through the compiled inference engine
+        (:mod:`repro.infer`): weights are quantized once per optimizer step
+        instead of once per batch, batch-norm is folded away and no autograd
+        graph is built.  The engine is compiled lazily on first use and
+        transparently re-derives only the layers that changed since the last
+        evaluation.  ``use_engine=False`` keeps the eager fallback (also the
+        reference path the engine is parity-tested against).
+        """
+        if use_engine:
+            # The engine's internal batch granularity is an execution detail
+            # (results are batch-size invariant), so it keeps its own
+            # cache-friendly default; eval_batch_size governs the eager path.
+            return self._engine().evaluate(dataset)
         self.model.eval()
         loss_avg = RunningAverage()
         acc_avg = RunningAverage()
@@ -296,3 +311,12 @@ class Trainer:
                 top5_avg.update(topk_accuracy(logits.numpy(), labels, k5), n)
         self.model.train()
         return {"loss": loss_avg.value, "accuracy": acc_avg.value, "top5": top5_avg.value}
+
+    def _engine(self):
+        """Lazily build (once) the compiled evaluation engine for the model."""
+        if getattr(self, "_eval_engine", None) is None:
+            # Imported here to avoid a train <-> infer import cycle.
+            from repro.infer.engine import InferenceEngine
+
+            self._eval_engine = InferenceEngine(self.model, on_stale="refresh")
+        return self._eval_engine

@@ -1,0 +1,1 @@
+"""Tests for the compiled inference engine (repro.infer)."""

@@ -1,0 +1,70 @@
+"""Shared builders for inference-engine tests.
+
+Networks are built at reduced width (``WIDTH_SCALE``) so that every Table-1
+structure — including the ResNet-18s — stays unit-test cheap, while the op
+mix (conv+BN folding, residual adds, pooling, activation quantizers) matches
+the full-size models exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.network import QuantizedNetwork
+from repro.models.registry import build_network
+from repro.nn.layers.norm import BatchNorm2d
+from repro.nn.tensor import Tensor, no_grad
+from repro.quant.schemes import paper_schemes
+
+# Per-network width multipliers keeping each structure test-sized.
+WIDTH_SCALE = {1: 0.25, 2: 0.125, 3: 0.0625, 4: 0.5, 5: 0.25, 6: 0.125, 7: 0.0625, 8: 0.125}
+
+IMAGE_SIZE = 16
+NUM_CLASSES = 10
+
+
+def randomize_bn_stats(model: QuantizedNetwork, rng: np.random.Generator) -> None:
+    """Give every BN layer non-trivial affine params and running statistics.
+
+    Freshly initialised BN (gamma=1, beta=0, mean=0, var=1) folds into an
+    identity affine, which would let a broken fold pass parity tests.
+    """
+    for m in model.modules():
+        if isinstance(m, BatchNorm2d):
+            c = m.num_features
+            m.gamma.data[...] = rng.uniform(0.5, 1.5, c)
+            m.beta.data[...] = rng.normal(0.0, 0.2, c)
+            m.running_mean[...] = rng.normal(0.0, 0.5, c)
+            m.running_var[...] = rng.uniform(0.5, 2.0, c)
+
+
+def build_small_network(
+    network_id: int, scheme_key: str = "FL_a", seed: int = 0
+) -> QuantizedNetwork:
+    """A scaled-down Table-1 network with randomized BN state, in eval mode."""
+    scheme = paper_schemes()[scheme_key]
+    model = build_network(
+        network_id,
+        scheme,
+        num_classes=NUM_CLASSES,
+        image_size=IMAGE_SIZE,
+        width_scale=WIDTH_SCALE[network_id],
+        rng=seed,
+    )
+    randomize_bn_stats(model, np.random.default_rng(seed + 1))
+    model.eval()
+    return model
+
+
+def sample_images(n: int, seed: int = 0) -> np.ndarray:
+    return np.random.default_rng(seed).normal(0.0, 1.0, (n, 3, IMAGE_SIZE, IMAGE_SIZE))
+
+
+def eager_logits(model: QuantizedNetwork, images: np.ndarray) -> np.ndarray:
+    """Reference logits from the eager eval-mode forward pass."""
+    mode = model.training
+    model.eval()
+    with no_grad():
+        out = model(Tensor(images)).numpy()
+    model.train(mode)
+    return out

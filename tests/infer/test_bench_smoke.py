@@ -1,0 +1,35 @@
+"""Seconds-scale smoke run of the inference benchmark (marker: infer_bench).
+
+Excluded from the default suite by ``pytest.ini``'s ``-m "not infer_bench"``
+so tier-1 stays quick; run it with::
+
+    PYTHONPATH=src python -m pytest tests/infer/test_bench_smoke.py -m infer_bench
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+bench_infer = pytest.importorskip(
+    "benchmarks.bench_infer", reason="benchmarks package requires repo root on sys.path"
+)
+
+
+@pytest.mark.infer_bench
+def test_benchmark_smoke(tmp_path):
+    result = bench_infer.run_benchmark(smoke=True)
+
+    assert result["metadata"]["smoke"] is True
+    assert {row["network_id"] for row in result["parity_float64"]} == set(range(1, 9))
+    # The engine must agree with eager logits on every config (the full
+    # benchmark's acceptance bar), even at smoke scale.
+    assert result["summary"]["max_parity_abs_diff"] <= 1e-5
+    # The engine should never be slower than eager, even on a tiny workload
+    # where fixed costs dominate (the full run shows the real >=3x margin).
+    assert result["summary"]["min_single_worker_speedup"] > 1.0
+
+    out = tmp_path / "BENCH_infer.json"
+    out.write_text(json.dumps(result))  # round-trips: everything is plain JSON
+    assert json.loads(out.read_text())["configs"]

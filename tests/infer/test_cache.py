@@ -1,0 +1,108 @@
+"""Quantized-weight cache invalidation: stale plans must never serve silently.
+
+Covers the two mutation channels the plan's bindings watch:
+
+* version-counter bumps (optimizer steps, ``load_state_dict`` — anything
+  going through repo code paths), caught by the cheap key check;
+* raw in-place ``.data`` edits that bypass the counters, caught by the
+  content fingerprint.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, StalePlanError
+from repro.infer import InferenceEngine
+
+from tests.infer.conftest import build_small_network, eager_logits, sample_images
+
+
+def _mutate_raw(model, delta=0.25):
+    """In-place master-weight edit that does NOT bump the version counter."""
+    layer = model.conv_layers()[0]
+    layer.weight.data[...] += delta
+    return layer
+
+
+def _mutate_versioned(model, delta=0.25):
+    """Master-weight edit through the documented bump-version protocol."""
+    layer = _mutate_raw(model, delta)
+    layer.weight.bump_version()
+    return layer
+
+
+def test_error_policy_refuses_stale_results():
+    model = build_small_network(4)
+    engine = InferenceEngine(model, on_stale="error")
+    images = sample_images(4)
+    engine.predict_logits(images)  # fresh: fine
+    _mutate_versioned(model)
+    with pytest.raises(StalePlanError):
+        engine.predict_logits(images)
+
+
+def test_error_policy_catches_raw_data_mutation():
+    """Even a .data edit that never bumped a version cannot be served."""
+    model = build_small_network(4)
+    engine = InferenceEngine(model, on_stale="error")
+    _mutate_raw(model)
+    with pytest.raises(StalePlanError):
+        engine.predict_logits(sample_images(4))
+
+
+@pytest.mark.parametrize("mutate", [_mutate_raw, _mutate_versioned])
+def test_refresh_policy_requantizes_transparently(mutate):
+    model = build_small_network(4)
+    engine = InferenceEngine(model, on_stale="refresh")
+    images = sample_images(6)
+    before = engine.predict_logits(images).copy()
+    mutate(model)
+    after = engine.predict_logits(images)
+    assert np.max(np.abs(before - after)) > 0  # the mutation was material
+    np.testing.assert_allclose(after, eager_logits(model, images), atol=1e-10)
+
+
+def test_refresh_rebuilds_only_changed_layers():
+    model = build_small_network(1)
+    engine = InferenceEngine(model)
+    engine.predict_logits(sample_images(2))
+    assert engine.refresh() == 0  # nothing stale after a clean build
+    _mutate_versioned(model)
+    assert engine.refresh() == 1  # exactly the touched conv, not the plan
+    assert engine.refresh() == 0  # and refreshing is idempotent
+
+
+def test_ignore_policy_serves_cached_weights():
+    model = build_small_network(4)
+    engine = InferenceEngine(model, on_stale="ignore")
+    images = sample_images(4)
+    before = engine.predict_logits(images).copy()
+    _mutate_versioned(model)
+    np.testing.assert_array_equal(engine.predict_logits(images), before)
+
+
+def test_bn_running_stats_mutation_is_caught():
+    """BN statistics are plain buffers (no version counter); the fold
+    fingerprint must still notice them moving — e.g. after a training-mode
+    forward."""
+    model = build_small_network(1)
+    engine = InferenceEngine(model, on_stale="refresh")
+    images = sample_images(5)
+    engine.predict_logits(images)
+    from repro.nn.layers.norm import BatchNorm2d
+
+    bn = next(m for m in model.modules() if isinstance(m, BatchNorm2d))
+    bn.running_mean[...] += 0.5
+    np.testing.assert_allclose(
+        engine.predict_logits(images), eager_logits(model, images), atol=1e-10
+    )
+
+
+def test_constructor_validation():
+    model = build_small_network(4)
+    with pytest.raises(ConfigurationError):
+        InferenceEngine(model, on_stale="lazy")
+    with pytest.raises(ConfigurationError):
+        InferenceEngine(model, batch_size=0)

@@ -1,0 +1,61 @@
+"""Batch sharding: deterministic ordering across workers and backends."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.infer import InferenceEngine, shard_slices
+
+from tests.infer.conftest import build_small_network, sample_images
+
+
+class TestShardSlices:
+    def test_covers_range_in_order(self):
+        slices = shard_slices(10, 3)
+        assert slices == [slice(0, 3), slice(3, 6), slice(6, 9), slice(9, 10)]
+
+    def test_exact_division(self):
+        assert shard_slices(8, 4) == [slice(0, 4), slice(4, 8)]
+
+    def test_single_short_batch(self):
+        assert shard_slices(2, 16) == [slice(0, 2)]
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ConfigurationError):
+            shard_slices(10, 0)
+
+
+class TestShardedPrediction:
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_matches_serial_in_order(self, backend):
+        """Sharded logits are identical to the serial path, row for row,
+        regardless of worker completion order."""
+        model = build_small_network(4)
+        images = sample_images(22, seed=9)
+        engine = InferenceEngine(model)
+        serial = engine.predict_logits(images, batch_size=5, workers=1)
+        sharded = engine.predict_logits(images, batch_size=5, workers=3, backend=backend)
+        np.testing.assert_array_equal(sharded, serial)
+
+    def test_more_workers_than_batches(self):
+        model = build_small_network(4)
+        images = sample_images(6)
+        engine = InferenceEngine(model)
+        serial = engine.predict_logits(images)
+        np.testing.assert_array_equal(
+            engine.predict_logits(images, batch_size=4, workers=8), serial
+        )
+
+    def test_unknown_backend_rejected(self):
+        model = build_small_network(4)
+        engine = InferenceEngine(model)
+        with pytest.raises(ConfigurationError):
+            engine.predict_logits(sample_images(4), workers=2, backend="mpi")
+
+    def test_empty_input_rejected(self):
+        model = build_small_network(4)
+        engine = InferenceEngine(model)
+        with pytest.raises(ConfigurationError):
+            engine.predict_logits(sample_images(0))

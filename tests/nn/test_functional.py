@@ -95,6 +95,47 @@ class TestConv2dGradients:
         check_gradients(lambda: (F.conv2d(x, w, stride=2) ** 2).sum(), [x, w])
 
 
+class TestIm2colFastPaths:
+    """The 1x1 shortcuts in _im2col/_col2im must stay exact adjoints."""
+
+    def test_1x1_im2col_is_a_view(self, rng):
+        x = rng.normal(size=(2, 3, 5, 5))
+        cols, oh, ow = F._im2col(x, 1, 1, 1, 0)
+        assert (oh, ow) == (5, 5)
+        assert np.shares_memory(cols, x)  # no-copy fast path
+        np.testing.assert_array_equal(cols, x.reshape(2, 3, 25))
+
+    def test_1x1_conv_matches_channel_matmul(self, rng):
+        x = rng.normal(size=(2, 4, 6, 6))
+        w = rng.normal(size=(5, 4, 1, 1))
+        out = F.conv2d(Tensor(x), Tensor(w)).numpy()
+        want = np.einsum("fc,nchw->nfhw", w[:, :, 0, 0], x)
+        np.testing.assert_allclose(out, want, rtol=1e-12)
+
+    def test_1x1_strided_col2im_matches_generic(self, rng):
+        """The vectorized 1x1 scatter equals the kh*kw accumulation loop."""
+        n, c, h, w, s = 2, 3, 7, 7, 2
+        oh = ow = (h - 1) // s + 1
+        dcols = rng.normal(size=(n, c, oh * ow))
+        got = F._col2im(dcols, (n, c, h, w), 1, 1, s, 0, oh, ow)
+        want = np.zeros((n, c, h, w))
+        d4 = dcols.reshape(n, c, oh, ow)
+        for i in range(oh):
+            for j in range(ow):
+                want[:, :, i * s, j * s] += d4[:, :, i, j]
+        np.testing.assert_array_equal(got, want)
+
+    def test_1x1_gradcheck(self, rng):
+        x = make((2, 3, 4, 4), rng)
+        w = make((2, 3, 1, 1), rng)
+        check_gradients(lambda: (F.conv2d(x, w) ** 2).sum(), [x, w])
+
+    def test_1x1_strided_gradcheck(self, rng):
+        x = make((1, 2, 5, 5), rng)
+        w = make((3, 2, 1, 1), rng)
+        check_gradients(lambda: (F.conv2d(x, w, stride=2) ** 2).sum(), [x, w])
+
+
 class TestPooling:
     def test_max_pool_values(self):
         x = Tensor(np.arange(16.0).reshape(1, 1, 4, 4))
