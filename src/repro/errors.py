@@ -43,3 +43,23 @@ class CompileError(ReproError):
 
 class StalePlanError(ReproError):
     """A compiled plan's cached weights no longer match the source model."""
+
+
+class ServeError(ReproError):
+    """Base class for failures in the model-serving layer (:mod:`repro.serve`)."""
+
+
+class QueueFullError(ServeError):
+    """A request was shed because the serving queue hit its high-water mark."""
+
+
+class DeadlineExceededError(ServeError):
+    """A request's deadline expired before (or while) it could be served."""
+
+
+class ServerClosedError(ServeError):
+    """A request arrived at a batcher/server that is stopping or stopped."""
+
+
+class UnknownModelError(ServeError):
+    """A request named a model that is not registered with the server."""

@@ -15,9 +15,29 @@ the model has since been trained or mutated:
   changed layers before predicting;
 * ``"error"`` — raise :class:`~repro.errors.StalePlanError`;
 * ``"ignore"`` — serve the cached weights anyway (explicit opt-out).
+
+Concurrency contract (what the serving layer in :mod:`repro.serve` relies
+on):
+
+* the stale-check/refresh path is serialized by an internal lock, so two
+  threads can never rebuild the same op concurrently;
+* :meth:`predict_logits` / :meth:`evaluate` are re-entrant — each call
+  borrows a private :class:`ExecutionContext` from an internal pool and
+  copies results out of its scratch buffers before returning it;
+* :meth:`forward_batch` returns a live scratch buffer, so concurrent callers
+  **must** each pass their own context from :meth:`make_context` — one
+  context per worker thread, never shared between in-flight batches;
+* a refresh that races an in-flight batch swaps that op's weight arrays
+  mid-execution.  Callers needing a strict "whole batch sees one weight
+  version" guarantee must quiesce execution around :meth:`refresh` — the
+  serving registry does exactly that by pausing its batcher
+  (:meth:`repro.serve.registry.ModelRegistry.refresh`).
 """
 
 from __future__ import annotations
+
+import queue
+import threading
 
 import numpy as np
 
@@ -69,41 +89,78 @@ class InferenceEngine:
         self.on_stale = on_stale
         self.plan: ExecutionPlan = compile_network(model, dtype=dtype)
         self._ctx = ExecutionContext()
+        # Serializes stale-check/refresh so concurrent callers never rebuild
+        # the same op twice or interleave partial weight/bias swaps.
+        self._refresh_lock = threading.Lock()
+        # Reuse pool backing the re-entrant predict/evaluate paths: contexts
+        # are borrowed per call and returned once results are copied out.
+        self._ctx_pool: "queue.SimpleQueue[ExecutionContext]" = queue.SimpleQueue()
+
+    # -- execution contexts ----------------------------------------------------
+
+    def make_context(self) -> ExecutionContext:
+        """A fresh private scratch context for one worker thread.
+
+        Concurrent callers of :meth:`forward_batch` must each own one —
+        scratch buffers are reused across batches *within* a context, so
+        sharing one between in-flight batches corrupts both.
+        """
+        return ExecutionContext()
+
+    def _borrow_context(self) -> ExecutionContext:
+        try:
+            return self._ctx_pool.get_nowait()
+        except queue.Empty:
+            return ExecutionContext()
 
     # -- staleness -------------------------------------------------------------
 
     def check_stale(self, fingerprint: bool = True) -> int:
-        """Apply the ``on_stale`` policy; returns the number of ops rebuilt."""
+        """Apply the ``on_stale`` policy; returns the number of ops rebuilt.
+
+        Thread-safe: the check-and-refresh runs under the engine's refresh
+        lock, so concurrent callers see each binding rebuilt exactly once.
+        """
         if self.on_stale == "ignore":
             return 0
-        stale = self.plan.stale_bindings(fingerprint=fingerprint)
-        if not stale:
-            return 0
-        if self.on_stale == "error":
-            layers = sorted({type(b.layer).__name__ for b in stale})
-            raise StalePlanError(
-                f"{len(stale)} plan op(s) reference mutated weights ({', '.join(layers)}); "
-                "call refresh() or construct the engine with on_stale='refresh'"
-            )
-        return self.plan.refresh(stale)
+        with self._refresh_lock:
+            stale = self.plan.stale_bindings(fingerprint=fingerprint)
+            if not stale:
+                return 0
+            if self.on_stale == "error":
+                layers = sorted({type(b.layer).__name__ for b in stale})
+                raise StalePlanError(
+                    f"{len(stale)} plan op(s) reference mutated weights ({', '.join(layers)}); "
+                    "call refresh() or construct the engine with on_stale='refresh'"
+                )
+            return self.plan.refresh(stale)
 
     def refresh(self) -> int:
         """Force re-derivation of every stale op; returns ops rebuilt."""
-        return self.plan.refresh()
+        with self._refresh_lock:
+            return self.plan.refresh()
 
     # -- prediction ------------------------------------------------------------
 
-    def forward_batch(self, images: np.ndarray, check_stale: bool = True) -> np.ndarray:
+    def forward_batch(
+        self,
+        images: np.ndarray,
+        check_stale: bool = True,
+        ctx: ExecutionContext | None = None,
+    ) -> np.ndarray:
         """Logits for one NCHW batch.
 
-        The returned array is a reused scratch buffer, valid until the next
-        call on this engine — copy it to keep it.  ``check_stale`` here uses
-        the cheap version-counter check only (no content fingerprints), to
-        keep the hot path hot.
+        The returned array is a scratch buffer owned by the context, valid
+        until that context's next batch — copy it to keep it.  ``ctx``
+        defaults to the engine's own single-threaded context; concurrent
+        callers (e.g. micro-batcher workers) must pass a private context
+        from :meth:`make_context` instead.  ``check_stale`` here uses the
+        cheap version-counter check only (no content fingerprints), to keep
+        the hot path hot.
         """
         if check_stale:
             self.check_stale(fingerprint=False)
-        return self.plan.execute(images, self._ctx)
+        return self.plan.execute(images, ctx if ctx is not None else self._ctx)
 
     def predict_logits(
         self,
@@ -113,6 +170,9 @@ class InferenceEngine:
         backend: str = "thread",
     ) -> np.ndarray:
         """Logits for a full dataset/array, in input order.
+
+        Re-entrant: each call borrows a private scratch context, so the same
+        engine may serve overlapping calls from several threads.
 
         Args:
             images: NCHW array or :class:`ArrayDataset`.
@@ -132,11 +192,17 @@ class InferenceEngine:
         if workers > 1:
             return run_sharded(self.plan, images, batch_size, workers, backend)
         out: np.ndarray | None = None
-        for sl in shard_slices(len(images), batch_size):
-            logits = self.plan.execute(images[sl], self._ctx)
-            if out is None:
-                out = np.empty((len(images),) + logits.shape[1:], dtype=logits.dtype)
-            out[sl] = logits
+        ctx = self._borrow_context()
+        try:
+            for sl in shard_slices(len(images), batch_size):
+                logits = self.plan.execute(images[sl], ctx)
+                if out is None:
+                    out = np.empty((len(images),) + logits.shape[1:], dtype=logits.dtype)
+                out[sl] = logits
+        finally:
+            # Rows were copied into `out`, so the context's scratch buffers
+            # are free to recycle for the next (possibly concurrent) call.
+            self._ctx_pool.put(ctx)
         if out is None:
             raise ConfigurationError("cannot run inference on an empty image array")
         return out

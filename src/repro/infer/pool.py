@@ -32,9 +32,15 @@ _BACKENDS = ("thread", "process")
 
 
 def shard_slices(total: int, batch_size: int) -> list[slice]:
-    """Contiguous batch slices covering ``range(total)`` in order."""
+    """Contiguous batch slices covering ``range(total)`` in order.
+
+    ``total == 0`` yields an empty list; ``total < batch_size`` yields one
+    short slice covering everything.
+    """
     if batch_size < 1:
         raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
+    if total < 0:
+        raise ConfigurationError(f"total must be >= 0, got {total}")
     return [slice(s, min(s + batch_size, total)) for s in range(0, total, batch_size)]
 
 
@@ -70,7 +76,9 @@ def _run_threaded(plan: ExecutionPlan, images: np.ndarray, slices: list[slice], 
         contexts.put(ctx)
         return index, out
 
-    with ThreadPoolExecutor(max_workers=workers) as pool:
+    # Never spawn more threads than there are shards — with fewer batches
+    # than workers the surplus threads would only add startup/teardown cost.
+    with ThreadPoolExecutor(max_workers=max(1, min(workers, len(slices)))) as pool:
         yield from pool.map(run_one, range(len(slices)))
 
 
@@ -79,7 +87,7 @@ def _run_processes(plan: ExecutionPlan, images: np.ndarray, slices: list[slice],
     ctx = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
     tasks = ((i, images[s]) for i, s in enumerate(slices))
     with ctx.Pool(
-        workers,
+        max(1, min(workers, len(slices))),
         initializer=_init_process_worker,
         initargs=(plan.ops, plan.out_slot, plan.dtype),
     ) as pool:

@@ -1,0 +1,40 @@
+"""Traffic-serving layer over the compiled inference engine.
+
+Turns :class:`~repro.infer.engine.InferenceEngine` into a concurrent model
+server: a dynamic micro-batcher with a bounded, backpressured request queue
+(:mod:`repro.serve.batcher`), a multi-model registry with quiesced hot
+weight refreshes (:mod:`repro.serve.registry`), a stdlib-only HTTP front
+end with drain-then-stop shutdown (:mod:`repro.serve.http`), and a serving
+metrics core with latency percentiles (:mod:`repro.serve.metrics`).
+
+Quickstart::
+
+    from repro.serve import BatcherConfig, ModelRegistry, ModelServer, ServerConfig
+
+    registry = ModelRegistry(BatcherConfig(max_batch_size=32, max_wait_s=0.002))
+    registry.register("net4", trained_model)
+    with ModelServer(registry, ServerConfig(port=8080)) as server:
+        ...  # POST /v1/predict, GET /healthz, GET /metrics
+"""
+
+from repro.serve.batcher import MicroBatcher
+from repro.serve.client import PredictClient, PredictResult, ServeHTTPError
+from repro.serve.config import BatcherConfig, ServerConfig
+from repro.serve.http import ModelServer
+from repro.serve.metrics import LatencyReservoir, ServerMetrics, percentile
+from repro.serve.registry import ModelRegistry, ServingModel
+
+__all__ = [
+    "BatcherConfig",
+    "ServerConfig",
+    "MicroBatcher",
+    "ModelRegistry",
+    "ServingModel",
+    "ModelServer",
+    "ServerMetrics",
+    "LatencyReservoir",
+    "percentile",
+    "PredictClient",
+    "PredictResult",
+    "ServeHTTPError",
+]

@@ -1,0 +1,151 @@
+"""Minimal stdlib HTTP client for the serving front end.
+
+Used by the serving tests, benchmark and example so they all speak the wire
+protocol the same way; applications are equally well served by ``curl`` or
+any HTTP library.  :class:`PredictClient` is thread-safe — each thread gets
+its own persistent keep-alive connection, so concurrent load generators can
+share one instance without paying TCP setup per request.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import urllib.parse
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PredictClient", "PredictResult", "ServeHTTPError"]
+
+
+class ServeHTTPError(Exception):
+    """Non-2xx response, with the parsed JSON error payload attached."""
+
+    def __init__(self, status: int, payload: dict) -> None:
+        super().__init__(f"HTTP {status}: {payload.get('error', payload)}")
+        self.status = status
+        self.payload = payload
+
+    @property
+    def shed(self) -> bool:
+        """True when the server explicitly load-shed this request (503)."""
+        return self.status == 503 and bool(self.payload.get("shed"))
+
+
+@dataclass
+class PredictResult:
+    model: str
+    logits: np.ndarray  # (C,) single / (N, C) batch
+    predictions: "int | list[int]"
+
+
+class PredictClient:
+    """Talk to a :class:`~repro.serve.http.ModelServer` at ``base_url``.
+
+    Connections are keep-alive and thread-local: the first call from each
+    thread opens one, later calls reuse it, and a connection the server has
+    since closed is transparently reopened (one retry — safe because every
+    endpoint is a pure function of its request).
+    """
+
+    def __init__(self, base_url: str, timeout_s: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+        parsed = urllib.parse.urlsplit(self.base_url)
+        if parsed.scheme != "http" or parsed.hostname is None:
+            raise ValueError(f"base_url must look like http://host:port, got {base_url!r}")
+        self._host = parsed.hostname
+        self._port = parsed.port if parsed.port is not None else 80
+        self._local = threading.local()
+
+    # -- connection management -------------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            conn = http.client.HTTPConnection(self._host, self._port, timeout=self.timeout_s)
+            self._local.conn = conn
+        return conn
+
+    def close(self) -> None:
+        """Close this thread's keep-alive connection (if any)."""
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            conn.close()
+            self._local.conn = None
+
+    # -- raw calls -------------------------------------------------------------
+
+    def _request(self, path: str, body: "dict | None" = None) -> dict:
+        data = None if body is None else json.dumps(body).encode("utf-8")
+        method = "GET" if data is None else "POST"
+        headers = {"Content-Type": "application/json"} if data is not None else {}
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=data, headers=headers)
+                resp = conn.getresponse()
+                raw = resp.read()
+                break
+            except (http.client.HTTPException, ConnectionError, TimeoutError, OSError):
+                # Stale keep-alive connection (server restarted or idle-closed
+                # it): reopen once.  All endpoints are pure, so a retry of a
+                # request that never produced a response is safe.
+                self.close()
+                if attempt:
+                    raise
+        try:
+            payload = json.loads(raw)
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            payload = {"error": raw.decode("utf-8", "replace") or f"HTTP {resp.status}"}
+        if resp.status >= 400:
+            raise ServeHTTPError(resp.status, payload)
+        return payload
+
+    def healthz(self) -> dict:
+        return self._request("/healthz")
+
+    def metrics(self) -> dict:
+        return self._request("/metrics")
+
+    # -- prediction ------------------------------------------------------------
+
+    def predict(
+        self,
+        image,
+        model: "str | None" = None,
+        deadline_ms: "float | None" = None,
+    ) -> PredictResult:
+        """Predict one CHW image; raises :class:`ServeHTTPError` on non-2xx."""
+        body: dict = {"image": np.asarray(image).tolist()}
+        if model is not None:
+            body["model"] = model
+        if deadline_ms is not None:
+            body["deadline_ms"] = deadline_ms
+        out = self._request("/v1/predict", body)
+        return PredictResult(
+            model=out["model"],
+            logits=np.asarray(out["logits"], dtype=np.float64),
+            predictions=out["prediction"],
+        )
+
+    def predict_batch(
+        self,
+        images,
+        model: "str | None" = None,
+        deadline_ms: "float | None" = None,
+    ) -> PredictResult:
+        """Predict a list/array of CHW images in one HTTP request."""
+        body: dict = {"images": [np.asarray(img).tolist() for img in images]}
+        if model is not None:
+            body["model"] = model
+        if deadline_ms is not None:
+            body["deadline_ms"] = deadline_ms
+        out = self._request("/v1/predict", body)
+        return PredictResult(
+            model=out["model"],
+            logits=np.asarray(out["logits"], dtype=np.float64),
+            predictions=out["predictions"],
+        )

@@ -1,12 +1,22 @@
-"""Classification metrics."""
+"""Classification metrics and thread-safe streaming accumulators.
+
+The accumulators (:class:`RunningAverage`, :class:`Counter`) are shared
+between the training loop and the serving metrics path
+(:mod:`repro.serve.metrics`), so they synchronise internally: every update
+and read takes a small lock, making concurrent use from batcher workers and
+HTTP handler threads race-free while staying cheap enough for the per-epoch
+training loop that only ever touches them from one thread.
+"""
 
 from __future__ import annotations
+
+import threading
 
 import numpy as np
 
 from repro.errors import ShapeError
 
-__all__ = ["accuracy", "topk_accuracy", "RunningAverage"]
+__all__ = ["accuracy", "topk_accuracy", "RunningAverage", "Counter"]
 
 
 def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
@@ -30,23 +40,58 @@ def topk_accuracy(logits: np.ndarray, labels: np.ndarray, k: int) -> float:
 
 
 class RunningAverage:
-    """Streaming weighted mean (per-epoch loss/accuracy accumulation)."""
+    """Streaming weighted mean (per-epoch loss/accuracy accumulation).
+
+    Thread-safe: concurrent :meth:`update` calls never lose increments, and
+    :attr:`value` always reads a consistent (total, count) pair.
+    """
 
     def __init__(self) -> None:
         self._total = 0.0
         self._count = 0
+        self._lock = threading.Lock()
 
     def update(self, value: float, weight: int = 1) -> None:
         """Add ``value`` observed over ``weight`` samples."""
-        self._total += float(value) * weight
-        self._count += weight
+        with self._lock:
+            self._total += float(value) * weight
+            self._count += weight
 
     @property
     def value(self) -> float:
         """Current mean (0.0 when nothing has been recorded)."""
-        return self._total / self._count if self._count else 0.0
+        with self._lock:
+            return self._total / self._count if self._count else 0.0
 
     @property
     def count(self) -> int:
         """Number of samples accumulated."""
-        return self._count
+        with self._lock:
+            return self._count
+
+
+class Counter:
+    """A monotonically increasing, thread-safe event counter.
+
+    Plain ``int += 1`` is not atomic across the serving layer's batcher and
+    HTTP handler threads; this wraps the increment in a lock and exposes the
+    value as a property so metric snapshots read consistent totals.
+    """
+
+    def __init__(self) -> None:
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def increment(self, amount: int = 1) -> int:
+        """Add ``amount`` (default 1); returns the new total."""
+        with self._lock:
+            self._value += amount
+            return self._value
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"Counter({self.value})"

@@ -2,16 +2,22 @@
 
 The library never configures the root logger; it only attaches a
 ``NullHandler`` so that applications decide where log records go.
-:func:`get_logger` namespaces every logger under ``repro.``.
+:func:`get_logger` namespaces every logger under ``repro.``;
+:func:`configure` is the opt-in application-side helper (used by the
+serving example and benchmarks) that attaches a formatted stream handler
+to the library root.
 """
 
 from __future__ import annotations
 
 import logging
+import sys
+from typing import IO
 
-__all__ = ["get_logger"]
+__all__ = ["get_logger", "configure"]
 
 _ROOT_NAME = "repro"
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
 
 logging.getLogger(_ROOT_NAME).addHandler(logging.NullHandler())
 
@@ -25,3 +31,32 @@ def get_logger(name: str) -> logging.Logger:
     if name.startswith(_ROOT_NAME):
         return logging.getLogger(name)
     return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def configure(level: "int | str" = logging.INFO, stream: "IO[str] | None" = None) -> logging.Logger:
+    """Attach a formatted stream handler to the ``repro`` root logger.
+
+    Idempotent: calling it again replaces the previously attached handler
+    rather than stacking duplicates, so library log lines are emitted once.
+    This is an *application* convenience (examples, benchmarks, the serving
+    quickstart) — library modules themselves never call it.
+
+    Args:
+        level: Threshold for the library root (name or numeric constant).
+        stream: Destination, defaulting to ``sys.stderr``.
+
+    Returns:
+        The configured ``repro`` root logger.
+    """
+    if isinstance(level, str):
+        level = logging.getLevelName(level.upper())
+    root = logging.getLogger(_ROOT_NAME)
+    for handler in list(root.handlers):
+        if isinstance(handler, logging.StreamHandler) and getattr(handler, "_repro_configured", False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(logging.Formatter(_FORMAT))
+    handler._repro_configured = True  # type: ignore[attr-defined]
+    root.addHandler(handler)
+    root.setLevel(level)
+    return root

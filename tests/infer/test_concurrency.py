@@ -1,0 +1,106 @@
+"""Engine thread-safety: the contracts the serving layer builds on.
+
+Covers the PR's engine-hardening satellite: serialized stale-check/refresh,
+re-entrant ``predict_logits``, and the one-``ExecutionContext``-per-worker
+rule for ``forward_batch``.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.infer import InferenceEngine
+from repro.quant.qlayers import QConv2d
+
+from tests.infer.conftest import build_small_network, sample_images
+
+
+def test_predict_logits_reentrant_across_threads():
+    """Concurrent predict_logits calls on one engine must all be exact —
+    each call borrows a private scratch context from the pool."""
+    model = build_small_network(4)
+    engine = InferenceEngine(model)
+    images = sample_images(24, seed=50)
+    serial = engine.predict_logits(images, batch_size=5)
+
+    outputs: "dict[int, np.ndarray]" = {}
+    errors: "list[Exception]" = []
+    barrier = threading.Barrier(6)
+
+    def run(tid: int):
+        try:
+            barrier.wait()
+            for _ in range(3):
+                outputs[tid] = engine.predict_logits(images, batch_size=5)
+        except Exception as exc:  # pragma: no cover - failure diagnostics
+            errors.append(exc)
+
+    threads = [threading.Thread(target=run, args=(t,)) for t in range(6)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(60)
+    assert not errors, errors
+    for tid, out in outputs.items():
+        np.testing.assert_array_equal(out, serial, err_msg=f"thread {tid} diverged")
+
+
+def test_forward_batch_with_private_contexts():
+    """Workers following the one-context-per-thread contract get exact rows."""
+    model = build_small_network(4)
+    engine = InferenceEngine(model)
+    images = sample_images(12, seed=51)
+    serial = engine.predict_logits(images, batch_size=4)
+
+    results: "dict[int, np.ndarray]" = {}
+    errors: "list[Exception]" = []
+
+    def run(worker: int, lo: int, hi: int):
+        try:
+            ctx = engine.make_context()
+            for _ in range(4):
+                out = np.array(engine.forward_batch(images[lo:hi], ctx=ctx), copy=True)
+            results[worker] = out
+        except Exception as exc:  # pragma: no cover - failure diagnostics
+            errors.append(exc)
+
+    spans = [(0, 4), (4, 8), (8, 12)]
+    threads = [threading.Thread(target=run, args=(w, lo, hi)) for w, (lo, hi) in enumerate(spans)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(60)
+    assert not errors, errors
+    for worker, (lo, hi) in enumerate(spans):
+        np.testing.assert_array_equal(results[worker], serial[lo:hi])
+
+
+def test_concurrent_stale_check_refreshes_once():
+    """Racing stale checks must rebuild each stale op exactly once overall
+    (the refresh lock serializes check-and-rebuild)."""
+    model = build_small_network(4)
+    engine = InferenceEngine(model)
+    engine.predict_logits(sample_images(2))  # warm
+
+    layer = next(m for m in model.modules() if isinstance(m, QConv2d))
+    layer.weight.data[...] += 0.25
+    layer.weight.bump_version()
+
+    rebuilt_counts: "list[int]" = []
+    barrier = threading.Barrier(8)
+
+    def check():
+        barrier.wait()
+        rebuilt_counts.append(engine.check_stale())
+
+    threads = [threading.Thread(target=check) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(30)
+    # One thread wins the race and rebuilds; everyone else sees fresh ops.
+    assert sum(rebuilt_counts) >= 1
+    assert sum(1 for c in rebuilt_counts if c > 0) == 1
+    assert engine.plan.stale_bindings() == []

@@ -22,6 +22,23 @@ class TestShardSlices:
     def test_single_short_batch(self):
         assert shard_slices(2, 16) == [slice(0, 2)]
 
+    def test_total_smaller_than_batch_covers_everything(self):
+        """total < batch_size yields exactly one short slice, nothing lost."""
+        slices = shard_slices(5, 32)
+        assert slices == [slice(0, 5)]
+        covered = [i for s in slices for i in range(s.start, s.stop)]
+        assert covered == list(range(5))
+
+    def test_total_zero_is_empty(self):
+        assert shard_slices(0, 8) == []
+
+    def test_total_one(self):
+        assert shard_slices(1, 8) == [slice(0, 1)]
+
+    def test_negative_total_rejected(self):
+        with pytest.raises(ConfigurationError):
+            shard_slices(-1, 8)
+
     def test_invalid_batch_size(self):
         with pytest.raises(ConfigurationError):
             shard_slices(10, 0)
@@ -47,6 +64,26 @@ class TestShardedPrediction:
         np.testing.assert_array_equal(
             engine.predict_logits(images, batch_size=4, workers=8), serial
         )
+
+    def test_workers_exceed_shards_single_shard(self):
+        """total < batch_size under the pool: one shard, many idle workers."""
+        model = build_small_network(4)
+        images = sample_images(3)
+        engine = InferenceEngine(model)
+        serial = engine.predict_logits(images, workers=1)
+        sharded = engine.predict_logits(images, batch_size=16, workers=6)
+        np.testing.assert_array_equal(sharded, serial)
+
+    def test_threaded_ordering_deterministic_across_runs(self):
+        """Repeated threaded runs always return rows in input order, even
+        though worker completion order is scheduler-dependent."""
+        model = build_small_network(4)
+        images = sample_images(33, seed=17)
+        engine = InferenceEngine(model)
+        serial = engine.predict_logits(images, batch_size=4, workers=1)
+        for _ in range(5):
+            sharded = engine.predict_logits(images, batch_size=4, workers=4)
+            np.testing.assert_array_equal(sharded, serial)
 
     def test_unknown_backend_rejected(self):
         model = build_small_network(4)

@@ -1,0 +1,29 @@
+"""Shared builders for serving-layer tests.
+
+Reuses the inference suite's scaled-down Table-1 networks so the serving
+stack is always tested against the exact models whose engine parity is
+already certified by ``tests/infer``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.infer import InferenceEngine
+
+from tests.infer.conftest import build_small_network, sample_images
+
+__all__ = ["build_small_network", "sample_images", "served_engine"]
+
+
+@pytest.fixture()
+def served_engine():
+    """A compiled engine for the scaled-down Table-1 config 4 network."""
+    return InferenceEngine(build_small_network(4))
+
+
+def assert_rows_match(got_rows, serial: np.ndarray, indices) -> None:
+    """Each future/row result must equal its serial logits row exactly."""
+    for row, index in zip(got_rows, indices):
+        np.testing.assert_array_equal(np.asarray(row), serial[index])

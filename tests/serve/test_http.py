@@ -1,0 +1,214 @@
+"""HTTP front end: endpoints, error mapping, graceful drain-then-stop."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.errors import ServerClosedError
+from repro.serve import (
+    BatcherConfig,
+    ModelRegistry,
+    ModelServer,
+    PredictClient,
+    ServeHTTPError,
+    ServerConfig,
+)
+
+from tests.serve.conftest import build_small_network, sample_images
+
+
+@pytest.fixture()
+def server():
+    registry = ModelRegistry(BatcherConfig(max_batch_size=8, max_wait_s=0.002))
+    registry.register("net4", build_small_network(4))
+    srv = ModelServer(registry, ServerConfig(port=0, request_timeout_s=15.0))
+    srv.start()
+    yield srv
+    srv.stop()
+
+
+def _post_raw(url: str, body: bytes, content_type: str = "application/json"):
+    req = urllib.request.Request(
+        f"{url}/v1/predict", data=body, headers={"Content-Type": content_type}, method="POST"
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=15) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+class TestEndpoints:
+    def test_healthz(self, server):
+        health = PredictClient(server.url).healthz()
+        assert health == {"status": "ok", "models": ["net4"]}
+
+    def test_index_lists_endpoints(self, server):
+        with urllib.request.urlopen(f"{server.url}/", timeout=15) as resp:
+            payload = json.loads(resp.read())
+        assert "POST /v1/predict" in payload["endpoints"]
+
+    def test_predict_single_exact(self, server):
+        images = sample_images(3, seed=30)
+        serial = server.registry.get("net4").engine.predict_logits(images)
+        result = PredictClient(server.url).predict(images[1], model="net4")
+        np.testing.assert_array_equal(result.logits, serial[1])
+        assert result.predictions == int(np.argmax(serial[1]))
+
+    def test_predict_without_model_name_single_registration(self, server):
+        images = sample_images(1, seed=31)
+        serial = server.registry.get("net4").engine.predict_logits(images)
+        result = PredictClient(server.url).predict(images[0])
+        np.testing.assert_array_equal(result.logits, serial[0])
+
+    def test_predict_batch(self, server):
+        images = sample_images(5, seed=32)
+        serial = server.registry.get("net4").engine.predict_logits(images)
+        result = PredictClient(server.url).predict_batch(images)
+        np.testing.assert_array_equal(result.logits, serial)
+        assert result.predictions == [int(v) for v in np.argmax(serial, axis=1)]
+
+    def test_metrics_endpoint(self, server):
+        client = PredictClient(server.url)
+        client.predict(sample_images(1)[0])
+        snap = client.metrics()
+        assert snap["server"]["http_requests"] >= 1
+        assert snap["models"]["net4"]["requests"]["completed"] >= 1
+
+
+class TestErrorMapping:
+    def test_unknown_path_404(self, server):
+        with pytest.raises(ServeHTTPError) as err:
+            PredictClient(server.url)._request("/v1/nope", {"x": 1})
+        assert err.value.status == 404
+
+    def test_unknown_model_404(self, server):
+        with pytest.raises(ServeHTTPError) as err:
+            PredictClient(server.url).predict(sample_images(1)[0], model="resnet999")
+        assert err.value.status == 404
+        assert "resnet999" in str(err.value)
+
+    def test_invalid_json_400(self, server):
+        status, payload = _post_raw(server.url, b"{not json")
+        assert status == 400 and "JSON" in payload["error"]
+
+    def test_non_object_body_400(self, server):
+        status, payload = _post_raw(server.url, b"[1, 2, 3]")
+        assert status == 400
+
+    def test_missing_image_key_400(self, server):
+        status, payload = _post_raw(server.url, b'{"model": "net4"}')
+        assert status == 400 and "image" in payload["error"]
+
+    def test_both_image_keys_400(self, server):
+        status, _ = _post_raw(server.url, b'{"image": [], "images": []}')
+        assert status == 400
+
+    def test_bad_image_shape_400(self, server):
+        with pytest.raises(ServeHTTPError) as err:
+            PredictClient(server.url).predict(np.zeros((16, 16)))  # 2-D, not CHW
+        assert err.value.status == 400
+
+    def test_ragged_image_400(self, server):
+        status, _ = _post_raw(server.url, b'{"image": [[1, 2], [3]]}')
+        assert status == 400
+
+    def test_bad_deadline_400(self, server):
+        status, _ = _post_raw(
+            server.url,
+            json.dumps({"image": sample_images(1)[0].tolist(), "deadline_ms": -5}).encode(),
+        )
+        assert status == 400
+
+    def test_queue_full_maps_to_503_with_shed_flag(self):
+        registry = ModelRegistry(BatcherConfig(queue_depth=1, full_policy="reject"))
+        entry = registry.register("net4", build_small_network(4))
+        with ModelServer(registry, ServerConfig(port=0)) as srv:
+            entry.batcher.pause()  # wedge the queue deterministically
+            client = PredictClient(srv.url)
+            image = sample_images(1)[0]
+            ok_future_started = threading.Event()
+            errors: "list[ServeHTTPError]" = []
+
+            def first():
+                ok_future_started.set()
+                client.predict(image)  # occupies the single queue slot
+
+            t = threading.Thread(target=first)
+            t.start()
+            ok_future_started.wait(5)
+            # Wait until the first request actually occupies the queue.
+            for _ in range(200):
+                if entry.batcher.queue_depth >= 1:
+                    break
+                time.sleep(0.005)
+            try:
+                client.predict(image)
+            except ServeHTTPError as exc:
+                errors.append(exc)
+            entry.batcher.resume()
+            t.join(10)
+            assert errors and errors[0].status == 503 and errors[0].shed
+        assert entry.metrics.shed.value == 1
+
+
+class TestGracefulShutdown:
+    def test_stop_drains_inflight_http_requests(self):
+        """stop() lets queued work finish and handlers answer — the HTTP
+        half of the no-dropped-futures acceptance criterion."""
+        registry = ModelRegistry(BatcherConfig(max_batch_size=4))
+        entry = registry.register("net4", build_small_network(4))
+        srv = ModelServer(registry, ServerConfig(port=0, request_timeout_s=15.0)).start()
+        client = PredictClient(srv.url)
+        images = sample_images(6, seed=33)
+        serial = entry.engine.predict_logits(images)
+        entry.batcher.pause()  # requests queue up; handlers block on futures
+        results: "dict[int, np.ndarray]" = {}
+        failures: "list[Exception]" = []
+
+        def call(i: int):
+            try:
+                results[i] = client.predict(images[i]).logits
+            except Exception as exc:  # pragma: no cover - failure diagnostics
+                failures.append(exc)
+
+        threads = [threading.Thread(target=call, args=(i,)) for i in range(len(images))]
+        for t in threads:
+            t.start()
+        # Wait until every request is queued behind the paused batcher.
+        for _ in range(600):
+            if entry.batcher.queue_depth == len(images):
+                break
+            time.sleep(0.005)
+        srv.stop(drain=True)  # drain overrides pause; all six must answer
+        for t in threads:
+            t.join(15)
+        assert not failures, failures
+        assert sorted(results) == list(range(len(images)))
+        for i, logits in results.items():
+            np.testing.assert_array_equal(logits, serial[i])
+        assert entry.metrics.completed.value == len(images)
+        assert entry.metrics.cancelled.value == 0
+
+    def test_port_after_stop_raises(self):
+        registry = ModelRegistry()
+        registry.register("net4", build_small_network(4))
+        srv = ModelServer(registry, ServerConfig(port=0)).start()
+        srv.stop()
+        with pytest.raises(ServerClosedError):
+            srv.port
+
+    def test_stop_idempotent_and_context_manager(self):
+        registry = ModelRegistry()
+        registry.register("net4", build_small_network(4))
+        with ModelServer(registry, ServerConfig(port=0)) as srv:
+            assert srv.running
+        srv.stop()  # second stop is a no-op
+        assert not srv.running
