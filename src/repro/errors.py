@@ -37,6 +37,19 @@ class DataError(ReproError):
     """A dataset or loader was asked for something it cannot provide."""
 
 
+class CheckpointError(ReproError):
+    """A checkpoint could not be written, read, or verified.
+
+    Raised for torn/corrupt archives (bad zip, truncated payload, checksum
+    mismatch), metadata that does not match the model being restored, and
+    checkpoint stores with no valid generation left to fall back to.
+    """
+
+
+class TrainingDivergedError(ReproError):
+    """Training diverged and exhausted its rollback/LR-reduction budget."""
+
+
 class CompileError(ReproError):
     """A model could not be compiled into an inference execution plan."""
 
@@ -63,3 +76,7 @@ class ServerClosedError(ServeError):
 
 class UnknownModelError(ServeError):
     """A request named a model that is not registered with the server."""
+
+
+class RetriesExhaustedError(ServeError):
+    """A client request failed on every retry attempt (transport-level)."""

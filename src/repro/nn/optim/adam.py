@@ -45,6 +45,21 @@ class Adam(Optimizer):
         self._v = [np.zeros_like(p.data) for p in self.params]
         self._t = 0
 
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["t"] = self._t
+        state["m"] = [m.copy() for m in self._m]
+        state["v"] = [v.copy() for v in self._v]
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        if "t" not in state:
+            raise ConfigurationError("Adam state dict is missing 't'")
+        self._t = int(state["t"])
+        self._load_buffers("m", self._m, state.get("m"))
+        self._load_buffers("v", self._v, state.get("v"))
+
     def step(self) -> None:
         self._t += 1
         b1, b2 = self.beta1, self.beta2

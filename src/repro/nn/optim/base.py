@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from typing import Sequence
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 from repro.nn.tensor import Tensor
 
@@ -44,3 +46,47 @@ class Optimizer:
     def step(self) -> None:
         """Apply one update using the accumulated gradients."""
         raise NotImplementedError
+
+    # -- (de)serialization -----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Snapshot of all mutable optimizer state (arrays are copied).
+
+        The contract mirrors ``torch.optim``: everything a resumed run needs
+        to continue bitwise-identically — learning rate plus whatever moment
+        buffers the subclass keeps, as lists parallel to :attr:`params`.
+        """
+        return {"lr": self.lr}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`state_dict`.
+
+        Raises:
+            ConfigurationError: On missing entries or buffer shape/count
+                mismatches against the current parameter list.
+        """
+        if "lr" not in state:
+            raise ConfigurationError("optimizer state dict is missing 'lr'")
+        lr = float(state["lr"])
+        if lr <= 0:
+            raise ConfigurationError(f"learning rate must be positive, got {lr}")
+        self.lr = lr
+
+    def _load_buffers(self, name: str, targets: list, source) -> None:
+        """Copy a per-parameter buffer list out of a state dict, strictly."""
+        if source is None:
+            raise ConfigurationError(f"optimizer state dict is missing {name!r}")
+        source = list(source)
+        if len(source) != len(targets):
+            raise ConfigurationError(
+                f"optimizer state {name!r} has {len(source)} buffers, "
+                f"expected {len(targets)}"
+            )
+        for target, value in zip(targets, source):
+            value = np.asarray(value)
+            if target.shape != value.shape:
+                raise ConfigurationError(
+                    f"optimizer state {name!r} shape mismatch: "
+                    f"have {target.shape}, got {value.shape}"
+                )
+            target[...] = value

@@ -28,6 +28,21 @@ class _Scheduler:
         self.optimizer.lr = lr
         return lr
 
+    def state_dict(self) -> dict:
+        """Snapshot of the schedule position (epoch counter and base LR)."""
+        return {"epoch": self.epoch, "base_lr": self.base_lr}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`state_dict`.
+
+        Only the schedule position is restored; the optimizer's current LR is
+        part of the *optimizer* state and is not touched here.
+        """
+        if "epoch" not in state or "base_lr" not in state:
+            raise ConfigurationError("scheduler state dict needs 'epoch' and 'base_lr'")
+        self.epoch = int(state["epoch"])
+        self.base_lr = float(state["base_lr"])
+
     def _lr_at(self, epoch: int) -> float:
         raise NotImplementedError
 

@@ -39,6 +39,15 @@ class SGD(Optimizer):
         self.weight_decay = weight_decay
         self._velocity = [np.zeros_like(p.data) for p in self.params]
 
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["velocity"] = [v.copy() for v in self._velocity]
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self._load_buffers("velocity", self._velocity, state.get("velocity"))
+
     def step(self) -> None:
         for p, v in zip(self.params, self._velocity):
             if p.grad is None:

@@ -5,19 +5,37 @@ protocol the same way; applications are equally well served by ``curl`` or
 any HTTP library.  :class:`PredictClient` is thread-safe — each thread gets
 its own persistent keep-alive connection, so concurrent load generators can
 share one instance without paying TCP setup per request.
+
+Transport failures (server restart, idle-closed keep-alive, transient
+network drop) are retried with exponential backoff plus jitter, bounded by
+``max_retries`` and by the request's deadline when one is given.  Every
+endpoint is a pure function of its request, so retrying a request that
+never produced a response is always safe.  Exhausted retries surface as
+:class:`~repro.errors.RetriesExhaustedError` and a deadline that cannot
+accommodate another attempt as
+:class:`~repro.errors.DeadlineExceededError` — typed errors, never raw
+socket exceptions.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import random
 import threading
+import time
 import urllib.parse
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
+from repro.errors import DeadlineExceededError, RetriesExhaustedError
+
 __all__ = ["PredictClient", "PredictResult", "ServeHTTPError"]
+
+#: Transport-level failures that are safe to retry (no response was read).
+_RETRYABLE = (http.client.HTTPException, ConnectionError, TimeoutError, OSError)
 
 
 class ServeHTTPError(Exception):
@@ -46,19 +64,50 @@ class PredictClient:
 
     Connections are keep-alive and thread-local: the first call from each
     thread opens one, later calls reuse it, and a connection the server has
-    since closed is transparently reopened (one retry — safe because every
-    endpoint is a pure function of its request).
+    since closed is transparently reopened on the next retry.
+
+    Args:
+        base_url: ``http://host:port`` of the server.
+        timeout_s: Socket timeout per attempt.
+        max_retries: Transport-failure retries after the first attempt.
+        backoff_base_s: First retry delay; doubles per retry.
+        backoff_max_s: Delay ceiling.
+        backoff_jitter: Each delay is scaled by ``1 + jitter * U[0, 1)`` so
+            synchronized clients don't retry in lockstep.
+        retry_seed: Seed for the jitter stream (deterministic tests).
     """
 
-    def __init__(self, base_url: str, timeout_s: float = 30.0) -> None:
+    def __init__(
+        self,
+        base_url: str,
+        timeout_s: float = 30.0,
+        max_retries: int = 3,
+        backoff_base_s: float = 0.05,
+        backoff_max_s: float = 2.0,
+        backoff_jitter: float = 0.25,
+        retry_seed: "int | None" = None,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout_s = timeout_s
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be non-negative, got {max_retries}")
+        if backoff_base_s < 0 or backoff_max_s < 0 or backoff_jitter < 0:
+            raise ValueError("backoff parameters must be non-negative")
+        self.max_retries = max_retries
+        self.backoff_base_s = backoff_base_s
+        self.backoff_max_s = backoff_max_s
+        self.backoff_jitter = backoff_jitter
         parsed = urllib.parse.urlsplit(self.base_url)
         if parsed.scheme != "http" or parsed.hostname is None:
             raise ValueError(f"base_url must look like http://host:port, got {base_url!r}")
         self._host = parsed.hostname
         self._port = parsed.port if parsed.port is not None else 80
         self._local = threading.local()
+        self._jitter_rng = random.Random(retry_seed)
+        #: Test seam: called before every connection attempt; raising one of
+        #: the retryable transport errors simulates a dropped connection
+        #: (see :class:`repro.testing.faults.ConnectionDropFault`).
+        self.pre_request_hook: "Callable[[], None] | None" = None
 
     # -- connection management -------------------------------------------------
 
@@ -78,24 +127,41 @@ class PredictClient:
 
     # -- raw calls -------------------------------------------------------------
 
-    def _request(self, path: str, body: "dict | None" = None) -> dict:
+    def _backoff_delay(self, attempt: int) -> float:
+        delay = min(self.backoff_max_s, self.backoff_base_s * (2.0 ** attempt))
+        return delay * (1.0 + self.backoff_jitter * self._jitter_rng.random())
+
+    def _request(
+        self, path: str, body: "dict | None" = None, deadline_s: "float | None" = None
+    ) -> dict:
         data = None if body is None else json.dumps(body).encode("utf-8")
         method = "GET" if data is None else "POST"
         headers = {"Content-Type": "application/json"} if data is not None else {}
-        for attempt in (0, 1):
-            conn = self._connection()
+        deadline = None if deadline_s is None else time.monotonic() + deadline_s
+        for attempt in range(self.max_retries + 1):
             try:
+                if self.pre_request_hook is not None:
+                    self.pre_request_hook()
+                conn = self._connection()
                 conn.request(method, path, body=data, headers=headers)
                 resp = conn.getresponse()
                 raw = resp.read()
                 break
-            except (http.client.HTTPException, ConnectionError, TimeoutError, OSError):
-                # Stale keep-alive connection (server restarted or idle-closed
-                # it): reopen once.  All endpoints are pure, so a retry of a
-                # request that never produced a response is safe.
+            except _RETRYABLE as exc:
+                # The connection is in an unknown state — drop it so the next
+                # attempt starts from a fresh TCP handshake.
                 self.close()
-                if attempt:
-                    raise
+                if attempt >= self.max_retries:
+                    raise RetriesExhaustedError(
+                        f"{method} {path} failed after {attempt + 1} attempt(s): {exc}"
+                    ) from exc
+                delay = self._backoff_delay(attempt)
+                if deadline is not None and time.monotonic() + delay >= deadline:
+                    raise DeadlineExceededError(
+                        f"{method} {path}: deadline leaves no room for retry "
+                        f"{attempt + 2} (backoff {delay:.3f}s); last error: {exc}"
+                    ) from exc
+                time.sleep(delay)
         try:
             payload = json.loads(raw)
         except (json.JSONDecodeError, UnicodeDecodeError):
@@ -118,13 +184,21 @@ class PredictClient:
         model: "str | None" = None,
         deadline_ms: "float | None" = None,
     ) -> PredictResult:
-        """Predict one CHW image; raises :class:`ServeHTTPError` on non-2xx."""
+        """Predict one CHW image; raises :class:`ServeHTTPError` on non-2xx.
+
+        ``deadline_ms`` is enforced on both sides: the server sheds the
+        request once it expires, and the client stops retrying when the next
+        backoff would overrun it.
+        """
         body: dict = {"image": np.asarray(image).tolist()}
         if model is not None:
             body["model"] = model
         if deadline_ms is not None:
             body["deadline_ms"] = deadline_ms
-        out = self._request("/v1/predict", body)
+        out = self._request(
+            "/v1/predict", body,
+            deadline_s=None if deadline_ms is None else deadline_ms / 1000.0,
+        )
         return PredictResult(
             model=out["model"],
             logits=np.asarray(out["logits"], dtype=np.float64),
@@ -143,7 +217,10 @@ class PredictClient:
             body["model"] = model
         if deadline_ms is not None:
             body["deadline_ms"] = deadline_ms
-        out = self._request("/v1/predict", body)
+        out = self._request(
+            "/v1/predict", body,
+            deadline_s=None if deadline_ms is None else deadline_ms / 1000.0,
+        )
         return PredictResult(
             model=out["model"],
             logits=np.asarray(out["logits"], dtype=np.float64),

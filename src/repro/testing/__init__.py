@@ -1,0 +1,15 @@
+"""Deterministic fault-injection harness for resilience testing."""
+
+from repro.testing.faults import (
+    ConnectionDropFault,
+    FailingWriteFault,
+    NaNGradientFault,
+    TornWriteFault,
+)
+
+__all__ = [
+    "TornWriteFault",
+    "FailingWriteFault",
+    "NaNGradientFault",
+    "ConnectionDropFault",
+]

@@ -1,0 +1,158 @@
+"""Deterministic fault injectors for the resilience test suites.
+
+Every injector is counter-based: it fires at an exact, caller-chosen point
+(the Nth checkpoint save, a specific global training step, the first K
+connection attempts) and then disarms, so a test that provokes a recovery
+path reproduces bit-for-bit on every run.  Each records how often it fired
+so tests can assert the fault actually struck.
+
+Attachment points (all production seams, no monkeypatching needed):
+
+* :class:`TornWriteFault` / :class:`FailingWriteFault` — pass as
+  ``write_hook`` to :class:`~repro.train.checkpoint.TrainingCheckpoint`.
+* :class:`NaNGradientFault` — append to
+  :attr:`~repro.train.trainer.Trainer.grad_hooks`.
+* :class:`ConnectionDropFault` — assign to
+  :attr:`~repro.serve.client.PredictClient.pre_request_hook`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn.tensor import Tensor
+
+__all__ = [
+    "TornWriteFault",
+    "FailingWriteFault",
+    "NaNGradientFault",
+    "ConnectionDropFault",
+]
+
+
+class TornWriteFault:
+    """Truncate the Nth checkpoint payload mid-stream (SIGKILL-style).
+
+    The :class:`~repro.train.checkpoint.TrainingCheckpoint` manifest records
+    the sha256 of the *intended* bytes while this hook hands a prefix to the
+    disk — exactly the signature of a write torn by a kill or power loss.
+    The loader must detect the checksum mismatch and fall back a generation.
+
+    Args:
+        fire_on_save: 1-based index of the save to corrupt.
+        keep_fraction: Fraction of the payload that "reaches disk".
+    """
+
+    def __init__(self, fire_on_save: int, keep_fraction: float = 0.5) -> None:
+        if fire_on_save < 1:
+            raise ConfigurationError(f"fire_on_save must be >= 1, got {fire_on_save}")
+        if not 0.0 <= keep_fraction < 1.0:
+            raise ConfigurationError(f"keep_fraction must be in [0, 1), got {keep_fraction}")
+        self.fire_on_save = fire_on_save
+        self.keep_fraction = keep_fraction
+        self.calls = 0
+        self.fired = 0
+
+    def __call__(self, data: bytes, path: Path) -> bytes:
+        self.calls += 1
+        if self.calls == self.fire_on_save:
+            self.fired += 1
+            return data[: int(len(data) * self.keep_fraction)]
+        return data
+
+
+class FailingWriteFault:
+    """Raise from the Nth checkpoint write (disk full / I/O error).
+
+    Args:
+        fire_on_save: 1-based index of the save to fail.
+        exc_type: Exception class to raise (default :class:`OSError`).
+    """
+
+    def __init__(self, fire_on_save: int, exc_type: type[Exception] = OSError) -> None:
+        if fire_on_save < 1:
+            raise ConfigurationError(f"fire_on_save must be >= 1, got {fire_on_save}")
+        self.fire_on_save = fire_on_save
+        self.exc_type = exc_type
+        self.calls = 0
+        self.fired = 0
+
+    def __call__(self, data: bytes, path: Path) -> bytes:
+        self.calls += 1
+        if self.calls == self.fire_on_save:
+            self.fired += 1
+            raise self.exc_type(f"injected checkpoint write failure (save #{self.calls})")
+        return data
+
+
+class NaNGradientFault:
+    """Poison one parameter's gradient with NaN at chosen training steps.
+
+    Fires on every global step ``>= fire_at_step`` until it has fired
+    ``fires`` times, then disarms permanently.  The budget matters for
+    rollback tests: a rollback rewinds the step counter, and a disarmed
+    fault models the transient numerical blow-up the guardrails exist for
+    (a permanently faulting step would rightly exhaust ``max_rollbacks``).
+
+    Args:
+        param: The parameter (e.g. ``net.conv_layers()[0].weight``).
+        fire_at_step: First global step to poison.
+        fires: Total poisonings before disarming (default: 1).
+        value: Poison value (default NaN; use ``float("inf")`` for Inf).
+    """
+
+    def __init__(
+        self,
+        param: Tensor,
+        fire_at_step: int,
+        fires: int = 1,
+        value: float = float("nan"),
+    ) -> None:
+        if fire_at_step < 0:
+            raise ConfigurationError(f"fire_at_step must be >= 0, got {fire_at_step}")
+        if fires < 1:
+            raise ConfigurationError(f"fires must be >= 1, got {fires}")
+        self.param = param
+        self.fire_at_step = fire_at_step
+        self.fires = fires
+        self.value = value
+        self.fired = 0
+
+    def __call__(self, step: int) -> None:
+        if self.fired >= self.fires or step < self.fire_at_step:
+            return
+        if self.param.grad is None:
+            self.param.grad = np.full_like(self.param.data, self.value)
+        else:
+            self.param.grad[...] = self.value
+        self.fired += 1
+
+
+class ConnectionDropFault:
+    """Drop the first ``drops`` connection attempts of a client.
+
+    Assign to :attr:`PredictClient.pre_request_hook`; each raise counts as a
+    transport failure, exercising the retry/backoff path without a flaky
+    network.
+
+    Args:
+        drops: Attempts to fail before letting traffic through.
+        exc_type: Exception class to raise (default :class:`ConnectionError`).
+    """
+
+    def __init__(self, drops: int, exc_type: type[Exception] = ConnectionError) -> None:
+        if drops < 0:
+            raise ConfigurationError(f"drops must be non-negative, got {drops}")
+        self.drops = drops
+        self.exc_type = exc_type
+        self.calls = 0
+        self.dropped = 0
+
+    def __call__(self) -> None:
+        self.calls += 1
+        if self.dropped < self.drops:
+            self.dropped += 1
+            raise self.exc_type(f"injected connection drop ({self.dropped}/{self.drops})")

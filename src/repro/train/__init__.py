@@ -3,7 +3,18 @@
 from repro.train.history import EpochStats, TrainHistory
 from repro.train.metrics import RunningAverage, accuracy, topk_accuracy
 from repro.train.trainer import TrainConfig, Trainer
-from repro.train.checkpoint import checkpoint_metadata, load_checkpoint, save_checkpoint
+from repro.train.checkpoint import (
+    TrainingCheckpoint,
+    checkpoint_metadata,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.train.resilience import (
+    DivergenceMonitor,
+    clip_grad_norm,
+    global_grad_norm,
+    grads_are_finite,
+)
 from repro.train.sweep import SweepPoint, sweep_flightnn_lambdas
 
 __all__ = [
@@ -17,6 +28,11 @@ __all__ = [
     "save_checkpoint",
     "load_checkpoint",
     "checkpoint_metadata",
+    "TrainingCheckpoint",
+    "DivergenceMonitor",
+    "clip_grad_norm",
+    "global_grad_norm",
+    "grads_are_finite",
     "SweepPoint",
     "sweep_flightnn_lambdas",
 ]

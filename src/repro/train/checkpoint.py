@@ -1,45 +1,170 @@
-"""Model checkpointing to ``.npz`` archives.
+"""Crash-safe checkpointing to ``.npz`` archives.
 
-Saves every parameter and buffer of a :class:`~repro.nn.module.Module`
-(flat name -> array) plus a small metadata record, and restores them with
-strict shape checking.  Works for any module tree, including quantized
-networks with FLightNN thresholds.
+Two layers:
+
+* :func:`save_checkpoint` / :func:`load_checkpoint` /
+  :func:`checkpoint_metadata` — a single-file *model* snapshot (every
+  parameter and buffer of a :class:`~repro.nn.module.Module`, flat
+  name -> array, plus a JSON metadata record).  Writes are atomic
+  (write-to-temp -> fsync -> ``os.replace``) so a crash mid-save never
+  destroys an existing checkpoint, and read failures surface as
+  :class:`~repro.errors.CheckpointError` instead of raw zipfile noise.
+
+* :class:`TrainingCheckpoint` — a generational store of *full training
+  state* (model + optimizers + scheduler + epoch + history + RNG), each
+  generation guarded by a sha256 manifest.  ``restore_latest`` verifies the
+  checksum and falls back through older generations when the newest is torn
+  or corrupt, which is what makes Algorithm 1's long QAT schedules
+  restartable bitwise-identically after a SIGKILL.
+
+Directory layout of a :class:`TrainingCheckpoint` store::
+
+    ckpt-000007.npz    payload (arrays + embedded metadata record)
+    ckpt-000007.json   manifest {sha256, size, epoch, test_accuracy, ...}
+    latest.json        pointer {"generation": 7}
+    best.json          pointer {"generation": 3, "test_accuracy": 0.91}
 """
 
 from __future__ import annotations
 
+import hashlib
+import io
 import json
+import os
+import re
+import zipfile
+import zlib
 from pathlib import Path
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import CheckpointError, ConfigurationError
 from repro.nn.module import Module
+from repro.utils.logging import get_logger
 
-__all__ = ["save_checkpoint", "load_checkpoint", "checkpoint_metadata"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (trainer imports us)
+    from repro.train.trainer import Trainer
+
+__all__ = [
+    "save_checkpoint",
+    "load_checkpoint",
+    "checkpoint_metadata",
+    "TrainingCheckpoint",
+    "CHECKPOINT_FORMAT_VERSION",
+]
+
+_LOGGER = get_logger("train.checkpoint")
 
 _META_KEY = "__checkpoint_meta__"
+_GENERATION_RE = re.compile(r"^ckpt-(\d{6})\.npz$")
+#: Errors numpy/zipfile raise on torn, truncated or otherwise mangled archives.
+_READ_ERRORS = (zipfile.BadZipFile, KeyError, ValueError, OSError, EOFError, zlib.error)
+
+CHECKPOINT_FORMAT_VERSION = 1
+
+
+# -- low-level helpers --------------------------------------------------------
+
+
+def _normalize_npz_path(path: str | Path) -> Path:
+    """Resolve the on-disk name once, up front (numpy appends ``.npz``)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_name(path.name + ".npz")
+    return path
+
+
+def _encode_meta(meta: dict) -> np.ndarray:
+    return np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8)
+
+
+def _serialize_arrays(arrays: dict[str, np.ndarray]) -> bytes:
+    buf = io.BytesIO()
+    np.savez(buf, **arrays)
+    return buf.getvalue()
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Flush the directory entry so a rename survives power loss (best effort)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platforms without dir fds
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - e.g. fsync unsupported on the fs
+        pass
+    finally:
+        os.close(fd)
+
+
+def _atomic_write_bytes(path: Path, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically: temp file -> fsync -> replace."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        raise
+    _fsync_dir(path.parent)
+
+
+def _parse_meta(raw: np.ndarray, path: Path) -> dict:
+    try:
+        return json.loads(raw.tobytes().decode("utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise CheckpointError(
+            f"checkpoint {path} has a corrupt metadata record: {exc}"
+        ) from exc
+
+
+def _read_archive_bytes(data: bytes, path: Path) -> tuple[dict[str, np.ndarray], dict]:
+    """Decode an in-memory ``.npz`` payload into (arrays, metadata)."""
+    try:
+        with np.load(io.BytesIO(data)) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+    except _READ_ERRORS as exc:
+        raise CheckpointError(f"checkpoint {path} is corrupt or truncated: {exc}") from exc
+    meta_raw = arrays.pop(_META_KEY, None)
+    meta = {} if meta_raw is None else _parse_meta(meta_raw, path)
+    return arrays, meta
+
+
+# -- single-file model snapshots ----------------------------------------------
 
 
 def save_checkpoint(model: Module, path: str | Path, metadata: dict | None = None) -> Path:
-    """Write the model's parameters and buffers (plus metadata) to ``path``.
+    """Atomically write the model's parameters and buffers to ``path``.
+
+    The ``.npz`` suffix is normalized once, up front, so the returned path is
+    exactly the file written and re-saving to it never double-appends.  The
+    payload lands via write-to-temp -> fsync -> ``os.replace``: a crash
+    mid-save leaves any previous checkpoint at ``path`` intact.
 
     Args:
         model: Module tree to snapshot.
-        path: Target file (``.npz`` appended by numpy if missing).
+        path: Target file (``.npz`` appended if the suffix differs).
         metadata: JSON-serialisable extras (scheme name, epoch, accuracy...).
+
+    Returns:
+        The path actually written.
     """
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
+    path = _normalize_npz_path(path)
     state = model.state_dict()
     if _META_KEY in state:
         raise ConfigurationError(f"state dict may not contain the reserved key {_META_KEY!r}")
-    meta = dict(metadata or {})
     arrays = dict(state)
-    arrays[_META_KEY] = np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8)
-    np.savez(path, **arrays)
-    if path.suffix != ".npz":
-        path = path.with_name(path.name + ".npz")
+    arrays[_META_KEY] = _encode_meta(dict(metadata or {}))
+    _atomic_write_bytes(path, _serialize_arrays(arrays))
     return path
 
 
@@ -50,21 +175,250 @@ def load_checkpoint(model: Module, path: str | Path) -> dict:
         The metadata dictionary stored alongside the arrays.
 
     Raises:
+        CheckpointError: If the file is missing, truncated, or not a valid
+            archive.
         ConfigurationError: On missing/unknown entries or shape mismatches
             (delegated to :meth:`Module.load_state_dict`).
     """
-    with np.load(Path(path)) as archive:
-        arrays = {name: archive[name] for name in archive.files}
-    meta_raw = arrays.pop(_META_KEY, None)
+    path = Path(path)
+    try:
+        data = path.read_bytes()
+    except FileNotFoundError:
+        raise CheckpointError(f"checkpoint {path} does not exist") from None
+    except OSError as exc:
+        raise CheckpointError(f"checkpoint {path} could not be read: {exc}") from exc
+    arrays, meta = _read_archive_bytes(data, path)
     model.load_state_dict(arrays)
-    if meta_raw is None:
-        return {}
-    return json.loads(meta_raw.tobytes().decode("utf-8"))
+    return meta
 
 
 def checkpoint_metadata(path: str | Path) -> dict:
-    """Read only the metadata record of a checkpoint (no model needed)."""
-    with np.load(Path(path)) as archive:
-        if _META_KEY not in archive.files:
-            return {}
-        return json.loads(archive[_META_KEY].tobytes().decode("utf-8"))
+    """Read only the metadata record of a checkpoint (no model needed).
+
+    Raises:
+        CheckpointError: If the file is missing, truncated, or not a valid
+            archive.
+    """
+    path = Path(path)
+    try:
+        with np.load(path) as archive:
+            if _META_KEY not in archive.files:
+                return {}
+            raw = archive[_META_KEY]
+    except FileNotFoundError:
+        raise CheckpointError(f"checkpoint {path} does not exist") from None
+    except _READ_ERRORS as exc:
+        raise CheckpointError(f"checkpoint {path} is corrupt or truncated: {exc}") from exc
+    return _parse_meta(raw, path)
+
+
+# -- generational full-training-state store -----------------------------------
+
+
+class TrainingCheckpoint:
+    """Generational, integrity-checked store of full training state.
+
+    Each :meth:`save` writes one *generation*: the payload ``.npz`` (model +
+    optimizer moments + metadata) plus a sidecar manifest recording the
+    payload's sha256 — the checksum is computed over the bytes that *should*
+    have reached disk, so a torn write (SIGKILL, power loss, full disk) is
+    detected on load and the store falls back one generation.
+
+    Retention keeps the newest ``keep_last`` generations plus (with
+    ``keep_best``) the generation with the highest recorded test accuracy.
+
+    Args:
+        directory: Store root (created on first save).
+        keep_last: Newest generations to retain (>= 1).
+        keep_best: Additionally retain the best-accuracy generation.
+        write_hook: Test seam for fault injection — called with the payload
+            bytes and target path before the atomic write; whatever it
+            returns is written, and anything it raises aborts the save (see
+            :mod:`repro.testing.faults`).
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        keep_last: int = 3,
+        keep_best: bool = True,
+        write_hook: "Callable[[bytes, Path], bytes] | None" = None,
+    ) -> None:
+        if keep_last < 1:
+            raise ConfigurationError(f"keep_last must be >= 1, got {keep_last}")
+        self.directory = Path(directory)
+        self.keep_last = keep_last
+        self.keep_best = keep_best
+        self._write_hook = write_hook
+
+    # -- store introspection ---------------------------------------------------
+
+    def generations(self) -> list[int]:
+        """Generation numbers present on disk, ascending."""
+        if not self.directory.is_dir():
+            return []
+        found = []
+        for entry in self.directory.iterdir():
+            match = _GENERATION_RE.match(entry.name)
+            if match:
+                found.append(int(match.group(1)))
+        return sorted(found)
+
+    def latest_generation(self) -> int | None:
+        """Newest generation on disk (None for an empty store)."""
+        generations = self.generations()
+        return generations[-1] if generations else None
+
+    def best_generation(self) -> int | None:
+        """Generation the ``best.json`` pointer names, if it is still valid."""
+        pointer = self._read_pointer("best.json")
+        if pointer is None:
+            return None
+        generation = pointer.get("generation")
+        if generation in self.generations():
+            return int(generation)
+        return None
+
+    def _payload_path(self, generation: int) -> Path:
+        return self.directory / f"ckpt-{generation:06d}.npz"
+
+    def _manifest_path(self, generation: int) -> Path:
+        return self.directory / f"ckpt-{generation:06d}.json"
+
+    def _read_pointer(self, name: str) -> dict | None:
+        try:
+            return json.loads((self.directory / name).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return None
+
+    def _write_pointer(self, name: str, payload: dict) -> None:
+        _atomic_write_bytes(self.directory / name, json.dumps(payload).encode("utf-8"))
+
+    # -- save ------------------------------------------------------------------
+
+    def save(self, trainer: "Trainer", metadata: dict | None = None) -> Path:
+        """Persist the trainer's full state as a new generation.
+
+        Returns the payload path written.  Raises whatever the underlying
+        write raises (disk full, injected I/O fault, ...) — in that case no
+        new generation becomes visible and older generations stay intact.
+        """
+        latest = self.latest_generation()
+        generation = (latest or 0) + 1
+        arrays, meta = trainer.training_state()
+        meta.update(metadata or {})
+        meta["format"] = CHECKPOINT_FORMAT_VERSION
+        meta["generation"] = generation
+        arrays = dict(arrays)
+        arrays[_META_KEY] = _encode_meta(meta)
+        data = _serialize_arrays(arrays)
+        digest = hashlib.sha256(data).hexdigest()
+        path = self._payload_path(generation)
+        # The manifest records the sha256 of the *intended* payload; the write
+        # hook (fault injection) may corrupt what actually reaches disk, which
+        # is exactly how load-time verification catches torn writes.
+        to_disk = data if self._write_hook is None else self._write_hook(data, path)
+        _atomic_write_bytes(path, to_disk)
+        manifest = {
+            "generation": generation,
+            "sha256": digest,
+            "size": len(data),
+            "format": CHECKPOINT_FORMAT_VERSION,
+            "epoch": meta.get("epoch"),
+            "test_accuracy": meta.get("test_accuracy"),
+        }
+        _atomic_write_bytes(self._manifest_path(generation), json.dumps(manifest).encode("utf-8"))
+        self._write_pointer("latest.json", {"generation": generation})
+        self._update_best(generation, meta.get("test_accuracy"))
+        self._prune()
+        return path
+
+    def _update_best(self, generation: int, test_accuracy: float | None) -> None:
+        if not self.keep_best or test_accuracy is None:
+            return
+        best = self._read_pointer("best.json")
+        stale = best is None or best.get("generation") not in self.generations()
+        if stale or float(test_accuracy) >= float(best.get("test_accuracy", -np.inf)):
+            self._write_pointer(
+                "best.json", {"generation": generation, "test_accuracy": float(test_accuracy)}
+            )
+
+    def _prune(self) -> None:
+        generations = self.generations()
+        keep = set(generations[-self.keep_last:])
+        best = self.best_generation()
+        if self.keep_best and best is not None:
+            keep.add(best)
+        for generation in generations:
+            if generation in keep:
+                continue
+            for path in (self._payload_path(generation), self._manifest_path(generation)):
+                try:
+                    path.unlink()
+                except OSError:  # pragma: no cover - racing deletes are fine
+                    pass
+
+    # -- load ------------------------------------------------------------------
+
+    def _load_generation(self, generation: int) -> tuple[dict[str, np.ndarray], dict]:
+        """Read and checksum-verify one generation's payload."""
+        payload_path = self._payload_path(generation)
+        manifest_path = self._manifest_path(generation)
+        try:
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            raise CheckpointError(f"checkpoint manifest {manifest_path} is missing") from None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise CheckpointError(f"checkpoint manifest {manifest_path} is corrupt: {exc}") from exc
+        try:
+            data = payload_path.read_bytes()
+        except FileNotFoundError:
+            raise CheckpointError(f"checkpoint payload {payload_path} is missing") from None
+        except OSError as exc:
+            raise CheckpointError(f"checkpoint payload {payload_path} unreadable: {exc}") from exc
+        digest = hashlib.sha256(data).hexdigest()
+        if digest != manifest.get("sha256"):
+            raise CheckpointError(
+                f"checkpoint {payload_path} failed integrity check "
+                f"(sha256 {digest[:12]}... != recorded {str(manifest.get('sha256'))[:12]}...; "
+                f"{len(data)} bytes on disk, {manifest.get('size')} expected)"
+            )
+        return _read_archive_bytes(data, payload_path)
+
+    def restore(self, trainer: "Trainer", generation: int) -> None:
+        """Restore one specific generation into ``trainer`` (verified)."""
+        arrays, meta = self._load_generation(generation)
+        trainer.load_training_state(arrays, meta)
+
+    def restore_latest(self, trainer: "Trainer") -> int | None:
+        """Restore the newest *valid* generation, falling back on corruption.
+
+        Returns:
+            The generation restored, or ``None`` when the store is empty (a
+            fresh start — nothing to resume).
+
+        Raises:
+            CheckpointError: When generations exist but none verifies — the
+                caller must decide whether retraining from scratch is
+                acceptable rather than silently losing the run.
+        """
+        generations = self.generations()
+        if not generations:
+            return None
+        failures: list[str] = []
+        for generation in reversed(generations):
+            try:
+                self.restore(trainer, generation)
+            except CheckpointError as exc:
+                _LOGGER.warning("checkpoint generation %d unusable: %s", generation, exc)
+                failures.append(f"generation {generation}: {exc}")
+                continue
+            if failures:
+                _LOGGER.warning(
+                    "fell back to generation %d after %d bad generation(s)",
+                    generation, len(failures),
+                )
+            return generation
+        raise CheckpointError(
+            f"no valid checkpoint generation in {self.directory}: " + "; ".join(failures)
+        )

@@ -19,7 +19,7 @@ from repro.data.files import load_npz_split
 from repro.experiments.common import build_scheme, get_profile
 from repro.hw import AsicEnergyModel, FPGAModel, network_largest_layer_ops
 from repro.models import build_network, render_summary
-from repro.train.checkpoint import save_checkpoint
+from repro.train.checkpoint import TrainingCheckpoint, save_checkpoint
 from repro.train.trainer import TrainConfig, Trainer
 
 __all__ = ["main", "build_parser"]
@@ -48,6 +48,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--checkpoint", default=None,
                         help="write the trained model to this .npz path")
+    parser.add_argument("--checkpoint-dir", default=None,
+                        help="directory for crash-safe full-state checkpoints "
+                             "(one generation per epoch, checksummed)")
+    parser.add_argument("--keep-last", type=int, default=3,
+                        help="checkpoint generations to retain (plus the best)")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume from the newest valid generation in "
+                             "--checkpoint-dir before training")
     parser.add_argument("--summary", action="store_true",
                         help="print the layer-by-layer model summary")
     return parser
@@ -55,7 +63,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     """Train one model from command-line arguments; returns an exit code."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.resume and not args.checkpoint_dir:
+        parser.error("--resume requires --checkpoint-dir")
     profile = get_profile()
 
     if args.data_file:
@@ -85,7 +96,10 @@ def main(argv: list[str] | None = None) -> int:
         threshold_freeze_epoch=max(1, args.epochs - 3),
         threshold_lr_scale=10.0, seed=args.seed,
     )
-    history = Trainer(model, config).fit(split)
+    manager = None
+    if args.checkpoint_dir:
+        manager = TrainingCheckpoint(args.checkpoint_dir, keep_last=args.keep_last)
+    history = Trainer(model, config).fit(split, checkpoint=manager, resume=args.resume)
     for epoch in history.epochs:
         print(f"  epoch {epoch.epoch}: loss={epoch.train_loss:.4f} "
               f"test={100 * epoch.test_accuracy:.1f}% k={epoch.mean_filter_k:.2f}")

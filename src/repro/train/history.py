@@ -9,7 +9,13 @@ __all__ = ["EpochStats", "TrainHistory"]
 
 @dataclass(frozen=True)
 class EpochStats:
-    """Metrics recorded at the end of one epoch."""
+    """Metrics recorded at the end of one epoch.
+
+    The last three fields surface the numerical guardrails: batches whose
+    update was suppressed because the loss or a gradient went non-finite,
+    batches whose gradients were clipped to the configured global norm, and
+    finite-but-spiking loss batches flagged by the divergence monitor.
+    """
 
     epoch: int
     train_loss: float
@@ -19,19 +25,32 @@ class EpochStats:
     mean_filter_k: float
     storage_mb: float
     learning_rate: float
+    nonfinite_batches: int = 0
+    clipped_batches: int = 0
+    loss_spikes: int = 0
 
 
 @dataclass
 class TrainHistory:
-    """Full per-epoch record of one training run."""
+    """Full per-epoch record of one training run.
+
+    Besides the per-epoch stats, ``events`` records run-level fault-tolerance
+    actions (checkpoint rollbacks, learning-rate reductions) so a resumed or
+    guarded run is auditable after the fact.
+    """
 
     scheme_name: str
     network_id: int
     epochs: list[EpochStats] = field(default_factory=list)
+    events: list[dict] = field(default_factory=list)
 
     def append(self, stats: EpochStats) -> None:
         """Record one epoch."""
         self.epochs.append(stats)
+
+    def record_event(self, kind: str, **details) -> None:
+        """Record a run-level event (e.g. ``"rollback"``) with its context."""
+        self.events.append({"type": kind, **details})
 
     @property
     def final(self) -> EpochStats:
@@ -45,10 +64,25 @@ class TrainHistory:
         """Best test accuracy seen over the run."""
         return max(e.test_accuracy for e in self.epochs)
 
+    @property
+    def rollbacks(self) -> int:
+        """Number of divergence rollbacks recorded over the run."""
+        return sum(1 for e in self.events if e.get("type") == "rollback")
+
     def as_dict(self) -> dict:
-        """JSON-friendly representation."""
+        """JSON-friendly representation (inverse of :meth:`from_dict`)."""
         return {
             "scheme": self.scheme_name,
             "network_id": self.network_id,
             "epochs": [vars(e) for e in self.epochs],
+            "events": [dict(e) for e in self.events],
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TrainHistory":
+        """Rebuild a history from :meth:`as_dict` output (checkpoint resume)."""
+        history = cls(scheme_name=data["scheme"], network_id=int(data["network_id"]))
+        for epoch in data.get("epochs", ()):
+            history.append(EpochStats(**epoch))
+        history.events = [dict(e) for e in data.get("events", ())]
+        return history

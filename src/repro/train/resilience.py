@@ -1,0 +1,132 @@
+"""Numerical guardrails for the QAT loop.
+
+Quantized/constrained weight updates are notoriously unstable (BinaryRelax,
+AskewSGD): an aggressive threshold move can push a whole layer's residuals
+through a discontinuity and blow the loss up, and one NaN gradient poisons
+Adam's moments permanently.  This module provides the pieces
+:class:`~repro.train.trainer.Trainer` composes into a self-protecting loop:
+
+* :func:`grads_are_finite` — cheap NaN/Inf screen over the gradient set.
+* :func:`clip_grad_norm` — global-norm gradient clipping across *all*
+  parameter groups (master weights and thresholds together, so the clip
+  ratio is consistent).
+* :class:`DivergenceMonitor` — per-batch verdicts: a non-finite loss/grad or
+  a loss spike marks the batch *bad* (update suppressed); a streak of bad
+  batches escalates to a rollback request, which the trainer answers by
+  restoring the last good checkpoint at a reduced learning rate.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn.tensor import Tensor
+
+__all__ = [
+    "global_grad_norm",
+    "clip_grad_norm",
+    "grads_are_finite",
+    "DivergenceMonitor",
+]
+
+
+def global_grad_norm(params: Iterable[Tensor]) -> float:
+    """L2 norm of the concatenation of every parameter gradient."""
+    total = 0.0
+    for p in params:
+        if p.grad is not None:
+            total += float(np.sum(np.square(p.grad)))
+    return math.sqrt(total)
+
+
+def clip_grad_norm(params: Sequence[Tensor], max_norm: float) -> tuple[float, bool]:
+    """Scale gradients in place so their global norm is at most ``max_norm``.
+
+    Returns:
+        ``(pre_clip_norm, clipped)`` — the norm before scaling and whether
+        scaling was applied.  Non-finite norms are left untouched (the
+        divergence guard, not the clipper, owns that case).
+    """
+    if max_norm <= 0:
+        raise ConfigurationError(f"max_norm must be positive, got {max_norm}")
+    norm = global_grad_norm(params)
+    if not math.isfinite(norm) or norm <= max_norm:
+        return norm, False
+    scale = max_norm / norm
+    for p in params:
+        if p.grad is not None:
+            p.grad *= scale
+    return norm, True
+
+
+def grads_are_finite(params: Iterable[Tensor]) -> bool:
+    """True when no parameter gradient contains NaN or Inf."""
+    return all(p.grad is None or np.isfinite(p.grad).all() for p in params)
+
+
+class DivergenceMonitor:
+    """Streaming batch-loss monitor with skip/rollback escalation.
+
+    Args:
+        spike_factor: A finite batch loss above ``spike_factor`` times the
+            running mean counts as divergence; 0 disables spike detection.
+        patience: Consecutive bad batches (non-finite or spiking) before a
+            rollback is requested.
+        warmup_batches: Healthy batches observed before spike detection arms
+            (the running mean is meaningless at first).
+    """
+
+    def __init__(self, spike_factor: float = 0.0, patience: int = 5,
+                 warmup_batches: int = 10) -> None:
+        if spike_factor < 0:
+            raise ConfigurationError(f"spike_factor must be non-negative, got {spike_factor}")
+        if patience < 1:
+            raise ConfigurationError(f"patience must be >= 1, got {patience}")
+        if warmup_batches < 1:
+            raise ConfigurationError(f"warmup_batches must be >= 1, got {warmup_batches}")
+        self.spike_factor = spike_factor
+        self.patience = patience
+        self.warmup_batches = warmup_batches
+        self.reset()
+
+    def reset(self) -> None:
+        """Forget all streaks and statistics (called after a rollback)."""
+        self._mean = 0.0
+        self._count = 0
+        self._streak = 0
+
+    @property
+    def streak(self) -> int:
+        """Current consecutive-bad-batch count."""
+        return self._streak
+
+    def observe(self, loss: float, finite_grads: bool = True) -> str:
+        """Classify one batch.
+
+        Returns:
+            ``"ok"`` — healthy, apply the update; ``"skip"`` — bad batch,
+            suppress the update; ``"rollback"`` — the bad streak reached
+            ``patience``, restore the last good state.
+        """
+        nonfinite = not (math.isfinite(loss) and finite_grads)
+        spike = (
+            not nonfinite
+            and self.spike_factor > 0
+            and self._count >= self.warmup_batches
+            and self._mean > 0
+            and loss > self.spike_factor * self._mean
+        )
+        if nonfinite or spike:
+            self._streak += 1
+            if self._streak >= self.patience:
+                self._streak = 0
+                return "rollback"
+            return "skip"
+        self._streak = 0
+        self._count += 1
+        self._mean += (loss - self._mean) / self._count
+        return "ok"

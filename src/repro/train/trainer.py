@@ -6,16 +6,25 @@ residual group-lasso ``L_reg,k``, (3) backward propagates ``dL/dwq`` to the
 full-precision master weights via STE and ``dL/dt`` via the sigmoid-relaxed
 indicator, (4) the optimizer (Adam, as in the paper) updates ``w``, biases,
 batch-norm affines and thresholds ``t``.
+
+The loop is fault-tolerant: per-batch numerical guardrails (NaN/Inf
+detection, optional gradient clipping, a divergence monitor that rolls back
+to the last good checkpoint at reduced LR — see
+:mod:`repro.train.resilience`) and crash-safe full-state checkpointing with
+bitwise-exact resume (see
+:class:`~repro.train.checkpoint.TrainingCheckpoint`).
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
 from repro.data.dataset import ArrayDataset, DataLoader, DataSplit
-from repro.errors import ConfigurationError
+from repro.errors import CheckpointError, ConfigurationError, TrainingDivergedError
 from repro.models.network import QuantizedNetwork
 from repro.nn import functional as F
 from repro.nn.optim import SGD, Adam, ConstantLR, CosineDecayLR, StepDecayLR
@@ -25,12 +34,45 @@ from repro.quant.regularization import proximal_residual_shrink, residual_group_
 from repro.train.act_reg import activation_distribution_loss, collect_quantizer_inputs
 from repro.train.history import EpochStats, TrainHistory
 from repro.train.metrics import RunningAverage, accuracy, topk_accuracy
+from repro.train.resilience import DivergenceMonitor, clip_grad_norm, grads_are_finite
 from repro.utils.logging import get_logger
 from repro.utils.rng import as_generator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.train.checkpoint import TrainingCheckpoint
 
 __all__ = ["TrainConfig", "Trainer"]
 
 _LOGGER = get_logger("train.trainer")
+
+
+class _RollbackRequested(Exception):
+    """Internal: the divergence monitor asked for a checkpoint rollback."""
+
+
+def _flatten_state(prefix: str, state: dict, arrays: dict[str, np.ndarray]) -> dict:
+    """Split an optimizer/scheduler state dict into npz arrays + JSON scalars.
+
+    Per-parameter buffer lists land in ``arrays`` under ``prefix/key/i``;
+    everything else stays in the returned JSON-able record, which notes the
+    buffer counts so :func:`_unflatten_state` can reassemble the lists.
+    """
+    meta: dict = {"buffers": {}}
+    for key, value in state.items():
+        if isinstance(value, list):
+            meta["buffers"][key] = len(value)
+            for i, arr in enumerate(value):
+                arrays[f"{prefix}/{key}/{i}"] = arr
+        else:
+            meta[key] = value
+    return meta
+
+
+def _unflatten_state(prefix: str, meta: dict, arrays: dict[str, np.ndarray]) -> dict:
+    state = {key: value for key, value in meta.items() if key != "buffers"}
+    for key, count in meta.get("buffers", {}).items():
+        state[key] = [arrays[f"{prefix}/{key}/{i}"] for i in range(int(count))]
+    return state
 
 
 @dataclass(frozen=True)
@@ -74,6 +116,21 @@ class TrainConfig:
             run) or ``"step"`` (x0.1 at 2/3 of the run).
         seed: Shuffling seed.
         eval_batch_size: Batch size for evaluation passes.
+        grad_clip_norm: Clip the global L2 norm of all gradients (master
+            weights and thresholds together) to this value; ``None``
+            disables clipping.
+        guard_nonfinite: Screen the loss and every gradient for NaN/Inf each
+            batch; a bad batch's update is suppressed instead of poisoning
+            the optimizer moments.
+        guard_spike_factor: A finite batch loss above this multiple of the
+            running mean counts as divergence; 0 disables spike detection.
+        guard_patience: Consecutive bad batches before the divergence
+            monitor requests a rollback to the last good checkpoint.
+        guard_warmup_batches: Healthy batches before spike detection arms.
+        rollback_lr_factor: Learning-rate multiplier applied on every
+            divergence rollback (all optimizers and the schedule base).
+        max_rollbacks: Divergence rollbacks allowed per ``fit`` call before
+            :class:`~repro.errors.TrainingDivergedError` is raised.
     """
 
     epochs: int = 10
@@ -90,6 +147,13 @@ class TrainConfig:
     lr_schedule: str = "constant"
     seed: int = 0
     eval_batch_size: int = 256
+    grad_clip_norm: float | None = None
+    guard_nonfinite: bool = True
+    guard_spike_factor: float = 0.0
+    guard_patience: int = 5
+    guard_warmup_batches: int = 10
+    rollback_lr_factor: float = 0.5
+    max_rollbacks: int = 3
 
     def __post_init__(self) -> None:
         if self.epochs < 1 or self.batch_size < 1:
@@ -112,10 +176,28 @@ class TrainConfig:
             raise ConfigurationError(f"unknown lr_schedule {self.lr_schedule!r}")
         if self.activation_reg < 0:
             raise ConfigurationError("activation_reg must be non-negative")
+        if self.grad_clip_norm is not None and self.grad_clip_norm <= 0:
+            raise ConfigurationError("grad_clip_norm must be positive (or None)")
+        if self.guard_spike_factor < 0:
+            raise ConfigurationError("guard_spike_factor must be non-negative")
+        if self.guard_patience < 1:
+            raise ConfigurationError("guard_patience must be >= 1")
+        if self.guard_warmup_batches < 1:
+            raise ConfigurationError("guard_warmup_batches must be >= 1")
+        if not 0.0 < self.rollback_lr_factor <= 1.0:
+            raise ConfigurationError("rollback_lr_factor must be in (0, 1]")
+        if self.max_rollbacks < 0:
+            raise ConfigurationError("max_rollbacks must be non-negative")
 
 
 class Trainer:
-    """Runs Algorithm 1 for one network/scheme pair."""
+    """Runs Algorithm 1 for one network/scheme pair.
+
+    State that must survive a crash (epoch position, history, optimizer
+    moments, data-shuffle RNG) lives on the instance and round-trips through
+    :meth:`training_state` / :meth:`load_training_state`, which
+    :class:`~repro.train.checkpoint.TrainingCheckpoint` persists.
+    """
 
     def __init__(self, model: QuantizedNetwork, config: TrainConfig | None = None) -> None:
         self.model = model
@@ -153,6 +235,23 @@ class Trainer:
             )
         else:
             self._scheduler = ConstantLR(self.optimizer)
+        self._eval_engine = None  # compiled eval engine, built lazily by _engine()
+        self._loader_rng = as_generator(self.config.seed)
+        self._epoch = 0  # next epoch to run (advances past config.epochs-1 when done)
+        self._step = 0  # global batch counter (monotonic across epochs; checkpointed)
+        self.history = TrainHistory(
+            scheme_name=self.scheme.name, network_id=self.model.config.network_id
+        )
+        #: Callables invoked with the global step after each backward pass —
+        #: a seam for gradient instrumentation and fault injection
+        #: (:mod:`repro.testing.faults`).
+        self.grad_hooks: list[Callable[[int], None]] = []
+        self._monitor = DivergenceMonitor(
+            spike_factor=self.config.guard_spike_factor,
+            patience=self.config.guard_patience,
+            warmup_batches=self.config.guard_warmup_batches,
+        )
+        self._rollbacks = 0
 
     def _make_optimizer(self, params, lr):
         if self.config.optimizer == "adam":
@@ -182,19 +281,42 @@ class Trainer:
 
     # -- training -------------------------------------------------------------
 
-    def fit(self, split: DataSplit, log: bool = False) -> TrainHistory:
-        """Train on ``split.train``, evaluating on ``split.test`` per epoch."""
-        history = TrainHistory(
-            scheme_name=self.scheme.name, network_id=self.model.config.network_id
-        )
+    def fit(
+        self,
+        split: DataSplit,
+        log: bool = False,
+        checkpoint: "TrainingCheckpoint | None" = None,
+        resume: bool = True,
+    ) -> TrainHistory:
+        """Train on ``split.train``, evaluating on ``split.test`` per epoch.
+
+        With ``checkpoint`` given, the full training state is persisted as a
+        new generation after every epoch, and — when ``resume`` is true and
+        the store is non-empty — restored from the newest valid generation
+        before training starts, so an interrupted run continues
+        bitwise-identically to an uninterrupted one.  Divergence rollbacks
+        (see :class:`TrainConfig` guard options) restore from the same store.
+        """
+        if checkpoint is not None and resume:
+            restored = checkpoint.restore_latest(self)
+            if restored is not None:
+                _LOGGER.info(
+                    "resumed from checkpoint generation %d at epoch %d",
+                    restored, self._epoch,
+                )
         loader = DataLoader(
             split.train,
             self.config.batch_size,
             shuffle=True,
-            rng=as_generator(self.config.seed),
+            rng=self._loader_rng,
         )
-        for epoch in range(self.config.epochs):
-            train_loss, train_acc = self._run_epoch(loader, epoch)
+        while self._epoch < self.config.epochs:
+            epoch = self._epoch
+            try:
+                train_loss, train_acc, guards = self._run_epoch(loader, epoch)
+            except _RollbackRequested:
+                self._handle_divergence(checkpoint)
+                continue
             test = self.evaluate(split.test)
             stats = EpochStats(
                 epoch=epoch,
@@ -205,24 +327,35 @@ class Trainer:
                 mean_filter_k=self.model.mean_filter_k(),
                 storage_mb=self.model.storage_mb(),
                 learning_rate=self.optimizer.lr,
+                nonfinite_batches=guards["nonfinite"],
+                clipped_batches=guards["clipped"],
+                loss_spikes=guards["spikes"],
             )
-            history.append(stats)
+            self.history.append(stats)
             self._scheduler.step()
+            self._epoch += 1
+            if checkpoint is not None:
+                checkpoint.save(self)
             if log:
                 _LOGGER.info(
                     "epoch %d: loss=%.4f train=%.3f test=%.3f k=%.2f",
                     epoch, train_loss, train_acc, test["accuracy"], stats.mean_filter_k,
                 )
-        return history
+        return self.history
 
-    def _run_epoch(self, loader: DataLoader, epoch: int) -> tuple[float, float]:
+    def _run_epoch(self, loader: DataLoader, epoch: int) -> tuple[float, float, dict]:
         self.model.train()
         loss_avg, acc_avg = RunningAverage(), RunningAverage()
+        guards = {"nonfinite": 0, "clipped": 0, "spikes": 0}
         use_gradient_reg = self.config.regularization_mode == "gradient"
         warmup = self.config.lambda_warmup_epochs
         lambda_ramp = min(1.0, (epoch + 1) / warmup) if warmup else 1.0
         freeze = self.config.threshold_freeze_epoch
         thresholds_active = freeze is None or epoch < freeze
+        guard_enabled = self.config.guard_nonfinite or self.config.guard_spike_factor > 0
+        guarded_params = list(self.optimizer.params)
+        if self.threshold_optimizer is not None:
+            guarded_params += self.threshold_optimizer.params
         for images, labels in loader:
             self.model.zero_grad()
             logits = self.model(Tensor(images))
@@ -239,17 +372,75 @@ class Trainer:
                 if act_reg is not None:
                     total = total + act_reg
             total.backward()
+            step = self._step
+            self._step += 1
+            for hook in self.grad_hooks:
+                hook(step)
             if thresholds_active:
                 self._add_gate_pressure(lambda_ramp)
+            loss_value = float(loss.item())
+            if guard_enabled:
+                finite = (
+                    grads_are_finite(guarded_params)
+                    if self.config.guard_nonfinite
+                    else True
+                )
+                verdict = self._monitor.observe(loss_value, finite)
+                if verdict != "ok":
+                    if finite and math.isfinite(loss_value):
+                        guards["spikes"] += 1
+                    else:
+                        guards["nonfinite"] += 1
+                    if verdict == "rollback":
+                        raise _RollbackRequested()
+                    continue  # suppress this batch's update entirely
+            if self.config.grad_clip_norm is not None:
+                _, clipped = clip_grad_norm(guarded_params, self.config.grad_clip_norm)
+                guards["clipped"] += int(clipped)
             self.optimizer.step()
             if self.threshold_optimizer is not None and thresholds_active:
                 self.threshold_optimizer.step()
             if not use_gradient_reg:
                 self._apply_proximal_regularization(lambda_ramp)
             n = len(labels)
-            loss_avg.update(loss.item(), n)
+            loss_avg.update(loss_value, n)
             acc_avg.update(accuracy(logits.numpy(), labels), n)
-        return loss_avg.value, acc_avg.value
+        return loss_avg.value, acc_avg.value, guards
+
+    def _handle_divergence(self, checkpoint: "TrainingCheckpoint | None") -> None:
+        """Roll back to the last good state at a reduced learning rate."""
+        if self._rollbacks >= self.config.max_rollbacks:
+            raise TrainingDivergedError(
+                f"training diverged again after {self._rollbacks} rollback(s); "
+                f"max_rollbacks={self.config.max_rollbacks} exhausted"
+            )
+        self._rollbacks += 1
+        self.model.zero_grad()
+        restored = None
+        if checkpoint is not None:
+            # Empty store -> None: nothing to restore, but bad updates were
+            # suppressed batch-by-batch, so the weights are still finite and
+            # retrying the epoch at a lower LR is sound.
+            restored = checkpoint.restore_latest(self)
+        self._reduce_lr(self.config.rollback_lr_factor)
+        self._monitor.reset()
+        self.history.record_event(
+            "rollback",
+            epoch=self._epoch,
+            restored_generation=restored,
+            lr=self.optimizer.lr,
+        )
+        _LOGGER.warning(
+            "divergence detected at epoch %d: restored generation %s, lr reduced to %g",
+            self._epoch, restored, self.optimizer.lr,
+        )
+
+    def _reduce_lr(self, factor: float) -> None:
+        """Permanently scale every learning rate (schedule base included)."""
+        self.optimizer.lr *= factor
+        self._scheduler.base_lr *= factor
+        if self.threshold_optimizer is not None:
+            self.threshold_optimizer.lr *= factor
 
     def _add_gate_pressure(self, lambda_ramp: float) -> None:
         """Accumulate the gate-count penalty gradient onto each threshold."""
@@ -277,6 +468,80 @@ class Trainer:
                 step_size=self.optimizer.lr,
             )
             layer.weight.bump_version()
+
+    # -- checkpointable state --------------------------------------------------
+
+    def training_state(self) -> tuple[dict[str, np.ndarray], dict]:
+        """Everything a bitwise-identical resume needs: (arrays, metadata).
+
+        Arrays hold the model state dict (``model/<name>``) and every
+        optimizer moment buffer (``optim/...``, ``threshold_optim/...``);
+        the JSON-able metadata holds scheme/network identity, the epoch and
+        step counters, the full :class:`TrainHistory`, the data-shuffle RNG
+        state and optimizer/scheduler scalars.
+        """
+        arrays = {f"model/{name}": value for name, value in self.model.state_dict().items()}
+        meta = {
+            "scheme": self.scheme.name,
+            "network_id": self.model.config.network_id,
+            "epoch": self._epoch,
+            "step": self._step,
+            "test_accuracy": (
+                self.history.epochs[-1].test_accuracy if self.history.epochs else None
+            ),
+            "history": self.history.as_dict(),
+            "rng": self._loader_rng.bit_generator.state,
+            "optimizer": _flatten_state("optim", self.optimizer.state_dict(), arrays),
+            "scheduler": self._scheduler.state_dict(),
+        }
+        if self.threshold_optimizer is not None:
+            meta["threshold_optimizer"] = _flatten_state(
+                "threshold_optim", self.threshold_optimizer.state_dict(), arrays
+            )
+        return arrays, meta
+
+    def load_training_state(self, arrays: dict[str, np.ndarray], meta: dict) -> None:
+        """Restore a snapshot from :meth:`training_state` into this trainer.
+
+        Raises:
+            CheckpointError: When the snapshot belongs to a different
+                scheme/network or does not fit the model/optimizers.
+        """
+        if meta.get("scheme") != self.scheme.name:
+            raise CheckpointError(
+                f"checkpoint scheme {meta.get('scheme')!r} does not match "
+                f"model scheme {self.scheme.name!r}"
+            )
+        if meta.get("network_id") != self.model.config.network_id:
+            raise CheckpointError(
+                f"checkpoint network id {meta.get('network_id')!r} does not match "
+                f"model network id {self.model.config.network_id!r}"
+            )
+        model_state = {
+            name[len("model/"):]: value
+            for name, value in arrays.items()
+            if name.startswith("model/")
+        }
+        try:
+            self.model.load_state_dict(model_state)
+            self.optimizer.load_state_dict(
+                _unflatten_state("optim", meta["optimizer"], arrays)
+            )
+            if self.threshold_optimizer is not None:
+                threshold_meta = meta.get("threshold_optimizer")
+                if threshold_meta is None:
+                    raise CheckpointError("checkpoint lacks threshold-optimizer state")
+                self.threshold_optimizer.load_state_dict(
+                    _unflatten_state("threshold_optim", threshold_meta, arrays)
+                )
+            self._scheduler.load_state_dict(meta["scheduler"])
+            self._loader_rng.bit_generator.state = meta["rng"]
+        except (ConfigurationError, KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(f"checkpoint does not fit this trainer: {exc}") from exc
+        self._epoch = int(meta["epoch"])
+        self._step = int(meta.get("step", 0))
+        self.history = TrainHistory.from_dict(meta["history"])
+        self._monitor.reset()
 
     # -- evaluation ------------------------------------------------------------
 
@@ -314,7 +579,7 @@ class Trainer:
 
     def _engine(self):
         """Lazily build (once) the compiled evaluation engine for the model."""
-        if getattr(self, "_eval_engine", None) is None:
+        if self._eval_engine is None:
             # Imported here to avoid a train <-> infer import cycle.
             from repro.infer.engine import InferenceEngine
 

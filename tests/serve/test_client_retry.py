@@ -1,0 +1,133 @@
+"""Client transport retries: backoff, typed exhaustion, deadline awareness.
+
+Connection failures are injected deterministically with
+:class:`~repro.testing.faults.ConnectionDropFault` on the client's
+``pre_request_hook`` seam, so no real network flakiness is involved.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import DeadlineExceededError, RetriesExhaustedError, ServeError
+from repro.serve import (
+    BatcherConfig,
+    ModelRegistry,
+    ModelServer,
+    PredictClient,
+    ServerConfig,
+)
+from repro.testing import ConnectionDropFault
+
+from tests.serve.conftest import build_small_network, sample_images
+
+
+@pytest.fixture()
+def server():
+    registry = ModelRegistry(BatcherConfig(max_batch_size=8, max_wait_s=0.002))
+    registry.register("net4", build_small_network(4))
+    srv = ModelServer(registry, ServerConfig(port=0, request_timeout_s=15.0))
+    srv.start()
+    yield srv
+    srv.stop()
+
+
+def fast_client(url: str, **kwargs) -> PredictClient:
+    kwargs.setdefault("backoff_base_s", 0.001)
+    kwargs.setdefault("retry_seed", 0)
+    return PredictClient(url, **kwargs)
+
+
+class TestRetries:
+    def test_recovers_from_transient_drops_with_exact_result(self, server):
+        client = fast_client(server.url, max_retries=3)
+        fault = ConnectionDropFault(drops=2)
+        client.pre_request_hook = fault
+        images = sample_images(2, seed=40)
+        serial = server.registry.get("net4").engine.predict_logits(images)
+        result = client.predict(images[0], model="net4")
+        np.testing.assert_array_equal(result.logits, serial[0])
+        assert fault.calls == 3  # two drops + the attempt that got through
+
+    def test_batch_and_health_endpoints_retry_too(self, server):
+        client = fast_client(server.url, max_retries=2)
+        client.pre_request_hook = ConnectionDropFault(drops=1)
+        assert client.healthz()["status"] == "ok"
+        images = sample_images(3, seed=41)
+        serial = server.registry.get("net4").engine.predict_logits(images)
+        client.pre_request_hook = ConnectionDropFault(drops=2)
+        result = client.predict_batch(images)
+        np.testing.assert_array_equal(result.logits, serial)
+
+    def test_exhausted_retries_raise_typed_error(self):
+        # No server needed: the hook fails every attempt before any socket I/O.
+        client = fast_client("http://127.0.0.1:9", max_retries=2)
+        fault = ConnectionDropFault(drops=100)
+        client.pre_request_hook = fault
+        with pytest.raises(RetriesExhaustedError) as excinfo:
+            client.healthz()
+        assert isinstance(excinfo.value, ServeError)
+        assert fault.calls == 3  # initial attempt + 2 retries, then give up
+        assert isinstance(excinfo.value.__cause__, ConnectionError)
+
+    def test_zero_retries_fails_on_first_drop(self):
+        client = fast_client("http://127.0.0.1:9", max_retries=0)
+        fault = ConnectionDropFault(drops=1)
+        client.pre_request_hook = fault
+        with pytest.raises(RetriesExhaustedError):
+            client.healthz()
+        assert fault.calls == 1
+
+    def test_deadline_cuts_backoff_short(self, server):
+        # Backoff would wait 5s; a 50 ms deadline must abort immediately with
+        # the deadline error instead of sleeping through it.
+        client = PredictClient(
+            server.url, max_retries=5, backoff_base_s=5.0, retry_seed=0
+        )
+        client.pre_request_hook = ConnectionDropFault(drops=100)
+        start = time.monotonic()
+        with pytest.raises(DeadlineExceededError):
+            client.predict(sample_images(1)[0], deadline_ms=50.0)
+        assert time.monotonic() - start < 1.0
+
+    def test_retry_reopens_connection_after_server_restart_style_drop(self, server):
+        # A drop mid-session closes the keep-alive connection; the retry must
+        # succeed on a fresh one rather than reusing the poisoned socket.
+        client = fast_client(server.url, max_retries=2)
+        images = sample_images(1, seed=42)
+        serial = server.registry.get("net4").engine.predict_logits(images)
+        np.testing.assert_array_equal(
+            client.predict(images[0]).logits, serial[0]
+        )
+        client.pre_request_hook = ConnectionDropFault(drops=1)
+        np.testing.assert_array_equal(
+            client.predict(images[0]).logits, serial[0]
+        )
+
+    def test_backoff_delay_growth_and_cap(self):
+        client = PredictClient(
+            "http://127.0.0.1:9", backoff_base_s=0.1, backoff_max_s=0.5,
+            backoff_jitter=0.0, retry_seed=0,
+        )
+        assert client._backoff_delay(0) == pytest.approx(0.1)
+        assert client._backoff_delay(1) == pytest.approx(0.2)
+        assert client._backoff_delay(10) == pytest.approx(0.5)  # capped
+
+    def test_jitter_stays_within_configured_band(self):
+        client = PredictClient(
+            "http://127.0.0.1:9", backoff_base_s=0.1, backoff_jitter=0.25,
+            retry_seed=7,
+        )
+        for attempt in range(5):
+            delay = client._backoff_delay(attempt)
+            base = min(client.backoff_max_s, 0.1 * 2.0 ** attempt)
+            assert base <= delay <= base * 1.25
+
+    def test_invalid_retry_config_rejected(self):
+        with pytest.raises(ValueError):
+            PredictClient("http://127.0.0.1:9", max_retries=-1)
+        with pytest.raises(ValueError):
+            PredictClient("http://127.0.0.1:9", backoff_base_s=-0.1)

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.errors import ConfigurationError
+from repro.errors import CheckpointError, ConfigurationError
 from repro.models import build_network
 from repro.nn.tensor import Tensor
 from repro.quant.schemes import paper_schemes
@@ -71,3 +71,45 @@ class TestCheckpoint:
     def test_creates_directories(self, tmp_path):
         path = save_checkpoint(make_net(), tmp_path / "deep" / "dir" / "m.npz")
         assert path.exists()
+
+
+class TestCheckpointRobustness:
+    def test_non_npz_suffix_normalized_once(self, tmp_path):
+        path = save_checkpoint(make_net(), tmp_path / "model.ckpt")
+        assert path == tmp_path / "model.ckpt.npz"
+        assert path.exists()
+        # Saving to the returned path must not grow another suffix.
+        assert save_checkpoint(make_net(), path) == path
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["model.ckpt.npz"]
+
+    def test_suffixless_path_normalized(self, tmp_path):
+        path = save_checkpoint(make_net(), tmp_path / "model")
+        assert path == tmp_path / "model.npz"
+        load_checkpoint(make_net(rng=3), path)
+
+    def test_save_leaves_no_temp_files(self, tmp_path):
+        save_checkpoint(make_net(), tmp_path / "m.npz")
+        assert [p.name for p in tmp_path.iterdir()] == ["m.npz"]
+
+    def test_truncated_file_raises_checkpoint_error(self, tmp_path):
+        path = save_checkpoint(make_net(), tmp_path / "m.npz")
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])  # torn write
+        with pytest.raises(CheckpointError):
+            load_checkpoint(make_net(rng=3), path)
+        with pytest.raises(CheckpointError):
+            checkpoint_metadata(path)
+
+    def test_garbage_file_raises_checkpoint_error(self, tmp_path):
+        path = tmp_path / "m.npz"
+        path.write_bytes(b"this is not a zip archive")
+        with pytest.raises(CheckpointError):
+            load_checkpoint(make_net(), path)
+        with pytest.raises(CheckpointError):
+            checkpoint_metadata(path)
+
+    def test_missing_file_raises_checkpoint_error(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            load_checkpoint(make_net(), tmp_path / "absent.npz")
+        with pytest.raises(CheckpointError):
+            checkpoint_metadata(tmp_path / "absent.npz")

@@ -58,6 +58,25 @@ class TestMain:
         assert code == 0
         assert "ds" in capsys.readouterr().out
 
+    def test_checkpoint_dir_and_resume(self, capsys, tmp_path):
+        argv = [
+            "--network", "1", "--scheme", "L-1", "--epochs", "2",
+            "--width-scale", "0.15", "--size-scale", "0.3", "--samples", "96",
+            "--checkpoint-dir", str(tmp_path / "ck"),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "epoch 1" in first
+        assert (tmp_path / "ck" / "latest.json").exists()
+        # Resuming a completed run restores the history and trains no further.
+        assert main(argv + ["--resume"]) == 0
+        resumed = capsys.readouterr().out
+        assert "epoch 1" in resumed
+
+    def test_resume_requires_checkpoint_dir(self):
+        with pytest.raises(SystemExit):
+            main(["--resume"])
+
     def test_dataset_defaults_to_networks_table1_dataset(self, capsys):
         code = main([
             "--network", "6", "--scheme", "Full", "--epochs", "1",

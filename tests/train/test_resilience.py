@@ -1,0 +1,493 @@
+"""Fault-tolerant training: checkpoint/resume, guardrails, fault injection.
+
+Every recovery path is proven with the deterministic injectors from
+:mod:`repro.testing.faults`: torn checkpoint writes fall back a generation
+and resume bitwise-identically, NaN gradients trigger rollback + LR
+reduction instead of a crash, and failed writes never corrupt the store.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import SyntheticImageConfig, generate_synthetic_images
+from repro.errors import CheckpointError, ConfigurationError, TrainingDivergedError
+from repro.models import build_network
+from repro.nn.module import Parameter
+from repro.nn.optim import SGD, Adam, CosineDecayLR, StepDecayLR
+from repro.quant.schemes import paper_schemes, scheme_flightnn
+from repro.testing import FailingWriteFault, NaNGradientFault, TornWriteFault
+from repro.train import (
+    DivergenceMonitor,
+    TrainConfig,
+    Trainer,
+    TrainingCheckpoint,
+    clip_grad_norm,
+    global_grad_norm,
+    grads_are_finite,
+)
+from repro.train.history import EpochStats
+
+SCHEMES = paper_schemes()
+
+
+@pytest.fixture(scope="module")
+def split():
+    cfg = SyntheticImageConfig(
+        num_classes=5, image_size=10, train_size=160, test_size=80, noise=0.4, seed=21
+    )
+    return generate_synthetic_images(cfg)
+
+
+def flightnn_net(split, rng=0):
+    return build_network(
+        1, scheme_flightnn((3e-4, 1e-3), label="FL_res"), num_classes=split.num_classes,
+        image_size=split.image_shape[1], width_scale=0.2, rng=rng,
+    )
+
+
+# FLightNN config so threshold SGD, lambda warmup and the cosine schedule are
+# all exercised by the resume paths; 160/32 = 5 batches per epoch.
+FL_CONFIG = TrainConfig(
+    epochs=4, batch_size=32, lr=3e-3, lambda_warmup_epochs=2,
+    threshold_lr_scale=10.0, lr_schedule="cosine", seed=3,
+)
+BATCHES_PER_EPOCH = 5
+
+
+class _Crash(Exception):
+    """Stands in for SIGKILL: aborts fit() mid-run without cleanup."""
+
+
+def crash_at_step(step: int):
+    def hook(s: int) -> None:
+        if s == step:
+            raise _Crash(f"injected crash at step {s}")
+    return hook
+
+
+def assert_states_equal(a: Trainer, b: Trainer) -> None:
+    """Bitwise equality of weights, thresholds, Adam moments and LR state."""
+    sa, sb = a.model.state_dict(), b.model.state_dict()
+    assert sa.keys() == sb.keys()
+    for name in sa:
+        np.testing.assert_array_equal(sa[name], sb[name], err_msg=name)
+    assert a.optimizer._t == b.optimizer._t
+    for ma, mb in zip(a.optimizer._m, b.optimizer._m):
+        np.testing.assert_array_equal(ma, mb)
+    for va, vb in zip(a.optimizer._v, b.optimizer._v):
+        np.testing.assert_array_equal(va, vb)
+    assert a.optimizer.lr == b.optimizer.lr
+    if a.threshold_optimizer is not None:
+        assert a.threshold_optimizer.lr == b.threshold_optimizer.lr
+        for va, vb in zip(a.threshold_optimizer._velocity, b.threshold_optimizer._velocity):
+            np.testing.assert_array_equal(va, vb)
+
+
+# -- optimizer / scheduler state dicts ----------------------------------------
+
+
+class TestOptimizerState:
+    def _step(self, opt, params, grads):
+        for p, g in zip(params, grads):
+            p.grad = g.copy()
+        opt.step()
+
+    def test_adam_round_trip_continues_identically(self, rng):
+        params_a = [Parameter(rng.normal(size=(4, 3))), Parameter(rng.normal(size=(5,)))]
+        params_b = [Parameter(p.data.copy()) for p in params_a]
+        opt_a = Adam(params_a, lr=1e-2)
+        grads = [rng.normal(size=p.data.shape) for p in params_a]
+        self._step(opt_a, params_a, grads)
+        opt_b = Adam(params_b, lr=0.5)  # different lr, zero moments
+        for p_a, p_b in zip(params_a, params_b):
+            p_b.data[...] = p_a.data
+        opt_b.load_state_dict(opt_a.state_dict())
+        assert opt_b.lr == opt_a.lr and opt_b._t == opt_a._t
+        grads2 = [rng.normal(size=p.data.shape) for p in params_a]
+        self._step(opt_a, params_a, grads2)
+        self._step(opt_b, params_b, grads2)
+        for p_a, p_b in zip(params_a, params_b):
+            np.testing.assert_array_equal(p_a.data, p_b.data)
+
+    def test_sgd_momentum_round_trip(self, rng):
+        params_a = [Parameter(rng.normal(size=(6,)))]
+        params_b = [Parameter(params_a[0].data.copy())]
+        opt_a = SGD(params_a, lr=0.1, momentum=0.9)
+        self._step(opt_a, params_a, [rng.normal(size=(6,))])
+        opt_b = SGD(params_b, lr=0.1, momentum=0.9)
+        params_b[0].data[...] = params_a[0].data
+        opt_b.load_state_dict(opt_a.state_dict())
+        g = rng.normal(size=(6,))
+        self._step(opt_a, params_a, [g])
+        self._step(opt_b, params_b, [g])
+        np.testing.assert_array_equal(params_a[0].data, params_b[0].data)
+
+    def test_state_dict_arrays_are_copies(self, rng):
+        params = [Parameter(rng.normal(size=(3,)))]
+        opt = Adam(params, lr=1e-2)
+        self._step(opt, params, [rng.normal(size=(3,))])
+        state = opt.state_dict()
+        state["m"][0][...] = 123.0
+        assert not np.any(opt._m[0] == 123.0)
+
+    def test_buffer_count_mismatch_rejected(self, rng):
+        opt = Adam([Parameter(rng.normal(size=(3,)))], lr=1e-2)
+        state = opt.state_dict()
+        state["m"] = []
+        with pytest.raises(ConfigurationError):
+            opt.load_state_dict(state)
+
+    def test_buffer_shape_mismatch_rejected(self, rng):
+        opt = SGD([Parameter(rng.normal(size=(3,)))], lr=0.1, momentum=0.5)
+        state = opt.state_dict()
+        state["velocity"] = [np.zeros((7,))]
+        with pytest.raises(ConfigurationError):
+            opt.load_state_dict(state)
+
+    def test_missing_lr_rejected(self, rng):
+        opt = SGD([Parameter(rng.normal(size=(3,)))], lr=0.1)
+        with pytest.raises(ConfigurationError):
+            opt.load_state_dict({"velocity": [np.zeros((3,))]})
+
+    def test_scheduler_round_trip(self, rng):
+        opt = SGD([Parameter(rng.normal(size=(3,)))], lr=0.1)
+        sched = CosineDecayLR(opt, total_epochs=10)
+        for _ in range(4):
+            sched.step()
+        opt2 = SGD([Parameter(rng.normal(size=(3,)))], lr=0.1)
+        sched2 = CosineDecayLR(opt2, total_epochs=10)
+        sched2.load_state_dict(sched.state_dict())
+        opt2.lr = opt.lr
+        assert sched2.step() == sched.step()
+
+    def test_step_decay_scheduler_round_trip(self, rng):
+        opt = SGD([Parameter(rng.normal(size=(3,)))], lr=0.1)
+        sched = StepDecayLR(opt, step_size=2)
+        sched.step(), sched.step()
+        restored = StepDecayLR(SGD([Parameter(rng.normal(size=(3,)))], lr=0.1), step_size=2)
+        restored.load_state_dict(sched.state_dict())
+        assert restored.step() == sched.step()
+
+
+# -- guardrail primitives -----------------------------------------------------
+
+
+class TestGuardrailPrimitives:
+    def test_global_grad_norm(self):
+        a, b = Parameter(np.zeros(3)), Parameter(np.zeros(4))
+        a.grad = np.full(3, 2.0)
+        b.grad = None
+        assert global_grad_norm([a, b]) == pytest.approx(math.sqrt(12.0))
+
+    def test_clip_scales_to_max_norm(self):
+        p = Parameter(np.zeros(4))
+        p.grad = np.full(4, 3.0)
+        norm, clipped = clip_grad_norm([p], max_norm=1.0)
+        assert clipped and norm == pytest.approx(6.0)
+        assert global_grad_norm([p]) == pytest.approx(1.0)
+
+    def test_clip_noop_below_max(self):
+        p = Parameter(np.zeros(2))
+        p.grad = np.array([0.1, 0.1])
+        _, clipped = clip_grad_norm([p], max_norm=10.0)
+        assert not clipped
+        np.testing.assert_array_equal(p.grad, [0.1, 0.1])
+
+    def test_clip_leaves_nonfinite_untouched(self):
+        p = Parameter(np.zeros(2))
+        p.grad = np.array([np.nan, 1.0])
+        _, clipped = clip_grad_norm([p], max_norm=1.0)
+        assert not clipped
+
+    def test_grads_are_finite(self):
+        p = Parameter(np.zeros(2))
+        assert grads_are_finite([p])  # no grad at all
+        p.grad = np.array([1.0, 2.0])
+        assert grads_are_finite([p])
+        p.grad[0] = np.inf
+        assert not grads_are_finite([p])
+
+    def test_monitor_nonfinite_streak_escalates(self):
+        monitor = DivergenceMonitor(patience=3)
+        assert monitor.observe(1.0) == "ok"
+        assert monitor.observe(float("nan")) == "skip"
+        assert monitor.observe(1.0, finite_grads=False) == "skip"
+        assert monitor.observe(float("inf")) == "rollback"
+
+    def test_monitor_healthy_batch_resets_streak(self):
+        monitor = DivergenceMonitor(patience=2)
+        assert monitor.observe(float("nan")) == "skip"
+        assert monitor.observe(1.0) == "ok"
+        assert monitor.observe(float("nan")) == "skip"  # streak restarted
+
+    def test_monitor_spike_detection_after_warmup(self):
+        monitor = DivergenceMonitor(spike_factor=3.0, patience=2, warmup_batches=3)
+        for _ in range(3):
+            assert monitor.observe(1.0) == "ok"
+        assert monitor.observe(10.0) == "skip"
+        assert monitor.observe(10.0) == "rollback"
+
+    def test_monitor_spike_disabled_by_default(self):
+        monitor = DivergenceMonitor()
+        for _ in range(20):
+            assert monitor.observe(1.0) == "ok"
+        assert monitor.observe(1e9) == "ok"
+
+
+# -- the generational checkpoint store ----------------------------------------
+
+
+class TestTrainingCheckpoint:
+    def test_empty_store_is_fresh_start(self, tmp_path, split):
+        store = TrainingCheckpoint(tmp_path / "ck")
+        trainer = Trainer(flightnn_net(split), FL_CONFIG)
+        assert store.restore_latest(trainer) is None
+        assert store.generations() == []
+
+    def test_save_restore_round_trip(self, tmp_path, split):
+        store = TrainingCheckpoint(tmp_path / "ck")
+        config = TrainConfig(epochs=2, batch_size=32, lr=3e-3, seed=3)
+        trainer = Trainer(flightnn_net(split), config)
+        trainer.fit(split, checkpoint=store)
+        assert store.generations() == [1, 2]
+        fresh = Trainer(flightnn_net(split, rng=9), config)
+        assert store.restore_latest(fresh) == 2
+        assert fresh._epoch == 2
+        assert len(fresh.history.epochs) == 2
+        assert_states_equal(trainer, fresh)
+
+    def test_retention_keeps_last_n_plus_best(self, tmp_path, split):
+        store = TrainingCheckpoint(tmp_path / "ck", keep_last=2)
+        trainer = Trainer(flightnn_net(split), FL_CONFIG)
+
+        def fake_epoch(epoch, accuracy):
+            trainer.history.append(EpochStats(
+                epoch=epoch, train_loss=1.0, train_accuracy=0.5,
+                test_accuracy=accuracy, test_top5=1.0, mean_filter_k=1.0,
+                storage_mb=0.1, learning_rate=3e-3,
+            ))
+            trainer._epoch = epoch + 1
+            store.save(trainer)
+
+        fake_epoch(0, 0.9)   # gen 1, best
+        fake_epoch(1, 0.5)   # gen 2
+        fake_epoch(2, 0.6)   # gen 3
+        assert store.generations() == [1, 2, 3]  # best=1 survives keep_last=2
+        fake_epoch(3, 0.4)   # gen 4 -> gen 2 pruned
+        assert store.generations() == [1, 3, 4]
+        assert store.best_generation() == 1
+        assert store.latest_generation() == 4
+
+    def test_failed_write_leaves_store_intact(self, tmp_path, split):
+        fault = FailingWriteFault(fire_on_save=2)
+        store = TrainingCheckpoint(tmp_path / "ck", write_hook=fault)
+        trainer = Trainer(flightnn_net(split), FL_CONFIG)
+        trainer.history.append(EpochStats(0, 1.0, 0.5, 0.5, 1.0, 1.0, 0.1, 3e-3))
+        trainer._epoch = 1
+        store.save(trainer)
+        with pytest.raises(OSError):
+            store.save(trainer)
+        assert fault.fired == 1
+        assert store.generations() == [1]
+        assert not list((tmp_path / "ck").glob("*.tmp.*"))  # no debris
+        fresh = Trainer(flightnn_net(split, rng=5), FL_CONFIG)
+        assert store.restore_latest(fresh) == 1
+
+    def test_scheme_mismatch_rejected(self, tmp_path, split):
+        store = TrainingCheckpoint(tmp_path / "ck")
+        config = TrainConfig(epochs=1, batch_size=32, seed=3)
+        trainer = Trainer(flightnn_net(split), config)
+        trainer.fit(split, checkpoint=store)
+        other = build_network(1, SCHEMES["L-1"], num_classes=split.num_classes,
+                              image_size=split.image_shape[1], width_scale=0.2, rng=0)
+        with pytest.raises(CheckpointError):
+            store.restore(Trainer(other, config), 1)
+
+    def test_all_generations_corrupt_raises(self, tmp_path, split):
+        store = TrainingCheckpoint(tmp_path / "ck")
+        config = TrainConfig(epochs=1, batch_size=32, seed=3)
+        trainer = Trainer(flightnn_net(split), config)
+        trainer.fit(split, checkpoint=store)
+        for payload in (tmp_path / "ck").glob("ckpt-*.npz"):
+            payload.write_bytes(b"garbage")
+        with pytest.raises(CheckpointError):
+            store.restore_latest(Trainer(flightnn_net(split), config))
+
+
+# -- exact resume -------------------------------------------------------------
+
+
+class TestExactResume:
+    def test_crash_resume_is_bitwise_identical(self, tmp_path, split):
+        """Train 4 epochs straight vs crash after 2 + resume: identical runs.
+
+        FLightNN scheme, so the threshold SGD, lambda warmup position and
+        the cosine schedule all have to survive the round trip, alongside
+        weights, Adam moments and the shuffle RNG.
+        """
+        straight = Trainer(flightnn_net(split), FL_CONFIG)
+        straight_history = straight.fit(split)
+
+        store = TrainingCheckpoint(tmp_path / "ck", keep_last=10)
+        crashed = Trainer(flightnn_net(split), FL_CONFIG)
+        crashed.grad_hooks.append(crash_at_step(2 * BATCHES_PER_EPOCH))
+        with pytest.raises(_Crash):
+            crashed.fit(split, checkpoint=store)
+        assert store.generations() == [1, 2]
+
+        resumed = Trainer(flightnn_net(split, rng=8), FL_CONFIG)  # different init
+        resumed_history = resumed.fit(split, checkpoint=store, resume=True)
+        assert resumed._epoch == FL_CONFIG.epochs
+        assert_states_equal(straight, resumed)
+        assert straight_history.epochs == resumed_history.epochs  # incl. tail
+
+    def test_resume_false_ignores_existing_store(self, tmp_path, split):
+        config = TrainConfig(epochs=1, batch_size=32, seed=3)
+        store = TrainingCheckpoint(tmp_path / "ck")
+        Trainer(flightnn_net(split), config).fit(split, checkpoint=store)
+        fresh = Trainer(flightnn_net(split), config)
+        fresh.fit(split, checkpoint=store, resume=False)
+        assert len(fresh.history.epochs) == 1
+        assert store.latest_generation() == 2  # appended, not resumed
+
+    def test_completed_run_resumes_to_noop(self, tmp_path, split):
+        config = TrainConfig(epochs=2, batch_size=32, seed=3)
+        store = TrainingCheckpoint(tmp_path / "ck")
+        first = Trainer(flightnn_net(split), config)
+        first.fit(split, checkpoint=store)
+        again = Trainer(flightnn_net(split, rng=4), config)
+        history = again.fit(split, checkpoint=store, resume=True)
+        assert len(history.epochs) == 2
+        assert_states_equal(first, again)
+
+    def test_torn_write_falls_back_and_resumes_bitwise(self, tmp_path, split):
+        """The acceptance scenario: SIGKILL-style torn write on the newest
+        generation; the loader detects the checksum mismatch, falls back one
+        generation, and the resumed run matches an uninterrupted one."""
+        straight = Trainer(flightnn_net(split), FL_CONFIG)
+        straight_history = straight.fit(split)
+
+        fault = TornWriteFault(fire_on_save=3, keep_fraction=0.5)
+        store = TrainingCheckpoint(tmp_path / "ck", keep_last=10, write_hook=fault)
+        crashed = Trainer(flightnn_net(split), FL_CONFIG)
+        crashed.grad_hooks.append(crash_at_step(3 * BATCHES_PER_EPOCH))
+        with pytest.raises(_Crash):
+            crashed.fit(split, checkpoint=store)
+        assert fault.fired == 1
+        assert store.generations() == [1, 2, 3]  # gen 3 is torn on disk
+
+        clean_store = TrainingCheckpoint(tmp_path / "ck", keep_last=10)
+        with pytest.raises(CheckpointError):  # newest generation is detected bad
+            clean_store.restore(Trainer(flightnn_net(split), FL_CONFIG), 3)
+
+        resumed = Trainer(flightnn_net(split), FL_CONFIG)
+        resumed_history = resumed.fit(split, checkpoint=clean_store, resume=True)
+        assert_states_equal(straight, resumed)
+        assert straight_history.epochs == resumed_history.epochs
+
+
+# -- guardrails in the training loop ------------------------------------------
+
+
+class TestGuardrails:
+    def test_single_nan_batch_is_skipped_and_counted(self, split):
+        config = TrainConfig(epochs=2, batch_size=32, lr=3e-3, seed=3,
+                             guard_patience=5)
+        trainer = Trainer(flightnn_net(split), config)
+        fault = NaNGradientFault(trainer.model.conv_layers()[0].weight, fire_at_step=2)
+        trainer.grad_hooks.append(fault)
+        history = trainer.fit(split)
+        assert fault.fired == 1
+        assert history.epochs[0].nonfinite_batches == 1
+        assert history.epochs[1].nonfinite_batches == 0
+        assert history.rollbacks == 0
+        assert all(math.isfinite(e.train_loss) for e in history.epochs)
+        for p in trainer.model.parameters():
+            assert np.isfinite(p.data).all()
+
+    def test_nan_streak_rolls_back_with_reduced_lr(self, tmp_path, split):
+        """The acceptance scenario: injected NaN gradients trigger rollback +
+        LR reduction, training completes with finite loss, and the event is
+        visible in TrainHistory."""
+        config = TrainConfig(epochs=3, batch_size=32, lr=3e-3, seed=3,
+                             guard_patience=2, rollback_lr_factor=0.5)
+        store = TrainingCheckpoint(tmp_path / "ck")
+        trainer = Trainer(flightnn_net(split), config)
+        fault = NaNGradientFault(
+            trainer.model.conv_layers()[0].weight,
+            fire_at_step=BATCHES_PER_EPOCH + 2, fires=2,
+        )
+        trainer.grad_hooks.append(fault)
+        history = trainer.fit(split, checkpoint=store)
+        assert fault.fired == 2
+        assert len(history.epochs) == config.epochs
+        assert all(math.isfinite(e.train_loss) for e in history.epochs)
+        assert history.rollbacks == 1
+        [event] = [e for e in history.events if e["type"] == "rollback"]
+        assert event["restored_generation"] == 1
+        assert event["epoch"] == 1
+        assert trainer.optimizer.lr == pytest.approx(config.lr * 0.5)
+        assert trainer.threshold_optimizer.lr == pytest.approx(
+            config.lr * config.threshold_lr_scale * 0.5
+        )
+        assert history.as_dict()["events"] == history.events  # surfaced in the record
+
+    def test_rollback_without_checkpoint_still_recovers(self, split):
+        config = TrainConfig(epochs=2, batch_size=32, lr=3e-3, seed=3,
+                             guard_patience=2, rollback_lr_factor=0.5)
+        trainer = Trainer(flightnn_net(split), config)
+        fault = NaNGradientFault(trainer.model.conv_layers()[0].weight,
+                                 fire_at_step=1, fires=2)
+        trainer.grad_hooks.append(fault)
+        history = trainer.fit(split)
+        assert history.rollbacks == 1
+        assert history.events[0]["restored_generation"] is None
+        assert trainer.optimizer.lr == pytest.approx(config.lr * 0.5)
+        assert all(math.isfinite(e.train_loss) for e in history.epochs)
+
+    def test_persistent_divergence_raises_typed_error(self, split):
+        config = TrainConfig(epochs=2, batch_size=32, lr=3e-3, seed=3,
+                             guard_patience=2, max_rollbacks=1)
+        trainer = Trainer(flightnn_net(split), config)
+        # Unbounded budget: the fault never disarms, so the rollback replays
+        # straight into it again and the budget must trip.
+        fault = NaNGradientFault(trainer.model.conv_layers()[0].weight,
+                                 fire_at_step=0, fires=10_000)
+        trainer.grad_hooks.append(fault)
+        with pytest.raises(TrainingDivergedError):
+            trainer.fit(split)
+
+    def test_grad_clipping_counted_and_training_works(self, split):
+        config = TrainConfig(epochs=2, batch_size=32, lr=3e-3, seed=3,
+                             grad_clip_norm=1e-3)
+        trainer = Trainer(flightnn_net(split), config)
+        history = trainer.fit(split)
+        assert sum(e.clipped_batches for e in history.epochs) > 0
+        assert all(math.isfinite(e.train_loss) for e in history.epochs)
+
+    def test_guardrails_do_not_perturb_healthy_training(self, split):
+        """Default guards on vs fully off: identical results on a clean run."""
+        guarded = Trainer(flightnn_net(split), TrainConfig(epochs=2, batch_size=32, seed=3))
+        unguarded_config = TrainConfig(epochs=2, batch_size=32, seed=3,
+                                       guard_nonfinite=False)
+        unguarded = Trainer(flightnn_net(split), unguarded_config)
+        h1 = guarded.fit(split)
+        h2 = unguarded.fit(split)
+        assert h1.epochs == h2.epochs
+        assert_states_equal(guarded, unguarded)
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            TrainConfig(grad_clip_norm=0.0)
+        with pytest.raises(ConfigurationError):
+            TrainConfig(guard_patience=0)
+        with pytest.raises(ConfigurationError):
+            TrainConfig(rollback_lr_factor=0.0)
+        with pytest.raises(ConfigurationError):
+            TrainConfig(max_rollbacks=-1)
+        with pytest.raises(ConfigurationError):
+            TrainConfig(guard_spike_factor=-1.0)
