@@ -1,0 +1,335 @@
+"""Benchmark: eager vs fast-path training throughput (BENCH_train.json).
+
+Measures Algorithm-1 QAT steps/sec for the eager baseline and the training
+fast path (quantizer workspace + buffer arena + prefetch) on the paper's
+net-1 and net-4 configs, with a per-phase breakdown (data, forward,
+backward, quantize, optimizer, proximal) from the trainer's
+:class:`~repro.utils.profiler.PhaseProfiler`, and proves the fast path's
+defining property: a 10-step training run is **bitwise identical** to the
+eager baseline (weights, thresholds, optimizer moments, TrainHistory).
+
+Methodology — different from ``bench_infer.py`` on purpose:
+
+* Every timing sample runs in its **own subprocess**.  The fast path holds
+  its arena buffers (hundreds of MB warm scratch) for the life of the
+  process, which measurably perturbs the allocator behaviour of an eager
+  run timed afterwards *in the same process* (~20% inflation observed on
+  net-1).  In-process interleaving — fine for the engine benchmark — would
+  therefore flatter the fast path here; subprocess isolation gives each
+  variant the allocator state it would see in a real training run.
+* Variants alternate across reps (eager, fast, fast, eager, ...) so slow
+  drifts in machine load hit both sides evenly, and medians are reported.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import statistics
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:  # direct invocation support
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np
+
+SCHEME = "FL_a"
+IMAGE_SIZE = 32
+NUM_CLASSES = 10
+TIMING = {
+    # network id -> (batch, steps per epoch, timed epochs, reps per variant).
+    # Batch sizes are chosen per net so one step does comparable arithmetic
+    # on this host (net-1 is ~8x net-4's work per sample).  The ratio is
+    # batch-sensitive — the arena/workspace savings grow with the working
+    # set — so the sweep below also records smaller batches.
+    1: {"batch": 256, "steps": 3, "epochs": 2, "reps": 3},
+    4: {"batch": 512, "steps": 3, "epochs": 2, "reps": 3},
+}
+SWEEP_BATCHES = {1: (64, 128), 4: (64, 128, 256)}
+PARITY_STEPS = 10  # 2 epochs x 5 batches, the acceptance-criterion run
+
+
+def _dataset(n: int, image_size: int, seed: int = 0):
+    from repro.data.dataset import ArrayDataset
+
+    rng = np.random.default_rng(seed)
+    images = rng.standard_normal((n, 3, image_size, image_size))
+    labels = rng.integers(0, NUM_CLASSES, n)
+    return ArrayDataset(images, labels, NUM_CLASSES)
+
+
+def _trainer(network_id: int, fast: bool, batch: int, image_size: int, epochs: int):
+    from repro.models.registry import build_network
+    from repro.quant.schemes import paper_schemes
+    from repro.train.trainer import TrainConfig, Trainer
+
+    model = build_network(
+        network_id,
+        paper_schemes()[SCHEME],
+        num_classes=NUM_CLASSES,
+        image_size=image_size,
+        width_scale=1.0,
+        rng=0,
+    )
+    config = TrainConfig(epochs=epochs, batch_size=batch, fast_path=fast, seed=0)
+    return Trainer(model, config)
+
+
+# ---------------------------------------------------------------------------
+# worker side: one measurement per process
+# ---------------------------------------------------------------------------
+
+
+def _worker_timing(network_id: int, fast: bool, batch: int, steps: int, epochs: int) -> dict:
+    """Warm up one epoch, then time ``epochs`` epochs of raw training steps."""
+    from repro.data.dataset import DataLoader
+    from repro.data.prefetch import PrefetchLoader
+
+    trainer = _trainer(network_id, fast, batch, IMAGE_SIZE, epochs=1 + epochs)
+    dataset = _dataset(steps * batch, IMAGE_SIZE)
+
+    def run_epoch() -> float:
+        loader = DataLoader(dataset, batch, shuffle=True, rng=trainer._loader_rng)
+        if fast:
+            loader = PrefetchLoader(loader, depth=trainer.config.prefetch_batches)
+        try:
+            start = time.perf_counter()
+            trainer._run_epoch(loader, 0)
+            return (time.perf_counter() - start) / steps * 1000.0
+        finally:
+            if isinstance(loader, PrefetchLoader):
+                loader.close()
+
+    run_epoch()  # warmup: arena/workspace allocation, numpy caches
+    trainer.profiler.reset()
+    ms = [run_epoch() for _ in range(epochs)]
+    total_steps = steps * epochs
+    phases = {
+        name: seconds / total_steps * 1000.0
+        for name, seconds in sorted(trainer.profiler.totals.items())
+    }
+    return {
+        "ms_per_step": statistics.median(ms),
+        "epoch_ms_per_step": [round(v, 3) for v in ms],
+        "phases_ms": phases,
+    }
+
+
+def _digest(parts: list[tuple[str, bytes]]) -> str:
+    h = hashlib.sha256()
+    for name, blob in sorted(parts):
+        h.update(name.encode())
+        h.update(blob)
+    return h.hexdigest()
+
+
+def _worker_parity(network_id: int, fast: bool) -> dict:
+    """Run the acceptance-criterion 10-step fit and digest the full state."""
+    from repro.data.dataset import DataSplit
+
+    batch, image_size = 16, 16
+    trainer = _trainer(network_id, fast, batch, image_size, epochs=2)
+    split = DataSplit(
+        train=_dataset(batch * (PARITY_STEPS // 2), image_size, seed=1),
+        test=_dataset(2 * batch, image_size, seed=2),
+    )
+    history = trainer.fit(split)
+    arrays, meta = trainer.training_state()
+
+    def blob(name: str) -> bytes:
+        arr = np.ascontiguousarray(arrays[name])
+        return arr.dtype.str.encode() + repr(arr.shape).encode() + arr.tobytes()
+
+    groups: dict[str, list[tuple[str, bytes]]] = {
+        "weights": [],
+        "thresholds": [],
+        "optimizer_moments": [],
+    }
+    for name in arrays:
+        if name.startswith("model/"):
+            key = "thresholds" if "threshold" in name else "weights"
+        else:
+            key = "optimizer_moments"
+        groups[key].append((name, blob(name)))
+    digests = {key: _digest(parts) for key, parts in groups.items()}
+    digests["history"] = hashlib.sha256(
+        json.dumps(meta["history"], sort_keys=True).encode()
+    ).hexdigest()
+    digests["loader_rng"] = hashlib.sha256(
+        json.dumps(meta["rng"], sort_keys=True, default=repr).encode()
+    ).hexdigest()
+    return {
+        "digests": digests,
+        "steps": trainer._step,
+        "final_train_loss": history.final.train_loss,
+    }
+
+
+# ---------------------------------------------------------------------------
+# orchestrator side
+# ---------------------------------------------------------------------------
+
+
+def _spawn(worker_args: list[str]) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(REPO_ROOT / "src"), env.get("PYTHONPATH")) if p
+    )
+    proc = subprocess.run(
+        [sys.executable, str(Path(__file__).resolve()), "--worker", *worker_args],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=str(REPO_ROOT),
+        check=False,
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"bench worker failed ({worker_args}):\n{proc.stdout}\n{proc.stderr}"
+        )
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def _time_config(network_id: int, spec: dict, log) -> dict:
+    results: dict[str, list[dict]] = {"eager": [], "fast": []}
+    # eager, fast, fast, eager, ... — balanced against slow machine drift.
+    order: list[str] = []
+    for rep in range(spec["reps"]):
+        pair = ["eager", "fast"] if rep % 2 == 0 else ["fast", "eager"]
+        order.extend(pair)
+    for variant in order:
+        out = _worker_timing_sub(network_id, variant == "fast", spec)
+        results[variant].append(out)
+        log(f"  net-{network_id} {variant}: {out['ms_per_step']:.1f} ms/step")
+    row: dict = {"network_id": network_id, **{k: spec[k] for k in ("batch", "steps", "epochs", "reps")}}
+    for variant, outs in results.items():
+        ms = statistics.median([o["ms_per_step"] for o in outs])
+        phase_keys = sorted({k for o in outs for k in o["phases_ms"]})
+        phases = {
+            k: round(statistics.median([o["phases_ms"].get(k, 0.0) for o in outs]), 3)
+            for k in phase_keys
+        }
+        row[variant] = {
+            "ms_per_step": round(ms, 3),
+            "steps_per_sec": round(1000.0 / ms, 3),
+            "samples": [round(o["ms_per_step"], 1) for o in outs],
+            "phases_ms": phases,
+        }
+    row["speedup"] = round(row["eager"]["ms_per_step"] / row["fast"]["ms_per_step"], 3)
+    return row
+
+
+def _worker_timing_sub(network_id: int, fast: bool, spec: dict) -> dict:
+    return _spawn(
+        [
+            "timing",
+            "--net", str(network_id),
+            "--variant", "fast" if fast else "eager",
+            "--batch", str(spec["batch"]),
+            "--steps", str(spec["steps"]),
+            "--epochs", str(spec["epochs"]),
+        ]
+    )
+
+
+def _parity_row(network_id: int) -> dict:
+    eager = _spawn(["parity", "--net", str(network_id), "--variant", "eager"])
+    fast = _spawn(["parity", "--net", str(network_id), "--variant", "fast"])
+    matches = {
+        key: eager["digests"][key] == fast["digests"][key] for key in eager["digests"]
+    }
+    return {
+        "network_id": network_id,
+        "steps": eager["steps"],
+        "bitwise_identical": all(matches.values()),
+        "matches": matches,
+        "digests": eager["digests"],
+        "final_train_loss": eager["final_train_loss"],
+    }
+
+
+def run_benchmark(smoke: bool = False, log=print) -> dict:
+    """Run the full benchmark; returns the BENCH_train.json payload."""
+    timing = {}
+    for net, spec in TIMING.items():
+        spec = dict(spec)
+        if smoke:
+            spec.update(batch=32, steps=2, epochs=1, reps=1)
+        timing[net] = spec
+    rows = [_time_config(net, spec, log) for net, spec in timing.items()]
+    sweep = []
+    if not smoke:
+        for net, batches in SWEEP_BATCHES.items():
+            for batch in batches:
+                spec = {"batch": batch, "steps": 4, "epochs": 1, "reps": 1}
+                sweep.append(_time_config(net, spec, log))
+    parity = [_parity_row(net) for net in timing]
+    for row in parity:
+        if not row["bitwise_identical"]:
+            raise AssertionError(
+                f"fast path diverged from eager on net-{row['network_id']}: "
+                f"{row['matches']}"
+            )
+        log(f"  net-{row['network_id']} parity: {row['steps']} steps bitwise identical")
+    return {
+        "meta": {
+            "benchmark": "training fast path (quant workspace + arena + prefetch)",
+            "scheme": SCHEME,
+            "image_size": IMAGE_SIZE,
+            "width_scale": 1.0,
+            "smoke": smoke,
+            "methodology": (
+                "each sample in its own subprocess (a warm arena perturbs the "
+                "allocator for later in-process eager runs); variants alternate "
+                "across reps; medians reported; batch per net sized for "
+                "comparable per-step work, with smaller batches in batch_sweep"
+            ),
+            "python": sys.version.split()[0],
+            "numpy": np.__version__,
+        },
+        "timing": rows,
+        "batch_sweep": sweep,
+        "parity": parity,
+    }
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--worker", choices=["timing", "parity"], default=None)
+    parser.add_argument("--net", type=int, default=4)
+    parser.add_argument("--variant", choices=["eager", "fast"], default="eager")
+    parser.add_argument("--batch", type=int, default=64)
+    parser.add_argument("--steps", type=int, default=8)
+    parser.add_argument("--epochs", type=int, default=1)
+    parser.add_argument("--smoke", action="store_true")
+    parser.add_argument(
+        "--out", type=Path, default=REPO_ROOT / "BENCH_train.json"
+    )
+    args = parser.parse_args(argv)
+    if args.worker == "timing":
+        out = _worker_timing(
+            args.net, args.variant == "fast", args.batch, args.steps, args.epochs
+        )
+        print(json.dumps(out))
+        return
+    if args.worker == "parity":
+        print(json.dumps(_worker_parity(args.net, args.variant == "fast")))
+        return
+    result = run_benchmark(smoke=args.smoke)
+    args.out.write_text(json.dumps(result, indent=2) + "\n")
+    for row in result["timing"]:
+        print(
+            f"net-{row['network_id']}: eager {row['eager']['ms_per_step']} ms/step, "
+            f"fast {row['fast']['ms_per_step']} ms/step -> {row['speedup']}x"
+        )
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -7,6 +7,7 @@ channel counts and class counts (see DESIGN.md, substitution table).
 """
 
 from repro.data.dataset import ArrayDataset, DataLoader, DataSplit
+from repro.data.prefetch import PrefetchLoader
 from repro.data.synthetic import SyntheticImageConfig, generate_synthetic_images
 from repro.data.benchmarks import (
     DATASET_BUILDERS,
@@ -22,6 +23,7 @@ __all__ = [
     "ArrayDataset",
     "DataLoader",
     "DataSplit",
+    "PrefetchLoader",
     "SyntheticImageConfig",
     "generate_synthetic_images",
     "make_cifar10_like",

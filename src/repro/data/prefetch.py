@@ -1,0 +1,126 @@
+"""Background-thread batch prefetching for the training fast path.
+
+The eager training loop interleaves batch preparation (shuffle + fancy
+indexing, which copies megabytes per batch) with compute: the model sits
+idle while the next batch materialises.  :class:`PrefetchLoader` moves
+that work onto a single background thread that runs the wrapped loader's
+iterator ahead of the consumer, keeping up to ``depth`` batches queued.
+
+Determinism: the worker thread is the *only* consumer of the wrapped
+loader's iterator, so its shuffle RNG advances in exactly the same order
+as under eager iteration — batch N of epoch E contains the same samples
+bit for bit.  A new epoch's iterator is created only after the previous
+worker has fully stopped, so two workers never interleave draws from the
+shared RNG.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Iterable, Iterator
+
+__all__ = ["PrefetchLoader"]
+
+_DONE = object()
+
+
+class _PrefetchIterator:
+    """One epoch's worth of batches, produced by a background worker."""
+
+    def __init__(self, source: Iterator, depth: int) -> None:
+        self._queue: queue.Queue = queue.Queue(maxsize=depth)
+        self._stop = threading.Event()
+        self._worker = threading.Thread(
+            target=self._run, args=(source,), name="repro-prefetch", daemon=True
+        )
+        self._worker.start()
+
+    def _run(self, source: Iterator) -> None:
+        try:
+            for item in source:
+                while not self._stop.is_set():
+                    try:
+                        self._queue.put(item, timeout=0.1)
+                        break
+                    except queue.Full:
+                        continue
+                if self._stop.is_set():
+                    return
+            self._put_final(_DONE)
+        except BaseException as exc:  # propagate to the consumer
+            self._put_final(exc)
+
+    def _put_final(self, item: object) -> None:
+        while not self._stop.is_set():
+            try:
+                self._queue.put(item, timeout=0.1)
+                return
+            except queue.Full:
+                continue
+
+    def __iter__(self) -> "_PrefetchIterator":
+        return self
+
+    def __next__(self):
+        if self._stop.is_set():
+            raise StopIteration
+        item = self._queue.get()
+        if item is _DONE:
+            self.close()
+            raise StopIteration
+        if isinstance(item, BaseException):
+            self.close()
+            raise item
+        return item
+
+    def close(self) -> None:
+        """Stop the worker and join it (idempotent; safe mid-epoch)."""
+        if self._stop.is_set():
+            return
+        self._stop.set()
+        # Drain so a worker blocked on a full queue sees the stop event.
+        while True:
+            try:
+                self._queue.get_nowait()
+            except queue.Empty:
+                break
+        self._worker.join()
+
+
+class PrefetchLoader:
+    """Wrap a batch iterable so batches are prepared ahead of the consumer.
+
+    Args:
+        loader: Any re-iterable batch source (typically a
+            :class:`~repro.data.dataset.DataLoader`).  Each ``iter()`` of
+            this wrapper starts one epoch of the wrapped loader on a
+            background thread.
+        depth: Maximum number of batches queued ahead of the consumer.
+
+    Yields exactly the batches the wrapped loader would, in the same
+    order.  Starting a new epoch (or dropping out of one early) first
+    shuts down the previous epoch's worker, so the wrapped loader's
+    shuffle RNG stays in lockstep with eager iteration.
+    """
+
+    def __init__(self, loader: Iterable, depth: int = 2) -> None:
+        if depth < 1:
+            raise ValueError(f"prefetch depth must be >= 1, got {depth}")
+        self.loader = loader
+        self.depth = depth
+        self._active: _PrefetchIterator | None = None
+
+    def __len__(self) -> int:
+        return len(self.loader)  # type: ignore[arg-type]
+
+    def __iter__(self) -> Iterator:
+        self.close()
+        self._active = _PrefetchIterator(iter(self.loader), self.depth)
+        return self._active
+
+    def close(self) -> None:
+        """Shut down the active epoch's worker, if any (idempotent)."""
+        if self._active is not None:
+            self._active.close()
+            self._active = None

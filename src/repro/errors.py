@@ -58,6 +58,11 @@ class StalePlanError(ReproError):
     """A compiled plan's cached weights no longer match the source model."""
 
 
+class ParityError(ReproError):
+    """Two execution paths that must agree (e.g. compiled engine vs eager
+    evaluation, fast-path vs eager training) produced different results."""
+
+
 class ServeError(ReproError):
     """Base class for failures in the model-serving layer (:mod:`repro.serve`)."""
 

@@ -1,0 +1,149 @@
+"""Step-scoped scratch-buffer arena for the training fast path.
+
+The eager training step allocates every large intermediate fresh: im2col
+column matrices, padded inputs, col2im gradients, activation outputs.  At
+training batch sizes those arrays are megabytes each, so every allocation
+is an mmap + page-fault walk that can cost several times the arithmetic
+it feeds.  The arena replaces those allocations with reusable buffers:
+
+* :class:`BufferArena` hands out scratch arrays keyed by *request order*
+  within a pass.  Ops request buffers in a deterministic sequence each
+  step (forward order, then backward order), so slot ``i`` always sees the
+  same shape and the buffer allocated on step 1 is reused on every later
+  step via ``out=``-style in-place numpy ops.
+* :func:`use_arena` installs an arena as the *active* one for a block on
+  the current thread and resets its request cursor (one block = one
+  forward+backward pass).  Ops in :mod:`repro.nn.functional` pick it up
+  via :func:`active_arena` and fall back to fresh allocations when none is
+  installed — the eager path is untouched.
+
+Safety rules (why this cannot change results):
+
+* A slot is handed out exactly once per pass, so two live intermediates
+  never alias; buffers written during the forward remain intact for the
+  backward closures that captured them, and are recycled only at the next
+  ``begin_pass`` — after the step's graph is dead.
+* Gradients handed to :meth:`~repro.nn.tensor.Tensor.accumulate_grad` are
+  defensively copied on first accumulation, so arena-owned gradient
+  scratch never leaks into parameter state.
+* Every in-place rewrite the fast path performs (``matmul(..., out=)``,
+  windowed copies into preallocated columns, fused activation updates) is
+  bitwise identical to its eager counterpart — asserted by the parity
+  tests in ``tests/nn/test_arena.py`` and the 10-step training parity
+  proof.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["BufferArena", "use_arena", "active_arena"]
+
+_TLS = threading.local()
+
+
+class BufferArena:
+    """Reusable scratch buffers keyed by request order within a pass.
+
+    Attributes:
+        allocations / reuses: Fresh-allocation vs served-warm counters
+            (the fast-path tests assert reuse actually happens).
+    """
+
+    def __init__(self) -> None:
+        self._slots: dict[tuple, np.ndarray] = {}
+        self._constants: dict[tuple, object] = {}
+        self._cursor = 0
+        self.allocations = 0
+        self.reuses = 0
+
+    def begin_pass(self) -> None:
+        """Start a new forward+backward pass: recycle all slots.
+
+        Callers must guarantee no arrays from previous passes are still
+        live (in this repo: the previous step's graph has been released).
+        """
+        self._cursor = 0
+
+    def take(self, shape: tuple, dtype=np.float64, zero: str = "no") -> np.ndarray:
+        """The next scratch buffer of this pass.
+
+        Args:
+            shape / dtype: Requested buffer geometry.  The slot's buffer is
+                reallocated if the geometry changed since the previous pass
+                (e.g. a smaller final batch), so the shape key keeps both
+                sizes warm across an epoch boundary.
+            zero: ``"no"`` — contents are arbitrary, caller overwrites
+                everything; ``"alloc"`` — zeroed only when freshly
+                allocated (for buffers whose untouched region — e.g. a pad
+                border — is written once and then only re-read);
+                ``"always"`` — zeroed on every request (accumulation
+                targets).
+
+        Returns:
+            A C-contiguous array owned by the arena until the next
+            :meth:`begin_pass`.
+        """
+        key = (self._cursor, tuple(shape), np.dtype(dtype))
+        self._cursor += 1
+        buf = self._slots.get(key)
+        if buf is None:
+            buf = np.zeros(shape, dtype=dtype) if zero != "no" else np.empty(shape, dtype=dtype)
+            self._slots[key] = buf
+            self.allocations += 1
+        else:
+            self.reuses += 1
+            if zero == "always":
+                buf.fill(0.0)
+        return buf
+
+    def cached(self, key: tuple, builder):
+        """A step-invariant constant, built once and kept across passes.
+
+        For data-independent arrays that ops recompute identically every
+        step (e.g. the ``np.indices`` grid a pooling backward scatters
+        through).  Unlike :meth:`take` slots, cached values must never be
+        written to after ``builder`` returns.
+        """
+        value = self._constants.get(key)
+        if value is None:
+            value = builder()
+            self._constants[key] = value
+        return value
+
+    def __repr__(self) -> str:
+        return (
+            f"BufferArena(slots={len(self._slots)}, "
+            f"allocations={self.allocations}, reuses={self.reuses})"
+        )
+
+
+def active_arena() -> "BufferArena | None":
+    """The arena installed by :func:`use_arena` on this thread, if any."""
+    return getattr(_TLS, "arena", None)
+
+
+@contextmanager
+def use_arena(arena: "BufferArena | None") -> Iterator["BufferArena | None"]:
+    """Install ``arena`` for one forward+backward pass on this thread.
+
+    Entering resets the arena's request cursor (``begin_pass``), so every
+    ``with use_arena(...)`` block replays the same slot sequence and gets
+    warm buffers.  ``use_arena(None)`` is a no-op context so callers can
+    pass an optional arena straight through.  Not reentrant with the same
+    arena: a nested block would reset the cursor and alias live slots.
+    """
+    if arena is None:
+        yield None
+        return
+    previous = getattr(_TLS, "arena", None)
+    arena.begin_pass()
+    _TLS.arena = arena
+    try:
+        yield arena
+    finally:
+        _TLS.arena = previous

@@ -14,6 +14,7 @@ import numpy as np
 from numpy.lib.stride_tricks import as_strided
 
 from repro.errors import ShapeError
+from repro.nn.arena import BufferArena, active_arena
 from repro.nn.tensor import Tensor, as_tensor
 
 __all__ = [
@@ -44,15 +45,37 @@ def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
     return out
 
 
-def _im2col(x: np.ndarray, kh: int, kw: int, stride: int, padding: int) -> tuple[np.ndarray, int, int]:
-    """Unfold ``x`` (N,C,H,W) into columns of shape (N, C*kh*kw, OH*OW)."""
+def _im2col(
+    x: np.ndarray,
+    kh: int,
+    kw: int,
+    stride: int,
+    padding: int,
+    arena: BufferArena | None = None,
+) -> tuple[np.ndarray, int, int]:
+    """Unfold ``x`` (N,C,H,W) into columns of shape (N, C*kh*kw, OH*OW).
+
+    With an ``arena`` the padded input and the column matrix land in warm
+    scratch buffers instead of fresh allocations; the element order of the
+    windowed copy is identical either way, so the result is bitwise equal.
+    """
     n, c, h, w = x.shape
     if kh == 1 and kw == 1 and stride == 1 and padding == 0:
         # 1x1/stride-1 convolutions are a pure matmul over the channel axis;
         # the column matrix is just a reshaped view of the input, no copy.
         return x.reshape(n, c, h * w), h, w
     if padding:
-        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+        if arena is None:
+            x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+        else:
+            # Border stays zero from allocation time: only the interior is
+            # ever written, so warm reuse skips re-zeroing (same pattern as
+            # the inference engine's pad buffers).
+            padded = arena.take(
+                (n, c, h + 2 * padding, w + 2 * padding), x.dtype, zero="alloc"
+            )
+            padded[:, :, padding : padding + h, padding : padding + w] = x
+            x = padded
     oh = (h + 2 * padding - kh) // stride + 1
     ow = (w + 2 * padding - kw) // stride + 1
     sn, sc, sh, sw = x.strides
@@ -62,6 +85,10 @@ def _im2col(x: np.ndarray, kh: int, kw: int, stride: int, padding: int) -> tuple
         strides=(sn, sc, sh, sw, sh * stride, sw * stride),
         writeable=False,
     )
+    if arena is not None:
+        cols = arena.take((n, c * kh * kw, oh * ow), x.dtype)
+        cols.reshape(n, c, kh, kw, oh, ow)[...] = windows
+        return cols, oh, ow
     cols = windows.reshape(n, c * kh * kw, oh * ow)
     if not cols.flags["C_CONTIGUOUS"]:
         cols = np.ascontiguousarray(cols)
@@ -77,12 +104,16 @@ def _col2im(
     padding: int,
     oh: int,
     ow: int,
+    arena: BufferArena | None = None,
 ) -> np.ndarray:
     """Fold column gradients back into an input-shaped gradient (adjoint of im2col)."""
     n, c, h, w = x_shape
     if kh == 1 and kw == 1 and stride == 1 and padding == 0:
         return dcols.reshape(n, c, h, w)
-    dx = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=dcols.dtype)
+    if arena is None:
+        dx = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=dcols.dtype)
+    else:
+        dx = arena.take((n, c, h + 2 * padding, w + 2 * padding), dcols.dtype, zero="always")
     d6 = dcols.reshape(n, c, kh, kw, oh, ow)
     if kh == 1 and kw == 1:
         # 1x1 kernels never overlap: a single strided assignment suffices.
@@ -124,9 +155,13 @@ def conv2d(
     if bias is not None and bias.shape != (f,):
         raise ShapeError(f"conv2d bias shape {bias.shape} must be ({f},)")
 
-    cols, oh, ow = _im2col(x.data, kh, kw, stride, padding)
+    arena = active_arena()
+    cols, oh, ow = _im2col(x.data, kh, kw, stride, padding, arena)
     w2 = weight.data.reshape(f, c * kh * kw)
-    out_data = np.matmul(w2, cols)  # (N, F, OH*OW)
+    if arena is None:
+        out_data = np.matmul(w2, cols)  # (N, F, OH*OW)
+    else:
+        out_data = np.matmul(w2, cols, out=arena.take((n, f, oh * ow), cols.dtype))
     if bias is not None:
         out_data = out_data + bias.data[None, :, None]
     out_data = out_data.reshape(n, f, oh, ow)
@@ -135,14 +170,46 @@ def conv2d(
 
     def backward(g: np.ndarray) -> None:
         g2 = g.reshape(n, f, oh * ow)
+        k = c * kh * kw
+        p = oh * ow
         if weight.requires_grad:
-            dw = np.einsum("nfp,nkp->fk", g2, cols, optimize=True)
-            weight.accumulate_grad(dw.reshape(weight.shape))
+            if p >= 64:
+                # Batched GEMM per image then a small (N, F, K) reduction:
+                # dgemm handles the transposed `cols` view via strides, so
+                # this skips einsum's materialized (F, N*P)/(N*P, K)
+                # transpose copies — several times faster at real conv
+                # sizes.  Below ~64 output positions the per-batch GEMM
+                # overhead wins out and einsum's single contraction is
+                # faster.  Both the eager and arena paths share this
+                # branch, so their dw stays bitwise identical.
+                colsT = cols.transpose(0, 2, 1)
+                if arena is None:
+                    per_image = np.matmul(g2, colsT)
+                else:
+                    per_image = np.matmul(
+                        g2, colsT, out=arena.take((n, f, k), g2.dtype)
+                    )
+                dw = per_image.sum(axis=0)
+            else:
+                dw = np.einsum("nfp,nkp->fk", g2, cols, optimize=True)
+            dw = dw.reshape(weight.shape)
+            if arena is not None and not dw.flags.c_contiguous:
+                # einsum may hand back an F-ordered result whose reshape is a
+                # strided view; adopting it would give downstream reductions
+                # (the threshold-gradient sweep) a different summation order
+                # than the eager path's C-contiguous grad copy.  Normalise the
+                # layout so both paths reduce in the same order, bit for bit.
+                dw = np.ascontiguousarray(dw)
+            weight.accumulate_grad(dw, own=arena is not None)
         if bias is not None and bias.requires_grad:
-            bias.accumulate_grad(g2.sum(axis=(0, 2)))
+            bias.accumulate_grad(g2.sum(axis=(0, 2)), own=arena is not None)
         if x.requires_grad:
-            dcols = np.matmul(w2.T, g2)  # (N, K, OH*OW)
-            x.accumulate_grad(_col2im(dcols, x.shape, kh, kw, stride, padding, oh, ow))
+            if arena is None:
+                dcols = np.matmul(w2.T, g2)  # (N, K, OH*OW)
+            else:
+                dcols = np.matmul(w2.T, g2, out=arena.take((n, k, p), g2.dtype))
+            dx = _col2im(dcols, x.shape, kh, kw, stride, padding, oh, ow, arena)
+            x.accumulate_grad(dx, own=arena is not None)
 
     return Tensor.from_op(out_data, parents, backward)
 
@@ -154,21 +221,68 @@ def max_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
     oh = conv_output_size(h, kernel, stride, 0)
     ow = conv_output_size(w, kernel, stride, 0)
     sn, sc, sh, sw = x.data.strides
-    windows = as_strided(
+    windows6 = as_strided(
         x.data,
         shape=(n, c, oh, ow, kernel, kernel),
         strides=(sn, sc, sh * stride, sw * stride, sh, sw),
         writeable=False,
-    ).reshape(n, c, oh, ow, kernel * kernel)
-    flat_arg = windows.argmax(axis=-1)
+    )
+    arena = active_arena()
+    if arena is None:
+        windows = windows6.reshape(n, c, oh, ow, kernel * kernel)
+        flat_arg = windows.argmax(axis=-1)
+    else:
+        # Same windowed copy + argmax, but into warm scratch.  A copy
+        # preserves bits by definition, and argmax is pure integer output.
+        windows = arena.take((n, c, oh, ow, kernel * kernel), x.data.dtype)
+        windows.reshape(n, c, oh, ow, kernel, kernel)[...] = windows6
+        flat_arg = np.argmax(
+            windows, axis=-1, out=arena.take((n, c, oh, ow), np.intp)
+        )
     out_data = np.take_along_axis(windows, flat_arg[..., None], axis=-1)[..., 0]
 
     def backward(g: np.ndarray) -> None:
-        dx = np.zeros_like(x.data)
-        ki, kj = np.unravel_index(flat_arg, (kernel, kernel))
-        ni, ci, ohi, owi = np.indices(flat_arg.shape)
-        np.add.at(dx, (ni, ci, ohi * stride + ki, owi * stride + kj), g)
-        x.accumulate_grad(dx)
+        if arena is None:
+            dx = np.zeros_like(x.data)
+            ki, kj = np.unravel_index(flat_arg, (kernel, kernel))
+            ni, ci, ohi, owi = np.indices(flat_arg.shape)
+            target = (ni, ci, ohi * stride + ki, owi * stride + kj)
+            np.add.at(dx, target, g)
+            x.accumulate_grad(dx)
+            return
+        dx = arena.take(x.data.shape, x.data.dtype, zero="always")
+        # The batch/channel/window index grids are data-independent, so they
+        # are built once and reused every step; only the argmax offsets
+        # (integer divmod — exact) are recomputed.  Integer arithmetic has a
+        # single representable result, so the scatter targets match the
+        # eager unravel_index/np.indices construction exactly.
+        shape = flat_arg.shape
+        ni, ci, rows_base, cols_base = arena.cached(
+            ("pool_grids", shape, stride),
+            lambda: (
+                np.indices(shape)[0],
+                np.indices(shape)[1],
+                np.indices(shape)[2] * stride,
+                np.indices(shape)[3] * stride,
+            ),
+        )
+        ki = arena.take(shape, flat_arg.dtype)
+        kj = arena.take(shape, flat_arg.dtype)
+        np.floor_divide(flat_arg, kernel, out=ki)
+        np.remainder(flat_arg, kernel, out=kj)
+        ki += rows_base
+        kj += cols_base
+        target = (ni, ci, ki, kj)
+        if stride >= kernel:
+            # Non-overlapping windows scatter to unique cells, so direct
+            # assignment replaces the much slower np.add.at.  ``g + 0.0``
+            # keeps bitwise parity with ``0 + g`` at signed zeros.
+            g_norm = arena.take(g.shape, g.dtype)
+            np.add(g, 0.0, out=g_norm)
+            dx[target] = g_norm
+        else:
+            np.add.at(dx, target, g)
+        x.accumulate_grad(dx, own=True)
 
     return Tensor.from_op(out_data, (x,), backward)
 
@@ -189,12 +303,34 @@ def avg_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
     out_data = windows.mean(axis=(-2, -1))
     scale = 1.0 / (kernel * kernel)
 
+    arena = active_arena()
+
     def backward(g: np.ndarray) -> None:
-        dx = np.zeros_like(x.data)
+        if arena is None:
+            dx = np.zeros_like(x.data)
+            g_scaled = g * scale
+        elif stride >= kernel and h == oh * kernel and w == ow * kernel:
+            # Disjoint windows tiling the whole input: every cell receives
+            # exactly one ``0 + g_scaled`` add, so one broadcast copy of the
+            # ``+ 0.0``-normalized gradient replaces kernel^2 strided adds
+            # (the dominant cost for the global average pool).
+            g_scaled = arena.take(g.shape, g.dtype)
+            np.multiply(g, scale, out=g_scaled)
+            np.add(g_scaled, 0.0, out=g_scaled)
+            dx = arena.take(x.data.shape, x.data.dtype)
+            dx.reshape(n, c, oh, kernel, ow, kernel)[...] = g_scaled[
+                :, :, :, None, :, None
+            ]
+            x.accumulate_grad(dx, own=True)
+            return
+        else:
+            dx = arena.take(x.data.shape, x.data.dtype, zero="always")
+            g_scaled = arena.take(g.shape, g.dtype)
+            np.multiply(g, scale, out=g_scaled)
         for i in range(kernel):
             for j in range(kernel):
-                dx[:, :, i : i + oh * stride : stride, j : j + ow * stride : stride] += g * scale
-        x.accumulate_grad(dx)
+                dx[:, :, i : i + oh * stride : stride, j : j + ow * stride : stride] += g_scaled
+        x.accumulate_grad(dx, own=arena is not None)
 
     return Tensor.from_op(out_data, (x,), backward)
 
@@ -218,23 +354,72 @@ def pad2d(x: Tensor, padding: int) -> Tensor:
 
 def relu(x: Tensor) -> Tensor:
     """Rectified linear unit."""
-    mask = x.data > 0
+    arena = active_arena()
+    if arena is None:
+        mask = x.data > 0
+        out_data = x.data * mask
+    else:
+        # Multiply-by-mask (NOT np.maximum) so x < 0 yields -0.0 exactly as
+        # the eager ``x * mask`` does — maximum would normalize it to +0.0
+        # and break bitwise parity.
+        mask = arena.take(x.data.shape, np.bool_)
+        np.greater(x.data, 0, out=mask)
+        out_data = arena.take(x.data.shape, x.data.dtype)
+        np.multiply(x.data, mask, out=out_data)
 
     def backward(g: np.ndarray) -> None:
-        x.accumulate_grad(g * mask)
+        if arena is None:
+            x.accumulate_grad(g * mask)
+        else:
+            db = arena.take(g.shape, g.dtype)
+            np.multiply(g, mask, out=db)
+            x.accumulate_grad(db, own=True)
 
-    return Tensor.from_op(x.data * mask, (x,), backward)
+    return Tensor.from_op(out_data, (x,), backward)
 
 
 def leaky_relu(x: Tensor, negative_slope: float = 0.01) -> Tensor:
     """Leaky ReLU, the activation used by every network in the paper."""
-    positive = x.data > 0
-    scale = np.where(positive, 1.0, negative_slope)
+    arena = active_arena()
+    # The fast path leans on two float facts, checked here (not assumed):
+    # max(x, slope*x) picks the same bits as x*where(x>0, 1, slope) only
+    # for 0 <= slope <= 1, and the backward's scale construction
+    # p*(1-slope)+slope hits exactly 1.0 only when that scalar identity
+    # holds for this slope.
+    exact = 0.0 <= negative_slope <= 1.0 and (1.0 - negative_slope) + negative_slope == 1.0
+    if arena is None or not exact:
+        positive = x.data > 0
+        scale = np.where(positive, 1.0, negative_slope)
+
+        def backward(g: np.ndarray) -> None:
+            x.accumulate_grad(g * scale)
+
+        return Tensor.from_op(x.data * scale, (x,), backward)
+
+    # Fast forward: max(x, slope*x).  The winning operand is returned
+    # unchanged, ties at +/-0.0 resolve to x's bits (slope*x has the same
+    # sign), so the result is bitwise equal to the eager x*scale.  Masked
+    # ops (np.where / copyto(where=)) are 5-8x slower than plain ufuncs
+    # here, hence the arithmetic construction.
+    positive = arena.take(x.data.shape, np.bool_)
+    np.greater(x.data, 0, out=positive)
+    out_data = arena.take(x.data.shape, x.data.dtype)
+    np.multiply(x.data, negative_slope, out=out_data)
+    np.maximum(x.data, out_data, out=out_data)
 
     def backward(g: np.ndarray) -> None:
-        x.accumulate_grad(g * scale)
+        # scale = positive * (1-slope) + slope is exactly {1.0, slope}
+        # (the `exact` check above), i.e. bitwise np.where(p, 1.0, slope);
+        # g * scale then matches the eager product including inf/NaN
+        # gradients, which a bool-mask blend would corrupt (inf * 0).
+        scale = arena.take(g.shape, g.dtype)
+        np.multiply(positive, 1.0 - negative_slope, out=scale)
+        scale += negative_slope
+        db = arena.take(g.shape, g.dtype)
+        np.multiply(g, scale, out=db)
+        x.accumulate_grad(db, own=True)
 
-    return Tensor.from_op(x.data * scale, (x,), backward)
+    return Tensor.from_op(out_data, (x,), backward)
 
 
 def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:

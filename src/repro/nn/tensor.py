@@ -126,11 +126,20 @@ class Tensor:
             out._backward = backward
         return out
 
-    def accumulate_grad(self, grad: np.ndarray) -> None:
-        """Add ``grad`` into this tensor's gradient buffer (broadcast-aware)."""
+    def accumulate_grad(self, grad: np.ndarray, own: bool = False) -> None:
+        """Add ``grad`` into this tensor's gradient buffer (broadcast-aware).
+
+        Args:
+            grad: Gradient contribution (broadcast against this tensor).
+            own: The caller guarantees it will not read ``grad`` again, so a
+                first accumulation may keep the array instead of copying it.
+                The training fast path hands over step-scoped scratch this
+                way; the values are identical either way, so bitwise parity
+                with the copying path is trivial.
+        """
         grad = _unbroadcast(np.asarray(grad, dtype=self.data.dtype), self.data.shape)
         if self.grad is None:
-            self.grad = grad.copy()
+            self.grad = grad if own else grad.copy()
         else:
             self.grad += grad
 

@@ -21,7 +21,8 @@ from repro.quant.power_of_two import (
     round_power_of_two,
 )
 from repro.quant.fixed_point import FixedPointFormat, best_frac_bits, quantize_fixed_point
-from repro.quant.ste import ste_apply, ste_clipped_apply
+from repro.quant.ste import ste_apply, ste_clipped_apply, threshold_grad_sweep
+from repro.quant.workspace import QuantWorkspace, array_fingerprint
 from repro.quant.lightnn import LightNNConfig, LightNNQuantizer
 from repro.quant.flightnn import FLightNNConfig, FLightNNQuantizer, FLightNNState
 from repro.quant.activations import (
@@ -69,6 +70,9 @@ __all__ = [
     "best_frac_bits",
     "ste_apply",
     "ste_clipped_apply",
+    "threshold_grad_sweep",
+    "QuantWorkspace",
+    "array_fingerprint",
     "LightNNConfig",
     "LightNNQuantizer",
     "FLightNNConfig",

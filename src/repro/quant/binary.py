@@ -67,7 +67,7 @@ class BinaryWeights(WeightQuantStrategy):
     def __init__(self, config: BinaryConnectConfig | None = None) -> None:
         self.config = config or BinaryConnectConfig()
 
-    def apply(self, weight: Tensor, thresholds: Tensor | None) -> Tensor:
+    def apply(self, weight: Tensor, thresholds: Tensor | None, workspace=None) -> Tensor:
         cfg = self.config
         return ste_clipped_apply(
             weight, lambda data: binarize(data, cfg), low=-cfg.clip, high=cfg.clip

@@ -66,7 +66,7 @@ class DoReFaWeights(WeightQuantStrategy):
     def __init__(self, config: DoReFaConfig | None = None) -> None:
         self.config = config or DoReFaConfig()
 
-    def apply(self, weight: Tensor, thresholds: Tensor | None) -> Tensor:
+    def apply(self, weight: Tensor, thresholds: Tensor | None, workspace=None) -> Tensor:
         cfg = self.config
         return ste_apply(weight, lambda data: dorefa_quantize(data, cfg))
 

@@ -34,12 +34,18 @@ representable power of two vanish.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.errors import QuantizationError, ShapeError
 from repro.nn.tensor import Tensor, _stable_sigmoid
 from repro.quant.power_of_two import PowerOfTwoConfig, round_power_of_two
+from repro.quant.ste import threshold_grad_sweep
+from repro.utils.profiler import profile_phase
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.quant.workspace import QuantWorkspace
 
 __all__ = ["FLightNNConfig", "FLightNNQuantizer", "FLightNNState"]
 
@@ -141,21 +147,22 @@ class FLightNNQuantizer:
         f = flat.shape[0]
         k_max = self.config.k_max
 
-        residuals: list[np.ndarray] = []
-        rounded: list[np.ndarray] = []
-        norms = np.zeros((k_max, f))
-        gates = np.zeros((k_max, f), dtype=bool)
-        q = np.zeros_like(flat)
-        r = flat.copy()
-        for j in range(k_max):
-            residuals.append(r)
-            norms[j] = self.filter_norm(r)
-            gates[j] = norms[j] > thresholds[j]
-            r_j = round_power_of_two(r, self.config.pow2)
-            rounded.append(r_j)
-            gate_col = gates[j][:, None]
-            q = q + gate_col * r_j
-            r = r - gate_col * r_j
+        with profile_phase("quantize"):
+            residuals: list[np.ndarray] = []
+            rounded: list[np.ndarray] = []
+            norms = np.zeros((k_max, f))
+            gates = np.zeros((k_max, f), dtype=bool)
+            q = np.zeros_like(flat)
+            r = flat.copy()
+            for j in range(k_max):
+                residuals.append(r)
+                norms[j] = self.filter_norm(r)
+                gates[j] = norms[j] > thresholds[j]
+                r_j = round_power_of_two(r, self.config.pow2)
+                rounded.append(r_j)
+                gate_col = gates[j][:, None]
+                q = q + gate_col * r_j
+                r = r - gate_col * r_j
         return FLightNNState(
             residuals=residuals,
             rounded=rounded,
@@ -164,16 +171,59 @@ class FLightNNQuantizer:
             quantized=q.reshape(np.asarray(w).shape),
         )
 
+    def residual_at_level(self, w: np.ndarray, thresholds: np.ndarray, level: int) -> np.ndarray:
+        """The flattened residual entering quantization level ``level``.
+
+        Runs only the first ``level`` rounding passes of the recursion —
+        level 0 is the raw filter matrix, free of any rounding — producing
+        an array bitwise identical to ``quantize(w, t).residuals[level]``
+        at a fraction of the cost.  The proximal regularizer uses this:
+        each of its per-level shrink steps needs exactly one residual, not
+        the whole decomposition.
+        """
+        thresholds = np.asarray(thresholds, dtype=np.float64)
+        if thresholds.shape != (self.config.k_max,):
+            raise ShapeError(
+                f"thresholds shape {thresholds.shape} != (k_max,) = ({self.config.k_max},)"
+            )
+        if not 0 <= level < self.config.k_max:
+            raise QuantizationError(
+                f"level must be in [0, k_max) = [0, {self.config.k_max}), got {level}"
+            )
+        flat = self._filter_matrix(np.asarray(w, dtype=np.float64))
+        with profile_phase("quantize"):
+            r = flat.copy()
+            for j in range(level):
+                s = self.filter_norm(r)
+                gate_col = (s > thresholds[j])[:, None]
+                r_j = round_power_of_two(r, self.config.pow2)
+                r = r - gate_col * r_j
+        return r
+
     # -- autograd integration -----------------------------------------------------
 
-    def apply(self, weight: Tensor, thresholds: Tensor) -> Tensor:
+    def apply(
+        self,
+        weight: Tensor,
+        thresholds: Tensor,
+        workspace: "QuantWorkspace | None" = None,
+    ) -> Tensor:
         """Differentiable quantization: returns ``Q_k(w | t)`` as a graph node.
 
         Backward implements the paper's Sec. 4.2 gradients: STE for the
-        weights and the sigmoid-relaxed recursion for the thresholds.
+        weights and the sigmoid-relaxed recursion for the thresholds
+        (:func:`~repro.quant.ste.threshold_grad_sweep`).
+
+        Args:
+            workspace: Optional :class:`~repro.quant.workspace.QuantWorkspace`
+                serving the (cached) quantization state, so the decomposition
+                is shared with every other consumer in the same step.
         """
-        state = self.quantize(weight.data, thresholds.data)
-        f, k_max = state.gates.shape[1], self.config.k_max
+        if workspace is not None:
+            state = workspace.state(weight, thresholds)
+        else:
+            state = self.quantize(weight.data, thresholds.data)
+        f = state.gates.shape[1]
         d = state.residuals[0].shape[1]
         norm_scale = 1.0 / np.sqrt(d) if self.config.norm_per_element else 1.0
 
@@ -182,55 +232,59 @@ class FLightNNQuantizer:
                 weight.accumulate_grad(g)  # straight-through estimator
             if not thresholds.requires_grad:
                 return
-            g_flat = g.reshape(f, d)
-            # Reverse-mode sweep through the level recursion with the hard
-            # indicators relaxed to sigma(s_j - t_j).
-            grad_q = g_flat  # dL/d(q_j) — constant across levels
-            grad_r = np.zeros_like(g_flat)  # dL/d(r_j), accumulated backwards
-            grad_t = np.zeros(k_max)
-            tau = self.config.sigmoid_temperature
-            for j in reversed(range(k_max)):
-                r_j = state.residuals[j]
-                rounded_j = state.rounded[j]
-                s_j = state.norms[j]
-                sig = _stable_sigmoid((s_j - thresholds.data[j]) / tau)
-                sig_prime = sig * (1.0 - sig) / tau
-                # dL/d(gate_j), via q_{j+1} = q_j + gate*R and r_{j+1} = r_j - gate*R.
-                d_gate = ((grad_q - grad_r) * rounded_j).sum(axis=1)
-                d_s = d_gate * sig_prime
-                grad_t[j] = -d_s.sum()
-                # dL/dR_j: gate weighting uses the relaxed sigma value.
-                d_rounded = sig[:, None] * (grad_q - grad_r)
-                # dL/dr_j: STE through R plus the norm path s_j = ||r_j|| * scale.
-                safe_s = np.where(s_j > 0, s_j, 1.0)
-                d_norm_dir = (r_j / safe_s[:, None]) * norm_scale
-                d_norm_dir[s_j == 0] = 0.0
-                grad_r = grad_r + d_rounded + d_s[:, None] * d_norm_dir
+            grad_t = threshold_grad_sweep(
+                state.residuals,
+                state.rounded,
+                state.norms,
+                thresholds.data,
+                g.reshape(f, d),
+                self.config.sigmoid_temperature,
+                norm_scale,
+            )
             thresholds.accumulate_grad(grad_t)
 
         return Tensor.from_op(state.quantized, (weight, thresholds), backward)
 
     # -- reporting ------------------------------------------------------------------
 
-    def filter_k(self, w: np.ndarray, thresholds: np.ndarray) -> np.ndarray:
+    def filter_k(
+        self,
+        w: np.ndarray,
+        thresholds: np.ndarray,
+        state: FLightNNState | None = None,
+    ) -> np.ndarray:
         """Effective shift count per filter (see module docstring).
+
+        Args:
+            state: Optional precomputed quantization pass for ``(w, t)``
+                (e.g. from a :class:`~repro.quant.workspace.QuantWorkspace`);
+                avoids re-running the recursion.
 
         Returns:
             Integer array of shape (F,) with values in ``[0, k_max]``.
         """
-        state = self.quantize(w, thresholds)
+        if state is None:
+            state = self.quantize(w, thresholds)
         nonzero = np.array([(r != 0).any(axis=1) for r in state.rounded])  # (k_max, F)
         return (state.gates & nonzero).sum(axis=0).astype(int)
 
-    def residual_norms(self, w: np.ndarray, thresholds: np.ndarray) -> np.ndarray:
+    def residual_norms(
+        self,
+        w: np.ndarray,
+        thresholds: np.ndarray,
+        state: FLightNNState | None = None,
+    ) -> np.ndarray:
         """Per-level, per-filter residual norms ``s_{i,j}``; shape (k_max, F)."""
-        return self.quantize(w, thresholds).norms
+        if state is None:
+            state = self.quantize(w, thresholds)
+        return state.norms
 
     def gate_pressure_gradient(
         self,
         w: np.ndarray,
         thresholds: np.ndarray,
         lambdas: np.ndarray,
+        state: FLightNNState | None = None,
     ) -> np.ndarray:
         """Threshold gradient of the relaxed gate-count penalty.
 
@@ -255,7 +309,9 @@ class FLightNNQuantizer:
             raise ShapeError(
                 f"lambdas shape {lambdas.shape} != (k_max,) = ({self.config.k_max},)"
             )
-        norms = self.quantize(w, thresholds).norms  # (k_max, F)
+        if state is None:
+            state = self.quantize(w, thresholds)
+        norms = state.norms  # (k_max, F)
         tau = self.config.sigmoid_temperature
         sig = _stable_sigmoid((norms - np.asarray(thresholds, dtype=np.float64)[:, None]) / tau)
         sig_prime = sig * (1.0 - sig) / tau

@@ -13,6 +13,8 @@ FLightNN.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.errors import ConfigurationError
@@ -24,6 +26,10 @@ from repro.quant.fixed_point import FixedPointFormat, quantize_fixed_point
 from repro.quant.flightnn import FLightNNConfig, FLightNNQuantizer
 from repro.quant.lightnn import LightNNConfig, LightNNQuantizer
 from repro.quant.ste import ste_clipped_apply
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.quant.flightnn import FLightNNState
+    from repro.quant.workspace import QuantWorkspace
 
 __all__ = [
     "WeightQuantStrategy",
@@ -47,8 +53,18 @@ class WeightQuantStrategy:
 
     needs_thresholds: bool = False
 
-    def apply(self, weight: Tensor, thresholds: Tensor | None) -> Tensor:
-        """Quantize ``weight`` as an autograd op."""
+    def apply(
+        self,
+        weight: Tensor,
+        thresholds: Tensor | None,
+        workspace: "QuantWorkspace | None" = None,
+    ) -> Tensor:
+        """Quantize ``weight`` as an autograd op.
+
+        Args:
+            workspace: Optional shared quantization-state cache; strategies
+                without per-step shared state ignore it.
+        """
         raise NotImplementedError
 
     def quantize_array(self, w: np.ndarray, t: np.ndarray | None) -> np.ndarray:
@@ -72,7 +88,12 @@ class WeightQuantStrategy:
 class FullPrecisionWeights(WeightQuantStrategy):
     """Identity strategy: 32-bit floating-point weights."""
 
-    def apply(self, weight: Tensor, thresholds: Tensor | None) -> Tensor:
+    def apply(
+        self,
+        weight: Tensor,
+        thresholds: Tensor | None,
+        workspace: "QuantWorkspace | None" = None,
+    ) -> Tensor:
         return weight
 
     def quantize_array(self, w: np.ndarray, t: np.ndarray | None) -> np.ndarray:
@@ -93,7 +114,12 @@ class FixedPointWeights(WeightQuantStrategy):
         # for batch-normalised conv weights.
         self.fmt = fmt or FixedPointFormat(bits=4, frac_bits=3)
 
-    def apply(self, weight: Tensor, thresholds: Tensor | None) -> Tensor:
+    def apply(
+        self,
+        weight: Tensor,
+        thresholds: Tensor | None,
+        workspace: "QuantWorkspace | None" = None,
+    ) -> Tensor:
         fmt = self.fmt
         return ste_clipped_apply(
             weight,
@@ -118,7 +144,12 @@ class LightNNWeights(WeightQuantStrategy):
     def __init__(self, config: LightNNConfig | None = None) -> None:
         self.quantizer = LightNNQuantizer(config)
 
-    def apply(self, weight: Tensor, thresholds: Tensor | None) -> Tensor:
+    def apply(
+        self,
+        weight: Tensor,
+        thresholds: Tensor | None,
+        workspace: "QuantWorkspace | None" = None,
+    ) -> Tensor:
         return self.quantizer.apply(weight)
 
     def quantize_array(self, w: np.ndarray, t: np.ndarray | None) -> np.ndarray:
@@ -140,24 +171,39 @@ class FLightNNWeights(WeightQuantStrategy):
     def __init__(self, config: FLightNNConfig | None = None) -> None:
         self.quantizer = FLightNNQuantizer(config)
 
-    def apply(self, weight: Tensor, thresholds: Tensor | None) -> Tensor:
+    def apply(
+        self,
+        weight: Tensor,
+        thresholds: Tensor | None,
+        workspace: "QuantWorkspace | None" = None,
+    ) -> Tensor:
         if thresholds is None:
             raise ConfigurationError("FLightNNWeights requires a thresholds tensor")
-        return self.quantizer.apply(weight, thresholds)
+        return self.quantizer.apply(weight, thresholds, workspace=workspace)
 
     def quantize_array(self, w: np.ndarray, t: np.ndarray | None) -> np.ndarray:
         if t is None:
             raise ConfigurationError("FLightNNWeights requires thresholds")
         return self.quantizer.quantize(w, t).quantized
 
-    def filter_k(self, w: np.ndarray, t: np.ndarray | None) -> np.ndarray:
+    def filter_k(
+        self,
+        w: np.ndarray,
+        t: np.ndarray | None,
+        state: "FLightNNState | None" = None,
+    ) -> np.ndarray:
         if t is None:
             raise ConfigurationError("FLightNNWeights requires thresholds")
-        return self.quantizer.filter_k(w, t)
+        return self.quantizer.filter_k(w, t, state=state)
 
-    def bits_per_weight(self, w: np.ndarray, t: np.ndarray | None) -> np.ndarray:
+    def bits_per_weight(
+        self,
+        w: np.ndarray,
+        t: np.ndarray | None,
+        state: "FLightNNState | None" = None,
+    ) -> np.ndarray:
         per_term = self.quantizer.config.pow2.bits_per_term
-        return self.filter_k(w, t).astype(float) * per_term
+        return self.filter_k(w, t, state=state).astype(float) * per_term
 
 
 class QuantizedLayer(Module):
@@ -183,6 +229,18 @@ class QuantizedLayer(Module):
         super().__init__()
         self._qcache_key: tuple[int, int] | None = None
         self._qcache_value: np.ndarray | None = None
+        #: Optional per-layer :class:`~repro.quant.workspace.QuantWorkspace`
+        #: (training fast path).  When set — only meaningful for FLightNN
+        #: strategies — the forward pass, gradient sweeps, regularizers and
+        #: reporting methods all share one cached quantization pass per
+        #: (weight, thresholds) state.
+        self.quant_workspace: "QuantWorkspace | None" = None
+
+    def _workspace_state(self) -> "FLightNNState | None":
+        """Current shared quantization state, when a workspace is attached."""
+        if self.quant_workspace is None or self.thresholds is None:
+            return None
+        return self.quant_workspace.state(self.weight, self.thresholds)
 
     def weight_cache_key(self) -> tuple[int, int]:
         """Version pair identifying the current (weight, thresholds) state."""
@@ -202,7 +260,14 @@ class QuantizedLayer(Module):
             return self.strategy.quantize_array(self.weight.data, t)
         key = self.weight_cache_key()
         if self._qcache_value is None or self._qcache_key != key:
-            self._qcache_value = self.strategy.quantize_array(self.weight.data, t)
+            state = self._workspace_state()
+            if state is not None:
+                # The workspace already holds Q_k(w | t) for this exact
+                # (weight, thresholds) state — e.g. from the training
+                # forward pass — so the engine refresh reuses it for free.
+                self._qcache_value = state.quantized
+            else:
+                self._qcache_value = self.strategy.quantize_array(self.weight.data, t)
             self._qcache_key = key
         return self._qcache_value
 
@@ -210,15 +275,23 @@ class QuantizedLayer(Module):
         """Drop the cached quantized weights (forces re-quantization)."""
         self._qcache_key = None
         self._qcache_value = None
+        if self.quant_workspace is not None:
+            self.quant_workspace.invalidate()
 
     def filter_k(self) -> np.ndarray:
         """Shift terms per filter (axis-0 slice) under the current strategy."""
         t = None if self.thresholds is None else self.thresholds.data
+        state = self._workspace_state()
+        if state is not None:
+            return self.strategy.filter_k(self.weight.data, t, state=state)
         return self.strategy.filter_k(self.weight.data, t)
 
     def bits_per_weight(self) -> np.ndarray:
         """Per-filter storage cost in bits per weight."""
         t = None if self.thresholds is None else self.thresholds.data
+        state = self._workspace_state()
+        if state is not None:
+            return self.strategy.bits_per_weight(self.weight.data, t, state=state)
         return self.strategy.bits_per_weight(self.weight.data, t)
 
 
@@ -265,7 +338,7 @@ class QConv2d(QuantizedLayer):
 
     def forward(self, x: Tensor) -> Tensor:
         self.last_input_hw = (x.shape[2], x.shape[3])
-        wq = self.strategy.apply(self.weight, self.thresholds)
+        wq = self.strategy.apply(self.weight, self.thresholds, workspace=self.quant_workspace)
         return F.conv2d(x, wq, stride=self.stride, padding=self.padding)
 
     def output_spatial(self, height: int, width: int) -> tuple[int, int]:
@@ -314,7 +387,7 @@ class QLinear(QuantizedLayer):
             self.thresholds = None
 
     def forward(self, x: Tensor) -> Tensor:
-        wq = self.strategy.apply(self.weight, self.thresholds)
+        wq = self.strategy.apply(self.weight, self.thresholds, workspace=self.quant_workspace)
         return F.linear(x, wq, self.bias)
 
     def __repr__(self) -> str:

@@ -17,13 +17,16 @@ nearest point representable with ``j`` shifts — the behaviour Fig. 4 plots.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.nn.tensor import Tensor
 from repro.quant.flightnn import FLightNNQuantizer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.quant.workspace import QuantWorkspace
 
 __all__ = ["residual_group_lasso", "regularization_curve", "proximal_residual_shrink"]
 
@@ -33,6 +36,7 @@ def residual_group_lasso(
     thresholds: Tensor,
     lambdas: Sequence[float],
     quantizer: FLightNNQuantizer,
+    workspace: "QuantWorkspace | None" = None,
 ) -> Tensor:
     """Compute ``L_reg,k`` for one layer as an autograd scalar.
 
@@ -44,6 +48,9 @@ def residual_group_lasso(
         lambdas: Per-level coefficients ``lambda_0 .. lambda_{k-1}``.
         quantizer: The layer's FLightNN quantizer (supplies k_max and the
             exponent window).
+        workspace: Optional :class:`~repro.quant.workspace.QuantWorkspace`
+            sharing the quantization pass with the layer's forward/gradient
+            consumers instead of re-running the recursion here.
 
     Returns:
         Scalar loss tensor with gradient w.r.t. ``weight``.
@@ -57,7 +64,10 @@ def residual_group_lasso(
     if (lambdas < 0).any():
         raise ConfigurationError("regularization lambdas must be non-negative")
 
-    state = quantizer.quantize(weight.data, thresholds.data)
+    if workspace is not None:
+        state = workspace.state(weight, thresholds)
+    else:
+        state = quantizer.quantize(weight.data, thresholds.data)
     norm_scale = (
         1.0 / np.sqrt(state.residuals[0].shape[1]) if quantizer.config.norm_per_element else 1.0
     )
@@ -133,11 +143,14 @@ def proximal_residual_shrink(
 
     w = np.asarray(weight, dtype=np.float64).copy()
     shape = w.shape
+    thresholds = np.asarray(thresholds, dtype=np.float64)
     for j in range(k_max):
         if lambdas[j] == 0.0:
             continue
-        state = quantizer.quantize(w, np.asarray(thresholds, dtype=np.float64))
-        flat_r = state.residuals[j]
+        # Level j's shrink needs only the residual *entering* level j, so
+        # run just the first j rounding passes instead of the full
+        # decomposition (bitwise identical to quantize(...).residuals[j]).
+        flat_r = quantizer.residual_at_level(w, thresholds, j)
         quantized_part = w.reshape(flat_r.shape) - flat_r
         s = quantizer.filter_norm(flat_r)
         safe = np.where(s > 0, s, 1.0)

@@ -4,17 +4,78 @@ The paper (Sec. 4.2) trains through non-differentiable quantizers by defining
 ``d(wq)/d(w) := 1`` (Bengio et al., 2013): the forward pass sees quantized
 values, the backward pass routes the upstream gradient to the full-precision
 master copy unchanged.
+
+This module also hosts :func:`threshold_grad_sweep`, the reverse-mode
+sigmoid-relaxed sweep over the FLightNN level recursion that produces
+``dL/dt``.  It lives here (rather than inside the quantizer's backward
+closure) so the quantizer, the training fast path and the gradient-check
+suite all exercise the *same* code operating on a shared
+:class:`~repro.quant.workspace.QuantWorkspace` state.
 """
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, _stable_sigmoid
 
-__all__ = ["ste_apply", "ste_clipped_apply"]
+__all__ = ["ste_apply", "ste_clipped_apply", "threshold_grad_sweep"]
+
+
+def threshold_grad_sweep(
+    residuals: Sequence[np.ndarray],
+    rounded: Sequence[np.ndarray],
+    norms: np.ndarray,
+    thresholds: np.ndarray,
+    g_flat: np.ndarray,
+    tau: float,
+    norm_scale: float,
+) -> np.ndarray:
+    """Reverse-mode threshold gradient of the gated level recursion.
+
+    Implements the paper's Sec. 4.2 ``dL/dt`` with each hard indicator
+    ``1(s_j > t_j)`` relaxed to ``sigma((s_j - t_j) / tau)`` and STE
+    (``dR/dx := 1``) through the rounding — evaluated backwards over the
+    levels, which is algebraically identical to the paper's forward-written
+    sum.
+
+    Args:
+        residuals / rounded / norms: The per-level arrays of one
+            quantization pass (see
+            :class:`~repro.quant.flightnn.FLightNNState`).
+        thresholds: Current threshold values ``t``; shape (k_max,).
+        g_flat: Upstream gradient on the quantized weights, flattened to
+            the (F, D) filter matrix.
+        tau: Sigmoid temperature of the relaxation.
+        norm_scale: ``1/sqrt(D)`` under the RMS norm convention, else 1.
+
+    Returns:
+        Gradient w.r.t. ``thresholds``; shape (k_max,).
+    """
+    k_max = len(residuals)
+    grad_q = g_flat  # dL/d(q_j) — constant across levels
+    grad_r = np.zeros_like(g_flat)  # dL/d(r_j), accumulated backwards
+    grad_t = np.zeros(k_max)
+    for j in reversed(range(k_max)):
+        r_j = residuals[j]
+        rounded_j = rounded[j]
+        s_j = norms[j]
+        sig = _stable_sigmoid((s_j - thresholds[j]) / tau)
+        sig_prime = sig * (1.0 - sig) / tau
+        # dL/d(gate_j), via q_{j+1} = q_j + gate*R and r_{j+1} = r_j - gate*R.
+        d_gate = ((grad_q - grad_r) * rounded_j).sum(axis=1)
+        d_s = d_gate * sig_prime
+        grad_t[j] = -d_s.sum()
+        # dL/dR_j: gate weighting uses the relaxed sigma value.
+        d_rounded = sig[:, None] * (grad_q - grad_r)
+        # dL/dr_j: STE through R plus the norm path s_j = ||r_j|| * scale.
+        safe_s = np.where(s_j > 0, s_j, 1.0)
+        d_norm_dir = (r_j / safe_s[:, None]) * norm_scale
+        d_norm_dir[s_j == 0] = 0.0
+        grad_r = grad_r + d_rounded + d_s[:, None] * d_norm_dir
+    return grad_t
 
 
 def ste_apply(x: Tensor, transform: Callable[[np.ndarray], np.ndarray]) -> Tensor:

@@ -1,0 +1,101 @@
+"""QuantWorkspace: one quantization pass per (weight, thresholds) state.
+
+A single QAT step consumes the FLightNN level recursion several times per
+layer: the forward pass needs ``Q_k(w | t)``, the threshold gradient needs
+the per-level residuals/norms, the gate-pressure penalty needs the norms
+again, and the epoch metrics (``filter_k`` / ``storage_mb``) re-run the
+whole recursion once more.  All of those are pure functions of the same
+``(w, t)`` pair, so the eager habit of calling
+:meth:`~repro.quant.flightnn.FLightNNQuantizer.quantize` at every site does
+the identical decomposition three or more times per step per layer.
+
+:class:`QuantWorkspace` caches the full
+:class:`~repro.quant.flightnn.FLightNNState` of the most recent pass and
+serves it to every consumer while ``(w, t)`` are unchanged.  Staleness is
+detected exactly like the inference engine's weight bindings
+(:class:`~repro.infer.plan.WeightBinding`):
+
+* **version counters** — every in-place mutation in this repo
+  (optimizer steps, ``load_state_dict``, proximal shrinkage) calls
+  :meth:`~repro.nn.tensor.Tensor.bump_version`, so a version mismatch is
+  the cheap first-line invalidation;
+* **content fingerprints** — ``(sum, sum(|.|))`` of the data catches
+  mutations that bypassed ``bump_version`` (e.g. the numerical gradient
+  checker perturbing entries in place, or an injected fault), trading a
+  vanishingly small collision probability for never serving stale state.
+
+Because the served state is shared, every consumer must treat its arrays
+as **read-only**; code that wants to mutate (the proximal operator) keeps
+computing its own residuals.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+from repro.quant.flightnn import FLightNNQuantizer, FLightNNState
+
+__all__ = ["QuantWorkspace", "array_fingerprint"]
+
+
+def array_fingerprint(a: np.ndarray) -> tuple[float, float]:
+    """Cheap content fingerprint ``(sum, sum(|a|))`` of an array.
+
+    The same pair the inference engine uses to detect silent in-place
+    weight edits: any single-entry change moves at least one of the two
+    sums, and coordinated edits that cancel in both simultaneously are
+    practically impossible to hit by accident.
+    """
+    a = np.asarray(a)
+    return (float(a.sum()), float(np.abs(a).sum()))
+
+
+class QuantWorkspace:
+    """Per-layer cache of one FLightNN quantization pass.
+
+    Args:
+        quantizer: The layer's quantizer (supplies ``k_max``, the exponent
+            window and the norm convention).
+
+    Attributes:
+        hits / misses: Served-from-cache vs recomputed counters (the
+            fast-path tests assert on these).
+    """
+
+    def __init__(self, quantizer: FLightNNQuantizer) -> None:
+        self.quantizer = quantizer
+        self._key: tuple[int, int] | None = None
+        self._fp: tuple[float, float, float, float] | None = None
+        self._state: FLightNNState | None = None
+        self.hits = 0
+        self.misses = 0
+
+    def state(self, weight: Tensor, thresholds: Tensor) -> FLightNNState:
+        """The quantization state for the *current* ``(weight, thresholds)``.
+
+        Recomputes if and only if the version pair or the content
+        fingerprint changed since the cached pass; the returned state's
+        arrays are shared and must be treated as read-only.
+        """
+        key = (weight.version, thresholds.version)
+        fp = array_fingerprint(weight.data) + array_fingerprint(thresholds.data)
+        if self._state is not None and key == self._key and fp == self._fp:
+            self.hits += 1
+            return self._state
+        self.misses += 1
+        self._state = self.quantizer.quantize(weight.data, thresholds.data)
+        self._key = key
+        self._fp = fp
+        return self._state
+
+    def invalidate(self) -> None:
+        """Drop the cached pass (forces recomputation on the next request).
+
+        Called whenever layer state is replaced wholesale — checkpoint
+        restore, divergence rollback — as a belt-and-braces guarantee on
+        top of the version/fingerprint checks.
+        """
+        self._key = None
+        self._fp = None
+        self._state = None

@@ -58,6 +58,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "--checkpoint-dir before training")
     parser.add_argument("--summary", action="store_true",
                         help="print the layer-by-layer model summary")
+    parser.add_argument("--fast-train", action="store_true",
+                        help="enable the training fast path (quantizer "
+                             "workspace, buffer arena, batch prefetching); "
+                             "bitwise identical to the default eager loop")
     return parser
 
 
@@ -95,6 +99,7 @@ def main(argv: list[str] | None = None) -> int:
         lambda_warmup_epochs=min(2, args.epochs - 1) if args.epochs > 1 else 0,
         threshold_freeze_epoch=max(1, args.epochs - 3),
         threshold_lr_scale=10.0, seed=args.seed,
+        fast_path=args.fast_train,
     )
     manager = None
     if args.checkpoint_dir:

@@ -24,18 +24,22 @@ from typing import TYPE_CHECKING, Callable
 import numpy as np
 
 from repro.data.dataset import ArrayDataset, DataLoader, DataSplit
-from repro.errors import CheckpointError, ConfigurationError, TrainingDivergedError
+from repro.data.prefetch import PrefetchLoader
+from repro.errors import CheckpointError, ConfigurationError, ParityError, TrainingDivergedError
 from repro.models.network import QuantizedNetwork
 from repro.nn import functional as F
+from repro.nn.arena import BufferArena, use_arena
 from repro.nn.optim import SGD, Adam, ConstantLR, CosineDecayLR, StepDecayLR
 from repro.nn.tensor import Tensor, no_grad
 from repro.quant.activations import QuantizedActivation
 from repro.quant.regularization import proximal_residual_shrink, residual_group_lasso
+from repro.quant.workspace import QuantWorkspace
 from repro.train.act_reg import activation_distribution_loss, collect_quantizer_inputs
 from repro.train.history import EpochStats, TrainHistory
 from repro.train.metrics import RunningAverage, accuracy, topk_accuracy
 from repro.train.resilience import DivergenceMonitor, clip_grad_norm, grads_are_finite
 from repro.utils.logging import get_logger
+from repro.utils.profiler import PhaseProfiler, profile_phase, use_profiler
 from repro.utils.rng import as_generator
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -131,6 +135,17 @@ class TrainConfig:
             divergence rollback (all optimizers and the schedule base).
         max_rollbacks: Divergence rollbacks allowed per ``fit`` call before
             :class:`~repro.errors.TrainingDivergedError` is raised.
+        fast_path: Enable the training fast path: per-layer
+            :class:`~repro.quant.workspace.QuantWorkspace` caches (one
+            quantizer sweep per step shared by forward, threshold gradients
+            and regularization), a step-scoped
+            :class:`~repro.nn.arena.BufferArena` for conv/activation/pool
+            scratch, and background batch prefetching.  Produces bitwise
+            identical training trajectories to the eager path (asserted by
+            ``tests/train/test_fast_path.py``).
+        prefetch_batches: Batches the fast path's background loader keeps
+            prepared ahead of the training step (ignored when ``fast_path``
+            is off).
     """
 
     epochs: int = 10
@@ -154,6 +169,8 @@ class TrainConfig:
     guard_warmup_batches: int = 10
     rollback_lr_factor: float = 0.5
     max_rollbacks: int = 3
+    fast_path: bool = False
+    prefetch_batches: int = 2
 
     def __post_init__(self) -> None:
         if self.epochs < 1 or self.batch_size < 1:
@@ -188,6 +205,8 @@ class TrainConfig:
             raise ConfigurationError("rollback_lr_factor must be in (0, 1]")
         if self.max_rollbacks < 0:
             raise ConfigurationError("max_rollbacks must be non-negative")
+        if self.prefetch_batches < 1:
+            raise ConfigurationError("prefetch_batches must be >= 1")
 
 
 class Trainer:
@@ -252,6 +271,16 @@ class Trainer:
             warmup_batches=self.config.guard_warmup_batches,
         )
         self._rollbacks = 0
+        #: Per-phase wall-time accounting for the training loop (exclusive
+        #: times; the "quantize" phase is recorded inside the quantizer and
+        #: subtracted from whichever phase called it).
+        self.profiler = PhaseProfiler()
+        self._arena: BufferArena | None = None
+        self._parity_checked = False
+        if self.config.fast_path:
+            self._arena = BufferArena()
+            for layer in self._flightnn_layers:
+                layer.quant_workspace = QuantWorkspace(layer.strategy.quantizer)
 
     def _make_optimizer(self, params, lr):
         if self.config.optimizer == "adam":
@@ -275,6 +304,7 @@ class Trainer:
                 layer.thresholds,
                 self.scheme.lambdas,
                 layer.strategy.quantizer,
+                workspace=layer.quant_workspace,
             )
             total = term if total is None else total + term
         return total
@@ -304,12 +334,31 @@ class Trainer:
                     "resumed from checkpoint generation %d at epoch %d",
                     restored, self._epoch,
                 )
-        loader = DataLoader(
+        loader: DataLoader | PrefetchLoader = DataLoader(
             split.train,
             self.config.batch_size,
             shuffle=True,
             rng=self._loader_rng,
         )
+        if self.config.fast_path:
+            # Batch N+1's shuffle + gather copies run on a background thread
+            # while batch N trains.  The worker is the sole consumer of the
+            # underlying loader, so the shuffle RNG advances exactly as in
+            # eager iteration (see repro.data.prefetch).
+            loader = PrefetchLoader(loader, depth=self.config.prefetch_batches)
+        try:
+            return self._fit_loop(loader, split, checkpoint, log)
+        finally:
+            if isinstance(loader, PrefetchLoader):
+                loader.close()
+
+    def _fit_loop(
+        self,
+        loader: "DataLoader | PrefetchLoader",
+        split: DataSplit,
+        checkpoint: "TrainingCheckpoint | None",
+        log: bool,
+    ) -> TrainHistory:
         while self._epoch < self.config.epochs:
             epoch = self._epoch
             try:
@@ -318,6 +367,7 @@ class Trainer:
                 self._handle_divergence(checkpoint)
                 continue
             test = self.evaluate(split.test)
+            self._check_eval_parity(test, split.test)
             stats = EpochStats(
                 epoch=epoch,
                 train_loss=train_loss,
@@ -343,7 +393,9 @@ class Trainer:
                 )
         return self.history
 
-    def _run_epoch(self, loader: DataLoader, epoch: int) -> tuple[float, float, dict]:
+    def _run_epoch(
+        self, loader: "DataLoader | PrefetchLoader", epoch: int
+    ) -> tuple[float, float, dict]:
         self.model.train()
         loss_avg, acc_avg = RunningAverage(), RunningAverage()
         guards = {"nonfinite": 0, "clipped": 0, "spikes": 0}
@@ -356,55 +408,72 @@ class Trainer:
         guarded_params = list(self.optimizer.params)
         if self.threshold_optimizer is not None:
             guarded_params += self.threshold_optimizer.params
-        for images, labels in loader:
-            self.model.zero_grad()
-            logits = self.model(Tensor(images))
-            loss = F.cross_entropy(logits, labels)
-            total = loss
-            if use_gradient_reg:
-                reg = self.regularization_loss()
-                if reg is not None:
-                    total = total + reg
-            if self.config.activation_reg > 0:
-                act_reg = activation_distribution_loss(
-                    collect_quantizer_inputs(self.model), self.config.activation_reg
-                )
-                if act_reg is not None:
-                    total = total + act_reg
-            total.backward()
-            step = self._step
-            self._step += 1
-            for hook in self.grad_hooks:
-                hook(step)
-            if thresholds_active:
-                self._add_gate_pressure(lambda_ramp)
-            loss_value = float(loss.item())
-            if guard_enabled:
-                finite = (
-                    grads_are_finite(guarded_params)
-                    if self.config.guard_nonfinite
-                    else True
-                )
-                verdict = self._monitor.observe(loss_value, finite)
-                if verdict != "ok":
-                    if finite and math.isfinite(loss_value):
-                        guards["spikes"] += 1
-                    else:
-                        guards["nonfinite"] += 1
-                    if verdict == "rollback":
-                        raise _RollbackRequested()
-                    continue  # suppress this batch's update entirely
-            if self.config.grad_clip_norm is not None:
-                _, clipped = clip_grad_norm(guarded_params, self.config.grad_clip_norm)
-                guards["clipped"] += int(clipped)
-            self.optimizer.step()
-            if self.threshold_optimizer is not None and thresholds_active:
-                self.threshold_optimizer.step()
-            if not use_gradient_reg:
-                self._apply_proximal_regularization(lambda_ramp)
-            n = len(labels)
-            loss_avg.update(loss_value, n)
-            acc_avg.update(accuracy(logits.numpy(), labels), n)
+        batches = iter(loader)
+        with use_profiler(self.profiler):
+            while True:
+                with profile_phase("data"):
+                    batch = next(batches, None)
+                if batch is None:
+                    break
+                images, labels = batch
+                # One `with` block = one pass: the arena recycles its scratch
+                # buffers at entry, after the previous step's graph is dead.
+                with use_arena(self._arena):
+                    with profile_phase("forward"):
+                        self.model.zero_grad()
+                        logits = self.model(Tensor(images))
+                        loss = F.cross_entropy(logits, labels)
+                        total = loss
+                        if use_gradient_reg:
+                            reg = self.regularization_loss()
+                            if reg is not None:
+                                total = total + reg
+                        if self.config.activation_reg > 0:
+                            act_reg = activation_distribution_loss(
+                                collect_quantizer_inputs(self.model),
+                                self.config.activation_reg,
+                            )
+                            if act_reg is not None:
+                                total = total + act_reg
+                    with profile_phase("backward"):
+                        total.backward()
+                    step = self._step
+                    self._step += 1
+                    for hook in self.grad_hooks:
+                        hook(step)
+                    if thresholds_active:
+                        self._add_gate_pressure(lambda_ramp)
+                    loss_value = float(loss.item())
+                    if guard_enabled:
+                        finite = (
+                            grads_are_finite(guarded_params)
+                            if self.config.guard_nonfinite
+                            else True
+                        )
+                        verdict = self._monitor.observe(loss_value, finite)
+                        if verdict != "ok":
+                            if finite and math.isfinite(loss_value):
+                                guards["spikes"] += 1
+                            else:
+                                guards["nonfinite"] += 1
+                            if verdict == "rollback":
+                                raise _RollbackRequested()
+                            continue  # suppress this batch's update entirely
+                    if self.config.grad_clip_norm is not None:
+                        _, clipped = clip_grad_norm(
+                            guarded_params, self.config.grad_clip_norm
+                        )
+                        guards["clipped"] += int(clipped)
+                    with profile_phase("optimizer"):
+                        self.optimizer.step()
+                        if self.threshold_optimizer is not None and thresholds_active:
+                            self.threshold_optimizer.step()
+                    if not use_gradient_reg:
+                        with profile_phase("proximal"):
+                            self._apply_proximal_regularization(lambda_ramp)
+                    n = len(labels)
+                    loss_avg.update(loss_value, n)
+                    acc_avg.update(accuracy(logits.numpy(), labels), n)
         return loss_avg.value, acc_avg.value, guards
 
     def _handle_divergence(self, checkpoint: "TrainingCheckpoint | None") -> None:
@@ -449,8 +518,16 @@ class Trainer:
         scale = self.config.gate_pressure * lambda_ramp
         lambdas = np.asarray(self.scheme.lambdas) * scale
         for layer in self._flightnn_layers:
+            workspace = layer.quant_workspace
+            # The workspace still holds this step's forward sweep (weights
+            # have not moved since), so the gate statistics come for free.
+            state = (
+                workspace.state(layer.weight, layer.thresholds)
+                if workspace is not None
+                else None
+            )
             grad = layer.strategy.quantizer.gate_pressure_gradient(
-                layer.weight.data, layer.thresholds.data, lambdas
+                layer.weight.data, layer.thresholds.data, lambdas, state=state
             )
             layer.thresholds.accumulate_grad(grad)
 
@@ -542,8 +619,32 @@ class Trainer:
         self._step = int(meta.get("step", 0))
         self.history = TrainHistory.from_dict(meta["history"])
         self._monitor.reset()
+        # Restored weights invalidate every cached quantizer sweep (belt and
+        # braces: version bumps in load_state_dict already miss the key, but
+        # a rollback must never serve a stale decomposition).
+        for layer in self._flightnn_layers:
+            if layer.quant_workspace is not None:
+                layer.quant_workspace.invalidate()
 
     # -- evaluation ------------------------------------------------------------
+
+    def _check_eval_parity(self, engine_metrics: dict, dataset: ArrayDataset) -> None:
+        """Assert engine-vs-eager agreement on the first validation pass.
+
+        In-training validation runs through the compiled inference engine;
+        this one-off cross-check (per trainer) guards against a stale or
+        mis-folded compilation silently steering training decisions.
+        """
+        if self._parity_checked:
+            return
+        self._parity_checked = True
+        eager = self.evaluate(dataset, use_engine=False)
+        for key in ("loss", "accuracy", "top5"):
+            if not math.isclose(engine_metrics[key], eager[key], rel_tol=1e-6, abs_tol=1e-8):
+                raise ParityError(
+                    f"compiled-engine validation disagrees with eager evaluation: "
+                    f"{key} {engine_metrics[key]!r} vs {eager[key]!r}"
+                )
 
     def evaluate(self, dataset: ArrayDataset, use_engine: bool = True) -> dict[str, float]:
         """Loss / top-1 / top-5 on ``dataset`` in inference mode.

@@ -2,12 +2,17 @@
 
 from repro.utils.rng import as_generator, spawn_generators
 from repro.utils.logging import get_logger
+from repro.utils.profiler import PhaseProfiler, active_profiler, profile_phase, use_profiler
 from repro.utils.serialization import load_json, save_json
 
 __all__ = [
     "as_generator",
     "spawn_generators",
     "get_logger",
+    "PhaseProfiler",
+    "use_profiler",
+    "active_profiler",
+    "profile_phase",
     "load_json",
     "save_json",
 ]

@@ -1,0 +1,94 @@
+"""Lightweight nested phase timing for the training benchmark.
+
+:class:`PhaseProfiler` accumulates *exclusive* wall-clock time per named
+phase: a phase opened inside another phase bills its elapsed time to its
+own bucket and subtracts it from the enclosing one, so the totals always
+partition the instrumented span.  This is what lets the training benchmark
+report "quantize" separately from the "forward"/"proximal" spans it runs
+inside.
+
+Deep library code (the quantizer) cannot receive a profiler argument
+through every call site, so an *active* profiler can be installed per
+thread with :func:`use_profiler`; :func:`profile_phase` then times a block
+against it and is a near-free no-op when none is installed.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["PhaseProfiler", "use_profiler", "active_profiler", "profile_phase"]
+
+_TLS = threading.local()
+
+
+class PhaseProfiler:
+    """Accumulates exclusive wall-time and call counts per phase name."""
+
+    def __init__(self) -> None:
+        self.totals: dict[str, float] = {}
+        self.counts: dict[str, int] = {}
+        self._stack: list[list] = []  # [name, child_seconds] frames
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time a block under ``name`` (exclusive of nested phases)."""
+        start = time.perf_counter()
+        frame = [name, 0.0]
+        self._stack.append(frame)
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self._stack.pop()
+            self.totals[name] = self.totals.get(name, 0.0) + elapsed - frame[1]
+            self.counts[name] = self.counts.get(name, 0) + 1
+            if self._stack:
+                self._stack[-1][1] += elapsed
+
+    def reset(self) -> None:
+        """Clear all accumulated totals and counts."""
+        self.totals.clear()
+        self.counts.clear()
+        self._stack.clear()
+
+    def summary(self) -> dict[str, float]:
+        """Phase totals in seconds, largest first."""
+        return dict(sorted(self.totals.items(), key=lambda kv: -kv[1]))
+
+
+def active_profiler() -> PhaseProfiler | None:
+    """The profiler installed on this thread by :func:`use_profiler`, if any."""
+    return getattr(_TLS, "profiler", None)
+
+
+@contextmanager
+def use_profiler(profiler: PhaseProfiler | None) -> Iterator[PhaseProfiler | None]:
+    """Install ``profiler`` as this thread's active profiler for a block.
+
+    ``use_profiler(None)`` is a no-op context, so callers can pass an
+    optional profiler straight through.
+    """
+    if profiler is None:
+        yield None
+        return
+    previous = getattr(_TLS, "profiler", None)
+    _TLS.profiler = profiler
+    try:
+        yield profiler
+    finally:
+        _TLS.profiler = previous
+
+
+@contextmanager
+def profile_phase(name: str) -> Iterator[None]:
+    """Time a block against the active profiler (no-op when none)."""
+    profiler = active_profiler()
+    if profiler is None:
+        yield
+        return
+    with profiler.phase(name):
+        yield

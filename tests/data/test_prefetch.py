@@ -1,0 +1,134 @@
+"""Tests for the background-thread prefetching loader (repro.data.prefetch).
+
+The fast path wraps the training DataLoader in a PrefetchLoader; bitwise
+parity with eager training only holds if prefetching is *invisible*: same
+batches, same order, same shuffle-RNG consumption — with the worker thread
+purely hiding latency.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import ArrayDataset, DataLoader
+from repro.data.prefetch import PrefetchLoader
+
+
+def _dataset(n=48, num_classes=4, seed=0):
+    rng = np.random.default_rng(seed)
+    return ArrayDataset(
+        rng.normal(size=(n, 3, 4, 4)), rng.integers(0, num_classes, n), num_classes
+    )
+
+
+def _batches(loader):
+    return [(images.copy(), labels.copy()) for images, labels in loader]
+
+
+class TestTransparency:
+    def test_same_batches_same_order(self):
+        dataset = _dataset()
+        eager = DataLoader(dataset, 8, shuffle=True, rng=np.random.default_rng(7))
+        fast = PrefetchLoader(
+            DataLoader(dataset, 8, shuffle=True, rng=np.random.default_rng(7))
+        )
+        try:
+            got, want = _batches(fast), _batches(eager)
+        finally:
+            fast.close()
+        assert len(got) == len(want)
+        for (gi, gl), (wi, wl) in zip(got, want):
+            np.testing.assert_array_equal(gi, wi)
+            np.testing.assert_array_equal(gl, wl)
+
+    def test_rng_lockstep_across_epochs(self):
+        """Epoch N+1's shuffle depends only on epochs 0..N, prefetched or not."""
+        dataset = _dataset()
+        rng_e, rng_f = np.random.default_rng(3), np.random.default_rng(3)
+        eager = DataLoader(dataset, 8, shuffle=True, rng=rng_e)
+        fast = PrefetchLoader(DataLoader(dataset, 8, shuffle=True, rng=rng_f))
+        try:
+            for _ in range(3):
+                want, got = _batches(eager), _batches(fast)
+                for (gi, _), (wi, _) in zip(got, want):
+                    np.testing.assert_array_equal(gi, wi)
+            assert rng_e.bit_generator.state == rng_f.bit_generator.state
+        finally:
+            fast.close()
+
+    def test_len_matches_wrapped_loader(self):
+        loader = DataLoader(_dataset(n=50), 8, shuffle=False)
+        fast = PrefetchLoader(loader)
+        try:
+            assert len(fast) == len(loader) == 7
+        finally:
+            fast.close()
+
+
+class TestLifecycle:
+    def test_abandoned_epoch_restarts_cleanly(self):
+        """Breaking mid-epoch then re-iterating gives a fresh, full epoch."""
+        dataset = _dataset()
+        fast = PrefetchLoader(
+            DataLoader(dataset, 8, shuffle=True, rng=np.random.default_rng(5))
+        )
+        try:
+            it = iter(fast)
+            next(it)  # consume one batch, abandon the rest
+            second = _batches(fast)
+            assert len(second) == 6
+        finally:
+            fast.close()
+
+    def test_close_is_idempotent_and_reusable_pattern_safe(self):
+        fast = PrefetchLoader(DataLoader(_dataset(), 8, shuffle=False))
+        list(fast)
+        fast.close()
+        fast.close()  # no error on double close
+
+    def test_worker_exception_propagates(self):
+        class Exploding:
+            def __len__(self):
+                return 3
+
+            def __iter__(self):
+                yield np.zeros((2, 1)), np.zeros(2, dtype=np.int64)
+                raise RuntimeError("bad batch")
+
+        fast = PrefetchLoader(Exploding())
+        try:
+            with pytest.raises(RuntimeError, match="bad batch"):
+                _batches(fast)
+        finally:
+            fast.close()
+
+    def test_worker_actually_runs_ahead(self):
+        """The queue hides producer latency: consumption sees ready batches."""
+        produced = []
+
+        class Slowish:
+            def __len__(self):
+                return 4
+
+            def __iter__(self):
+                for i in range(4):
+                    produced.append(i)
+                    yield np.full((1, 1), i), np.zeros(1, dtype=np.int64)
+
+        fast = PrefetchLoader(Slowish(), depth=4)
+        try:
+            it = iter(fast)
+            next(it)
+            deadline = time.monotonic() + 2.0
+            while len(produced) < 4 and time.monotonic() < deadline:
+                time.sleep(0.01)  # worker drains the source ahead of consumption
+            assert len(produced) == 4
+        finally:
+            fast.close()
+
+    def test_depth_validated(self):
+        with pytest.raises(ValueError):
+            PrefetchLoader(DataLoader(_dataset(), 8), depth=0)

@@ -1,0 +1,256 @@
+"""Tests for the training fast path's buffer arena (repro.nn.arena).
+
+Two families:
+
+* unit tests of :class:`BufferArena` slot/constant bookkeeping, and
+* bitwise eager-vs-arena parity of every op with an arena branch
+  (conv2d with padding/stride, pooling, leaky ReLU, fused batch-norm),
+  checked cold (first pass allocates) *and* warm (buffers reused), which
+  is what licenses the fast path's claim of identical training curves.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.arena import BufferArena, active_arena, use_arena
+from repro.nn.gradcheck import check_gradients
+from repro.nn.layers.norm import BatchNorm2d
+from repro.nn.tensor import Tensor
+
+
+def bits(a: np.ndarray) -> bytes:
+    """Exact bit pattern of an array (parity means *these* are equal)."""
+    return np.ascontiguousarray(a).view(np.uint8).tobytes()
+
+
+class TestBufferArena:
+    def test_slots_keyed_by_request_order(self):
+        arena = BufferArena()
+        arena.begin_pass()
+        first = arena.take((4, 4))
+        second = arena.take((4, 4))
+        assert first is not second
+        arena.begin_pass()
+        assert arena.take((4, 4)) is first
+        assert arena.take((4, 4)) is second
+        assert arena.allocations == 2
+        assert arena.reuses == 2
+
+    def test_shape_change_reallocates_slot(self):
+        arena = BufferArena()
+        arena.begin_pass()
+        full = arena.take((8, 2))
+        arena.begin_pass()
+        tail = arena.take((3, 2))  # smaller final batch
+        assert tail.shape == (3, 2)
+        arena.begin_pass()
+        assert arena.take((8, 2)) is full  # both geometries stay warm
+
+    def test_zero_modes(self):
+        arena = BufferArena()
+        arena.begin_pass()
+        acc = arena.take((3,), zero="always")
+        assert (acc == 0.0).all()
+        acc += 7.0
+        pad = arena.take((3,), zero="alloc")
+        assert (pad == 0.0).all()
+        pad += 5.0
+        arena.begin_pass()
+        assert (arena.take((3,), zero="always") == 0.0).all()
+        # "alloc" zeroes only on allocation: the written values survive.
+        assert (arena.take((3,), zero="alloc") == 5.0).all()
+
+    def test_cached_constants_built_once(self):
+        arena = BufferArena()
+        calls = []
+        grid = arena.cached(("grid", (2, 2)), lambda: calls.append(1) or np.ones((2, 2)))
+        again = arena.cached(("grid", (2, 2)), lambda: calls.append(1) or np.ones((2, 2)))
+        assert grid is again
+        assert len(calls) == 1
+        arena.begin_pass()  # constants are not slots: survive pass recycling
+        assert arena.cached(("grid", (2, 2)), lambda: None) is grid
+
+    def test_use_arena_installs_and_restores(self):
+        arena = BufferArena()
+        assert active_arena() is None
+        with use_arena(arena) as installed:
+            assert installed is arena
+            assert active_arena() is arena
+        assert active_arena() is None
+        with use_arena(None) as installed:  # passthrough no-op
+            assert installed is None
+            assert active_arena() is None
+
+    def test_use_arena_resets_cursor(self):
+        arena = BufferArena()
+        with use_arena(arena):
+            first = arena.take((2,))
+        with use_arena(arena):
+            assert arena.take((2,)) is first
+
+
+class TestAccumulateGradOwnership:
+    def test_own_true_adopts_array_without_copy(self):
+        x = Tensor(np.zeros(3), requires_grad=True)
+        g = np.ones(3)
+        x.accumulate_grad(g, own=True)
+        assert x.grad is g
+
+    def test_own_false_defensively_copies(self):
+        x = Tensor(np.zeros(3), requires_grad=True)
+        g = np.ones(3)
+        x.accumulate_grad(g)
+        assert x.grad is not g
+        np.testing.assert_array_equal(x.grad, g)
+
+    def test_second_accumulation_adds_in_both_modes(self):
+        x = Tensor(np.zeros(3), requires_grad=True)
+        x.accumulate_grad(np.ones(3), own=True)
+        x.accumulate_grad(np.full(3, 2.0), own=True)
+        np.testing.assert_array_equal(x.grad, np.full(3, 3.0))
+
+
+def _run_conv_stack(arena, x_np, w_np, b_np, stride, padding):
+    """One forward+backward of conv -> leaky -> maxpool -> batchnorm-ish."""
+    x = Tensor(x_np.copy(), requires_grad=True)
+    w = Tensor(w_np.copy(), requires_grad=True)
+    b = Tensor(b_np.copy(), requires_grad=True)
+    ctx = use_arena(arena) if arena is not None else nullcontext()
+    with ctx:
+        out = F.conv2d(x, w, b, stride=stride, padding=padding)
+        out = F.leaky_relu(out, 0.1)
+        if out.shape[2] >= 2 and out.shape[3] >= 2:
+            out = F.max_pool2d(out, kernel=2)
+        loss = (out * out).sum()
+        loss.backward()
+    return out.data.copy(), x.grad.copy(), w.grad.copy(), b.grad.copy()
+
+
+class TestBitwiseParity:
+    @pytest.mark.parametrize(
+        "shape,filters,kernel,stride,padding",
+        [
+            ((4, 3, 12, 12), 6, 3, 1, 1),  # p >= 64: batched-GEMM dw branch
+            ((3, 4, 9, 9), 5, 3, 2, 0),    # p < 64: einsum dw branch
+            ((2, 3, 8, 8), 4, 1, 1, 0),    # 1x1 kernel col2im shortcut
+            ((3, 2, 7, 7), 4, 3, 2, 1),    # stride + padding together
+        ],
+    )
+    def test_conv_stack_parity_cold_and_warm(self, rng, shape, filters, kernel, stride, padding):
+        x_np = rng.normal(size=shape)
+        x_np[rng.random(shape) < 0.1] = 0.0  # exercise signed-zero handling
+        w_np = rng.normal(scale=0.4, size=(filters, shape[1], kernel, kernel))
+        b_np = rng.normal(scale=0.1, size=filters)
+        eager = _run_conv_stack(None, x_np, w_np, b_np, stride, padding)
+        arena = BufferArena()
+        cold = _run_conv_stack(arena, x_np, w_np, b_np, stride, padding)
+        warm = _run_conv_stack(arena, x_np, w_np, b_np, stride, padding)
+        assert arena.reuses > 0  # warm pass really served recycled buffers
+        for e, c, w_ in zip(eager, cold, warm):
+            assert bits(e) == bits(c) == bits(w_)
+
+    @pytest.mark.parametrize("kernel,stride,size", [(2, 2, 8), (3, 3, 9), (2, 3, 8), (8, 8, 8)])
+    def test_avg_pool_parity(self, rng, kernel, stride, size):
+        shape = (3, 4, size, size)
+        x_np = rng.normal(size=shape)
+
+        def run(arena):
+            x = Tensor(x_np.copy(), requires_grad=True)
+            ctx = use_arena(arena) if arena is not None else nullcontext()
+            with ctx:
+                out = F.avg_pool2d(x, kernel=kernel, stride=stride)
+                ((out * out).sum()).backward()
+            return out.data.copy(), x.grad.copy()
+
+        eager = run(None)
+        arena = BufferArena()
+        cold, warm = run(arena), run(arena)
+        for e, c, w_ in zip(eager, cold, warm):
+            assert bits(e) == bits(c) == bits(w_)
+
+    @pytest.mark.parametrize(
+        "shape",
+        [(4, 8, 6, 6), (1, 4, 5, 5), (6, 4, 1, 1), (3, 2, 1, 7), (2, 3, 8, 8)],
+    )
+    def test_batchnorm_fused_parity(self, rng, shape):
+        """Fused BN training forward/backward == eager graph, bit for bit.
+
+        Includes the degenerate single-value-per-channel shapes whose eager
+        backward skips size-1 reductions (the -0.0 normalisation trap).
+        """
+        channels = shape[1]
+        x_np = rng.normal(size=shape)
+        x_np[rng.random(shape) < 0.15] = 0.0
+        g_np = rng.normal(size=shape)
+        g_np[rng.random(shape) < 0.1] = -0.0
+
+        def run(arena):
+            bn = BatchNorm2d(channels)
+            bn.train()
+            bn.gamma.data[...] = np.linspace(0.5, 1.5, channels)
+            bn.beta.data[...] = np.linspace(-0.2, 0.2, channels)
+            x = Tensor(x_np.copy(), requires_grad=True)
+            ctx = use_arena(arena) if arena is not None else nullcontext()
+            with ctx:
+                out = bn(x)
+                ((out * Tensor(g_np)).sum()).backward()
+            return (
+                out.data.copy(), x.grad.copy(), bn.gamma.grad.copy(),
+                bn.beta.grad.copy(), bn.running_mean.copy(), bn.running_var.copy(),
+            )
+
+        eager = run(None)
+        arena = BufferArena()
+        cold, warm = run(arena), run(arena)
+        for e, c, w_ in zip(eager, cold, warm):
+            assert bits(e) == bits(c) == bits(w_)
+
+    def test_leaky_relu_inexact_slope_falls_back(self, rng):
+        """A slope where (1-s)+s != 1 must still match eager exactly."""
+        x_np = rng.normal(size=(5, 5))
+        slope = 0.1000000000000000055511151231257827  # == 0.1; exactness holds
+        for s in (slope, 0.3, 1e-300):
+            x_e = Tensor(x_np.copy(), requires_grad=True)
+            (F.leaky_relu(x_e, s) * 2.0).sum().backward()
+            arena = BufferArena()
+            x_a = Tensor(x_np.copy(), requires_grad=True)
+            with use_arena(arena):
+                (F.leaky_relu(x_a, s) * 2.0).sum().backward()
+            assert bits(x_e.grad) == bits(x_a.grad)
+
+
+class TestGradcheckUnderArena:
+    def test_conv_backward_with_reused_buffers(self, rng):
+        """Numerical gradcheck of conv2d while the arena serves warm buffers."""
+        arena = BufferArena()
+        x = Tensor(rng.normal(size=(2, 3, 6, 6)), requires_grad=True)
+        w = Tensor(rng.normal(scale=0.4, size=(4, 3, 3, 3)), requires_grad=True)
+        b = Tensor(rng.normal(scale=0.1, size=4), requires_grad=True)
+
+        def loss():
+            with use_arena(arena):
+                out = F.conv2d(x, w, b, stride=1, padding=1)
+                return (out * out).sum()
+
+        loss()  # warm the slots so the checked pass runs on reused buffers
+        check_gradients(loss, [x, w, b])
+        assert arena.reuses > 0
+
+    def test_fused_batchnorm_gradcheck(self, rng):
+        arena = BufferArena()
+        bn = BatchNorm2d(3)
+        bn.train()
+        x = Tensor(rng.normal(size=(4, 3, 5, 5)), requires_grad=True)
+
+        def loss():
+            with use_arena(arena):
+                out = bn(x)
+                return (out * out).sum()
+
+        loss()
+        check_gradients(loss, [x, bn.gamma, bn.beta], rtol=1e-3, atol=1e-5)

@@ -1,0 +1,171 @@
+"""Tests for the shared quantization-state cache (repro.quant.workspace).
+
+The workspace is the fast path's license to skip redundant level
+recursions: it must serve bitwise-identical state while ``(w, t)`` are
+unchanged and *never* serve stale state once they move — including
+mutations that bypass the version counters, which is exactly what the
+numerical gradient checker does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.gradcheck import check_gradients
+from repro.nn.tensor import Tensor
+from repro.quant.flightnn import FLightNNConfig, FLightNNQuantizer
+from repro.quant.power_of_two import PowerOfTwoConfig
+from repro.quant.regularization import residual_group_lasso
+from repro.quant.workspace import QuantWorkspace, array_fingerprint
+
+
+def quantizer(norm_per_element=False):
+    return FLightNNQuantizer(
+        FLightNNConfig(k_max=2, pow2=PowerOfTwoConfig(), norm_per_element=norm_per_element)
+    )
+
+
+def bits(a: np.ndarray) -> bytes:
+    return np.ascontiguousarray(a).view(np.uint8).tobytes()
+
+
+@pytest.fixture
+def params(rng):
+    w = Tensor(rng.normal(scale=0.5, size=(4, 9)), requires_grad=True)
+    t = Tensor(np.array([0.05, 0.02]), requires_grad=True)
+    return w, t
+
+
+class TestCaching:
+    def test_second_request_is_a_hit(self, params):
+        w, t = params
+        ws = QuantWorkspace(quantizer())
+        first = ws.state(w, t)
+        second = ws.state(w, t)
+        assert first is second
+        assert (ws.hits, ws.misses) == (1, 1)
+
+    def test_served_state_matches_direct_quantize(self, params):
+        w, t = params
+        q = quantizer()
+        state = QuantWorkspace(q).state(w, t)
+        direct = q.quantize(w.data, t.data)
+        assert bits(state.quantized) == bits(direct.quantized)
+        assert bits(state.norms) == bits(direct.norms)
+        for got, want in zip(state.residuals, direct.residuals):
+            assert bits(got) == bits(want)
+
+    def test_version_bump_invalidates(self, params):
+        w, t = params
+        ws = QuantWorkspace(quantizer())
+        stale = ws.state(w, t)
+        w.data[0, 0] += 0.25
+        w.bump_version()
+        fresh = ws.state(w, t)
+        assert fresh is not stale
+        assert ws.misses == 2
+        assert bits(fresh.quantized) != bits(stale.quantized)
+
+    def test_threshold_version_bump_invalidates(self, params):
+        w, t = params
+        ws = QuantWorkspace(quantizer())
+        ws.state(w, t)
+        t.data[0] = 10.0  # gate every filter off at level 0
+        t.bump_version()
+        fresh = ws.state(w, t)
+        assert ws.misses == 2
+        assert not fresh.gates[0].any()
+
+    def test_fingerprint_catches_inplace_edit_without_bump(self, params):
+        """The gradcheck scenario: data mutates, versions do not."""
+        w, t = params
+        ws = QuantWorkspace(quantizer())
+        ws.state(w, t)
+        w.data[1, 3] += 1e-6  # no bump_version on purpose
+        fresh = ws.state(w, t)
+        assert ws.misses == 2
+        assert bits(fresh.residuals[0]) == bits(
+            quantizer().quantize(w.data, t.data).residuals[0]
+        )
+
+    def test_invalidate_forces_recompute(self, params):
+        w, t = params
+        ws = QuantWorkspace(quantizer())
+        ws.state(w, t)
+        ws.invalidate()
+        assert ws._state is None
+        ws.state(w, t)
+        assert (ws.hits, ws.misses) == (0, 2)
+
+
+class TestFingerprint:
+    def test_single_entry_change_moves_fingerprint(self, rng):
+        a = rng.normal(size=(6, 6))
+        before = array_fingerprint(a)
+        a[2, 2] += 1e-9
+        assert array_fingerprint(a) != before
+
+    def test_abs_sum_catches_what_plain_sum_misses(self):
+        """A zero-sum perturbation still moves the |.| component."""
+        a = np.array([1.0, -1.0, 2.0])
+        b = np.array([2.0, -2.0, 2.0])  # same sum, different content
+        fa, fb = array_fingerprint(a), array_fingerprint(b)
+        assert fa[0] == fb[0]
+        assert fa[1] != fb[1]
+
+
+class TestSharedConsumers:
+    def test_apply_with_workspace_matches_without(self, params, rng):
+        """Forward Q_k(w|t) and both gradients, bitwise, via the cache."""
+        q = quantizer()
+        g = rng.normal(size=(4, 9))
+
+        def run(workspace):
+            w = Tensor(params[0].data.copy(), requires_grad=True)
+            t = Tensor(params[1].data.copy(), requires_grad=True)
+            wq = q.apply(w, t, workspace=workspace)
+            (wq * Tensor(g)).sum().backward()
+            return wq.data.copy(), w.grad.copy(), t.grad.copy()
+
+        eager = run(None)
+        cached = run(QuantWorkspace(q))
+        for e, c in zip(eager, cached):
+            assert bits(e) == bits(c)
+
+    def test_regularizer_with_workspace_matches_without(self, params):
+        w, t = params
+        q = quantizer()
+        ws = QuantWorkspace(q)
+        ws.state(w, t)  # pre-warm as the training forward pass would
+
+        def run(workspace):
+            loss = residual_group_lasso(w, t, (1e-3, 3e-3), q, workspace=workspace)
+            loss.backward()
+            grad = w.grad.copy()
+            w.zero_grad()
+            return loss.item(), grad
+
+        loss_e, grad_e = run(None)
+        loss_c, grad_c = run(ws)
+        assert loss_e == loss_c
+        assert bits(grad_e) == bits(grad_c)
+        assert ws.hits >= 1
+
+    def test_fused_quantizer_gradcheck(self, params):
+        """Numerical gradcheck *through* the workspace.
+
+        ``numerical_gradient`` perturbs ``w.data`` in place without bumping
+        versions, so every probe exercises the fingerprint invalidation; a
+        workspace that served stale state would fail this check loudly.
+        """
+        w, t = params
+        q = quantizer(norm_per_element=True)
+        ws = QuantWorkspace(q)
+
+        def loss():
+            return residual_group_lasso(w, t, (1e-2, 3e-2), q, workspace=ws)
+
+        loss()  # warm the cache so the check starts from a cached state
+        check_gradients(loss, [w], rtol=1e-3, atol=1e-6)
+        assert ws.misses > 1  # the probes really did force recomputation

@@ -1,0 +1,43 @@
+"""Smoke run of the training benchmark (marker: train_bench).
+
+Excluded from the default suite by ``pytest.ini``'s ``-m "not train_bench"``
+so tier-1 stays quick; CI runs it on every push as the 10-step
+bitwise-parity gate::
+
+    PYTHONPATH=src:. python -m pytest tests/train/test_bench_smoke.py -m train_bench
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+bench_train = pytest.importorskip(
+    "benchmarks.bench_train", reason="benchmarks package requires repo root on sys.path"
+)
+
+
+@pytest.mark.train_bench
+def test_benchmark_smoke(tmp_path):
+    result = bench_train.run_benchmark(smoke=True, log=lambda *_: None)
+
+    assert result["meta"]["smoke"] is True
+    assert {row["network_id"] for row in result["timing"]} == {1, 4}
+    for row in result["timing"]:
+        assert row["eager"]["ms_per_step"] > 0
+        assert row["fast"]["ms_per_step"] > 0
+        for phase in ("data", "forward", "backward", "quantize", "optimizer"):
+            assert phase in row["fast"]["phases_ms"], phase
+    # The acceptance-criterion core, enforced even at smoke scale: a 10-step
+    # fast-path run is bitwise identical to eager — weights, thresholds,
+    # optimizer moments, TrainHistory, shuffle RNG.
+    assert {row["network_id"] for row in result["parity"]} == {1, 4}
+    for row in result["parity"]:
+        assert row["steps"] == bench_train.PARITY_STEPS
+        assert row["bitwise_identical"] is True
+        assert all(row["matches"].values())
+
+    out = tmp_path / "BENCH_train.json"
+    out.write_text(json.dumps(result))  # round-trips: everything is plain JSON
+    assert json.loads(out.read_text())["parity"]

@@ -1,0 +1,183 @@
+"""End-to-end tests of the training fast path (ISSUE 4 tentpole).
+
+The defining contract: ``fast_path=True`` (quantizer workspace + buffer
+arena + prefetching loader) must produce a training trajectory **bitwise
+identical** to the eager baseline — weights, thresholds, optimizer
+moments, TrainHistory — while actually serving cached/reused state.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import ArrayDataset, DataSplit
+from repro.errors import ParityError
+from repro.models.registry import build_network
+from repro.quant.schemes import paper_schemes
+from repro.train.checkpoint import TrainingCheckpoint
+from repro.train.cli import build_parser, main
+from repro.train.trainer import TrainConfig, Trainer
+
+BATCH, IMAGE, STEPS_PER_EPOCH = 8, 16, 5
+
+
+def bits(a: np.ndarray) -> bytes:
+    return np.ascontiguousarray(a).view(np.uint8).tobytes()
+
+
+def _split(seed=1):
+    rng = np.random.default_rng(seed)
+    n = BATCH * STEPS_PER_EPOCH
+
+    def dataset(k, s):
+        r = np.random.default_rng(s)
+        return ArrayDataset(
+            r.standard_normal((k, 3, IMAGE, IMAGE)), r.integers(0, 10, k), 10
+        )
+
+    return DataSplit(train=dataset(n, seed), test=dataset(2 * BATCH, seed + 100))
+
+
+def _trainer(fast: bool, network_id: int = 4, **overrides) -> Trainer:
+    model = build_network(
+        network_id,
+        paper_schemes()["FL_a"],
+        num_classes=10,
+        image_size=IMAGE,
+        width_scale=1.0,
+        rng=0,
+    )
+    options = {"epochs": 2, "batch_size": BATCH, "fast_path": fast, "seed": 0}
+    options.update(overrides)
+    config = TrainConfig(**options)
+    return Trainer(model, config)
+
+
+class TestBitwiseTrajectory:
+    def test_ten_step_run_identical_to_eager(self):
+        """The acceptance criterion: 10 steps, every array bit for bit."""
+        split = _split()
+        eager, fast = _trainer(False), _trainer(True)
+        history_e = eager.fit(split)
+        history_f = fast.fit(split)
+
+        arrays_e, meta_e = eager.training_state()
+        arrays_f, meta_f = fast.training_state()
+        assert arrays_e.keys() == arrays_f.keys()
+        for name in arrays_e:
+            assert bits(arrays_e[name]) == bits(arrays_f[name]), name
+        assert meta_e["history"] == meta_f["history"]
+        assert meta_e["rng"] == meta_f["rng"]
+        assert json.dumps(history_e.as_dict()) == json.dumps(history_f.as_dict())
+        assert eager._step == fast._step == 2 * STEPS_PER_EPOCH
+
+    def test_fast_path_really_engaged(self):
+        """Parity must not be vacuous: caches were hit, buffers reused."""
+        fast = _trainer(True)
+        fast.fit(_split())
+        assert fast._arena is not None
+        assert fast._arena.reuses > 0
+        workspaces = [
+            layer.quant_workspace
+            for layer in fast._flightnn_layers
+            if layer.quant_workspace is not None
+        ]
+        assert workspaces
+        assert all(ws.hits > 0 for ws in workspaces)
+
+    def test_eager_path_has_no_arena_or_workspaces(self):
+        eager = _trainer(False)
+        assert eager._arena is None
+        assert all(
+            layer.quant_workspace is None for layer in eager._flightnn_layers
+        )
+
+
+class TestRollbackInvalidation:
+    def test_divergence_rollback_invalidates_quantizer_workspaces(self, tmp_path):
+        """Regression (ISSUE 4): a DivergenceMonitor rollback restores old
+        weights; serving the pre-rollback decomposition afterwards would
+        silently corrupt every threshold gradient."""
+        trainer = _trainer(True, epochs=1)
+        checkpoint = TrainingCheckpoint(tmp_path / "store")
+        trainer.fit(_split(), checkpoint=checkpoint, resume=False)
+
+        layers = [
+            layer
+            for layer in trainer._flightnn_layers
+            if layer.quant_workspace is not None
+        ]
+        assert layers
+        # Re-warm every cache, then drift the weights as a divergence would.
+        for layer in layers:
+            layer.quant_workspace.state(layer.weight, layer.thresholds)
+            assert layer.quant_workspace._state is not None
+            layer.weight.data += 0.5
+            layer.weight.bump_version()
+
+        trainer._handle_divergence(checkpoint)
+
+        for layer in layers:
+            assert layer.quant_workspace._state is None  # cache dropped
+            state = layer.quant_workspace.state(layer.weight, layer.thresholds)
+            direct = layer.strategy.quantizer.quantize(
+                layer.weight.data, layer.thresholds.data
+            )
+            assert bits(state.quantized) == bits(direct.quantized)
+
+    def test_rollback_records_event(self, tmp_path):
+        trainer = _trainer(True, epochs=1)
+        checkpoint = TrainingCheckpoint(tmp_path / "store")
+        trainer.fit(_split(), checkpoint=checkpoint, resume=False)
+        trainer._handle_divergence(checkpoint)
+        assert any(e["type"] == "rollback" for e in trainer.history.events)
+
+
+class TestEngineEvalParity:
+    def test_validation_goes_through_engine_and_is_checked_once(self):
+        trainer = _trainer(True, epochs=1)
+        assert not trainer._parity_checked
+        trainer.fit(_split())
+        assert trainer._parity_checked
+        assert trainer._eval_engine is not None  # validation used the engine
+
+    def test_skewed_engine_metrics_raise_parity_error(self):
+        trainer = _trainer(True, epochs=1)
+        split = _split()
+        honest = trainer.evaluate(split.test)
+        skewed = dict(honest, accuracy=honest["accuracy"] + 0.25)
+        with pytest.raises(ParityError, match="accuracy"):
+            trainer._check_eval_parity(skewed, split.test)
+
+    def test_parity_check_runs_only_once(self):
+        trainer = _trainer(True, epochs=1)
+        split = _split()
+        honest = trainer.evaluate(split.test)
+        trainer._check_eval_parity(honest, split.test)
+        # Second call is a no-op even with garbage metrics.
+        trainer._check_eval_parity({"loss": 99.0, "accuracy": 0.0, "top5": 0.0}, split.test)
+
+
+class TestCliFlag:
+    def test_fast_train_flag_parses(self):
+        assert build_parser().parse_args([]).fast_train is False
+        assert build_parser().parse_args(["--fast-train"]).fast_train is True
+
+    def test_fast_train_tiny_run(self, capsys):
+        code = main(
+            [
+                "--network", "4",
+                "--scheme", "FL_a",
+                "--epochs", "1",
+                "--batch-size", "8",
+                "--width-scale", "0.25",
+                "--size-scale", "0.3",
+                "--samples", "48",
+                "--fast-train",
+            ]
+        )
+        assert code == 0
+        assert "epoch" in capsys.readouterr().out.lower()
