@@ -9,7 +9,14 @@ synthetic CIFAR-shaped data for the small Table-1 configurations, plus:
 * the float32 deployment mode (:func:`~repro.infer.plan.plan_dtype`) as a
   supplementary row — it is not used for the parity criterion;
 * engine/eager logit parity for **all eight** Table-1 configs at the
-  engine's default float64 precision.
+  engine's default float64 precision;
+* a sparsity sweep: synthetically sparsified nets
+  (:func:`~repro.quant.sparsify.sparsify_model`) at several dead-filter
+  fractions, timing the sparsity-aware engine (dead-filter pruning +
+  autotuned shift-plane kernels) against the PR 1 dense engine
+  (``PlanConfig(prune=False, kernel="dense")``) so the speedup-vs-sparsity
+  curve is tracked across PRs.  Every engine row also records its plan's
+  kernel choices, k_i histogram and pruned-filter counts.
 
 Timing methodology: the machine's run-to-run variance swamps single-shot
 timings, so each (config, variant) pair is timed ``reps`` times with the
@@ -35,11 +42,12 @@ from pathlib import Path
 import numpy as np
 
 from repro.data.dataset import ArrayDataset
-from repro.infer import InferenceEngine, plan_dtype
+from repro.infer import InferenceEngine, PlanConfig, plan_dtype
 from repro.models.registry import build_network
 from repro.nn.layers.norm import BatchNorm2d
 from repro.nn.tensor import Tensor, no_grad
 from repro.quant.schemes import paper_schemes
+from repro.quant.sparsify import dead_filter_fraction, sparsify_model
 from repro.train.trainer import Trainer
 
 # The Table-1 "small" configurations (sub-megabyte nets 1, 4, 5) drive the
@@ -52,6 +60,13 @@ NUM_CLASSES = 10
 # Parity-table width scale for the big configs (3, 7, 8), which would
 # otherwise dominate the benchmark's runtime without adding structure.
 PARITY_WIDTH_SCALE = {3: 0.25, 7: 0.25, 8: 0.5}
+# Sparsity sweep: nets and synthetic dead-filter fractions for the
+# sparsity-aware-vs-dense speedup curve.  The PR acceptance bar is >= 1.3x
+# at >= 30% dead filters.
+SPARSITY_CONFIGS = (1, 4)
+SPARSITY_FRACTIONS = (0.3, 0.5, 0.7)
+# PR 1 equivalent: no pruning, plain dense im2col GEMM kernels.
+DENSE_BASELINE = PlanConfig(prune=False, kernel="dense")
 
 
 def _build(network_id: int, scheme_key: str = SCHEME, width_scale: float = 1.0, seed: int = 0):
@@ -86,6 +101,29 @@ def _timed(fn) -> float:
     t0 = time.perf_counter()
     fn()
     return time.perf_counter() - t0
+
+
+def _plan_fields(engine: InferenceEngine) -> dict:
+    """Compact plan metadata for a bench row: kernels, k_hist, pruning."""
+    summary = engine.plan_summary()
+    return {
+        "pruned_filters": summary["pruned_filters_total"],
+        "filters_total": summary["filters_total"],
+        "dead_filters_remaining": summary["dead_filters_remaining"],
+        "kernels": summary["kernels"],
+        "k_hist": summary["k_hist"],
+        "layers": [
+            {
+                "op_index": entry["op_index"],
+                "type": entry["type"],
+                "kernel": entry["kernel"],
+                "pruned_filters": entry["pruned_filters"],
+                "dead_remaining": entry["dead_remaining"],
+                "k_hist": entry.get("k_hist"),
+            }
+            for entry in summary["layers"]
+        ],
+    }
 
 
 def _time_config(network_id: int, dataset: ArrayDataset, reps: int, workers: tuple[int, ...]):
@@ -135,8 +173,51 @@ def _time_config(network_id: int, dataset: ArrayDataset, reps: int, workers: tup
             "time_s": med["engine_f32"],
             "speedup_vs_eager": med["eager"] / med["engine_f32"],
         },
+        "plan": _plan_fields(engine),
     }
     return row
+
+
+def _sparsity_row(network_id: int, fraction: float, dataset: ArrayDataset, reps: int) -> dict:
+    """Time the sparsity-aware engine against the dense baseline on one
+    synthetically sparsified net, with a float64 eager-parity check."""
+    model = _build(network_id)
+    report = sparsify_model(model, fraction)
+    dense = InferenceEngine(model, config=DENSE_BASELINE)
+    sparse = InferenceEngine(model)
+
+    variants = {
+        "dense": lambda: dense.evaluate(dataset),
+        "sparse": lambda: sparse.evaluate(dataset),
+    }
+    for fn in variants.values():  # warm caches/buffers outside timing
+        fn()
+    times: dict[str, list[float]] = {k: [] for k in variants}
+    for _ in range(reps):  # interleave variants inside each rep
+        for key, fn in variants.items():
+            times[key].append(_timed(fn))
+    med = {k: statistics.median(v) for k, v in times.items()}
+
+    parity_images = dataset.images[: min(16, len(dataset))]
+    with no_grad():
+        want = model(Tensor(parity_images)).numpy()
+    got = sparse.predict_logits(parity_images)
+
+    n = len(dataset)
+    return {
+        "network_id": network_id,
+        "scheme": SCHEME,
+        "dead_fraction_requested": fraction,
+        "dead_fraction_actual": report["dead_fraction"],
+        "images": n,
+        "dense_s": med["dense"],
+        "sparse_s": med["sparse"],
+        "speedup_vs_dense": med["dense"] / med["sparse"],
+        "dense_images_per_s": n / med["dense"],
+        "sparse_images_per_s": n / med["sparse"],
+        "max_abs_diff": float(np.max(np.abs(got - want))),
+        "plan": _plan_fields(sparse),
+    }
 
 
 def _parity_row(network_id: int, n_images: int = 16):
@@ -159,11 +240,16 @@ def run_benchmark(
     sanity pass (fewer images/reps, one timed config) for the pytest suite."""
     if smoke:
         images, reps, timed_ids = 64, 1, (4,)
+        sparsity_ids, fractions = (4,), (0.4,)
     else:
         timed_ids = TIMED_CONFIGS
+        sparsity_ids, fractions = SPARSITY_CONFIGS, SPARSITY_FRACTIONS
     dataset = _dataset(images)
     configs = [_time_config(nid, dataset, reps, workers) for nid in timed_ids]
     parity = [_parity_row(nid, n_images=8 if smoke else 16) for nid in ALL_CONFIGS]
+    sparsity = [
+        _sparsity_row(nid, frac, dataset, reps) for nid in sparsity_ids for frac in fractions
+    ]
     return {
         "benchmark": "compiled inference engine vs eager Trainer.evaluate",
         "metadata": {
@@ -183,9 +269,13 @@ def run_benchmark(
         },
         "configs": configs,
         "parity_float64": parity,
+        "sparsity_sweep": sparsity,
         "summary": {
             "min_single_worker_speedup": min(c["speedup"] for c in configs),
             "max_parity_abs_diff": max(p["max_abs_diff"] for p in parity),
+            "min_sparsity_speedup": min(s["speedup_vs_dense"] for s in sparsity),
+            "max_sparsity_speedup": max(s["speedup_vs_dense"] for s in sparsity),
+            "max_sparsity_parity_abs_diff": max(s["max_abs_diff"] for s in sparsity),
         },
     }
 
@@ -207,8 +297,17 @@ def main(argv=None) -> None:
             f"eager {row['eager_images_per_s']:.0f} img/s -> engine "
             f"{row['engine_images_per_s']:.0f} img/s ({row['speedup']:.2f}x)"
         )
+    for row in result["sparsity_sweep"]:
+        print(
+            f"net{row['network_id']} sparsity {row['dead_fraction_actual']:.2f}: "
+            f"dense {row['dense_images_per_s']:.0f} img/s -> sparse "
+            f"{row['sparse_images_per_s']:.0f} img/s ({row['speedup_vs_dense']:.2f}x, "
+            f"{row['plan']['pruned_filters']} filters pruned, "
+            f"kernels {row['plan']['kernels']})"
+        )
     print(
         f"min speedup {result['summary']['min_single_worker_speedup']:.2f}x, "
+        f"min sparsity speedup {result['summary']['min_sparsity_speedup']:.2f}x, "
         f"max parity diff {result['summary']['max_parity_abs_diff']:.2e} -> {args.out}"
     )
 

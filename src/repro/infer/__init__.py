@@ -1,23 +1,36 @@
-"""Compiled inference engine (plan / fold / cache / shard).
+"""Compiled inference engine (plan / fold / cache / shard / sparsity).
 
 Turns a trained :class:`~repro.models.network.QuantizedNetwork` into a flat
 grad-free execution plan with quantized-weight caching, conv+BN folding,
-scratch-buffer reuse and multicore batch sharding.  See
+scratch-buffer reuse and multicore batch sharding.  Sparsity-aware passes
+(dead-filter elimination, shift-plane kernels, per-layer kernel autotuning)
+run at plan time under :class:`~repro.infer.plan.PlanConfig`.  See
 :class:`~repro.infer.engine.InferenceEngine` for the entry point.
 """
 
 from repro.infer.engine import InferenceEngine
-from repro.infer.fold import bn_eval_affine
-from repro.infer.plan import ExecutionContext, ExecutionPlan, compile_network, plan_dtype
+from repro.infer.fold import bn_eval_affine, dead_filter_rows
+from repro.infer.plan import (
+    ExecutionContext,
+    ExecutionPlan,
+    PlanConfig,
+    compile_network,
+    plan_dtype,
+)
 from repro.infer.pool import run_sharded, shard_slices
+from repro.infer.shift_plane import build_shift_planes, supports_shift_planes
 
 __all__ = [
     "InferenceEngine",
     "ExecutionContext",
     "ExecutionPlan",
+    "PlanConfig",
     "compile_network",
     "plan_dtype",
     "bn_eval_affine",
+    "dead_filter_rows",
+    "build_shift_planes",
+    "supports_shift_planes",
     "run_sharded",
     "shard_slices",
 ]

@@ -1,0 +1,73 @@
+"""Per-layer kernel autotuning: measure, don't guess.
+
+Whether a shift-plane sum beats one dense GEMM depends on the BLAS kernel
+shapes, the k histogram and how many rows each plane retains — a heuristic
+over those would be wrong somewhere.  Instead, plan compilation executes the
+op list once on a synthetic batch of the model's declared input shape and,
+at each candidate op, times both kernels back to back (best-of-``reps``
+wall time, same warmed scratch buffers) and records the winner on the op.
+
+The pass runs only when ``PlanConfig.kernel == "auto"`` finds candidates —
+layers still carrying dead rows after pruning — so models without sparsity
+pay no calibration cost at all.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.infer.plan import ExecutionContext
+
+__all__ = ["autotune_ops"]
+
+_IMPLS = ("dense", "shift_plane")
+
+
+def autotune_ops(
+    ops: list,
+    candidates: list[int],
+    input_shape: tuple[int, int, int, int],
+    dtype: np.dtype,
+    reps: int = 3,
+) -> dict[int, dict]:
+    """Time dense vs shift-plane per candidate op; set each op's winner.
+
+    Args:
+        ops: The compiled (post-pruning, post-plane-attachment) op list.
+        candidates: ``op.index`` values with planes attached and an
+            undecided kernel.
+        input_shape: NCHW shape of the synthetic calibration batch.
+        dtype: Plan compute dtype.
+        reps: Timing repetitions per kernel; minimum wins.
+
+    Returns:
+        ``{op_index: {"chosen", "dense_s", "shift_plane_s"}}``.
+    """
+    ctx = ExecutionContext()
+    ctx.slots[0] = np.zeros(input_shape, dtype)
+    pending = set(candidates)
+    report: dict[int, dict] = {}
+    for op in ops:
+        if op.index not in pending:
+            op.run(ctx)
+            continue
+        timings: dict[str, float] = {}
+        for impl in _IMPLS:
+            op.impl = impl
+            best = float("inf")
+            for _ in range(max(1, reps)):
+                start = time.perf_counter()
+                op.run(ctx)
+                best = min(best, time.perf_counter() - start)
+            timings[impl] = best
+        chosen = "shift_plane" if timings["shift_plane"] <= timings["dense"] else "dense"
+        op.impl = chosen
+        op.run(ctx)
+        report[op.index] = {
+            "chosen": chosen,
+            "dense_s": timings["dense"],
+            "shift_plane_s": timings["shift_plane"],
+        }
+    return report

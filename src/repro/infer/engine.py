@@ -43,7 +43,7 @@ import numpy as np
 
 from repro.data.dataset import ArrayDataset
 from repro.errors import ConfigurationError, StalePlanError
-from repro.infer.plan import ExecutionContext, ExecutionPlan, compile_network
+from repro.infer.plan import ExecutionContext, ExecutionPlan, PlanConfig, compile_network
 from repro.infer.pool import run_sharded, shard_slices
 from repro.nn.functional import _log_softmax_data
 from repro.nn.module import Module
@@ -71,6 +71,10 @@ class InferenceEngine:
             ``dtype=plan_dtype(model)`` to opt into the float32 deployment
             mode for quantized networks (see
             :func:`~repro.infer.plan.plan_dtype`).
+        config: Sparsity-pass knobs (:class:`~repro.infer.plan.PlanConfig`):
+            dead-filter pruning, kernel selection (dense / shift-plane /
+            autotuned) and the all-dead-layer policy.  The same config is
+            reused on every structural rebuild.
     """
 
     def __init__(
@@ -79,6 +83,7 @@ class InferenceEngine:
         batch_size: int = 32,
         on_stale: str = "refresh",
         dtype: "np.dtype | None" = None,
+        config: PlanConfig | None = None,
     ) -> None:
         if on_stale not in _ON_STALE:
             raise ConfigurationError(f"unknown on_stale policy {on_stale!r}; use one of {_ON_STALE}")
@@ -87,7 +92,8 @@ class InferenceEngine:
         self.model = model
         self.batch_size = batch_size
         self.on_stale = on_stale
-        self.plan: ExecutionPlan = compile_network(model, dtype=dtype)
+        self.config = config or PlanConfig()
+        self.plan: ExecutionPlan = compile_network(model, dtype=dtype, config=self.config)
         self._ctx = ExecutionContext()
         # Serializes stale-check/refresh so concurrent callers never rebuild
         # the same op twice or interleave partial weight/bias swaps.
@@ -115,6 +121,29 @@ class InferenceEngine:
 
     # -- staleness -------------------------------------------------------------
 
+    def _refresh_stale_locked(self, stale: list) -> int:
+        """Refresh under the lock: patch arrays in place when the dead-filter
+        structure is intact, rebuild the whole plan when it is not.
+
+        A pruned plan (cross-layer constant folds) or a stale layer whose
+        dead mask moved (new thresholds → new k histogram → new channel
+        layout) cannot be patched — re-quantizing into the old layout would
+        silently mis-shape or mis-fold.  Recompiling reruns pruning,
+        shift-plane attachment and autotuning against the fresh weights;
+        the plan swap is atomic under the refresh lock, and execution
+        contexts re-bind their scratch buffers by shape automatically.
+        """
+        for b in stale:
+            # Quantize caches may hold arrays from raw .data mutations that
+            # never bumped a version; drop them so both the structure check
+            # and any rebuild see fresh weights.
+            if hasattr(b.layer, "invalidate_weight_cache"):
+                b.layer.invalidate_weight_cache()
+        if self.plan.pruned or self.plan.structure_changed(stale):
+            self.plan = compile_network(self.model, dtype=self.plan.dtype, config=self.config)
+            return len(self.plan.ops)
+        return self.plan.refresh(stale)
+
     def check_stale(self, fingerprint: bool = True) -> int:
         """Apply the ``on_stale`` policy; returns the number of ops rebuilt.
 
@@ -133,12 +162,26 @@ class InferenceEngine:
                     f"{len(stale)} plan op(s) reference mutated weights ({', '.join(layers)}); "
                     "call refresh() or construct the engine with on_stale='refresh'"
                 )
-            return self.plan.refresh(stale)
+            return self._refresh_stale_locked(stale)
 
     def refresh(self) -> int:
-        """Force re-derivation of every stale op; returns ops rebuilt."""
+        """Force re-derivation of every stale op; returns ops rebuilt.
+
+        Falls back to a full plan rebuild when the stale weights changed
+        the dead-filter structure (see :meth:`_refresh_stale_locked`) — the
+        serving layer's hot weight refresh relies on this to rebuild
+        pruning/shift-plane/autotune state instead of re-quantizing into a
+        stale channel layout.
+        """
         with self._refresh_lock:
-            return self.plan.refresh()
+            stale = self.plan.stale_bindings()
+            if not stale:
+                return 0
+            return self._refresh_stale_locked(stale)
+
+    def plan_summary(self) -> dict:
+        """Current plan metadata (kernel choices, k histograms, pruning)."""
+        return self.plan.summary()
 
     # -- prediction ------------------------------------------------------------
 

@@ -20,7 +20,13 @@ import numpy as np
 
 from repro.nn.layers.norm import BatchNorm2d
 
-__all__ = ["bn_eval_affine", "fold_scale_into_weight", "bn_fingerprint"]
+__all__ = [
+    "bn_eval_affine",
+    "fold_scale_into_weight",
+    "bn_fingerprint",
+    "dead_filter_rows",
+    "slim_filter_rows",
+]
 
 
 def bn_eval_affine(bn: BatchNorm2d) -> tuple[np.ndarray, np.ndarray]:
@@ -34,6 +40,26 @@ def bn_eval_affine(bn: BatchNorm2d) -> tuple[np.ndarray, np.ndarray]:
 def fold_scale_into_weight(weight2d: np.ndarray, scale: np.ndarray) -> np.ndarray:
     """Scale each filter row of a flattened ``(F, C*kh*kw)`` weight matrix."""
     return weight2d * scale[:, None]
+
+
+def dead_filter_rows(weight2d: np.ndarray) -> np.ndarray:
+    """Indices of all-zero rows of a flattened ``(F, ...)`` weight matrix.
+
+    After BN-scale folding these are exactly the filters whose output is a
+    constant (their folded bias) everywhere — the targets of plan-time
+    dead-filter elimination.  Zero weights contribute nothing through any
+    padding, so the constant holds at the borders too.
+    """
+    w = np.asarray(weight2d)
+    return np.flatnonzero(~w.any(axis=1))
+
+
+def slim_filter_rows(
+    weight2d: np.ndarray, bias: np.ndarray | None, live: np.ndarray
+) -> tuple[np.ndarray, np.ndarray | None]:
+    """Drop pruned filter rows from a folded ``(weight2d, bias)`` pair."""
+    w = np.ascontiguousarray(weight2d[live])
+    return w, None if bias is None else np.ascontiguousarray(bias[live])
 
 
 def bn_fingerprint(bn: BatchNorm2d) -> tuple:

@@ -12,7 +12,13 @@ once:
 * eval-mode batch-norm is folded into the preceding convolution's effective
   per-filter scale and bias (see :mod:`repro.infer.fold`), so BN ops vanish;
 * elementwise ops (Leaky ReLU, activation quantizers) are marked in-place
-  wherever their input buffer has no other reader.
+  wherever their input buffer has no other reader;
+* with :class:`PlanConfig` (the default), dead quantized filters
+  (``k_i = 0`` — all-zero rows) are physically eliminated and the channel
+  slimming propagated downstream (:mod:`repro.infer.prune`), shift-plane
+  kernels are attached where the quantized structure supports them
+  (:mod:`repro.infer.shift_plane`), and a small calibration pass picks the
+  faster kernel per layer (:mod:`repro.infer.autotune`).
 
 Execution uses an :class:`ExecutionContext` of preallocated scratch buffers
 (im2col columns, padded inputs, matmul outputs) that are reused across
@@ -22,14 +28,19 @@ no autograd graph.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 from numpy.lib.stride_tricks import as_strided
 
-from repro.errors import CompileError, ShapeError
-from repro.infer.fold import bn_eval_affine, bn_fingerprint, fold_scale_into_weight
+from repro.errors import CompileError, ConfigurationError, ShapeError, StalePlanError
+from repro.infer.fold import (
+    bn_eval_affine,
+    bn_fingerprint,
+    dead_filter_rows,
+    fold_scale_into_weight,
+)
 from repro.nn.layers.activation import LeakyReLU, ReLU
 from repro.nn.layers.container import Flatten, Identity, Sequential
 from repro.nn.layers.conv import Conv2d
@@ -42,7 +53,63 @@ from repro.nn.tensor import Tensor, no_grad
 from repro.quant.activations import QuantizedActivation
 from repro.quant.qlayers import QConv2d, QLinear
 
-__all__ = ["ExecutionContext", "ExecutionPlan", "compile_network", "execute_ops", "plan_dtype"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.infer.shift_plane import ShiftPlaneSet
+
+__all__ = [
+    "ExecutionContext",
+    "ExecutionPlan",
+    "PlanConfig",
+    "compile_network",
+    "execute_ops",
+    "plan_dtype",
+]
+
+_KERNELS = ("auto", "dense", "shift_plane")
+_ALL_DEAD = ("keep", "error")
+
+
+@dataclass(frozen=True)
+class PlanConfig:
+    """Knobs for the sparsity-aware compilation passes.
+
+    Attributes:
+        prune: Eliminate dead filters (``k_i = 0`` / all-zero quantized
+            rows) at plan time and propagate the channel slimming through
+            downstream ops.  Output parity with eager is preserved exactly
+            (the dead filters' constant contributions are folded into
+            downstream biases).
+        all_dead: Policy for a layer whose filters are *all* dead:
+            ``"keep"`` leaves the layer in place as a constant producer
+            (passthrough), ``"error"`` raises
+            :class:`~repro.errors.CompileError`.
+        kernel: Per-layer compute kernel: ``"dense"`` forces the plain
+            im2col GEMM everywhere, ``"shift_plane"`` forces the
+            power-of-two plane decomposition wherever the quantizer
+            supports it, and ``"auto"`` (default) builds shift planes for
+            layers that still carry dead rows after pruning and lets the
+            calibration pass pick the faster kernel per layer.
+        autotune_batch: Batch size of the synthetic calibration input used
+            to time kernel candidates (``"auto"`` only).
+        autotune_reps: Timing repetitions per kernel candidate; the best
+            (minimum) time wins.
+    """
+
+    prune: bool = True
+    all_dead: str = "keep"
+    kernel: str = "auto"
+    autotune_batch: int = 16
+    autotune_reps: int = 3
+
+    def __post_init__(self) -> None:
+        if self.kernel not in _KERNELS:
+            raise ConfigurationError(f"unknown kernel {self.kernel!r}; use one of {_KERNELS}")
+        if self.all_dead not in _ALL_DEAD:
+            raise ConfigurationError(
+                f"unknown all_dead policy {self.all_dead!r}; use one of {_ALL_DEAD}"
+            )
+        if self.autotune_batch < 1 or self.autotune_reps < 1:
+            raise ConfigurationError("autotune_batch and autotune_reps must be >= 1")
 
 
 class ExecutionContext:
@@ -77,9 +144,49 @@ class ExecutionContext:
 # -- ops ---------------------------------------------------------------------
 
 
+def _im2col_single(x: np.ndarray, k: int, s: int, p: int) -> tuple[np.ndarray, int, int]:
+    """One-off im2col (allocating, no context) — same layout as ConvOp.run.
+
+    Used to materialize the dead-input bias maps at first execution; the hot
+    path keeps using the buffer-pooled version inside :meth:`ConvOp.run`.
+    """
+    n, c, h, w = x.shape
+    if k == 1 and s == 1 and p == 0:
+        return x.reshape(n, c, h * w), h, w
+    if p:
+        xp = np.zeros((n, c, h + 2 * p, w + 2 * p), x.dtype)
+        xp[:, :, p:-p, p:-p] = x
+        x = xp
+    oh = (h + 2 * p - k) // s + 1
+    ow = (w + 2 * p - k) // s + 1
+    sn, sc, sh, sw = x.strides
+    windows = as_strided(
+        x,
+        shape=(n, c, k, k, oh, ow),
+        strides=(sn, sc, sh, sw, sh * s, sw * s),
+        writeable=False,
+    )
+    cols = np.empty((n, c * k * k, oh * ow), x.dtype)
+    cols.reshape(n, c, k, k, oh, ow)[...] = windows
+    return cols, oh, ow
+
+
 @dataclass
 class ConvOp:
-    """Fused convolution: im2col matmul + folded BN scale/shift epilogue."""
+    """Fused convolution: im2col matmul + folded BN scale/shift epilogue.
+
+    Sparsity-aware extensions (set by the compilation passes, all optional):
+
+    * ``impl`` selects the compute kernel — ``"dense"`` (one GEMM) or
+      ``"shift_plane"`` (sum of per-level plane GEMMs over ``shift``);
+    * ``live_rows`` / ``in_live_cols`` record which original filter rows /
+      weight columns survived dead-filter pruning (``None`` = all);
+    * ``dead_in_weight2d`` / ``dead_in_consts`` hold the removed input
+      columns and the constant channel values feeding them: their product
+      is a spatially-varying per-filter bias map (padding makes border
+      pixels see fewer constant taps), materialized lazily per input
+      spatial size and cached in ``dead_maps``.
+    """
 
     index: int
     src: int
@@ -89,6 +196,28 @@ class ConvOp:
     kernel: int
     stride: int
     padding: int
+    impl: str = "dense"
+    shift: "ShiftPlaneSet | None" = None
+    live_rows: np.ndarray | None = None
+    in_live_cols: np.ndarray | None = None
+    dead_in_weight2d: np.ndarray | None = None
+    dead_in_consts: np.ndarray | None = None
+    dead_maps: dict = field(default_factory=dict, repr=False)
+
+    def _dead_bias_map(self, h: int, w: int) -> np.ndarray:
+        """(F, oh*ow) constant contribution of the pruned input channels."""
+        cached = self.dead_maps.get((h, w))
+        if cached is None:
+            c_dead = self.dead_in_consts.shape[0]
+            plane = np.empty((1, c_dead, h, w), self.dead_in_weight2d.dtype)
+            plane[0] = self.dead_in_consts[:, None, None]
+            cols, _, _ = _im2col_single(plane, self.kernel, self.stride, self.padding)
+            cached = np.matmul(self.dead_in_weight2d, cols[0])
+            # Benign race under concurrent contexts: idempotent value, and
+            # plain dict assignment keeps the op picklable for the process
+            # pool backend (no locks on ops).
+            self.dead_maps[(h, w)] = cached
+        return cached
 
     def run(self, ctx: ExecutionContext) -> None:
         x = ctx.slots[self.src]
@@ -114,26 +243,82 @@ class ConvOp:
             cols = ctx.buffer(self.index, "cols", (n, c * k * k, oh * ow), x.dtype)
             cols.reshape(n, c, k, k, oh, ow)[...] = windows
         out = ctx.buffer(self.index, "out", (n, f, oh * ow), x.dtype)
-        np.matmul(self.weight2d, cols, out=out)
+        if self.impl == "shift_plane" and self.shift is not None:
+            out[...] = 0.0
+            for level, plane in enumerate(self.shift.planes):
+                if plane.col_index is None:
+                    sel = cols
+                else:
+                    sel = ctx.buffer(
+                        self.index, f"cols{level}", (n, plane.col_index.size, oh * ow), x.dtype
+                    )
+                    np.take(cols, plane.col_index, axis=1, out=sel)
+                if plane.rows is None:
+                    part = ctx.buffer(self.index, f"part{level}", (n, f, oh * ow), x.dtype)
+                    np.matmul(plane.weight, sel, out=part)
+                    out += part
+                else:
+                    part = ctx.buffer(
+                        self.index, f"part{level}", (n, plane.rows.size, oh * ow), x.dtype
+                    )
+                    np.matmul(plane.weight, sel, out=part)
+                    out[:, plane.rows, :] += part
+        else:
+            np.matmul(self.weight2d, cols, out=out)
         if self.bias is not None:
             out += self.bias[:, None]
+        if self.dead_in_weight2d is not None:
+            out += self._dead_bias_map(h, w)
         ctx.slots[self.dst] = out.reshape(n, f, oh, ow)
 
 
 @dataclass
 class LinearOp:
-    """Affine map ``x @ W.T + b`` with the quantized weight cached."""
+    """Affine map ``x @ W.T + b`` with the quantized weight cached.
+
+    Carries the same sparsity extensions as :class:`ConvOp` (``impl``,
+    ``shift``, ``live_rows``, ``in_live_cols``); pruned input features need
+    no bias *map* here — their constant contribution is spatially uniform
+    and is folded straight into ``bias`` at prune time.
+    """
 
     index: int
     src: int
     dst: int
     weight_t: np.ndarray  # (in, out) — pre-transposed quantized weight
     bias: np.ndarray | None
+    impl: str = "dense"
+    shift: "ShiftPlaneSet | None" = None
+    live_rows: np.ndarray | None = None
+    in_live_cols: np.ndarray | None = None
 
     def run(self, ctx: ExecutionContext) -> None:
         x = ctx.slots[self.src]
         out = ctx.buffer(self.index, "out", (x.shape[0], self.weight_t.shape[1]), x.dtype)
-        np.matmul(x, self.weight_t, out=out)
+        if self.impl == "shift_plane" and self.shift is not None:
+            out[...] = 0.0
+            for level, plane in enumerate(self.shift.planes):
+                if plane.col_index is None:
+                    sel = x
+                else:
+                    sel = ctx.buffer(
+                        self.index, f"in{level}", (x.shape[0], plane.col_index.size), x.dtype
+                    )
+                    np.take(x, plane.col_index, axis=1, out=sel)
+                if plane.rows is None:
+                    part = ctx.buffer(
+                        self.index, f"part{level}", (x.shape[0], out.shape[1]), x.dtype
+                    )
+                    np.matmul(sel, plane.weight, out=part)
+                    out += part
+                else:
+                    part = ctx.buffer(
+                        self.index, f"part{level}", (x.shape[0], plane.rows.size), x.dtype
+                    )
+                    np.matmul(sel, plane.weight, out=part)
+                    out[:, plane.rows] += part
+        else:
+            np.matmul(x, self.weight_t, out=out)
         if self.bias is not None:
             out += self.bias
         ctx.slots[self.dst] = out
@@ -342,6 +527,7 @@ class WeightBinding:
     bn: BatchNorm2d | None
     built_key: tuple = ()
     built_fp: tuple = ()
+    built_dead: tuple = ()  # dead-row indices of the folded weights at build
 
     def current_key(self) -> tuple:
         """Version vector of every tensor the op's arrays derive from."""
@@ -356,9 +542,30 @@ class WeightBinding:
 
     def current_fp(self) -> tuple:
         """Content fingerprint catching raw ``.data`` mutations that bypass
-        the version counters."""
+        the version counters.  Covers the thresholds too: for FLightNN a
+        raw threshold edit changes the quantized weights (and possibly the
+        dead-filter structure) without touching the master weight."""
         w = self.layer.weight.data
-        return (float(w.sum()), float(np.abs(w).sum()))
+        fp: list[float] = [float(w.sum()), float(np.abs(w).sum())]
+        thresholds = getattr(self.layer, "thresholds", None)
+        if thresholds is not None:
+            t = thresholds.data
+            fp.extend([float(t.sum()), float(np.abs(t).sum())])
+        return tuple(fp)
+
+    def current_dead(self) -> tuple:
+        """Dead-row indices the layer's *current* folded weights would have.
+
+        This is the plan's structural signature: pruning decisions and shift
+        planes were derived from it, so a refresh that changes it (e.g. new
+        thresholds moving the k histogram) must rebuild the whole plan
+        rather than patch arrays into the old channel layout.
+        """
+        if hasattr(self.layer, "kernel_size"):
+            weight2d, _ = _conv_arrays(self.layer, self.bn, np.float64)
+            return tuple(int(i) for i in dead_filter_rows(weight2d))
+        weight_t, _ = _linear_arrays(self.layer, np.float64)
+        return tuple(int(i) for i in dead_filter_rows(weight_t.T))
 
 
 class ExecutionPlan:
@@ -378,14 +585,59 @@ class ExecutionPlan:
         out_slot: int,
         bindings: list[WeightBinding],
         dtype: np.dtype = np.float64,
+        config: PlanConfig | None = None,
+        layer_info: list[dict] | None = None,
+        pruned: bool = False,
     ) -> None:
         self.ops = ops
         self.out_slot = out_slot
         self.bindings = bindings
         self.dtype = np.dtype(dtype)
+        self.config = config or PlanConfig()
+        #: Per weighted layer: kernel choice, k histogram, pruned counts…
+        #: (see :func:`_collect_layer_info`); surfaced through
+        #: :meth:`summary` into ``/metrics``.
+        self.layer_info = layer_info or []
+        #: Whether dead-filter elimination removed anything.  A pruned plan
+        #: contains cross-layer constant folds, so stale weights require a
+        #: full recompile instead of a per-binding array patch.
+        self.pruned = pruned
 
     def __len__(self) -> int:
         return len(self.ops)
+
+    def summary(self) -> dict:
+        """Plan metadata: kernel choices, k histograms, pruning counts."""
+        kernels: dict[str, int] = {}
+        k_hist: list[int] = []
+        filters_total = pruned_total = dead_remaining = 0
+        for entry in self.layer_info:
+            kernels[entry["kernel"]] = kernels.get(entry["kernel"], 0) + 1
+            filters_total += entry["filters"]
+            pruned_total += entry["pruned_filters"]
+            dead_remaining += entry["dead_remaining"]
+            hist = entry.get("k_hist")
+            if hist:
+                if len(hist) > len(k_hist):
+                    k_hist.extend([0] * (len(hist) - len(k_hist)))
+                for k, count in enumerate(hist):
+                    k_hist[k] += count
+        return {
+            "dtype": str(self.dtype),
+            "ops": len(self.ops),
+            "pruned": self.pruned,
+            "filters_total": filters_total,
+            "pruned_filters_total": pruned_total,
+            "dead_filters_remaining": dead_remaining,
+            "kernels": kernels,
+            "k_hist": k_hist,
+            "config": {
+                "prune": self.config.prune,
+                "all_dead": self.config.all_dead,
+                "kernel": self.config.kernel,
+            },
+            "layers": self.layer_info,
+        }
 
     def execute(self, x: np.ndarray, ctx: ExecutionContext) -> np.ndarray:
         """Run one batch through the plan (see :func:`execute_ops`)."""
@@ -409,15 +661,40 @@ class ExecutionPlan:
                 stale.append(b)
         return stale
 
+    def structure_changed(self, bindings: list[WeightBinding] | None = None) -> bool:
+        """Whether any binding's dead-filter structure drifted since build.
+
+        When true, an in-place :meth:`refresh` would re-quantize into a
+        channel layout derived from the *old* k histogram; the plan must be
+        rebuilt from scratch (``InferenceEngine`` does this automatically).
+        """
+        if bindings is None:
+            bindings = self.bindings
+        return any(b.current_dead() != b.built_dead for b in bindings)
+
     def refresh(self, bindings: list[WeightBinding] | None = None) -> int:
         """Re-derive op arrays for ``bindings`` (default: the stale ones).
 
         Returns the number of ops rebuilt.  Layers whose version counters
         moved re-quantize through the layer cache; raw-mutation layers have
         their cache dropped first so the re-quantization sees fresh data.
+
+        Raises:
+            StalePlanError: If the plan was pruned.  Pruned plans contain
+                cross-layer constant folds (removed channels folded into
+                downstream biases), so per-binding patching would
+                re-quantize into a channel layout derived from the old k
+                histogram.  Rebuild via :func:`compile_network` instead
+                (the engine's refresh path does this transparently).
         """
         if bindings is None:
             bindings = self.stale_bindings()
+        if bindings and self.pruned:
+            raise StalePlanError(
+                "the plan was compiled with dead-filter pruning; its cross-layer "
+                "constant folds cannot be patched per binding — recompile via "
+                "compile_network (InferenceEngine.refresh does this automatically)"
+            )
         for b in bindings:
             if hasattr(b.layer, "invalidate_weight_cache"):
                 b.layer.invalidate_weight_cache()
@@ -428,8 +705,20 @@ class ExecutionPlan:
             elif isinstance(op, LinearOp):
                 weight_t, bias = _linear_arrays(b.layer, self.dtype)
                 op.weight_t, op.bias = weight_t, bias
+            if op.shift is not None:
+                from repro.infer.shift_plane import build_shift_planes
+
+                op.shift = build_shift_planes(
+                    b.layer,
+                    b.bn,
+                    self.dtype,
+                    live_rows=op.live_rows,
+                    col_index=op.in_live_cols,
+                    linear=isinstance(op, LinearOp),
+                )
             b.built_key = b.current_key()
             b.built_fp = b.current_fp()
+            b.built_dead = b.current_dead()
         return len(bindings)
 
 
@@ -600,6 +889,7 @@ class _Compiler:
         binding = WeightBinding(op_index, layer, bn)
         binding.built_key = binding.current_key()
         binding.built_fp = binding.current_fp()
+        binding.built_dead = binding.current_dead()
         self.bindings.append(binding)
 
     def mark_inplace(self) -> None:
@@ -654,7 +944,58 @@ def plan_dtype(model: Module) -> np.dtype:
     return np.dtype(np.float64)
 
 
-def compile_network(model: Module, dtype: "np.dtype | None" = None) -> ExecutionPlan:
+def _calibration_shape(model: Module, config: PlanConfig) -> tuple[int, int, int, int] | None:
+    """NCHW shape of the synthetic autotune batch, if the model declares it."""
+    channels = getattr(model, "in_channels", None)
+    size = getattr(model, "image_size", None)
+    if not isinstance(channels, int) or not isinstance(size, int):
+        return None
+    return (config.autotune_batch, channels, size, size)
+
+
+def _collect_layer_info(
+    ops: list,
+    bindings: list[WeightBinding],
+    prune_report: dict,
+    autotune_report: dict,
+) -> list[dict]:
+    """Per-layer plan metadata: kernel choice, k histogram, pruned counts."""
+    layers = []
+    prune_layers = prune_report.get("layers", {})
+    for b in bindings:
+        op = ops[b.op_index]
+        is_linear = isinstance(op, LinearOp)
+        w = op.weight_t.T if is_linear else op.weight2d
+        built_rows = int(np.asarray(b.layer.weight.data).shape[0])
+        built_cols = int(np.prod(np.asarray(b.layer.weight.data).shape[1:]))
+        entry: dict[str, Any] = {
+            "op_index": b.op_index,
+            "type": "linear" if is_linear else "conv",
+            "filters": built_rows,
+            "pruned_filters": built_rows - int(w.shape[0]),
+            "pruned_inputs": built_cols - int(w.shape[1]),
+            "dead_remaining": int(dead_filter_rows(w).size),
+            "kernel": op.impl,
+            "planes": 0 if op.shift is None else len(op.shift.planes),
+        }
+        if hasattr(b.layer, "filter_k"):
+            k = np.asarray(b.layer.filter_k())
+            entry["k_hist"] = np.bincount(k, minlength=int(k.max(initial=0)) + 1).tolist()
+        pruned = prune_layers.get(b.op_index)
+        if pruned is not None and pruned.get("blocked"):
+            entry["blocked"] = pruned["blocked"]
+        tuned = autotune_report.get(b.op_index)
+        if tuned is not None:
+            entry["autotune"] = tuned
+        layers.append(entry)
+    return layers
+
+
+def compile_network(
+    model: Module,
+    dtype: "np.dtype | None" = None,
+    config: PlanConfig | None = None,
+) -> ExecutionPlan:
     """Compile ``model`` into a flat, grad-free :class:`ExecutionPlan`.
 
     Works on any module tree built from the repo's layer catalogue; a
@@ -663,7 +1004,14 @@ def compile_network(model: Module, dtype: "np.dtype | None" = None) -> Execution
     :class:`~repro.errors.CompileError` for module types with no lowering
     rule.  ``dtype`` defaults to float64, which reproduces eager logits to
     ~1e-13; see :func:`plan_dtype` for the float32 deployment mode.
+
+    After lowering, the sparsity passes run under ``config`` (defaults to
+    :class:`PlanConfig`): dead-filter elimination, shift-plane attachment
+    and — when ``kernel="auto"`` finds candidates — per-layer kernel
+    autotuning on a synthetic calibration batch.  On models with no dead
+    filters all three passes are no-ops and compilation cost is unchanged.
     """
+    cfg = config or PlanConfig()
     compiler = _Compiler(np.float64 if dtype is None else np.dtype(dtype))
     if hasattr(model, "features") and hasattr(model, "classifier"):
         out = compiler.emit(model.features, 0)
@@ -672,5 +1020,33 @@ def compile_network(model: Module, dtype: "np.dtype | None" = None) -> Execution
         out = compiler.emit(model, 0)
     if not compiler.ops:
         raise CompileError("model compiled to an empty plan")
+    prune_report: dict = {}
+    if cfg.prune:
+        from repro.infer.prune import prune_plan
+
+        prune_report = prune_plan(compiler.ops, compiler.bindings, out, compiler.dtype, cfg)
+    from repro.infer.shift_plane import attach_shift_planes
+
+    candidates = attach_shift_planes(compiler.ops, compiler.bindings, compiler.dtype, cfg)
     compiler.mark_inplace()
-    return ExecutionPlan(compiler.ops, out, compiler.bindings, compiler.dtype)
+    autotune_report: dict = {}
+    if cfg.kernel == "auto" and candidates:
+        shape = _calibration_shape(model, cfg)
+        if shape is not None:
+            from repro.infer.autotune import autotune_ops
+
+            autotune_report = autotune_ops(
+                compiler.ops, candidates, shape, compiler.dtype, cfg.autotune_reps
+            )
+    layer_info = _collect_layer_info(
+        compiler.ops, compiler.bindings, prune_report, autotune_report
+    )
+    return ExecutionPlan(
+        compiler.ops,
+        out,
+        compiler.bindings,
+        compiler.dtype,
+        config=cfg,
+        layer_info=layer_info,
+        pruned=prune_report.get("pruned_filters", 0) > 0,
+    )

@@ -1,0 +1,203 @@
+"""Shift-plane kernels: exponent-grouped GEMMs over the k_i structure.
+
+The paper's Fig. 3 decomposition splits a flexible-k filter bank into
+``<= k_max`` single-shift banks: level ``j`` holds each filter's ``j``-th
+signed power-of-two term, and a filter with ``k_i < j`` contributes nothing
+to plane ``j``.  The engine's dense kernel ignores that structure — every
+filter pays full ``k_max`` GEMM cost.  This module rebuilds it at plan time:
+
+* each quantized weight tensor is decomposed (FLightNN via its gates,
+  LightNN by replaying the greedy recursion), routed through the *hardware
+  encoding* (:mod:`repro.quant.encoding`) and decoded back plane by plane —
+  so the kernel computes exactly what an FPGA weight memory holds;
+* per plane, only the rows (filters) with a surviving term participate in
+  that plane's GEMM, and a per-plane channel mask drops input channels the
+  plane never reads — total multiply work is proportional to the k_i
+  histogram instead of ``F x C`` dense cost;
+* BN scale folds into each plane's rows (scaling a power of two is exact in
+  floating point), and the plan's folded bias is applied once in the op
+  epilogue, so ``sum of plane GEMMs + bias == dense GEMM + bias`` up to
+  summation order.
+
+Whether the plane sum actually beats one dense GEMM depends on the BLAS
+and the layer shape — which is why kernel selection defaults to measurement
+(:mod:`repro.infer.autotune`) rather than a heuristic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.infer.fold import bn_eval_affine
+from repro.quant.decompose import decompose_filter_bank, decompose_lightnn_bank
+from repro.quant.encoding import decode_plane, encode_terms
+from repro.quant.qlayers import FLightNNWeights, LightNNWeights
+
+__all__ = ["ShiftPlane", "ShiftPlaneSet", "supports_shift_planes", "build_shift_planes"]
+
+# Keep a plane's channel mask only when it drops at least this fraction of
+# the columns; a near-full gather costs more than the GEMM work it saves.
+_MASK_MAX_ACTIVE = 0.75
+
+
+@dataclass
+class ShiftPlane:
+    """One level of the decomposition, restricted to its active support.
+
+    Attributes:
+        level: Decomposition level ``j`` (0-based).
+        rows: Row indices (in the op's possibly-pruned output space) with a
+            nonzero term at this level, or ``None`` when every row is
+            active (skip the scatter).
+        weight: Conv: ``(rows, cols)`` plane matrix for ``plane @ cols``;
+            linear: ``(cols, rows)`` pre-transposed for ``x @ plane``.
+            BN-scale folded, cast to the plan dtype.
+        col_index: Column indices (into the op's input-column space) this
+            plane reads, or ``None`` for all columns.
+    """
+
+    level: int
+    rows: np.ndarray | None
+    weight: np.ndarray
+    col_index: np.ndarray | None
+
+
+@dataclass
+class ShiftPlaneSet:
+    """All surviving planes of one weight tensor plus summary metadata."""
+
+    planes: list[ShiftPlane]
+    k_max: int
+    rows_per_level: tuple[int, ...]
+
+    @property
+    def total_row_work(self) -> int:
+        """Sum of active rows across planes — the kernel's GEMM row count."""
+        return int(sum(self.rows_per_level))
+
+
+def supports_shift_planes(layer) -> bool:
+    """Whether ``layer``'s strategy decomposes into power-of-two planes."""
+    strategy = getattr(layer, "strategy", None)
+    return isinstance(strategy, (FLightNNWeights, LightNNWeights))
+
+
+def _layer_bank(layer):
+    strategy = layer.strategy
+    if isinstance(strategy, FLightNNWeights):
+        quantizer = strategy.quantizer
+        bank = decompose_filter_bank(layer.weight.data, layer.thresholds.data, quantizer)
+        return bank, quantizer.config.pow2
+    quantizer = strategy.quantizer
+    bank = decompose_lightnn_bank(layer.weight.data, quantizer.config.k, quantizer.config.pow2)
+    return bank, quantizer.config.pow2
+
+
+def build_shift_planes(
+    layer,
+    bn,
+    dtype: np.dtype,
+    live_rows: np.ndarray | None = None,
+    col_index: np.ndarray | None = None,
+    linear: bool = False,
+) -> "ShiftPlaneSet | None":
+    """Decompose ``layer``'s quantized weights into engine-ready planes.
+
+    Args:
+        layer: A :class:`~repro.quant.qlayers.QConv2d` / ``QLinear`` with a
+            FLightNN or LightNN strategy (returns ``None`` otherwise).
+        bn: Folded batch-norm (conv only); its scale multiplies each plane.
+        dtype: Plan compute dtype for the plane matrices.
+        live_rows: Original filter rows surviving pruning (``None`` = all);
+            plane rows are expressed in this slimmed row space.
+        col_index: Original weight-column indices surviving upstream
+            pruning (``None`` = all); planes are sliced to match the op's
+            column layout before masking.
+        linear: Store planes pre-transposed for the ``x @ W`` orientation.
+    """
+    if not supports_shift_planes(layer):
+        return None
+    bank, pow2 = _layer_bank(layer)
+    encoded = encode_terms(bank, pow2)
+    scale = None
+    if bn is not None:
+        scale, _ = bn_eval_affine(bn)
+    filters = np.asarray(layer.weight.data).shape[0]
+    kk = 1 if linear else layer.kernel_size * layer.kernel_size
+    planes: list[ShiftPlane] = []
+    rows_per_level: list[int] = []
+    for level in range(encoded.signs.shape[0]):
+        plane = decode_plane(encoded, level).reshape(filters, -1)
+        if scale is not None:
+            plane = plane * scale[:, None]
+        if live_rows is not None:
+            plane = plane[live_rows]
+        if col_index is not None:
+            plane = plane[:, col_index]
+        rows = np.flatnonzero(plane.any(axis=1))
+        rows_per_level.append(int(rows.size))
+        if rows.size == 0:
+            continue
+        sub = plane[rows]
+        active = sub.any(axis=0)
+        if not linear:
+            # Mask at channel granularity: a conv column belongs to the
+            # channel block of its *original* column index.
+            original_cols = col_index if col_index is not None else np.arange(plane.shape[1])
+            channel_of_col = np.asarray(original_cols) // kk
+            channel_active = np.zeros(int(channel_of_col.max()) + 1, dtype=bool)
+            channel_active[channel_of_col[active]] = True
+            active = channel_active[channel_of_col]
+        cidx = None
+        if not active.all() and active.mean() <= _MASK_MAX_ACTIVE:
+            cidx = np.flatnonzero(active)
+            sub = sub[:, cidx]
+        weight = np.ascontiguousarray(sub.T if linear else sub, dtype=dtype)
+        row_index = None if rows.size == plane.shape[0] else rows
+        planes.append(ShiftPlane(level, row_index, weight, cidx))
+    return ShiftPlaneSet(
+        planes=planes,
+        k_max=int(encoded.signs.shape[0]),
+        rows_per_level=tuple(rows_per_level),
+    )
+
+
+def attach_shift_planes(ops, bindings, dtype: np.dtype, config) -> list[int]:
+    """Build planes per the config's kernel policy; returns autotune candidates.
+
+    ``"dense"`` attaches nothing.  ``"shift_plane"`` forces the plane
+    kernel wherever the quantizer supports it.  ``"auto"`` builds planes
+    only for layers still carrying dead rows after pruning — the one case
+    where the plane sum can skip work the dense GEMM must pay — and leaves
+    the final choice to the calibration pass.
+    """
+    candidates: list[int] = []
+    if config.kernel == "dense":
+        return candidates
+    for binding in bindings:
+        op = ops[binding.op_index]
+        layer = binding.layer
+        if not supports_shift_planes(layer):
+            continue
+        linear = hasattr(op, "weight_t")
+        current = op.weight_t.T if linear else op.weight2d
+        if config.kernel == "auto" and current.any(axis=1).all():
+            continue
+        shift = build_shift_planes(
+            layer,
+            binding.bn,
+            dtype,
+            live_rows=op.live_rows,
+            col_index=op.in_live_cols,
+            linear=linear,
+        )
+        if shift is None:
+            continue
+        op.shift = shift
+        if config.kernel == "shift_plane":
+            op.impl = "shift_plane"
+        else:
+            candidates.append(binding.op_index)
+    return candidates

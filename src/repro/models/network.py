@@ -52,17 +52,19 @@ class QuantizedNetwork(Module):
     def forward(self, x: Tensor) -> Tensor:
         return self.classifier(self.features(x))
 
-    def compile(self, batch_size: int = 32, on_stale: str = "refresh"):
+    def compile(self, batch_size: int = 32, on_stale: str = "refresh", config=None):
         """Compile this network into an :class:`~repro.infer.InferenceEngine`.
 
         The engine quantizes each layer's weights once, folds batch-norm
         into the convolutions and serves grad-free batched prediction; see
-        :mod:`repro.infer`.
+        :mod:`repro.infer`.  ``config`` forwards a
+        :class:`~repro.infer.PlanConfig` controlling the sparsity passes
+        (dead-filter pruning, shift-plane kernels, autotuning).
         """
         # Imported here to avoid a models <-> infer import cycle.
         from repro.infer.engine import InferenceEngine
 
-        return InferenceEngine(self, batch_size=batch_size, on_stale=on_stale)
+        return InferenceEngine(self, batch_size=batch_size, on_stale=on_stale, config=config)
 
     # -- layer access ------------------------------------------------------------
 

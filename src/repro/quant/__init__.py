@@ -31,7 +31,12 @@ from repro.quant.activations import (
     quantize_activations,
 )
 from repro.quant.regularization import regularization_curve, residual_group_lasso
-from repro.quant.decompose import DecomposedFilterBank, decompose_filter_bank
+from repro.quant.decompose import (
+    DecomposedFilterBank,
+    decompose_filter_bank,
+    decompose_lightnn_bank,
+)
+from repro.quant.sparsify import dead_filter_fraction, sparsify_model
 from repro.quant.qlayers import (
     FixedPointWeights,
     FLightNNWeights,
@@ -49,7 +54,7 @@ from repro.quant.binary import (
 )
 from repro.quant.dorefa import DoReFaConfig, DoReFaWeights, dorefa_quantize, scheme_dorefa
 from repro.quant.ptq import quantize_model
-from repro.quant.encoding import EncodedWeights, decode_terms, encode_terms
+from repro.quant.encoding import EncodedWeights, decode_plane, decode_terms, encode_terms
 from repro.quant.calibration import ActivationObserver, calibrate_activations
 from repro.quant.schemes import (
     QuantizationScheme,
@@ -85,6 +90,9 @@ __all__ = [
     "regularization_curve",
     "DecomposedFilterBank",
     "decompose_filter_bank",
+    "decompose_lightnn_bank",
+    "sparsify_model",
+    "dead_filter_fraction",
     "WeightQuantStrategy",
     "FullPrecisionWeights",
     "FixedPointWeights",
@@ -109,6 +117,7 @@ __all__ = [
     "quantize_model",
     "EncodedWeights",
     "encode_terms",
+    "decode_plane",
     "decode_terms",
     "ActivationObserver",
     "calibrate_activations",

@@ -15,9 +15,13 @@ import numpy as np
 
 from repro.errors import QuantizationError
 from repro.quant.flightnn import FLightNNQuantizer
-from repro.quant.power_of_two import is_power_of_two_value
+from repro.quant.power_of_two import (
+    PowerOfTwoConfig,
+    is_power_of_two_value,
+    round_power_of_two,
+)
 
-__all__ = ["DecomposedFilterBank", "decompose_filter_bank"]
+__all__ = ["DecomposedFilterBank", "decompose_filter_bank", "decompose_lightnn_bank"]
 
 
 @dataclass
@@ -67,3 +71,35 @@ def decompose_filter_bank(
             )
         terms.append(term)
     return DecomposedFilterBank(terms=terms, filter_k=quantizer.filter_k(w, thresholds))
+
+
+def decompose_lightnn_bank(
+    w: np.ndarray,
+    k: int,
+    config: PowerOfTwoConfig,
+) -> DecomposedFilterBank:
+    """Split a uniform-k LightNN filter bank into single-shift banks.
+
+    Replays the greedy residual recursion of
+    :func:`repro.quant.power_of_two.quantize_lightnn` and captures each
+    level's contribution as a separate term, so
+    ``sum_j terms[j] == quantize_lightnn(w, k, config)`` holds exactly.
+    LightNN has no gates: every filter reports ``filter_k == k`` even when a
+    level's contribution rounds to zero (the shift slot is still budgeted in
+    hardware), matching :meth:`LightNNQuantizer.filter_k`.
+    """
+    if k < 1:
+        raise QuantizationError(f"LightNN decomposition requires k >= 1, got {k}")
+    arr = np.asarray(w, dtype=np.float64)
+    quantized = np.zeros_like(arr)
+    terms = []
+    for _ in range(k):
+        term = round_power_of_two(arr - quantized, config)
+        if not is_power_of_two_value(term).all():
+            raise QuantizationError(
+                "LightNN decomposition produced a non power-of-two entry"
+            )
+        terms.append(term)
+        quantized = quantized + term
+    filter_k = np.full(arr.shape[0] if arr.ndim else 1, k, dtype=np.int64)
+    return DecomposedFilterBank(terms=terms, filter_k=filter_k)

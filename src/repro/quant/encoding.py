@@ -21,7 +21,7 @@ from repro.errors import QuantizationError
 from repro.quant.decompose import DecomposedFilterBank
 from repro.quant.power_of_two import PowerOfTwoConfig
 
-__all__ = ["EncodedWeights", "encode_terms", "decode_terms"]
+__all__ = ["EncodedWeights", "encode_terms", "decode_plane", "decode_terms"]
 
 _ZERO_CODE = 0  # reserved exponent code for a gated-off (zero) term
 
@@ -88,14 +88,29 @@ def encode_terms(bank: DecomposedFilterBank, config: PowerOfTwoConfig) -> Encode
     )
 
 
+def decode_plane(encoded: EncodedWeights, level: int) -> np.ndarray:
+    """Decode one shift-code plane back to its signed power-of-two values.
+
+    This is the hardware-faithful source for the engine's shift-plane
+    kernel: plane ``level`` is exactly the level-``level`` single-shift
+    term of the Fig. 3 decomposition.
+    """
+    if not 0 <= level < encoded.signs.shape[0]:
+        raise QuantizationError(
+            f"plane index {level} outside encoded k_max={encoded.signs.shape[0]}"
+        )
+    config = encoded.config
+    sign_plane = encoded.signs[level]
+    code_plane = encoded.exponent_codes[level]
+    zero = code_plane == _ZERO_CODE
+    exponent = code_plane.astype(np.int64) - 1 + config.exp_min
+    values = np.where(zero, 0.0, np.exp2(exponent.astype(np.float64)))
+    return np.where(sign_plane.astype(bool), -values, values)
+
+
 def decode_terms(encoded: EncodedWeights) -> np.ndarray:
     """Reconstruct the quantized weights exactly from the code planes."""
-    config = encoded.config
     total = np.zeros(encoded.signs.shape[1:], dtype=np.float64)
-    for sign_plane, code_plane in zip(encoded.signs, encoded.exponent_codes):
-        zero = code_plane == _ZERO_CODE
-        exponent = code_plane.astype(np.int64) - 1 + config.exp_min
-        values = np.where(zero, 0.0, np.exp2(exponent.astype(np.float64)))
-        values = np.where(sign_plane.astype(bool), -values, values)
-        total += values
+    for level in range(encoded.signs.shape[0]):
+        total += decode_plane(encoded, level)
     return total

@@ -1,0 +1,104 @@
+"""Synthetic filter sparsification via threshold surgery.
+
+The paper obtains dead filters (``k_i = 0``) by group-lasso training of the
+per-layer thresholds.  For benchmarking and testing the sparsity-aware
+inference path we need controlled dead-filter fractions *without* running a
+training campaign, so this module raises every FLightNN layer's thresholds
+to the quantile of its level-0 filter norms that kills the requested
+fraction of filters: a filter whose norm is below ``t_0`` fails the level-0
+gate, its residual never shrinks, and (with all levels sharing the same
+``t``) every later gate fails too — giving ``k_i = 0`` exactly.
+
+This is threshold surgery on the real quantizer, not a mock: the resulting
+model is a legitimate FLightNN deployment state and keeps exact eager /
+compiled parity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.quant.qlayers import FLightNNWeights, QuantizedLayer
+
+__all__ = ["sparsify_model", "dead_filter_fraction"]
+
+
+def _flightnn_layers(model, include_linear: bool) -> list[QuantizedLayer]:
+    layers = list(model.conv_layers())
+    if include_linear:
+        layers += list(model.linear_layers())
+    return [lay for lay in layers if isinstance(lay.strategy, FLightNNWeights)]
+
+
+def sparsify_model(
+    model,
+    dead_fraction: float,
+    include_linear: bool = False,
+) -> dict:
+    """Set each FLightNN layer's thresholds to kill ``~dead_fraction`` filters.
+
+    Args:
+        model: A :class:`~repro.models.network.QuantizedNetwork` (anything
+            exposing ``conv_layers()`` / ``linear_layers()``).
+        dead_fraction: Target fraction of filters per layer with
+            ``k_i = 0``, in ``[0, 1]``.  The achieved fraction is the
+            nearest quantile step (exact up to norm ties).
+        include_linear: Also sparsify classifier rows (off by default: the
+            final classifier usually feeds the plan output where rows cannot
+            be pruned anyway).
+
+    Returns:
+        Report dict with per-layer ``{"filters", "dead", "k_hist"}`` entries
+        and the overall achieved ``dead_fraction``.
+    """
+    if not 0.0 <= dead_fraction <= 1.0:
+        raise ConfigurationError(f"dead_fraction must be in [0, 1], got {dead_fraction}")
+    layers = _flightnn_layers(model, include_linear)
+    if not layers:
+        raise ConfigurationError("model has no FLightNN layers to sparsify")
+    report: dict = {"layers": [], "dead_fraction": 0.0}
+    total = dead = 0
+    for index, layer in enumerate(layers):
+        quantizer = layer.strategy.quantizer
+        flat = np.asarray(layer.weight.data, dtype=np.float64).reshape(
+            layer.weight.data.shape[0], -1
+        )
+        norms = quantizer.filter_norm(flat)
+        if dead_fraction <= 0.0:
+            threshold = 0.0
+        else:
+            # Quantile of the level-0 norms: gates pass only for norm > t,
+            # so t at the q-quantile kills ~q of the filters.  A tiny
+            # relative epsilon keeps the boundary filter dead even when the
+            # quantile lands exactly on its norm.
+            threshold = float(np.quantile(norms, dead_fraction)) * (1.0 + 1e-12)
+        layer.thresholds.data[...] = threshold
+        layer.thresholds.bump_version()
+        layer.invalidate_weight_cache()
+        k = layer.filter_k()
+        hist = np.bincount(k, minlength=int(k.max(initial=0)) + 2)
+        report["layers"].append(
+            {
+                "layer": index,
+                "filters": int(k.size),
+                "dead": int((k == 0).sum()),
+                "threshold": threshold,
+                "k_hist": hist.tolist(),
+            }
+        )
+        total += int(k.size)
+        dead += int((k == 0).sum())
+    report["dead_fraction"] = dead / total if total else 0.0
+    return report
+
+
+def dead_filter_fraction(model, include_linear: bool = False) -> float:
+    """Fraction of FLightNN filters with ``k_i = 0`` across the model."""
+    layers = _flightnn_layers(model, include_linear)
+    if not layers:
+        return 0.0
+    ks = [layer.filter_k() for layer in layers]
+    total = sum(k.size for k in ks)
+    dead = sum(int((k == 0).sum()) for k in ks)
+    return dead / total if total else 0.0

@@ -184,7 +184,16 @@ class ModelRegistry:
         return rebuilt
 
     def metrics_snapshot(self) -> dict:
-        """``{model name: metrics snapshot}`` for every registered model."""
+        """``{model name: metrics snapshot}`` for every registered model.
+
+        Each snapshot carries the engine's current plan summary under
+        ``"plan"`` — kernel choices, k histogram, pruned-filter counts —
+        so ``/metrics`` exposes the sparsity state the model serves with
+        (and reflects structural rebuilds after a hot weight refresh).
+        """
         with self._lock:
             entries = list(self._models.items())
-        return {name: entry.metrics.snapshot() for name, entry in entries}
+        return {
+            name: {**entry.metrics.snapshot(), "plan": entry.engine.plan_summary()}
+            for name, entry in entries
+        }

@@ -30,6 +30,23 @@ def test_benchmark_smoke(tmp_path):
     # where fixed costs dominate (the full run shows the real >=3x margin).
     assert result["summary"]["min_single_worker_speedup"] > 1.0
 
+    # Every timed row records its plan's kernel/sparsity metadata.
+    for row in result["configs"]:
+        plan = row["plan"]
+        assert plan["kernels"] and plan["layers"]
+        assert plan["pruned_filters"] == 0  # stock nets carry no dead filters
+
+    # Sparsity sweep: the sparsity-aware engine must beat the dense baseline
+    # on a ~40%-dead net with exact float64 parity, and record the pruning.
+    sweep = result["sparsity_sweep"]
+    assert sweep
+    for row in sweep:
+        assert row["dead_fraction_actual"] >= 0.3
+        assert row["plan"]["pruned_filters"] > 0
+        assert row["max_abs_diff"] <= 1e-5
+    assert result["summary"]["min_sparsity_speedup"] > 1.0
+    assert result["summary"]["max_sparsity_parity_abs_diff"] <= 1e-5
+
     out = tmp_path / "BENCH_infer.json"
     out.write_text(json.dumps(result))  # round-trips: everything is plain JSON
     assert json.loads(out.read_text())["configs"]

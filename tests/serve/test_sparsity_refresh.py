@@ -1,0 +1,64 @@
+"""Hot weight refresh across a *structural* change (the ISSUE's regression).
+
+A served model whose thresholds change under it must not be re-quantized
+into the old pruned channel layout: the registry's quiesced refresh has to
+rebuild the plan's pruning / shift-plane state and keep serving exact
+logits.  The plan summary exposed through ``metrics_snapshot`` must reflect
+the new sparsity state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.quant.sparsify import sparsify_model
+from repro.serve import ModelRegistry
+
+from tests.infer.conftest import build_small_network, eager_logits, sample_images
+
+PARITY_ATOL = 1e-5
+
+
+def _submit_all(registry, images):
+    futures = [registry.submit(img) for img in images]
+    return np.stack([f.result(timeout=10) for f in futures])
+
+
+def test_refresh_rebuilds_plan_on_new_k_histogram():
+    """Re-sparsifying to a different k histogram through registry.refresh()
+    swaps in a freshly pruned plan with exact parity through the batcher."""
+    model = build_small_network(4)
+    sparsify_model(model, 0.3)
+    registry = ModelRegistry()
+    entry = registry.register("net4", model)
+    images = sample_images(6, seed=71)
+    registry.start()
+    try:
+        before = _submit_all(registry, images)
+        assert np.max(np.abs(before - eager_logits(model, images))) <= PARITY_ATOL
+        old_plan = entry.engine.plan
+        old_pruned = entry.engine.plan_summary()["pruned_filters_total"]
+
+        sparsify_model(model, 0.6)  # structural change: new channel layout
+        entry.batcher.join_idle(10)
+        assert registry.refresh("net4") > 0
+        after = _submit_all(registry, images)
+    finally:
+        registry.stop()
+    assert entry.engine.plan is not old_plan
+    assert entry.engine.plan_summary()["pruned_filters_total"] > old_pruned
+    assert np.max(np.abs(after - eager_logits(model, images))) <= PARITY_ATOL
+
+
+def test_metrics_snapshot_carries_plan_summary():
+    """/metrics exposes kernel choices, k histogram and pruning counts."""
+    model = build_small_network(4)
+    sparsify_model(model, 0.5)
+    registry = ModelRegistry()
+    registry.register("net4", model)
+    plan = registry.metrics_snapshot()["net4"]["plan"]
+    assert plan["pruned"] is True
+    assert plan["pruned_filters_total"] > 0
+    assert sum(plan["kernels"].values()) == len(plan["layers"])
+    assert plan["k_hist"][0] > 0  # the k_i histogram shows the dead filters
+    assert plan["config"]["kernel"] == "auto"
