@@ -16,7 +16,13 @@ synthetic CIFAR-shaped data for the small Table-1 configurations, plus:
   autotuned shift-plane kernels) against the PR 1 dense engine
   (``PlanConfig(prune=False, kernel="dense")``) so the speedup-vs-sparsity
   curve is tracked across PRs.  Every engine row also records its plan's
-  kernel choices, k_i histogram and pruned-filter counts.
+  kernel choices, k_i histogram and pruned-filter counts;
+* a fusion sweep: the traced-program executor (fused codegen kernels,
+  liveness-based buffer reuse, batch blocking — ``PlanConfig(trace=True)``)
+  against the same dense plan run op-by-op, at batch 1 and batch 64, with a
+  bitwise-equality check and each compiled program's fused-op count and
+  naive-vs-peak intermediate-buffer bytes.  ``--fusion-sweep`` runs just
+  this section and merges the rows into an existing BENCH_infer.json.
 
 Timing methodology: the machine's run-to-run variance swamps single-shot
 timings, so each (config, variant) pair is timed ``reps`` times with the
@@ -67,6 +73,15 @@ SPARSITY_CONFIGS = (1, 4)
 SPARSITY_FRACTIONS = (0.3, 0.5, 0.7)
 # PR 1 equivalent: no pruning, plain dense im2col GEMM kernels.
 DENSE_BASELINE = PlanConfig(prune=False, kernel="dense")
+# Fusion sweep: traced-program executor (fused codegen kernels, liveness
+# buffer reuse, batch blocking) against the same plan run op-by-op.  The PR
+# acceptance bar is >= 1.3x at batch 1 and >= 1.15x at batch 64 on at least
+# two nets; the traced path must be *bitwise* equal to the interpreter.
+FUSION_CONFIGS = (1, 2, 4, 5)
+FUSION_BATCHES = (1, 64)
+# PR 5 dense path: same kernels/pruning state, no tracing.
+UNTRACED_BASELINE = PlanConfig(prune=False, kernel="dense", trace=False)
+TRACED_FUSED = PlanConfig(prune=False, kernel="dense")  # trace/fuse default on
 
 
 def _build(network_id: int, scheme_key: str = SCHEME, width_scale: float = 1.0, seed: int = 0):
@@ -220,6 +235,103 @@ def _sparsity_row(network_id: int, fraction: float, dataset: ArrayDataset, reps:
     }
 
 
+def _fusion_row(network_id: int, reps: int, batches: tuple[int, ...] = FUSION_BATCHES) -> dict:
+    """Time the traced-fused executor against the untraced interpreter on the
+    same dense plan, per batch size, with a bitwise-equality check and the
+    compiled program's fusion / buffer-liveness stats.
+
+    ``forward_batch`` is timed directly (not ``evaluate``) because tracing
+    targets steady-state serving latency: per-shape programs are compiled and
+    bound outside the timed region, exactly as a warm server runs.
+    """
+    model = _build(network_id)
+    untraced = InferenceEngine(model, config=UNTRACED_BASELINE)
+    fused = InferenceEngine(model, config=TRACED_FUSED)
+    rng = np.random.default_rng(network_id + 100)
+
+    row: dict = {
+        "network_id": network_id,
+        "scheme": SCHEME,
+        "structure": model.config.structure,
+        "depth": model.config.depth,
+        "batches": {},
+    }
+    bitwise = True
+    for batch in batches:
+        images = rng.normal(0.0, 1.0, (batch, 3, IMAGE_SIZE, IMAGE_SIZE))
+        want = untraced.forward_batch(images, check_stale=False).copy()  # warm + reference
+        got = fused.forward_batch(images, check_stale=False).copy()
+        bitwise = bitwise and bool(np.array_equal(got, want))
+        # Sub-ms batch-1 calls need inner iterations per measurement; medians
+        # are taken across interleaved reps like the rest of the benchmark.
+        once = _timed(lambda: fused.forward_batch(images, check_stale=False))
+        inner = max(1, min(20, int(0.02 / max(once, 1e-6))))
+        times: dict[str, list[float]] = {"untraced": [], "fused": []}
+        for _ in range(reps):
+            for key, eng in (("untraced", untraced), ("fused", fused)):
+                t0 = time.perf_counter()
+                for _ in range(inner):
+                    eng.forward_batch(images, check_stale=False)
+                times[key].append((time.perf_counter() - t0) / inner)
+        med = {k: statistics.median(v) for k, v in times.items()}
+        prog = fused.plan.traced_program(images.shape)
+        stats = prog.stats if prog is not None else {}
+        row["batches"][str(batch)] = {
+            "untraced_s": med["untraced"],
+            "fused_s": med["fused"],
+            "speedup": med["untraced"] / med["fused"],
+            "program": {
+                "nodes": stats.get("nodes"),
+                "fused_elementwise": stats.get("fused_elementwise"),
+                "block_size": stats.get("block_size"),
+                "blocks": stats.get("blocks"),
+                "naive_intermediate_bytes": stats.get("naive_intermediate_bytes"),
+                "peak_intermediate_bytes": stats.get("peak_intermediate_bytes"),
+                "intermediate_bytes_saved": (
+                    1.0 - stats["peak_intermediate_bytes"] / stats["naive_intermediate_bytes"]
+                    if stats.get("naive_intermediate_bytes")
+                    else None
+                ),
+            },
+        }
+    row["bitwise_equal"] = bitwise
+    row["cache"] = engine_cache_stats()
+    return row
+
+
+def engine_cache_stats() -> dict:
+    from repro.infer.kernels import cache_stats
+
+    return cache_stats()
+
+
+def _fusion_summary(rows: list[dict]) -> dict:
+    """Headline numbers for the fusion sweep (the PR acceptance fields)."""
+    b1 = [r["batches"]["1"]["speedup"] for r in rows if "1" in r["batches"]]
+    b64 = [r["batches"]["64"]["speedup"] for r in rows if "64" in r["batches"]]
+    meeting = [
+        r["network_id"]
+        for r in rows
+        if r["batches"].get("1", {}).get("speedup", 0.0) >= 1.3
+        and r["batches"].get("64", {}).get("speedup", 0.0) >= 1.15
+    ]
+    return {
+        "max_batch1_speedup": max(b1, default=None),
+        "max_batch64_speedup": max(b64, default=None),
+        "nets_meeting_bar": meeting,  # >= 1.3x @ batch 1 and >= 1.15x @ batch 64
+        "all_bitwise_equal": all(r["bitwise_equal"] for r in rows),
+        "min_intermediate_bytes_saved": min(
+            (
+                spec["program"]["intermediate_bytes_saved"]
+                for r in rows
+                for spec in r["batches"].values()
+                if spec["program"]["intermediate_bytes_saved"] is not None
+            ),
+            default=None,
+        ),
+    }
+
+
 def _parity_row(network_id: int, n_images: int = 16):
     model = _build(network_id, width_scale=PARITY_WIDTH_SCALE.get(network_id, 1.0))
     images = np.random.default_rng(network_id).normal(0.0, 1.0, (n_images, 3, IMAGE_SIZE, IMAGE_SIZE))
@@ -241,15 +353,18 @@ def run_benchmark(
     if smoke:
         images, reps, timed_ids = 64, 1, (4,)
         sparsity_ids, fractions = (4,), (0.4,)
+        fusion_ids = (1, 4)
     else:
         timed_ids = TIMED_CONFIGS
         sparsity_ids, fractions = SPARSITY_CONFIGS, SPARSITY_FRACTIONS
+        fusion_ids = FUSION_CONFIGS
     dataset = _dataset(images)
     configs = [_time_config(nid, dataset, reps, workers) for nid in timed_ids]
     parity = [_parity_row(nid, n_images=8 if smoke else 16) for nid in ALL_CONFIGS]
     sparsity = [
         _sparsity_row(nid, frac, dataset, reps) for nid in sparsity_ids for frac in fractions
     ]
+    fusion = [_fusion_row(nid, reps) for nid in fusion_ids]
     return {
         "benchmark": "compiled inference engine vs eager Trainer.evaluate",
         "metadata": {
@@ -270,14 +385,44 @@ def run_benchmark(
         "configs": configs,
         "parity_float64": parity,
         "sparsity_sweep": sparsity,
+        "fusion_sweep": fusion,
         "summary": {
             "min_single_worker_speedup": min(c["speedup"] for c in configs),
             "max_parity_abs_diff": max(p["max_abs_diff"] for p in parity),
             "min_sparsity_speedup": min(s["speedup_vs_dense"] for s in sparsity),
             "max_sparsity_speedup": max(s["speedup_vs_dense"] for s in sparsity),
             "max_sparsity_parity_abs_diff": max(s["max_abs_diff"] for s in sparsity),
+            "fusion": _fusion_summary(fusion),
         },
     }
+
+
+def run_fusion_sweep(reps: int = 5, smoke: bool = False) -> dict:
+    """Just the traced-vs-interpreter sweep, for merging into an existing
+    BENCH_infer.json (``--fusion-sweep``) and the CI smoke job."""
+    fusion_ids = (1, 4) if smoke else FUSION_CONFIGS
+    rows = [_fusion_row(nid, reps) for nid in fusion_ids]
+    return {"fusion_sweep": rows, "fusion_summary": _fusion_summary(rows)}
+
+
+def _print_fusion(rows: list[dict], summary: dict) -> None:
+    for row in rows:
+        parts = []
+        for batch, spec in row["batches"].items():
+            parts.append(
+                f"b{batch} {spec['untraced_s'] * 1e3:.2f}->{spec['fused_s'] * 1e3:.2f}ms "
+                f"({spec['speedup']:.2f}x)"
+            )
+        prog = next(iter(row["batches"].values()))["program"]
+        print(
+            f"net{row['network_id']} traced-fused: {' | '.join(parts)} | "
+            f"{prog['fused_elementwise']} ops fused, bitwise={row['bitwise_equal']}"
+        )
+    print(
+        f"fusion: nets meeting bar (>=1.3x b1, >=1.15x b64): {summary['nets_meeting_bar']}, "
+        f"bitwise={summary['all_bitwise_equal']}, "
+        f"min intermediate-bytes saved {summary['min_intermediate_bytes_saved']:.0%}"
+    )
 
 
 def main(argv=None) -> None:
@@ -286,9 +431,24 @@ def main(argv=None) -> None:
     parser.add_argument("--reps", type=int, default=5)
     parser.add_argument("--smoke", action="store_true")
     parser.add_argument(
+        "--fusion-sweep",
+        action="store_true",
+        help="run only the traced-fused vs interpreter sweep and merge the "
+        "rows into --out (other sections of an existing file are kept)",
+    )
+    parser.add_argument(
         "--out", type=Path, default=Path(__file__).resolve().parent.parent / "BENCH_infer.json"
     )
     args = parser.parse_args(argv)
+    if args.fusion_sweep:
+        sweep = run_fusion_sweep(reps=args.reps, smoke=args.smoke)
+        result = json.loads(args.out.read_text()) if args.out.exists() else {}
+        result["fusion_sweep"] = sweep["fusion_sweep"]
+        result.setdefault("summary", {})["fusion"] = sweep["fusion_summary"]
+        args.out.write_text(json.dumps(result, indent=2) + "\n")
+        _print_fusion(sweep["fusion_sweep"], sweep["fusion_summary"])
+        print(f"-> {args.out}")
+        return
     result = run_benchmark(images=args.images, reps=args.reps, smoke=args.smoke)
     args.out.write_text(json.dumps(result, indent=2) + "\n")
     for row in result["configs"]:
@@ -305,6 +465,7 @@ def main(argv=None) -> None:
             f"{row['plan']['pruned_filters']} filters pruned, "
             f"kernels {row['plan']['kernels']})"
         )
+    _print_fusion(result["fusion_sweep"], result["summary"]["fusion"])
     print(
         f"min speedup {result['summary']['min_single_worker_speedup']:.2f}x, "
         f"min sparsity speedup {result['summary']['min_sparsity_speedup']:.2f}x, "

@@ -1,10 +1,14 @@
-"""Compiled inference engine (plan / fold / cache / shard / sparsity).
+"""Compiled inference engine (plan / trace / fuse / shard / sparsity).
 
 Turns a trained :class:`~repro.models.network.QuantizedNetwork` into a flat
 grad-free execution plan with quantized-weight caching, conv+BN folding,
 scratch-buffer reuse and multicore batch sharding.  Sparsity-aware passes
 (dead-filter elimination, shift-plane kernels, per-layer kernel autotuning)
-run at plan time under :class:`~repro.infer.plan.PlanConfig`.  See
+run at plan time under :class:`~repro.infer.plan.PlanConfig`; execution then
+goes through shape-specialized traced programs — fused, codegen'd kernels
+with liveness-reused buffers (:mod:`repro.infer.trace`,
+:mod:`repro.infer.fuse`, :mod:`repro.infer.kernels`) — bitwise-identical to
+the op-by-op interpreter.  See
 :class:`~repro.infer.engine.InferenceEngine` for the entry point.
 """
 
@@ -19,6 +23,7 @@ from repro.infer.plan import (
 )
 from repro.infer.pool import run_sharded, shard_slices
 from repro.infer.shift_plane import build_shift_planes, supports_shift_planes
+from repro.infer.trace import build_traced_program, trace_plan
 
 __all__ = [
     "InferenceEngine",
@@ -31,6 +36,8 @@ __all__ = [
     "dead_filter_rows",
     "build_shift_planes",
     "supports_shift_planes",
+    "build_traced_program",
+    "trace_plan",
     "run_sharded",
     "shard_slices",
 ]

@@ -1,11 +1,23 @@
-"""Per-layer kernel autotuning: measure, don't guess.
+"""Per-layer kernel autotuning: measure, don't guess — and measure once.
 
 Whether a shift-plane sum beats one dense GEMM depends on the BLAS kernel
 shapes, the k histogram and how many rows each plane retains — a heuristic
 over those would be wrong somewhere.  Instead, plan compilation executes the
 op list once on a synthetic batch of the model's declared input shape and,
-at each candidate op, times both kernels back to back (best-of-``reps``
-wall time, same warmed scratch buffers) and records the winner on the op.
+at each candidate op, times the kernel *variants the traced executor will
+actually run*: the generated, shape-specialized kernels from
+:mod:`repro.infer.kernels` (``bind_standalone_producer``), bound over the
+calibration activations with warm private buffers, best-of-``reps`` wall
+time per variant.
+
+Decisions persist in :data:`repro.infer.kernels.AUTOTUNE_CACHE`, keyed by
+the full shape signature of the timing problem — op kind, input shape,
+weight shape, conv geometry, shift-plane structure, dtype, reps.  A plan
+rebuild whose layers are shape-identical (the common hot-weight-refresh
+case: new values, same structure) reuses the previous measurement instead
+of re-timing every layer; a rebuild whose dead-filter structure drifted
+gets a different signature and re-measures.  Cached decisions carry
+``"cached": True`` in the report.
 
 The pass runs only when ``PlanConfig.kernel == "auto"`` finds candidates —
 layers still carrying dead rows after pruning — so models without sparsity
@@ -18,11 +30,23 @@ import time
 
 import numpy as np
 
+from repro.infer.kernels import AUTOTUNE_CACHE, autotune_key, bind_standalone_producer
 from repro.infer.plan import ExecutionContext
 
 __all__ = ["autotune_ops"]
 
 _IMPLS = ("dense", "shift_plane")
+
+
+def _time_variant(op, x: np.ndarray, impl: str, dtype: np.dtype, reps: int) -> float:
+    """Best-of-``reps`` wall time of the generated ``impl`` kernel on ``x``."""
+    thunk, _ = bind_standalone_producer(op, x, impl, dtype)
+    best = float("inf")
+    for _ in range(max(1, reps)):
+        start = time.perf_counter()
+        thunk()
+        best = min(best, time.perf_counter() - start)
+    return best
 
 
 def autotune_ops(
@@ -32,7 +56,7 @@ def autotune_ops(
     dtype: np.dtype,
     reps: int = 3,
 ) -> dict[int, dict]:
-    """Time dense vs shift-plane per candidate op; set each op's winner.
+    """Pick the faster generated kernel per candidate op; set each winner.
 
     Args:
         ops: The compiled (post-pruning, post-plane-attachment) op list.
@@ -43,7 +67,9 @@ def autotune_ops(
         reps: Timing repetitions per kernel; minimum wins.
 
     Returns:
-        ``{op_index: {"chosen", "dense_s", "shift_plane_s"}}``.
+        ``{op_index: {"chosen", "dense_s", "shift_plane_s", "cached"}}`` —
+        timings come from the persistent cache when the layer's shape
+        signature was measured before (``cached=True``).
     """
     ctx = ExecutionContext()
     ctx.slots[0] = np.zeros(input_shape, dtype)
@@ -53,21 +79,20 @@ def autotune_ops(
         if op.index not in pending:
             op.run(ctx)
             continue
-        timings: dict[str, float] = {}
-        for impl in _IMPLS:
-            op.impl = impl
-            best = float("inf")
-            for _ in range(max(1, reps)):
-                start = time.perf_counter()
-                op.run(ctx)
-                best = min(best, time.perf_counter() - start)
-            timings[impl] = best
-        chosen = "shift_plane" if timings["shift_plane"] <= timings["dense"] else "dense"
-        op.impl = chosen
+        x = ctx.slots[op.src]
+        key = autotune_key(op, x.shape, dtype, reps)
+        entry = AUTOTUNE_CACHE.get(key)
+        if entry is None:
+            timings = {impl: _time_variant(op, x, impl, dtype, reps) for impl in _IMPLS}
+            chosen = "shift_plane" if timings["shift_plane"] <= timings["dense"] else "dense"
+            entry = {
+                "chosen": chosen,
+                "dense_s": timings["dense"],
+                "shift_plane_s": timings["shift_plane"],
+                "cached": False,
+            }
+            AUTOTUNE_CACHE.put(key, {**entry, "cached": True})
+        op.impl = entry["chosen"]
         op.run(ctx)
-        report[op.index] = {
-            "chosen": chosen,
-            "dense_s": timings["dense"],
-            "shift_plane_s": timings["shift_plane"],
-        }
+        report[op.index] = entry
     return report

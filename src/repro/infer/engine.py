@@ -48,6 +48,7 @@ from repro.infer.pool import run_sharded, shard_slices
 from repro.nn.functional import _log_softmax_data
 from repro.nn.module import Module
 from repro.train.metrics import accuracy, topk_accuracy
+from repro.utils.profiler import PhaseProfiler, use_profiler
 
 __all__ = ["InferenceEngine"]
 
@@ -71,10 +72,17 @@ class InferenceEngine:
             ``dtype=plan_dtype(model)`` to opt into the float32 deployment
             mode for quantized networks (see
             :func:`~repro.infer.plan.plan_dtype`).
-        config: Sparsity-pass knobs (:class:`~repro.infer.plan.PlanConfig`):
-            dead-filter pruning, kernel selection (dense / shift-plane /
-            autotuned) and the all-dead-layer policy.  The same config is
-            reused on every structural rebuild.
+        config: Sparsity/trace-pass knobs
+            (:class:`~repro.infer.plan.PlanConfig`): dead-filter pruning,
+            kernel selection (dense / shift-plane / autotuned), traced-
+            program execution (``trace``/``fuse``) and the all-dead-layer
+            policy.  The same config is reused on every structural rebuild.
+        profile: Attach a :class:`~repro.utils.profiler.PhaseProfiler` to
+            this engine and time every execution phase with per-IR-op names
+            (``ir3:conv[dense]+lrelu+aq`` on the traced path,
+            ``op3:ConvOp`` on the interpreter), accumulated across batches
+            and surfaced through :meth:`plan_summary` under ``"timings"``.
+            Off by default — the per-op timer calls cost a few percent.
     """
 
     def __init__(
@@ -84,6 +92,7 @@ class InferenceEngine:
         on_stale: str = "refresh",
         dtype: "np.dtype | None" = None,
         config: PlanConfig | None = None,
+        profile: bool = False,
     ) -> None:
         if on_stale not in _ON_STALE:
             raise ConfigurationError(f"unknown on_stale policy {on_stale!r}; use one of {_ON_STALE}")
@@ -93,6 +102,7 @@ class InferenceEngine:
         self.batch_size = batch_size
         self.on_stale = on_stale
         self.config = config or PlanConfig()
+        self.profiler: "PhaseProfiler | None" = PhaseProfiler() if profile else None
         self.plan: ExecutionPlan = compile_network(model, dtype=dtype, config=self.config)
         self._ctx = ExecutionContext()
         # Serializes stale-check/refresh so concurrent callers never rebuild
@@ -180,8 +190,16 @@ class InferenceEngine:
             return self._refresh_stale_locked(stale)
 
     def plan_summary(self) -> dict:
-        """Current plan metadata (kernel choices, k histograms, pruning)."""
-        return self.plan.summary()
+        """Current plan metadata (kernel choices, k histograms, pruning,
+        traced-program stats) plus accumulated per-phase timings when the
+        engine was built with ``profile=True``."""
+        summary = self.plan.summary()
+        if self.profiler is not None:
+            summary["timings"] = {
+                "totals": self.profiler.summary(),
+                "counts": dict(self.profiler.counts),
+            }
+        return summary
 
     # -- prediction ------------------------------------------------------------
 
@@ -203,7 +221,8 @@ class InferenceEngine:
         """
         if check_stale:
             self.check_stale(fingerprint=False)
-        return self.plan.execute(images, ctx if ctx is not None else self._ctx)
+        with use_profiler(self.profiler):
+            return self.plan.execute(images, ctx if ctx is not None else self._ctx)
 
     def predict_logits(
         self,
@@ -237,11 +256,12 @@ class InferenceEngine:
         out: np.ndarray | None = None
         ctx = self._borrow_context()
         try:
-            for sl in shard_slices(len(images), batch_size):
-                logits = self.plan.execute(images[sl], ctx)
-                if out is None:
-                    out = np.empty((len(images),) + logits.shape[1:], dtype=logits.dtype)
-                out[sl] = logits
+            with use_profiler(self.profiler):
+                for sl in shard_slices(len(images), batch_size):
+                    logits = self.plan.execute(images[sl], ctx)
+                    if out is None:
+                        out = np.empty((len(images),) + logits.shape[1:], dtype=logits.dtype)
+                    out[sl] = logits
         finally:
             # Rows were copied into `out`, so the context's scratch buffers
             # are free to recycle for the next (possibly concurrent) call.

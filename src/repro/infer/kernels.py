@@ -1,0 +1,642 @@
+"""Shape-specialized fused kernels behind a compiled-program cache.
+
+The traced execution path (:mod:`repro.infer.trace` / :mod:`repro.infer.fuse`)
+does not interpret plan ops one dict lookup at a time — it *generates* one
+Python function per (op kind, layer shape, kernel impl, dtype, epilogue)
+combination, with every branch the interpreter would test per batch (padding?
+1x1 fast path? bias? dead-channel map? which epilogue ops?) resolved at
+codegen time and every scalar constant inlined literally.  All array views a
+kernel needs (pad interiors, im2col window views, reshaped GEMM outputs,
+pool window slices) are pre-built once at bind time, so the per-batch work
+of a generated kernel is exactly its data movement and ufunc calls.
+
+Bitwise parity is by construction: each generated body is the *same ufunc
+sequence* the op-by-op engine runs (``plan.ConvOp.run`` etc.), with in-place
+augmented assignments spelled as their equivalent explicit ``np.<ufunc>(...,
+out=...)`` calls and scalars inlined via ``repr`` (which round-trips float64
+exactly).  Fusing a conv with its LeakyReLU/ActQuant epilogue therefore
+changes *where* the intermediate lives (it doesn't), never its value.
+
+Two process-wide caches live here:
+
+* :data:`KERNEL_CACHE` — compiled kernel factories keyed per
+  (layer-shape, kernel impl, dtype, flags, epilogue).  Identical generated
+  source is compiled once (an inner source-text cache), so the per-spec
+  entries are cheap; hit/miss counters surface through
+  ``ExecutionPlan.summary()`` and serve ``/metrics``.
+* :data:`AUTOTUNE_CACHE` — persisted autotune decisions keyed by the same
+  shape/kernel/dtype signature, so a plan rebuild whose layer shapes and
+  kernel candidates are unchanged (the common hot-weight-refresh case)
+  reuses the previous measurement instead of re-timing every layer.
+
+Invalidation rides the plan's existing fingerprint machinery: weight
+refreshes and structural rebuilds drop the *traced programs* (which hold
+the bound array views); the shape-keyed entries here stay valid because
+they close over nothing — binding fresh arrays to a cached factory is what
+a "recompile" of the traced program mostly amounts to.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+from numpy.lib.stride_tricks import as_strided
+
+__all__ = [
+    "KernelSpec",
+    "ScratchReq",
+    "KERNEL_CACHE",
+    "AUTOTUNE_CACHE",
+    "cache_stats",
+    "clear_caches",
+    "producer_scratch",
+    "bind_producer",
+    "eltwise_scratch",
+    "epilogue_scratch",
+    "bind_eltwise",
+    "bind_pool",
+    "bind_gap",
+    "bind_add",
+    "bind_standalone_producer",
+    "autotune_key",
+    "variants_for",
+]
+
+
+# -- caches -------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """Cache key of one generated kernel: everything the source depends on,
+    plus the layer shape the program was specialized for."""
+
+    kind: str  # conv | linear | eltwise | maxpool | avgpool | gap | add
+    impl: str  # dense | shift_plane | ""
+    shape: tuple  # layer/input shape signature
+    dtype: str
+    flags: tuple  # structural source flags, e.g. ("bias", "pad")
+    epilogue: tuple  # (("lrelu", "0.1"), ("aq", inv, lo, hi, step), ...)
+    extra: tuple = ()  # per-plane flags / pool unroll, part of the source
+
+
+class _KernelCache:
+    """spec -> compiled factory, with an inner source-text dedupe cache."""
+
+    def __init__(self) -> None:
+        self._factories: dict[KernelSpec, object] = {}
+        self._sources: dict[str, object] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, spec: KernelSpec, source: str):
+        with self._lock:
+            factory = self._factories.get(spec)
+            if factory is not None:
+                self.hits += 1
+                return factory
+            self.misses += 1
+            factory = self._sources.get(source)
+            if factory is None:
+                namespace: dict = {"np": np}
+                exec(compile(source, f"<kernel {spec.kind}/{spec.impl}>", "exec"), namespace)
+                factory = namespace["_factory"]
+                self._sources[source] = factory
+            self._factories[spec] = factory
+            return factory
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "specs": len(self._factories),
+                "compiled_sources": len(self._sources),
+            }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._factories.clear()
+            self._sources.clear()
+            self.hits = self.misses = 0
+
+
+class _AutotuneCache:
+    """Shape-keyed autotune decisions reused across fingerprint-identical
+    plan rebuilds (bounded FIFO; thread-safe)."""
+
+    def __init__(self, max_entries: int = 512) -> None:
+        self._entries: dict[tuple, dict] = {}
+        self._lock = threading.Lock()
+        self._max = max_entries
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: tuple) -> dict | None:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            return dict(entry)
+
+    def put(self, key: tuple, entry: dict) -> None:
+        with self._lock:
+            if len(self._entries) >= self._max:
+                self._entries.pop(next(iter(self._entries)))
+            self._entries[key] = dict(entry)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses, "entries": len(self._entries)}
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = self.misses = 0
+
+
+KERNEL_CACHE = _KernelCache()
+AUTOTUNE_CACHE = _AutotuneCache()
+
+
+def cache_stats() -> dict:
+    """Process-wide codegen/autotune cache counters (for summary/metrics)."""
+    return {"kernels": KERNEL_CACHE.stats(), "autotune": AUTOTUNE_CACHE.stats()}
+
+
+def clear_caches() -> None:
+    """Drop both caches (tests / benchmarks wanting cold-start numbers)."""
+    KERNEL_CACHE.clear()
+    AUTOTUNE_CACHE.clear()
+
+
+# -- source emission ----------------------------------------------------------
+
+
+def _epilogue_sig(epilogue) -> tuple:
+    """Source signature of an elementwise epilogue chain with every scalar
+    pre-``repr``'d (float64 repr round-trips exactly, so inlined literals
+    equal the op's runtime scalars bit for bit)."""
+    sig = []
+    for step in epilogue:
+        if step[0] == "lrelu":
+            sig.append(("lrelu", repr(float(step[1]))))
+        elif step[0] == "aq":
+            step_f, half = float(step[1]), float(step[2])
+            sig.append(
+                ("aq", repr(1.0 / step_f), repr(-half), repr(half - 1.0), repr(step_f))
+            )
+        else:  # pragma: no cover - guarded by the trace pass
+            raise ValueError(f"unknown epilogue step {step[0]!r}")
+    return tuple(sig)
+
+
+def _emit_epilogue(lines: list[str], sig: tuple, out: str, scratch_names: list[str]) -> None:
+    """Append the epilogue ufunc sequence operating in place on ``out``.
+
+    Mirrors ``LeakyReluOp.run`` (in-place form) and ``ActQuantOp.run``: a
+    LeakyReLU with nonzero slope consumes one scratch name per occurrence.
+    """
+    for step in sig:
+        if step[0] == "lrelu":
+            slope = step[1]
+            if slope == "0.0":
+                lines.append(f"np.maximum({out}, 0.0, out={out})")
+            else:
+                tmp = scratch_names.pop(0)
+                lines.append(f"np.multiply({out}, {slope}, out={tmp})")
+                lines.append(f"np.maximum({out}, {tmp}, out={out})")
+        else:  # aq
+            inv, lo, hi, stp = step[1], step[2], step[3], step[4]
+            lines.append(f"np.multiply({out}, {inv}, out={out})")
+            lines.append(f"np.rint({out}, out={out})")
+            lines.append(f"np.clip({out}, {lo}, {hi}, out={out})")
+            lines.append(f"np.multiply({out}, {stp}, out={out})")
+
+
+def _build_source(arg_names: list[str], lines: list[str]) -> str:
+    unpack = "\n".join(f"    {n} = A[{n!r}]" for n in arg_names)
+    body = "\n".join(f"        {line}" for line in lines) or "        pass"
+    return f"def _factory(A):\n{unpack}\n    def kernel():\n{body}\n    return kernel\n"
+
+
+def _make(spec: KernelSpec, args: dict, lines: list[str]):
+    source = _build_source(list(args), lines)
+    return KERNEL_CACHE.get(spec, source)(args)
+
+
+# -- scratch planning ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScratchReq:
+    """One scratch buffer a kernel needs, shapes *without* the batch dim.
+
+    ``dedicated`` buffers are excluded from register reuse and zeroed once
+    at bind (the conv pad buffer relies on a permanently-zero border, like
+    ``ExecutionContext.buffer(zero=True)``).
+    """
+
+    name: str
+    tail: tuple
+    dedicated: bool = False
+    zero: bool = False
+
+
+def epilogue_scratch(epilogue, out_tail: tuple) -> list[ScratchReq]:
+    reqs = []
+    for i, step in enumerate(epilogue):
+        if step[0] == "lrelu" and float(step[1]) != 0.0:
+            reqs.append(ScratchReq(f"etmp{i}", out_tail))
+    return reqs
+
+
+def producer_scratch(kind: str, op, x_shape: tuple, impl: str, epilogue) -> list[ScratchReq]:
+    """Scratch requests (bind order) of a conv/linear kernel on ``x_shape``."""
+    reqs: list[ScratchReq] = []
+    if kind == "conv":
+        c, h, w = x_shape[1], x_shape[2], x_shape[3]
+        k, s, p = op.kernel, op.stride, op.padding
+        oh = (h + 2 * p - k) // s + 1
+        ow = (w + 2 * p - k) // s + 1
+        length = oh * ow
+        f = op.weight2d.shape[0]
+        onebyone = k == 1 and s == 1 and p == 0
+        if not onebyone:
+            if p:
+                reqs.append(ScratchReq("pad", (c, h + 2 * p, w + 2 * p), dedicated=True, zero=True))
+            reqs.append(ScratchReq("cols", (c * k * k, length)))
+        if impl == "shift_plane" and op.shift is not None:
+            for j, plane in enumerate(op.shift.planes):
+                if plane.col_index is not None:
+                    reqs.append(ScratchReq(f"sel{j}", (plane.col_index.size, length)))
+                rows = f if plane.rows is None else plane.rows.size
+                reqs.append(ScratchReq(f"part{j}", (rows, length)))
+        reqs.extend(epilogue_scratch(epilogue, (f, length)))
+    else:  # linear
+        out_f = op.weight_t.shape[1]
+        if impl == "shift_plane" and op.shift is not None:
+            for j, plane in enumerate(op.shift.planes):
+                if plane.col_index is not None:
+                    reqs.append(ScratchReq(f"sel{j}", (plane.col_index.size,)))
+                rows = out_f if plane.rows is None else plane.rows.size
+                reqs.append(ScratchReq(f"part{j}", (rows,)))
+        reqs.extend(epilogue_scratch(epilogue, (out_f,)))
+    return reqs
+
+
+# -- producer kernels (conv / linear, dense + shift_plane) --------------------
+
+
+def _conv_views(op, x, scratch: dict):
+    """Pre-build the im2col machinery over concrete arrays.
+
+    Returns ``(setup_lines, args, cols_name)`` — the data-movement lines and
+    bound views feeding the GEMM, exactly as ``ConvOp.run`` arranges them.
+    """
+    nb, c, h, w = x.shape
+    k, s, p = op.kernel, op.stride, op.padding
+    oh = (h + 2 * p - k) // s + 1
+    ow = (w + 2 * p - k) // s + 1
+    if k == 1 and s == 1 and p == 0:
+        return [], {"cols": x.reshape(nb, c, h * w)}, "cols"
+    if p:
+        pad = scratch["pad"]
+        source = pad
+        setup = ["interior[...] = x"]
+        args = {"x": x, "interior": pad[:, :, p:-p, p:-p]}
+    else:
+        source = x
+        setup = []
+        args = {"x": x}
+    sn, sc, sh, sw = source.strides
+    windows = as_strided(
+        source,
+        shape=(nb, c, k, k, oh, ow),
+        strides=(sn, sc, sh, sw, sh * s, sw * s),
+        writeable=False,
+    )
+    cols = scratch["cols"]
+    args.update({"windows": windows, "cols": cols, "cols6": cols.reshape(nb, c, k, k, oh, ow)})
+    setup.append("cols6[...] = windows")
+    return setup, args, "cols"
+
+
+def bind_producer(
+    kind: str,
+    op,
+    x: np.ndarray,
+    out: np.ndarray,
+    scratch: dict,
+    impl: str,
+    epilogue,
+    dtype: np.dtype,
+):
+    """Bind one generated conv/linear kernel over concrete arrays.
+
+    ``out`` is the flat GEMM output — ``(nb, F, oh*ow)`` for conv, ``(nb,
+    F)`` for linear — a view of the destination register.  ``scratch`` maps
+    :func:`producer_scratch` names to bound views.
+    """
+    sig = _epilogue_sig(epilogue)
+    etmps = [n for n in scratch if n.startswith("etmp")]
+    lines: list[str] = []
+    flags: list[str] = []
+    extra: list = []
+    if kind == "conv":
+        setup, args, cols_name = _conv_views(op, x, scratch)
+        lines.extend(setup)
+        args["out"] = out
+        if op.padding and not (op.kernel == 1 and op.stride == 1):
+            flags.append("pad")
+        if op.kernel == 1 and op.stride == 1 and op.padding == 0:
+            flags.append("onebyone")
+        if impl == "shift_plane" and op.shift is not None:
+            lines.append("out[...] = 0.0")
+            for j, plane in enumerate(op.shift.planes):
+                wname = f"w{j}"
+                args[wname] = plane.weight
+                src = cols_name
+                pflags = ""
+                if plane.col_index is not None:
+                    args[f"idx{j}"] = plane.col_index
+                    args[f"sel{j}"] = scratch[f"sel{j}"]
+                    lines.append(f"np.take({cols_name}, idx{j}, axis=1, out=sel{j})")
+                    src = f"sel{j}"
+                    pflags += "c"
+                args[f"part{j}"] = scratch[f"part{j}"]
+                lines.append(f"np.matmul({wname}, {src}, out=part{j})")
+                if plane.rows is None:
+                    lines.append(f"np.add(out, part{j}, out=out)")
+                else:
+                    args[f"rows{j}"] = plane.rows
+                    lines.append(f"out[:, rows{j}, :] += part{j}")
+                    pflags += "r"
+                extra.append((j, pflags))
+        else:
+            args["w"] = op.weight2d
+            lines.append(f"np.matmul(w, {cols_name}, out=out)")
+        if op.bias is not None:
+            args["bias"] = op.bias[:, None]
+            lines.append("np.add(out, bias, out=out)")
+            flags.append("bias")
+        if op.dead_in_weight2d is not None:
+            args["dead"] = op._dead_bias_map(x.shape[2], x.shape[3])
+            lines.append("np.add(out, dead, out=out)")
+            flags.append("dead")
+        shape_key = (x.shape[1:], op.weight2d.shape, op.kernel, op.stride, op.padding)
+    else:  # linear
+        args = {"x": x, "out": out}
+        if impl == "shift_plane" and op.shift is not None:
+            lines.append("out[...] = 0.0")
+            for j, plane in enumerate(op.shift.planes):
+                args[f"w{j}"] = plane.weight
+                src = "x"
+                pflags = ""
+                if plane.col_index is not None:
+                    args[f"idx{j}"] = plane.col_index
+                    args[f"sel{j}"] = scratch[f"sel{j}"]
+                    lines.append(f"np.take(x, idx{j}, axis=1, out=sel{j})")
+                    src = f"sel{j}"
+                    pflags += "c"
+                args[f"part{j}"] = scratch[f"part{j}"]
+                lines.append(f"np.matmul({src}, w{j}, out=part{j})")
+                if plane.rows is None:
+                    lines.append(f"np.add(out, part{j}, out=out)")
+                else:
+                    args[f"rows{j}"] = plane.rows
+                    lines.append(f"out[:, rows{j}] += part{j}")
+                    pflags += "r"
+                extra.append((j, pflags))
+        else:
+            args["w"] = op.weight_t
+            lines.append("np.matmul(x, w, out=out)")
+        if op.bias is not None:
+            args["bias"] = op.bias
+            lines.append("np.add(out, bias, out=out)")
+            flags.append("bias")
+        shape_key = (x.shape[1:], op.weight_t.shape)
+    for name in etmps:
+        args[name] = scratch[name]
+    _emit_epilogue(lines, sig, "out", list(etmps))
+    spec = KernelSpec(
+        kind=kind,
+        impl=impl,
+        shape=shape_key,
+        dtype=str(dtype),
+        flags=tuple(flags),
+        epilogue=sig,
+        extra=tuple(extra),
+    )
+    return _make(spec, args, lines)
+
+
+# -- elementwise chains (standalone LeakyReLU / ActQuant / Affine) ------------
+
+
+def eltwise_scratch(chain, out_tail: tuple, inplace: bool) -> list[ScratchReq]:
+    """Scratch for a standalone elementwise chain.
+
+    A not-in-place chain whose head is a nonzero-slope LeakyReLU uses the
+    destination itself as the multiply target (matching the op-by-op
+    ``LeakyReluOp.run`` non-inplace branch, whose result buffer doubles as
+    the scratch); only in-place heads and later LeakyReLUs need real
+    scratch, one buffer per occurrence.
+    """
+    reqs: list[ScratchReq] = []
+    for i, step in enumerate(chain):
+        if step[0] == "lrelu" and float(step[1]) != 0.0 and (inplace or i > 0):
+            reqs.append(ScratchReq(f"etmp{i}", out_tail))
+    return reqs
+
+
+def bind_eltwise(chain, x: np.ndarray, out: np.ndarray, scratch: dict, dtype: np.dtype):
+    """Bind a standalone elementwise chain kernel (head + fused followers).
+
+    ``out`` may alias ``x`` (the in-place case); the generated sequence
+    replicates each op's ``run()`` bit for bit in both layouts.
+    """
+    inplace = out is x
+    args: dict = {"x": x} if inplace else {"x": x, "out": out}
+    outname = "x" if inplace else "out"
+    lines: list[str] = []
+    flags = ["inplace"] if inplace else []
+    head, rest = chain[0], chain[1:]
+    if head[0] == "lrelu":
+        slope = repr(float(head[1]))
+        if slope == "0.0":
+            lines.append(f"np.maximum(x, 0.0, out={outname})")
+        elif inplace:
+            args["etmp0"] = scratch["etmp0"]
+            lines.append(f"np.multiply(x, {slope}, out=etmp0)")
+            lines.append("np.maximum(x, etmp0, out=x)")
+        else:
+            lines.append(f"np.multiply(x, {slope}, out=out)")
+            lines.append("np.maximum(x, out, out=out)")
+        sig_head = ("lrelu", slope)
+    elif head[0] == "aq":
+        step_f, half = float(head[1]), float(head[2])
+        inv, lo, hi, stp = repr(1.0 / step_f), repr(-half), repr(half - 1.0), repr(step_f)
+        lines.append(f"np.multiply(x, {inv}, out={outname})")
+        lines.append(f"np.rint({outname}, out={outname})")
+        lines.append(f"np.clip({outname}, {lo}, {hi}, out={outname})")
+        lines.append(f"np.multiply({outname}, {stp}, out={outname})")
+        sig_head = ("aq", inv, lo, hi, stp)
+    elif head[0] == "affine":
+        scale, shift = head[1], head[2]
+        args["scale"] = scale[:, None, None]
+        args["shift"] = shift[:, None, None]
+        lines.append(f"np.multiply(x, scale, out={outname})")
+        lines.append(f"np.add({outname}, shift, out={outname})")
+        sig_head = ("affine",)
+    else:  # pragma: no cover - guarded by the trace pass
+        raise ValueError(f"unknown eltwise head {head[0]!r}")
+    etmps = sorted(n for n in scratch if n.startswith("etmp") and n != "etmp0")
+    for name in etmps:
+        args[name] = scratch[name]
+    sig_rest = _epilogue_sig(rest)
+    _emit_epilogue(lines, sig_rest, outname, list(etmps))
+    spec = KernelSpec(
+        kind="eltwise",
+        impl="",
+        shape=tuple(x.shape[1:]),
+        dtype=str(dtype),
+        flags=tuple(flags),
+        epilogue=(sig_head,) + sig_rest,
+    )
+    return _make(spec, args, lines)
+
+
+# -- pools / gap / add --------------------------------------------------------
+
+
+def bind_pool(
+    pool_kind: str,
+    kernel: int,
+    stride: int,
+    x: np.ndarray,
+    out: np.ndarray,
+    scratch: dict,
+    epilogue,
+    dtype: np.dtype,
+):
+    """Max/avg pool with the ``k*k`` shifted window views prebound."""
+    oh = (x.shape[2] - kernel) // stride + 1
+    ow = (x.shape[3] - kernel) // stride + 1
+    args: dict = {"out": out}
+    lines: list[str] = []
+    names = []
+    for i in range(kernel):
+        for j in range(kernel):
+            name = f"v{len(names)}"
+            args[name] = x[:, :, i : i + stride * oh : stride, j : j + stride * ow : stride]
+            names.append(name)
+    lines.append(f"out[...] = {names[0]}")
+    reducer = "np.maximum(out, {v}, out=out)" if pool_kind == "maxpool" else "np.add(out, {v}, out=out)"
+    for v in names[1:]:
+        lines.append(reducer.format(v=v))
+    if pool_kind == "avgpool":
+        lines.append(f"np.multiply(out, {repr(1.0 / (kernel * kernel))}, out=out)")
+    sig = _epilogue_sig(epilogue)
+    etmps = sorted(n for n in scratch if n.startswith("etmp"))
+    for name in etmps:
+        args[name] = scratch[name]
+    _emit_epilogue(lines, sig, "out", list(etmps))
+    spec = KernelSpec(
+        kind=pool_kind,
+        impl="",
+        shape=(x.shape[1:], kernel, stride),
+        dtype=str(dtype),
+        flags=(),
+        epilogue=sig,
+        extra=(len(names),),
+    )
+    return _make(spec, args, lines)
+
+
+def bind_gap(x: np.ndarray, out: np.ndarray, scratch: dict, epilogue, dtype: np.dtype):
+    args: dict = {"x": x, "out": out}
+    lines = ["np.mean(x, axis=(2, 3), out=out)"]
+    sig = _epilogue_sig(epilogue)
+    etmps = sorted(n for n in scratch if n.startswith("etmp"))
+    for name in etmps:
+        args[name] = scratch[name]
+    _emit_epilogue(lines, sig, "out", list(etmps))
+    spec = KernelSpec(
+        kind="gap", impl="", shape=tuple(x.shape[1:]), dtype=str(dtype), flags=(), epilogue=sig
+    )
+    return _make(spec, args, lines)
+
+
+def bind_add(a: np.ndarray, b: np.ndarray, out: np.ndarray, scratch: dict, epilogue, dtype: np.dtype):
+    args: dict = {"a": a, "b": b, "out": out}
+    lines = ["np.add(a, b, out=out)"]
+    sig = _epilogue_sig(epilogue)
+    etmps = sorted(n for n in scratch if n.startswith("etmp"))
+    for name in etmps:
+        args[name] = scratch[name]
+    _emit_epilogue(lines, sig, "out", list(etmps))
+    spec = KernelSpec(
+        kind="add", impl="", shape=tuple(a.shape[1:]), dtype=str(dtype), flags=(), epilogue=sig
+    )
+    return _make(spec, args, lines)
+
+
+# -- autotune support ---------------------------------------------------------
+
+
+def variants_for(op) -> tuple[str, ...]:
+    """Kernel impl candidates the generated-kernel library offers for ``op``."""
+    if getattr(op, "shift", None) is not None:
+        return ("dense", "shift_plane")
+    return ("dense",)
+
+
+def _shift_signature(op) -> tuple:
+    shift = getattr(op, "shift", None)
+    if shift is None:
+        return ()
+    return tuple(
+        (p.weight.shape, None if p.col_index is None else int(p.col_index.size), p.rows is None)
+        for p in shift.planes
+    )
+
+
+def autotune_key(op, x_shape: tuple, dtype: np.dtype, reps: int) -> tuple:
+    """Persistent-cache key: identical shapes + kernel set => identical
+    timing problem, regardless of the weight *values* behind it."""
+    kind = "linear" if hasattr(op, "weight_t") else "conv"
+    wshape = op.weight_t.shape if kind == "linear" else op.weight2d.shape
+    geom = () if kind == "linear" else (op.kernel, op.stride, op.padding)
+    return (kind, tuple(x_shape), tuple(wshape), geom, _shift_signature(op), str(dtype), int(reps))
+
+
+def bind_standalone_producer(op, x: np.ndarray, impl: str, dtype: np.dtype):
+    """A self-buffered generated kernel for one conv/linear op (autotune path).
+
+    Allocates private out/scratch arrays and returns ``(thunk, out)`` — the
+    same codegen the traced executor binds, so autotune measures exactly the
+    kernels the fused program will run.
+    """
+    kind = "linear" if hasattr(op, "weight_t") else "conv"
+    nb = x.shape[0]
+    reqs = producer_scratch(kind, op, x.shape, impl, ())
+    scratch = {
+        r.name: np.zeros((nb,) + r.tail, dtype) if r.zero else np.empty((nb,) + r.tail, dtype)
+        for r in reqs
+    }
+    if kind == "conv":
+        h, w = x.shape[2], x.shape[3]
+        k, s, p = op.kernel, op.stride, op.padding
+        oh = (h + 2 * p - k) // s + 1
+        ow = (w + 2 * p - k) // s + 1
+        out = np.empty((nb, op.weight2d.shape[0], oh * ow), dtype)
+    else:
+        out = np.empty((nb, op.weight_t.shape[1]), dtype)
+    thunk = bind_producer(kind, op, x, out, scratch, impl, (), dtype)
+    return thunk, out

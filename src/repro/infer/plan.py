@@ -52,6 +52,7 @@ from repro.nn.module import Module
 from repro.nn.tensor import Tensor, no_grad
 from repro.quant.activations import QuantizedActivation
 from repro.quant.qlayers import QConv2d, QLinear
+from repro.utils.profiler import active_profiler
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.infer.shift_plane import ShiftPlaneSet
@@ -93,6 +94,17 @@ class PlanConfig:
             to time kernel candidates (``"auto"`` only).
         autotune_reps: Timing repetitions per kernel candidate; the best
             (minimum) time wins.
+        trace: Execute through shape-specialized traced programs
+            (:mod:`repro.infer.trace` / :mod:`repro.infer.fuse`): the plan
+            is recorded once per input shape into generated fused kernels
+            with pre-bound buffers.  Bitwise-identical to the op-by-op
+            interpreter; shapes that fail to trace fall back transparently.
+        fuse: Run the IR optimization passes on traced programs — epilogue
+            fusion (conv/linear→LeakyReLU→ActQuant collapse into one kernel
+            call), dead-buffer elimination, liveness-based register reuse
+            and cache-sized batch blocking.  ``trace=True, fuse=False``
+            isolates the codegen speedup from the fusion speedup (ablation
+            knob); with ``trace=False`` this has no effect.
     """
 
     prune: bool = True
@@ -100,6 +112,8 @@ class PlanConfig:
     kernel: str = "auto"
     autotune_batch: int = 16
     autotune_reps: int = 3
+    trace: bool = True
+    fuse: bool = True
 
     def __post_init__(self) -> None:
         if self.kernel not in _KERNELS:
@@ -123,6 +137,9 @@ class ExecutionContext:
     def __init__(self) -> None:
         self.slots: dict[int, np.ndarray] = {}
         self._buffers: dict[tuple[int, str], np.ndarray] = {}
+        # Bound traced-program states (registers + prebound kernel thunks),
+        # keyed by TracedProgram.uid; see repro.infer.fuse.TracedProgram.run.
+        self._traced: dict[int, Any] = {}
 
     def buffer(
         self,
@@ -510,8 +527,14 @@ def execute_ops(
     must copy.
     """
     ctx.slots[0] = np.asarray(x, dtype=dtype)
-    for op in ops:
-        op.run(ctx)
+    profiler = active_profiler()
+    if profiler is None:
+        for op in ops:
+            op.run(ctx)
+    else:
+        for op in ops:
+            with profiler.phase(f"op{op.index}:{type(op).__name__}"):
+                op.run(ctx)
     return ctx.slots[out_slot]
 
 
@@ -602,6 +625,11 @@ class ExecutionPlan:
         #: contains cross-layer constant folds, so stale weights require a
         #: full recompile instead of a per-binding array patch.
         self.pruned = pruned
+        #: Traced programs per input shape (lazy; see :meth:`execute`) and
+        #: shapes that failed to trace (memoized so they don't retry per
+        #: batch).  Dropped wholesale by :meth:`invalidate_traced`.
+        self._traced: dict[tuple, Any] = {}
+        self._trace_failed: set[tuple] = set()
 
     def __len__(self) -> int:
         return len(self.ops)
@@ -622,6 +650,9 @@ class ExecutionPlan:
                     k_hist.extend([0] * (len(hist) - len(k_hist)))
                 for k, count in enumerate(hist):
                     k_hist[k] += count
+        programs = [p.stats for p in self._traced.values()]
+        from repro.infer.kernels import cache_stats
+
         return {
             "dtype": str(self.dtype),
             "ops": len(self.ops),
@@ -635,15 +666,67 @@ class ExecutionPlan:
                 "prune": self.config.prune,
                 "all_dead": self.config.all_dead,
                 "kernel": self.config.kernel,
+                "trace": self.config.trace,
+                "fuse": self.config.fuse,
+            },
+            "trace": {
+                "enabled": self.config.trace,
+                "fuse": self.config.fuse,
+                "programs": programs,
+                "fused_elementwise_total": sum(p["fused_elementwise"] for p in programs),
+                "eliminated_buffers_total": sum(p["eliminated_buffers"] for p in programs),
+                "peak_intermediate_bytes": max(
+                    (p["peak_intermediate_bytes"] for p in programs), default=0
+                ),
+                "cache": cache_stats(),
             },
             "layers": self.layer_info,
         }
 
     def execute(self, x: np.ndarray, ctx: ExecutionContext) -> np.ndarray:
-        """Run one batch through the plan (see :func:`execute_ops`)."""
+        """Run one batch through the plan.
+
+        With ``config.trace`` (the default) the batch executes through a
+        shape-specialized traced program — generated fused kernels with
+        pre-bound buffers (:mod:`repro.infer.fuse`), compiled lazily on the
+        first batch of each input shape and bitwise-identical to the
+        interpreter.  Shapes that fail to trace, and ``trace=False`` plans,
+        run op-by-op via :func:`execute_ops`.
+        """
         if np.ndim(x) != 4:
             raise ShapeError(f"plan input must be NCHW, got shape {np.shape(x)}")
+        if self.config.trace:
+            program = self.traced_program(np.shape(x))
+            if program is not None:
+                return program.run(x, ctx)
         return execute_ops(self.ops, x, ctx, self.out_slot, self.dtype)
+
+    def traced_program(self, input_shape: tuple):
+        """The traced program for ``input_shape`` (compiled lazily), or
+        ``None`` if that shape cannot be traced."""
+        shape = tuple(int(s) for s in input_shape)
+        program = self._traced.get(shape)
+        if program is None and shape not in self._trace_failed:
+            from repro.infer.trace import build_traced_program
+
+            program = build_traced_program(self, shape)
+            if program is None:
+                self._trace_failed.add(shape)
+            else:
+                self._traced[shape] = program
+        return program
+
+    def invalidate_traced(self) -> None:
+        """Drop every traced program (weight arrays changed).
+
+        Called by :meth:`refresh` after patching op arrays — the same
+        ``WeightBinding`` version/fingerprint machinery that detects stale
+        weights therefore also recompiles the traced programs atomically.
+        Structural rebuilds (pruning drift) construct a whole new plan, so
+        their invalidation is implicit.
+        """
+        self._traced = {}
+        self._trace_failed = set()
 
     def stale_bindings(self, fingerprint: bool = True) -> list[WeightBinding]:
         """Bindings whose source tensors changed since the plan was built.
@@ -719,6 +802,10 @@ class ExecutionPlan:
             b.built_key = b.current_key()
             b.built_fp = b.current_fp()
             b.built_dead = b.current_dead()
+        if bindings:
+            # Traced programs hold bind-time references to the op arrays
+            # just replaced; recompile them against the fresh weights.
+            self.invalidate_traced()
         return len(bindings)
 
 

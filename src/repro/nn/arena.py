@@ -41,7 +41,7 @@ from typing import Iterator
 
 import numpy as np
 
-__all__ = ["BufferArena", "use_arena", "active_arena"]
+__all__ = ["BufferArena", "RegisterPlanner", "use_arena", "active_arena"]
 
 _TLS = threading.local()
 
@@ -120,6 +120,70 @@ class BufferArena:
             f"BufferArena(slots={len(self._slots)}, "
             f"allocations={self.allocations}, reuses={self.reuses})"
         )
+
+
+class RegisterPlanner:
+    """Liveness-driven register allocation over flat element counts.
+
+    Where :class:`BufferArena` recycles buffers *between* passes (training:
+    every intermediate lives for the whole step), the traced inference
+    compiler knows each buffer's exact live interval and can reuse memory
+    *within* one pass.  The planner is the allocation half of that: callers
+    walk their program in order, ``alloc`` a register when a value is
+    defined and ``free`` it after its last reader, and the planner hands
+    back register ids backed by a best-fit free list.  Peak memory is then
+    ``sum(sizes)`` — the high-water mark of simultaneously-live values —
+    instead of the sum over all values.
+
+    Planning is separate from storage on purpose: the traced program plans
+    once (element counts only) and each execution context materializes the
+    final ``sizes`` as flat arrays, carving typed views out of them at bind
+    time.  A register freed and re-allocated for a larger value grows
+    in-place (its final size is known before any array is created), which
+    keeps the register count minimal without over-allocating.
+
+    ``alloc_dedicated`` registers opt out of reuse entirely — used for
+    buffers whose *untouched* contents must survive, e.g. a conv padding
+    buffer whose zeroed border is written once and only re-read.
+    """
+
+    def __init__(self) -> None:
+        self.sizes: list[int] = []  # register id -> element count
+        self._free: list[int] = []
+        self._dedicated: set[int] = set()
+
+    def alloc(self, elems: int) -> int:
+        """A register holding >= ``elems`` elements (best-fit reuse)."""
+        best = None
+        for rid in self._free:
+            if self.sizes[rid] >= elems and (best is None or self.sizes[rid] < self.sizes[best]):
+                best = rid
+        if best is None and self._free:
+            # Nothing big enough: grow the largest free register instead of
+            # opening a new one (final sizes are materialized after planning).
+            best = max(self._free, key=lambda rid: self.sizes[rid])
+            self.sizes[best] = elems
+        if best is not None:
+            self._free.remove(best)
+            return best
+        self.sizes.append(elems)
+        return len(self.sizes) - 1
+
+    def alloc_dedicated(self, elems: int) -> int:
+        """A register excluded from reuse (``free`` is a no-op on it)."""
+        self.sizes.append(elems)
+        rid = len(self.sizes) - 1
+        self._dedicated.add(rid)
+        return rid
+
+    def free(self, rid: int) -> None:
+        """Return ``rid`` to the free list (dedicated registers stay put)."""
+        if rid not in self._dedicated and rid not in self._free:
+            self._free.append(rid)
+
+    def peak_elems(self) -> int:
+        """Total elements across all registers — the plan's high-water mark."""
+        return sum(self.sizes)
 
 
 def active_arena() -> "BufferArena | None":

@@ -180,16 +180,23 @@ class ModelRegistry:
         finally:
             entry.batcher.resume()
         if rebuilt:
-            logger.info("model %r: refreshed %d plan op(s)", entry.name, rebuilt)
+            logger.info(
+                "model %r: refreshed %d plan op(s); traced programs recompile on next batch",
+                entry.name,
+                rebuilt,
+            )
         return rebuilt
 
     def metrics_snapshot(self) -> dict:
         """``{model name: metrics snapshot}`` for every registered model.
 
         Each snapshot carries the engine's current plan summary under
-        ``"plan"`` — kernel choices, k histogram, pruned-filter counts —
-        so ``/metrics`` exposes the sparsity state the model serves with
-        (and reflects structural rebuilds after a hot weight refresh).
+        ``"plan"`` — kernel choices, k histogram, pruned-filter counts, and
+        the traced-program block (fused-op counts, buffers eliminated,
+        peak intermediate bytes, kernel/autotune cache hit counters) — so
+        ``/metrics`` exposes both the sparsity state and the compilation
+        state the model serves with (and reflects structural rebuilds and
+        traced-program recompiles after a hot weight refresh).
         """
         with self._lock:
             entries = list(self._models.items())

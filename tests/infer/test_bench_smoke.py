@@ -47,6 +47,21 @@ def test_benchmark_smoke(tmp_path):
     assert result["summary"]["min_sparsity_speedup"] > 1.0
     assert result["summary"]["max_sparsity_parity_abs_diff"] <= 1e-5
 
+    # Fusion sweep: the traced executor must be bitwise-equal to the
+    # interpreter and its liveness allocator must beat naive buffering; the
+    # speedup itself is asserted only by the full (non-smoke) run, where
+    # timing noise is controlled.
+    fusion = result["fusion_sweep"]
+    assert {row["network_id"] for row in fusion} == {1, 4}
+    for row in fusion:
+        assert row["bitwise_equal"] is True
+        for spec in row["batches"].values():
+            prog = spec["program"]
+            assert prog["fused_elementwise"] > 0
+            assert 0 < prog["peak_intermediate_bytes"] < prog["naive_intermediate_bytes"]
+            assert spec["fused_s"] > 0 and spec["untraced_s"] > 0
+    assert result["summary"]["fusion"]["all_bitwise_equal"] is True
+
     out = tmp_path / "BENCH_infer.json"
     out.write_text(json.dumps(result))  # round-trips: everything is plain JSON
     assert json.loads(out.read_text())["configs"]
