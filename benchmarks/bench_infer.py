@@ -22,7 +22,15 @@ synthetic CIFAR-shaped data for the small Table-1 configurations, plus:
   against the same dense plan run op-by-op, at batch 1 and batch 64, with a
   bitwise-equality check and each compiled program's fused-op count and
   naive-vs-peak intermediate-buffer bytes.  ``--fusion-sweep`` runs just
-  this section and merges the rows into an existing BENCH_infer.json.
+  this section and merges the rows into an existing BENCH_infer.json;
+* an integer-only sweep (``--int-sweep``): the int8 execution mode
+  (``PlanConfig(dtype="int8")`` — bit-packed shift weights, fixed-point
+  activations, multiplier+shift requantization, :mod:`repro.infer.intq`)
+  against the float64 engine, with logit parity, argmax agreement, bitwise
+  determinism across repeated runs, and the measured per-image integer op
+  counts.  The int8 mode models the hardware datapath; numpy's integer
+  matmuls bypass BLAS, so its host throughput is reported for tracking,
+  not as a speedup claim.
 
 Timing methodology: the machine's run-to-run variance swamps single-shot
 timings, so each (config, variant) pair is timed ``reps`` times with the
@@ -82,6 +90,10 @@ FUSION_BATCHES = (1, 64)
 # PR 5 dense path: same kernels/pruning state, no tracing.
 UNTRACED_BASELINE = PlanConfig(prune=False, kernel="dense", trace=False)
 TRACED_FUSED = PlanConfig(prune=False, kernel="dense")  # trace/fuse default on
+# Integer-only sweep: int8 execution mode vs the float64 engine.  Parity is
+# checked on every Table-1 structure; only the small nets are timed.
+INT_CONFIGS = (1, 4, 5)
+INT_PARITY_BATCH = 16
 
 
 def _build(network_id: int, scheme_key: str = SCHEME, width_scale: float = 1.0, seed: int = 0):
@@ -397,6 +409,91 @@ def run_benchmark(
     }
 
 
+def _int_row(network_id: int, reps: int, batch: int = INT_PARITY_BATCH) -> dict:
+    """One net through the integer-only mode: parity, determinism, measured
+    integer op counts, and host timing vs the float64 engine.
+
+    The timing is informational — the int8 mode models the hardware
+    shift/add datapath and numpy routes integer matmuls through slow
+    non-BLAS loops, so it is expected to be *slower* on the host.
+    """
+    model = _build(network_id, width_scale=PARITY_WIDTH_SCALE.get(network_id, 1.0))
+    images = np.random.default_rng(network_id + 300).normal(
+        0.0, 1.0, (batch, 3, IMAGE_SIZE, IMAGE_SIZE)
+    )
+    float_engine = InferenceEngine(model)
+    int_engine = InferenceEngine(model, config=PlanConfig(dtype="int8"))
+
+    want = float_engine.predict_logits(images)  # warm + reference
+    got = int_engine.predict_logits(images)
+    repeat = int_engine.predict_logits(images)
+
+    times: dict[str, list[float]] = {"float": [], "int8": []}
+    for _ in range(reps):  # interleave variants inside each rep
+        for key, eng in (("float", float_engine), ("int8", int_engine)):
+            times[key].append(_timed(lambda eng=eng: eng.predict_logits(images)))
+    med = {k: statistics.median(v) for k, v in times.items()}
+
+    intq = int_engine.plan_summary()["intq"]
+    return {
+        "network_id": network_id,
+        "scheme": SCHEME,
+        "images": batch,
+        "max_abs_delta": float(np.max(np.abs(got - want))),
+        "argmax_agreement": float((got.argmax(axis=1) == want.argmax(axis=1)).mean()),
+        "deterministic": bool(np.array_equal(got, repeat)),
+        "float_s": med["float"],
+        "int8_s": med["int8"],
+        "int8_vs_float": med["float"] / med["int8"],
+        "accum_dtypes": sorted({layer["accum_dtype"] for layer in intq["layers"]}),
+        "impls": sorted({layer["impl"] for layer in intq["layers"]}),
+        "requant_bits": sorted({layer["requant_bits"] for layer in intq["layers"]}),
+        "totals_per_image": intq["totals_per_image"],
+        "calibration": intq["calibration"],
+    }
+
+
+def _int_summary(rows: list[dict]) -> dict:
+    """Headline numbers for the int sweep (the PR acceptance fields)."""
+    return {
+        "min_argmax_agreement": min(r["argmax_agreement"] for r in rows),
+        "max_abs_delta": max(r["max_abs_delta"] for r in rows),
+        "all_deterministic": all(r["deterministic"] for r in rows),
+        "accum_dtypes": sorted({d for r in rows for d in r["accum_dtypes"]}),
+        "nets": [r["network_id"] for r in rows],
+    }
+
+
+def run_int_sweep(reps: int = 5, smoke: bool = False) -> dict:
+    """Just the integer-only sweep, for merging into an existing
+    BENCH_infer.json (``--int-sweep``) and the CI smoke job.
+
+    Parity/determinism is checked on every Table-1 structure (the
+    acceptance criterion); timing reps only matter for the throughput
+    fields, so smoke mode shrinks reps, not coverage.
+    """
+    ids = (1, 4) if smoke else ALL_CONFIGS
+    rows = [_int_row(nid, reps) for nid in ids]
+    return {"int_sweep": rows, "int_summary": _int_summary(rows)}
+
+
+def _print_int(rows: list[dict], summary: dict) -> None:
+    for row in rows:
+        totals = row["totals_per_image"]
+        print(
+            f"net{row['network_id']} int8: delta {row['max_abs_delta']:.2e}, "
+            f"argmax {row['argmax_agreement']:.1%}, det={row['deterministic']}, "
+            f"acc={'/'.join(row['accum_dtypes'])}, "
+            f"{totals['shift_ops']:.0f} shifts + {totals['add_ops']:.0f} adds/img, "
+            f"{row['int8_vs_float']:.2f}x vs float"
+        )
+    print(
+        f"int8: min argmax agreement {summary['min_argmax_agreement']:.1%}, "
+        f"max delta {summary['max_abs_delta']:.2e}, "
+        f"deterministic={summary['all_deterministic']}"
+    )
+
+
 def run_fusion_sweep(reps: int = 5, smoke: bool = False) -> dict:
     """Just the traced-vs-interpreter sweep, for merging into an existing
     BENCH_infer.json (``--fusion-sweep``) and the CI smoke job."""
@@ -437,9 +534,24 @@ def main(argv=None) -> None:
         "rows into --out (other sections of an existing file are kept)",
     )
     parser.add_argument(
+        "--int-sweep",
+        action="store_true",
+        help="run only the integer-only (int8) vs float64 sweep and merge "
+        "the rows into --out (other sections of an existing file are kept)",
+    )
+    parser.add_argument(
         "--out", type=Path, default=Path(__file__).resolve().parent.parent / "BENCH_infer.json"
     )
     args = parser.parse_args(argv)
+    if args.int_sweep:
+        sweep = run_int_sweep(reps=args.reps, smoke=args.smoke)
+        result = json.loads(args.out.read_text()) if args.out.exists() else {}
+        result["int_sweep"] = sweep["int_sweep"]
+        result.setdefault("summary", {})["intq"] = sweep["int_summary"]
+        args.out.write_text(json.dumps(result, indent=2) + "\n")
+        _print_int(sweep["int_sweep"], sweep["int_summary"])
+        print(f"-> {args.out}")
+        return
     if args.fusion_sweep:
         sweep = run_fusion_sweep(reps=args.reps, smoke=args.smoke)
         result = json.loads(args.out.read_text()) if args.out.exists() else {}

@@ -12,7 +12,12 @@ mechanisms the paper's results rest on:
   reproducing the Fig. 5 energy ordering.
 """
 
-from repro.hw.ops import ConvLayerOps, conv_layer_ops, network_largest_layer_ops
+from repro.hw.ops import (
+    ConvLayerOps,
+    conv_layer_ops,
+    intq_measured_ops,
+    network_largest_layer_ops,
+)
 from repro.hw.fpga import FPGA_ZC706, FPGADesignPoint, FPGAModel, FPGAResources
 from repro.hw.asic import AreaTable65nm, AsicAreaModel, AsicEnergyModel, EnergyTable65nm
 from repro.hw.network_cost import NetworkCostEstimate, estimate_network_cost
@@ -25,6 +30,7 @@ from repro.hw.sensitivity import (
 __all__ = [
     "ConvLayerOps",
     "conv_layer_ops",
+    "intq_measured_ops",
     "network_largest_layer_ops",
     "FPGAResources",
     "FPGA_ZC706",

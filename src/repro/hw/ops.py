@@ -18,7 +18,12 @@ from repro.models.network import QuantizedNetwork
 from repro.quant.qlayers import QConv2d
 from repro.quant.schemes import QuantizationScheme
 
-__all__ = ["ConvLayerOps", "conv_layer_ops", "network_largest_layer_ops"]
+__all__ = [
+    "ConvLayerOps",
+    "conv_layer_ops",
+    "intq_measured_ops",
+    "network_largest_layer_ops",
+]
 
 
 @dataclass(frozen=True)
@@ -117,6 +122,42 @@ def conv_layer_ops(layer: QConv2d, scheme: QuantizationScheme) -> ConvLayerOps:
         in_channels=c,
         kernel_size=k,
     )
+
+
+def intq_measured_ops(plan_summary: dict) -> dict:
+    """Measured integer op counts from an int8 plan summary.
+
+    Where :func:`conv_layer_ops` predicts costs analytically from the
+    scheme, this reads what the compiled integer program
+    (:mod:`repro.infer.intq`) actually executes: per weighted layer, the
+    shift/add work of the packed shift-code weights, the integer multiplies
+    of the chosen host kernel, and the per-output requantization
+    multiplies.  Pass the dict returned by
+    :meth:`~repro.infer.plan.ExecutionPlan.summary` (also served under
+    ``"plan"`` in ``/metrics``).
+
+    Returns:
+        ``{"layers": [...], "totals_per_image": {...}, "mean_planes": ...}``
+        with per-image counts.
+
+    Raises:
+        HardwareModelError: If the summary does not come from an
+            integer-only plan.
+    """
+    intq = plan_summary.get("intq") if isinstance(plan_summary, dict) else None
+    if not intq or not intq.get("enabled"):
+        raise HardwareModelError(
+            "plan summary has no integer-only program; compile with "
+            "PlanConfig(dtype='int8') to measure integer op counts"
+        )
+    layers = intq.get("layers", [])
+    totals = dict(intq.get("totals_per_image", {}))
+    planes = [layer["planes"] for layer in layers if layer.get("planes")]
+    return {
+        "layers": layers,
+        "totals_per_image": totals,
+        "mean_planes": float(np.mean(planes)) if planes else 0.0,
+    }
 
 
 def network_largest_layer_ops(network: QuantizedNetwork) -> ConvLayerOps:

@@ -14,6 +14,7 @@ the op-by-op interpreter.  See
 
 from repro.infer.engine import InferenceEngine
 from repro.infer.fold import bn_eval_affine, dead_filter_rows
+from repro.infer.intq import IntQProgram, PackedWeights, build_intq_program, pack_weights
 from repro.infer.plan import (
     ExecutionContext,
     ExecutionPlan,
@@ -40,4 +41,8 @@ __all__ = [
     "trace_plan",
     "run_sharded",
     "shard_slices",
+    "IntQProgram",
+    "PackedWeights",
+    "build_intq_program",
+    "pack_weights",
 ]

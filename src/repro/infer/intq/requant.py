@@ -1,0 +1,105 @@
+"""Integer requantization constants and reference kernels.
+
+Scale changes in the integer pipeline follow the gemmlowp-style
+multiplier+shift scheme (the ``M0``/``shift`` pipeline of
+PerClusterQuantization's ``QuantizedLinear``): a real rescale factor ``M``
+is decomposed as ``M ~= M0 * 2**-shift`` with ``M0`` an integer mantissa of
+``bits`` significant bits, so the hot path computes
+
+    ``y = (acc * M0 + (1 << (shift - 1))) >> shift``
+
+— one integer multiply, one add and one arithmetic right shift per element,
+rounding half away from zero toward +inf (deterministic, no FPU).  All
+activation grids in :mod:`repro.infer.intq` are symmetric (zero-point 0),
+so no zero-point correction terms appear.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CompileError
+
+__all__ = [
+    "quantize_multiplier",
+    "quantize_multiplier_array",
+    "requantize",
+    "rounding_right_shift",
+]
+
+#: Hard ceiling on the post-multiply magnitude ``|acc| * |M0|`` — one bit of
+#: int64 headroom for the rounding addend.
+ACC_PRODUCT_LIMIT = 2**62
+
+
+def quantize_multiplier(m: float, bits: int = 15) -> tuple[int, int]:
+    """Decompose a real factor ``m`` into ``(m0, shift)`` with ``m ~= m0 * 2**-shift``.
+
+    ``m0`` carries ``bits`` significant bits (``2**(bits-1) <= |m0| <
+    2**bits`` for normal values), giving a relative error below
+    ``2**-bits``.  ``shift`` is always >= 1 so the rounding addend
+    ``1 << (shift - 1)`` is well-defined; ``m == 0`` maps to ``(0, 1)``.
+
+    Raises:
+        CompileError: If ``m`` is not finite, or so extreme that no
+            ``(m0, shift)`` pair with ``shift <= 62`` represents it.
+    """
+    if m == 0.0:
+        return 0, 1
+    if not np.isfinite(m):
+        raise CompileError(f"requantization multiplier is not finite: {m!r}")
+    mant, exp = np.frexp(m)  # m = mant * 2**exp with 0.5 <= |mant| < 1
+    m0 = int(round(float(mant) * (1 << bits)))
+    exp = int(exp)
+    if abs(m0) == 1 << bits:  # rounding overflowed the mantissa window
+        m0 //= 2
+        exp += 1
+    shift = bits - exp
+    if shift < 1:
+        # Very large |m|: fold the excess scale into the mantissa.
+        m0 <<= 1 - shift
+        shift = 1
+    if shift > 62:
+        # Very small |m|: re-derive the mantissa at the maximum shift.
+        shift = 62
+        m0 = int(round(m * float(2**shift)))
+    if abs(m0) >= 2**47:
+        raise CompileError(
+            f"requantization multiplier {m!r} needs a mantissa beyond 47 bits"
+        )
+    return m0, shift
+
+
+def quantize_multiplier_array(
+    m: np.ndarray, bits: int = 15
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized :func:`quantize_multiplier` for per-channel factors.
+
+    Returns ``(m0, shift, rnd)`` int64 arrays of ``m``'s shape, where
+    ``rnd = 1 << (shift - 1)`` is the precomputed rounding addend.
+    """
+    m = np.asarray(m, dtype=np.float64)
+    m0 = np.empty(m.shape, dtype=np.int64)
+    shift = np.empty(m.shape, dtype=np.int64)
+    flat_m0, flat_sh = m0.reshape(-1), shift.reshape(-1)
+    for i, value in enumerate(m.reshape(-1)):
+        flat_m0[i], flat_sh[i] = quantize_multiplier(float(value), bits)
+    rnd = np.int64(1) << (shift - 1)
+    return m0, shift, rnd
+
+
+def rounding_right_shift(acc: np.ndarray, shift: np.ndarray) -> np.ndarray:
+    """Arithmetic right shift with round-half-up: ``(acc + 2**(s-1)) >> s``."""
+    acc = np.asarray(acc, dtype=np.int64)
+    shift = np.asarray(shift, dtype=np.int64)
+    return (acc + (np.int64(1) << (shift - 1))) >> shift
+
+
+def requantize(acc: np.ndarray, m0: np.ndarray, shift: np.ndarray) -> np.ndarray:
+    """Reference requantization: ``(acc * m0 + 2**(shift-1)) >> shift``.
+
+    The generated kernels inline exactly this ufunc sequence; tests compare
+    against this function to pin the rounding behaviour.
+    """
+    acc = np.asarray(acc, dtype=np.int64)
+    return rounding_right_shift(acc * np.asarray(m0, dtype=np.int64), shift)

@@ -68,6 +68,7 @@ __all__ = [
 
 _KERNELS = ("auto", "dense", "shift_plane")
 _ALL_DEAD = ("keep", "error")
+_COMPUTE_DTYPES = ("float", "int8")
 
 
 @dataclass(frozen=True)
@@ -105,6 +106,14 @@ class PlanConfig:
             and cache-sized batch blocking.  ``trace=True, fuse=False``
             isolates the codegen speedup from the fusion speedup (ablation
             knob); with ``trace=False`` this has no effect.
+        dtype: Compute domain.  ``"float"`` (default) runs the plan in its
+            floating-point dtype; ``"int8"`` lowers the compiled plan into
+            an integer-only program (:mod:`repro.infer.intq`): bit-packed
+            shift-code weights, calibrated fixed-point activation grids and
+            multiplier+shift requantization — zero float multiplies inside
+            conv/linear kernels.  Requires the model to declare
+            ``in_channels``/``image_size`` (or an explicit calibration
+            batch via :func:`repro.infer.intq.build_intq_program`).
     """
 
     prune: bool = True
@@ -114,10 +123,15 @@ class PlanConfig:
     autotune_reps: int = 3
     trace: bool = True
     fuse: bool = True
+    dtype: str = "float"
 
     def __post_init__(self) -> None:
         if self.kernel not in _KERNELS:
             raise ConfigurationError(f"unknown kernel {self.kernel!r}; use one of {_KERNELS}")
+        if self.dtype not in _COMPUTE_DTYPES:
+            raise ConfigurationError(
+                f"unknown compute dtype {self.dtype!r}; use one of {_COMPUTE_DTYPES}"
+            )
         if self.all_dead not in _ALL_DEAD:
             raise ConfigurationError(
                 f"unknown all_dead policy {self.all_dead!r}; use one of {_ALL_DEAD}"
@@ -630,6 +644,10 @@ class ExecutionPlan:
         #: batch).  Dropped wholesale by :meth:`invalidate_traced`.
         self._traced: dict[tuple, Any] = {}
         self._trace_failed: set[tuple] = set()
+        #: Integer-only twin program (:mod:`repro.infer.intq`), attached by
+        #: :func:`compile_network` when ``config.dtype == "int8"``; when
+        #: set, :meth:`execute` routes batches through it.
+        self.intq: Any = None
 
     def __len__(self) -> int:
         return len(self.ops)
@@ -655,6 +673,8 @@ class ExecutionPlan:
 
         return {
             "dtype": str(self.dtype),
+            "compute_dtype": "int8" if self.intq is not None else str(self.dtype),
+            "intq": self.intq.summary_block() if self.intq is not None else {"enabled": False},
             "ops": len(self.ops),
             "pruned": self.pruned,
             "filters_total": filters_total,
@@ -668,6 +688,7 @@ class ExecutionPlan:
                 "kernel": self.config.kernel,
                 "trace": self.config.trace,
                 "fuse": self.config.fuse,
+                "dtype": self.config.dtype,
             },
             "trace": {
                 "enabled": self.config.trace,
@@ -695,6 +716,8 @@ class ExecutionPlan:
         """
         if np.ndim(x) != 4:
             raise ShapeError(f"plan input must be NCHW, got shape {np.shape(x)}")
+        if self.intq is not None:
+            return self.intq.run(x, ctx)
         if self.config.trace:
             program = self.traced_program(np.shape(x))
             if program is not None:
@@ -806,6 +829,15 @@ class ExecutionPlan:
             # Traced programs hold bind-time references to the op arrays
             # just replaced; recompile them against the fresh weights.
             self.invalidate_traced()
+            if self.intq is not None:
+                # The integer program's packed weights and requant constants
+                # derive from the arrays just patched; rebuild it against the
+                # same calibration batch it was built with.
+                from repro.infer.intq import build_intq_program
+
+                self.intq = build_intq_program(
+                    self, calibration_images=self.intq.calibration_images
+                )
         return len(bindings)
 
 
@@ -1128,7 +1160,7 @@ def compile_network(
     layer_info = _collect_layer_info(
         compiler.ops, compiler.bindings, prune_report, autotune_report
     )
-    return ExecutionPlan(
+    plan = ExecutionPlan(
         compiler.ops,
         out,
         compiler.bindings,
@@ -1137,3 +1169,16 @@ def compile_network(
         layer_info=layer_info,
         pruned=prune_report.get("pruned_filters", 0) > 0,
     )
+    if cfg.dtype == "int8":
+        shape = _calibration_shape(model, cfg)
+        if shape is None:
+            raise CompileError(
+                "PlanConfig(dtype='int8') needs a calibration batch shape; the model "
+                "does not declare in_channels/image_size — build the integer program "
+                "explicitly via repro.infer.intq.build_intq_program(plan, "
+                "calibration_images=...)"
+            )
+        from repro.infer.intq import build_intq_program
+
+        plan.intq = build_intq_program(plan, calibration_shape=shape)
+    return plan

@@ -49,18 +49,25 @@ def shard_slices(total: int, batch_size: int) -> list[slice]:
 _WORKER_OPS: list | None = None
 _WORKER_OUT_SLOT: int = 0
 _WORKER_DTYPE: np.dtype = np.dtype(np.float64)
+_WORKER_INTQ = None
 
 
-def _init_process_worker(ops: list, out_slot: int, dtype: np.dtype) -> None:
-    global _WORKER_OPS, _WORKER_OUT_SLOT, _WORKER_DTYPE
+def _init_process_worker(ops: list, out_slot: int, dtype: np.dtype, intq=None) -> None:
+    global _WORKER_OPS, _WORKER_OUT_SLOT, _WORKER_DTYPE, _WORKER_INTQ
     _WORKER_OPS = ops
     _WORKER_OUT_SLOT = out_slot
     _WORKER_DTYPE = dtype
+    # Integer-only twin program (picklable: op dataclasses hold only arrays
+    # and scalars; kernels re-bind from each worker's codegen cache).
+    _WORKER_INTQ = intq
 
 
 def _run_process_batch(task: tuple[int, np.ndarray]) -> tuple[int, np.ndarray]:
     index, images = task
-    out = execute_ops(_WORKER_OPS, images, ExecutionContext(), _WORKER_OUT_SLOT, _WORKER_DTYPE)
+    if _WORKER_INTQ is not None:
+        out = _WORKER_INTQ.run(np.asarray(images), ExecutionContext())
+    else:
+        out = execute_ops(_WORKER_OPS, images, ExecutionContext(), _WORKER_OUT_SLOT, _WORKER_DTYPE)
     return index, np.array(out, copy=True)
 
 
@@ -89,7 +96,7 @@ def _run_processes(plan: ExecutionPlan, images: np.ndarray, slices: list[slice],
     with ctx.Pool(
         max(1, min(workers, len(slices))),
         initializer=_init_process_worker,
-        initargs=(plan.ops, plan.out_slot, plan.dtype),
+        initargs=(plan.ops, plan.out_slot, plan.dtype, plan.intq),
     ) as pool:
         yield from pool.imap_unordered(_run_process_batch, tasks)
 

@@ -55,7 +55,12 @@ from repro.quant.binary import (
 from repro.quant.dorefa import DoReFaConfig, DoReFaWeights, dorefa_quantize, scheme_dorefa
 from repro.quant.ptq import quantize_model
 from repro.quant.encoding import EncodedWeights, decode_plane, decode_terms, encode_terms
-from repro.quant.calibration import ActivationObserver, calibrate_activations
+from repro.quant.calibration import (
+    ActivationObserver,
+    calibrate_activations,
+    calibration_scale_zero_point,
+    fixed_point_format_for,
+)
 from repro.quant.schemes import (
     QuantizationScheme,
     paper_schemes,
@@ -121,4 +126,6 @@ __all__ = [
     "decode_terms",
     "ActivationObserver",
     "calibrate_activations",
+    "calibration_scale_zero_point",
+    "fixed_point_format_for",
 ]

@@ -18,8 +18,14 @@ from repro.errors import ConfigurationError
 from repro.nn.module import Module
 from repro.nn.tensor import Tensor, no_grad
 from repro.quant.activations import ActivationQuantConfig, QuantizedActivation
+from repro.quant.fixed_point import FixedPointFormat
 
-__all__ = ["ActivationObserver", "calibrate_activations"]
+__all__ = [
+    "ActivationObserver",
+    "calibrate_activations",
+    "calibration_scale_zero_point",
+    "fixed_point_format_for",
+]
 
 
 class ActivationObserver:
@@ -48,6 +54,47 @@ def _next_power_of_two(x: float) -> float:
     if x <= 0:
         return 2.0**-8
     return float(2.0 ** max(-8, math.ceil(math.log2(x))))
+
+
+def fixed_point_format_for(
+    values: np.ndarray, bits: int = 8, percentile: float = 100.0
+) -> FixedPointFormat:
+    """Pick a power-of-two fixed-point format covering observed activations.
+
+    The clipping range is the given ``percentile`` of ``|values|`` rounded
+    up to a power of two (so the scale stays a pure shift), and the step is
+    ``range * 2**(1 - bits)``.  Degenerate calibration data is handled the
+    way a deployment must: an empty, all-zero or constant-zero batch falls
+    back to the minimum ``2**-8`` range, and a single sample is as valid as
+    a thousand — the result is always a finite, non-degenerate format.
+
+    Raises:
+        ConfigurationError: If ``values`` contains NaN/Inf (calibration on
+            garbage would silently pick a garbage grid).
+    """
+    if not 0.0 < percentile <= 100.0:
+        raise ConfigurationError(f"percentile must be in (0, 100], got {percentile}")
+    v = np.abs(np.asarray(values, dtype=np.float64)).reshape(-1)
+    if v.size and not np.isfinite(v).all():
+        raise ConfigurationError("calibration values contain NaN/Inf")
+    max_abs = float(np.percentile(v, percentile)) if v.size else 0.0
+    range_pow2 = _next_power_of_two(max_abs)
+    frac_bits = int(bits - 1 - round(math.log2(range_pow2)))
+    return FixedPointFormat(bits=bits, frac_bits=frac_bits)
+
+
+def calibration_scale_zero_point(
+    values: np.ndarray, bits: int = 8, percentile: float = 100.0
+) -> tuple[float, int]:
+    """Quantization ``(scale, zero_point)`` for observed activations.
+
+    The repo's activation grids are symmetric, so the zero point is
+    structurally 0 and the scale is the step of
+    :func:`fixed_point_format_for` — valid (finite, positive) even for
+    all-zero, constant, or single-sample calibration batches.
+    """
+    fmt = fixed_point_format_for(values, bits=bits, percentile=percentile)
+    return fmt.step, 0
 
 
 def calibrate_activations(

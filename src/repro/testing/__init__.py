@@ -1,4 +1,4 @@
-"""Deterministic fault-injection harness for resilience testing."""
+"""Deterministic test harnesses: fault injection and integer-parity checks."""
 
 from repro.testing.faults import (
     ConnectionDropFault,
@@ -6,10 +6,14 @@ from repro.testing.faults import (
     NaNGradientFault,
     TornWriteFault,
 )
+from repro.testing.intq_parity import build_parity_network, run_intq_parity, sample_images
 
 __all__ = [
     "TornWriteFault",
     "FailingWriteFault",
     "NaNGradientFault",
     "ConnectionDropFault",
+    "build_parity_network",
+    "run_intq_parity",
+    "sample_images",
 ]

@@ -1,0 +1,122 @@
+"""Integer-only inference parity harness.
+
+Runs the eight standard test network structures (Table 1 at reduced width,
+the same builders the test suite uses) through both the float64 compiled
+plan and the integer-only program (``PlanConfig(dtype="int8")``) and
+reports, per configuration:
+
+* the max-abs logit deviation from the float64 reference,
+* the argmax (top-1) agreement rate, and
+* whether two repeated integer runs are bitwise identical (they must be —
+  the integer pipeline is deterministic by construction).
+
+Used by the ``infer-intq`` CI job and by ``tests/infer/test_intq.py``; the
+module lives in ``src`` so the bench harness and external callers can reach
+it without importing the test tree.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.infer.engine import InferenceEngine
+from repro.infer.plan import PlanConfig
+from repro.models.registry import build_network
+from repro.nn.layers.norm import BatchNorm2d
+from repro.quant.schemes import paper_schemes
+
+__all__ = [
+    "IMAGE_SIZE",
+    "NUM_CLASSES",
+    "WIDTH_SCALE",
+    "build_parity_network",
+    "run_intq_parity",
+    "sample_images",
+]
+
+#: Per-network width multipliers keeping each Table-1 structure test-sized
+#: (mirrors the inference test suite's fixtures).
+WIDTH_SCALE = {1: 0.25, 2: 0.125, 3: 0.0625, 4: 0.5, 5: 0.25, 6: 0.125, 7: 0.0625, 8: 0.125}
+
+IMAGE_SIZE = 16
+NUM_CLASSES = 10
+
+
+def _randomize_bn_stats(model, rng: np.random.Generator) -> None:
+    """Give every BN layer non-trivial affine params and running stats.
+
+    Freshly initialised BN folds into an identity affine, which would let a
+    broken scale/requant fold pass parity unnoticed.
+    """
+    for module in model.modules():
+        if isinstance(module, BatchNorm2d):
+            c = module.gamma.data.shape[0]
+            module.gamma.data[:] = rng.uniform(0.5, 1.5, c)
+            module.beta.data[:] = rng.normal(0.0, 0.2, c)
+            module.running_mean[:] = rng.normal(0.0, 0.5, c)
+            module.running_var[:] = rng.uniform(0.5, 2.0, c)
+
+
+def build_parity_network(network_id: int, scheme_key: str = "FL_a", seed: int = 0):
+    """One Table-1 structure at test width, eval mode, randomized BN stats."""
+    model = build_network(
+        network_id,
+        paper_schemes()[scheme_key],
+        num_classes=NUM_CLASSES,
+        image_size=IMAGE_SIZE,
+        width_scale=WIDTH_SCALE[network_id],
+        rng=seed,
+    )
+    _randomize_bn_stats(model, np.random.default_rng(seed + 1))
+    model.eval()
+    return model
+
+
+def sample_images(n: int, seed: int = 7) -> np.ndarray:
+    """Deterministic standard-normal NCHW image batch."""
+    rng = np.random.default_rng(seed)
+    return rng.normal(0.0, 1.0, (n, 3, IMAGE_SIZE, IMAGE_SIZE))
+
+
+def run_intq_parity(
+    network_ids: tuple[int, ...] = (1, 2, 3, 4, 5, 6, 7, 8),
+    scheme_key: str = "FL_a",
+    batch: int = 16,
+    seed: int = 0,
+) -> list[dict]:
+    """Float64-vs-integer parity over the standard test configurations.
+
+    Returns one record per network id::
+
+        {"network_id", "max_abs_delta", "argmax_agreement",
+         "deterministic", "accum_dtypes", "shift_ops", "int_mult_ops"}
+
+    ``argmax_agreement`` is in [0, 1]; ``deterministic`` compares two
+    integer runs bitwise.
+    """
+    images = sample_images(batch, seed=seed + 7)
+    results = []
+    for network_id in network_ids:
+        model = build_parity_network(network_id, scheme_key=scheme_key, seed=seed)
+        ref = InferenceEngine(model).predict_logits(images)
+        engine = InferenceEngine(model, config=PlanConfig(dtype="int8"))
+        logits = engine.predict_logits(images)
+        repeat = engine.predict_logits(images)
+        summary = engine.plan_summary()
+        layers = summary["intq"]["layers"]
+        totals = summary["intq"]["totals_per_image"]
+        results.append(
+            {
+                "network_id": network_id,
+                "scheme": scheme_key,
+                "max_abs_delta": float(np.abs(logits - ref).max()),
+                "argmax_agreement": float(
+                    (logits.argmax(axis=1) == ref.argmax(axis=1)).mean()
+                ),
+                "deterministic": bool(np.array_equal(logits, repeat)),
+                "accum_dtypes": sorted({layer["accum_dtype"] for layer in layers}),
+                "shift_ops": int(totals["shift_ops"]),
+                "int_mult_ops": int(totals["int_mult_ops"]),
+            }
+        )
+    return results

@@ -65,3 +65,26 @@ def test_benchmark_smoke(tmp_path):
     out = tmp_path / "BENCH_infer.json"
     out.write_text(json.dumps(result))  # round-trips: everything is plain JSON
     assert json.loads(out.read_text())["configs"]
+
+
+@pytest.mark.infer_bench
+def test_int_sweep_smoke(tmp_path):
+    """The --int-sweep section: int8 parity, determinism and measured op
+    counts, at smoke scale (nets 1 and 4)."""
+    sweep = bench_infer.run_int_sweep(reps=1, smoke=True)
+
+    rows = sweep["int_sweep"]
+    assert {row["network_id"] for row in rows} == {1, 4}
+    for row in rows:
+        assert row["argmax_agreement"] >= 0.99
+        assert row["deterministic"] is True
+        assert set(row["accum_dtypes"]) <= {"int32", "int64"}
+        totals = row["totals_per_image"]
+        assert totals["shift_ops"] > 0 and totals["requant_mult_ops"] > 0
+    summary = sweep["int_summary"]
+    assert summary["min_argmax_agreement"] >= 0.99
+    assert summary["all_deterministic"] is True
+
+    out = tmp_path / "BENCH_int.json"
+    out.write_text(json.dumps(sweep))  # round-trips: everything is plain JSON
+    assert json.loads(out.read_text())["int_sweep"]

@@ -7,7 +7,13 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.models import build_network
-from repro.quant import ActivationObserver, calibrate_activations, paper_schemes
+from repro.quant import (
+    ActivationObserver,
+    calibrate_activations,
+    calibration_scale_zero_point,
+    fixed_point_format_for,
+    paper_schemes,
+)
 from repro.quant.activations import QuantizedActivation
 
 SCHEMES = paper_schemes()
@@ -84,3 +90,60 @@ class TestCalibration:
                             width_scale=0.15, rng=0)
         ranges = calibrate_activations(net, [0.01 * rng.normal(size=(4, 3, 8, 8))])
         assert min(ranges.values()) < 8.0
+
+
+class TestFixedPointFormatFor:
+    """Edge cases the int8 deployment path (repro.infer.intq) relies on:
+    degenerate calibration data must still yield a usable grid."""
+
+    @pytest.mark.parametrize(
+        "values",
+        [np.zeros(100), np.zeros((2, 3, 4, 4)), np.array([]), np.array([0.0])],
+        ids=["all-zero", "all-zero-nchw", "empty", "single-zero"],
+    )
+    def test_degenerate_batches_yield_valid_format(self, values):
+        fmt = fixed_point_format_for(values, bits=8)
+        assert np.isfinite(fmt.step) and fmt.step > 0
+        assert fmt.max_value > 0
+
+    def test_constant_batch(self):
+        fmt = fixed_point_format_for(np.full(64, 1.5), bits=8)
+        assert np.isfinite(fmt.step) and fmt.step > 0
+        assert fmt.max_value >= 1.5  # constant must be representable
+
+    def test_single_sample_matches_full_batch_of_same_magnitude(self):
+        one = fixed_point_format_for(np.array([3.0]), bits=8)
+        many = fixed_point_format_for(np.full(1000, 3.0), bits=8)
+        assert one == many
+
+    def test_range_is_power_of_two(self, rng):
+        fmt = fixed_point_format_for(rng.normal(size=256), bits=8)
+        log2_range = np.log2(fmt.step) + fmt.bits - 1
+        assert log2_range == np.rint(log2_range)
+
+    def test_nan_inf_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fixed_point_format_for(np.array([1.0, np.nan]))
+        with pytest.raises(ConfigurationError):
+            fixed_point_format_for(np.array([1.0, np.inf]))
+
+    def test_percentile_validated(self):
+        with pytest.raises(ConfigurationError):
+            fixed_point_format_for(np.ones(4), percentile=0.0)
+        with pytest.raises(ConfigurationError):
+            fixed_point_format_for(np.ones(4), percentile=101.0)
+
+    def test_scale_zero_point_symmetric(self, rng):
+        scale, zero_point = calibration_scale_zero_point(rng.normal(size=128))
+        assert np.isfinite(scale) and scale > 0
+        assert zero_point == 0
+
+    @pytest.mark.parametrize(
+        "values",
+        [np.zeros(16), np.full(16, 2.0), np.array([0.7])],
+        ids=["all-zero", "constant", "single-sample"],
+    )
+    def test_scale_zero_point_degenerate(self, values):
+        scale, zero_point = calibration_scale_zero_point(values)
+        assert np.isfinite(scale) and scale > 0
+        assert zero_point == 0

@@ -16,6 +16,9 @@ PACKAGES = [
     "repro.models",
     "repro.data",
     "repro.train",
+    "repro.infer",
+    "repro.infer.intq",
+    "repro.testing",
     "repro.hw",
     "repro.hw.fpga",
     "repro.hw.asic",
