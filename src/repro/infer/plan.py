@@ -704,6 +704,24 @@ class ExecutionPlan:
             "layers": self.layer_info,
         }
 
+    def payload(self) -> dict:
+        """The picklable program a remote worker needs to execute this plan.
+
+        Op dataclasses hold only arrays and scalars (plus the integer twin
+        program when compiled with ``dtype="int8"``), so the payload can be
+        pickled to a process pool or published into shared memory
+        (:mod:`repro.utils.shm`) with the weight arrays hoisted out of the
+        pickle stream.  Workers run it through :func:`execute_ops` (or the
+        integer program's ``run``) against their own
+        :class:`ExecutionContext` — plan and context stay separate.
+        """
+        return {
+            "ops": self.ops,
+            "out_slot": self.out_slot,
+            "dtype": self.dtype,
+            "intq": self.intq,
+        }
+
     def execute(self, x: np.ndarray, ctx: ExecutionContext) -> np.ndarray:
         """Run one batch through the plan.
 

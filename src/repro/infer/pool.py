@@ -11,8 +11,11 @@ Two backends:
   pool, so scratch buffers are still recycled across batches.  numpy's BLAS
   kernels release the GIL, so matmul-heavy plans overlap well.
 * ``"process"`` — a :mod:`multiprocessing` pool (fork start method where
-  available) that ships the op program once per worker via the pool
-  initializer; sidesteps the GIL entirely at the cost of batch pickling.
+  available) whose plan travels through ``multiprocessing.shared_memory``:
+  the op program is published once (:func:`~repro.utils.shm.publish_object`)
+  and every worker attaches the same weight pages instead of unpickling a
+  private copy — per-worker memory stays flat as the pool grows.  Hosts
+  without usable shared memory fall back to plain pickled shipping.
 """
 
 from __future__ import annotations
@@ -23,8 +26,9 @@ from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SharedMemoryError
 from repro.infer.plan import ExecutionContext, ExecutionPlan, execute_ops
+from repro.utils.shm import ShmHandle, load_object, publish_object
 
 __all__ = ["shard_slices", "run_sharded"]
 
@@ -50,16 +54,21 @@ _WORKER_OPS: list | None = None
 _WORKER_OUT_SLOT: int = 0
 _WORKER_DTYPE: np.dtype = np.dtype(np.float64)
 _WORKER_INTQ = None
+_WORKER_SEGMENT = None  # keeps the attached shm pages alive in each worker
 
 
-def _init_process_worker(ops: list, out_slot: int, dtype: np.dtype, intq=None) -> None:
-    global _WORKER_OPS, _WORKER_OUT_SLOT, _WORKER_DTYPE, _WORKER_INTQ
-    _WORKER_OPS = ops
-    _WORKER_OUT_SLOT = out_slot
-    _WORKER_DTYPE = dtype
-    # Integer-only twin program (picklable: op dataclasses hold only arrays
-    # and scalars; kernels re-bind from each worker's codegen cache).
-    _WORKER_INTQ = intq
+def _init_process_worker(program) -> None:
+    """Bind this worker's program: an :class:`~repro.utils.shm.ShmHandle`
+    (weights attach as zero-copy shared views) or a plain payload dict
+    (pickled fallback).  Integer-only twin programs ride along either way;
+    kernels re-bind from each worker's codegen cache."""
+    global _WORKER_OPS, _WORKER_OUT_SLOT, _WORKER_DTYPE, _WORKER_INTQ, _WORKER_SEGMENT
+    if isinstance(program, ShmHandle):
+        program, _WORKER_SEGMENT = load_object(program)
+    _WORKER_OPS = program["ops"]
+    _WORKER_OUT_SLOT = program["out_slot"]
+    _WORKER_DTYPE = program["dtype"]
+    _WORKER_INTQ = program["intq"]
 
 
 def _run_process_batch(task: tuple[int, np.ndarray]) -> tuple[int, np.ndarray]:
@@ -93,12 +102,24 @@ def _run_processes(plan: ExecutionPlan, images: np.ndarray, slices: list[slice],
     methods = multiprocessing.get_all_start_methods()
     ctx = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
     tasks = ((i, images[s]) for i, s in enumerate(slices))
-    with ctx.Pool(
-        max(1, min(workers, len(slices))),
-        initializer=_init_process_worker,
-        initargs=(plan.ops, plan.out_slot, plan.dtype, plan.intq),
-    ) as pool:
-        yield from pool.imap_unordered(_run_process_batch, tasks)
+    payload = plan.payload()
+    segment = None
+    try:
+        program = payload
+        try:
+            program, segment = publish_object(payload, name_prefix="repro-pool")
+        except SharedMemoryError:  # pragma: no cover - host without /dev/shm
+            pass
+        with ctx.Pool(
+            max(1, min(workers, len(slices))),
+            initializer=_init_process_worker,
+            initargs=(program,),
+        ) as pool:
+            yield from pool.imap_unordered(_run_process_batch, tasks)
+    finally:
+        if segment is not None:
+            segment.unlink()
+            segment.close()
 
 
 def run_sharded(

@@ -4,8 +4,11 @@ Turns :class:`~repro.infer.engine.InferenceEngine` into a concurrent model
 server: a dynamic micro-batcher with a bounded, backpressured request queue
 (:mod:`repro.serve.batcher`), a multi-model registry with quiesced hot
 weight refreshes (:mod:`repro.serve.registry`), a stdlib-only HTTP front
-end with drain-then-stop shutdown (:mod:`repro.serve.http`), and a serving
-metrics core with latency percentiles (:mod:`repro.serve.metrics`).
+end with drain-then-stop shutdown (:mod:`repro.serve.http`), a serving
+metrics core with latency percentiles (:mod:`repro.serve.metrics`), and a
+supervised multi-process cluster tier — crash-isolated workers over
+shared-memory plans with admission control and circuit breaking
+(:mod:`repro.serve.cluster`).
 
 Quickstart::
 
@@ -19,19 +22,23 @@ Quickstart::
 
 from repro.serve.batcher import MicroBatcher
 from repro.serve.client import PredictClient, PredictResult, ServeHTTPError
+from repro.serve.cluster import ClusterConfig, ClusterService
 from repro.serve.config import BatcherConfig, ServerConfig
 from repro.serve.http import ModelServer
-from repro.serve.metrics import LatencyReservoir, ServerMetrics, percentile
+from repro.serve.metrics import ClusterMetrics, LatencyReservoir, ServerMetrics, percentile
 from repro.serve.registry import ModelRegistry, ServingModel
 
 __all__ = [
     "BatcherConfig",
     "ServerConfig",
+    "ClusterConfig",
+    "ClusterService",
     "MicroBatcher",
     "ModelRegistry",
     "ServingModel",
     "ModelServer",
     "ServerMetrics",
+    "ClusterMetrics",
     "LatencyReservoir",
     "percentile",
     "PredictClient",

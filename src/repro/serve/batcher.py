@@ -145,8 +145,11 @@ class MicroBatcher:
         for req in drop:
             if _resolve(req.future, error=ServerClosedError("server stopped before serving")):
                 self.metrics.record_cancelled()
+        # One shared deadline across every worker join — a wedged worker
+        # must not stretch shutdown to workers × timeout.
+        deadline = None if timeout is None else time.monotonic() + timeout
         for t in self._threads:
-            t.join(timeout)
+            t.join(None if deadline is None else max(0.0, deadline - time.monotonic()))
         if drain:
             # Workers exit only once the queue is empty and nothing is in
             # flight, so a clean join implies a complete drain.
@@ -202,8 +205,19 @@ class MicroBatcher:
 
     # -- submission ------------------------------------------------------------
 
-    def submit(self, image, deadline_s: "float | None" = None) -> "Future[np.ndarray]":
+    def submit(
+        self,
+        image,
+        deadline_s: "float | None" = None,
+        priority: str = "interactive",
+        tenant: "str | None" = None,
+    ) -> "Future[np.ndarray]":
         """Enqueue one CHW image; returns a future resolving to its logits.
+
+        ``priority`` and ``tenant`` are accepted for submit-interface parity
+        with :meth:`repro.serve.cluster.router.ClusterRouter.submit` and
+        ignored here — the in-process micro-batcher has a single FIFO class
+        and no tenant quotas.
 
         Raises:
             ShapeError: Not a single CHW image, or inconsistent with the

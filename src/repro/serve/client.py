@@ -6,21 +6,29 @@ any HTTP library.  :class:`PredictClient` is thread-safe — each thread gets
 its own persistent keep-alive connection, so concurrent load generators can
 share one instance without paying TCP setup per request.
 
-Transport failures (server restart, idle-closed keep-alive, transient
-network drop) are retried with exponential backoff plus jitter, bounded by
-``max_retries`` and by the request's deadline when one is given.  Every
-endpoint is a pure function of its request, so retrying a request that
-never produced a response is always safe.  Exhausted retries surface as
+Transport failures — a connect refused, an idle-closed keep-alive, and
+equally a :class:`ConnectionResetError`/:class:`BrokenPipeError` that
+strikes *mid-response* (headers in, body torn off by a worker crash or a
+server restart) — are retried with exponential backoff plus jitter, bounded
+by ``max_retries`` and by the request's deadline when one is given.  Every
+endpoint is a pure function of its request, so retrying is always safe even
+after a partial response.  Exhausted retries surface as
 :class:`~repro.errors.RetriesExhaustedError` and a deadline that cannot
 accommodate another attempt as
 :class:`~repro.errors.DeadlineExceededError` — typed errors, never raw
 socket exceptions.
+
+Tail-latency hedging is available via ``hedge_after_s``: when an attempt
+has not answered within that budget, a duplicate request races it on a
+second connection and the first response wins — the classic p99 defence
+for a server that may be mid-restart behind one of its workers.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import queue
 import random
 import threading
 import time
@@ -34,7 +42,11 @@ from repro.errors import DeadlineExceededError, RetriesExhaustedError
 
 __all__ = ["PredictClient", "PredictResult", "ServeHTTPError"]
 
-#: Transport-level failures that are safe to retry (no response was read).
+#: Transport-level failures that are safe to retry.  ``ConnectionError``
+#: covers ``ConnectionResetError``/``BrokenPipeError`` raised mid-response
+#: (between ``getresponse()`` and a complete ``read()``) as well as at
+#: connect time; ``http.client.HTTPException`` covers truncated/invalid
+#: responses (e.g. ``IncompleteRead``) from a dying server.
 _RETRYABLE = (http.client.HTTPException, ConnectionError, TimeoutError, OSError)
 
 
@@ -75,6 +87,12 @@ class PredictClient:
         backoff_jitter: Each delay is scaled by ``1 + jitter * U[0, 1)`` so
             synchronized clients don't retry in lockstep.
         retry_seed: Seed for the jitter stream (deterministic tests).
+        hedge_after_s: Tail-latency hedge budget: when a request has not
+            answered within this many seconds, a duplicate is raced on a
+            second connection and the first response wins (``None``
+            disables; :attr:`hedges_fired` counts firings).  Hedge attempts
+            run on short-lived threads with their own connections, so
+            enabling hedging trades some keep-alive reuse for p99.
     """
 
     def __init__(
@@ -86,6 +104,7 @@ class PredictClient:
         backoff_max_s: float = 2.0,
         backoff_jitter: float = 0.25,
         retry_seed: "int | None" = None,
+        hedge_after_s: "float | None" = None,
     ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout_s = timeout_s
@@ -102,12 +121,22 @@ class PredictClient:
             raise ValueError(f"base_url must look like http://host:port, got {base_url!r}")
         self._host = parsed.hostname
         self._port = parsed.port if parsed.port is not None else 80
+        if hedge_after_s is not None and hedge_after_s <= 0:
+            raise ValueError(f"hedge_after_s must be positive, got {hedge_after_s}")
+        self.hedge_after_s = hedge_after_s
         self._local = threading.local()
         self._jitter_rng = random.Random(retry_seed)
+        self._stats_lock = threading.Lock()
+        #: Hedge requests actually fired (attempt outlived ``hedge_after_s``).
+        self.hedges_fired = 0
         #: Test seam: called before every connection attempt; raising one of
         #: the retryable transport errors simulates a dropped connection
         #: (see :class:`repro.testing.faults.ConnectionDropFault`).
         self.pre_request_hook: "Callable[[], None] | None" = None
+        #: Test seam: called after response headers arrive, before the body
+        #: is read; raising ``ConnectionResetError``/``BrokenPipeError``
+        #: simulates a connection torn down mid-response.
+        self.mid_response_hook: "Callable[[], None] | None" = None
 
     # -- connection management -------------------------------------------------
 
@@ -134,34 +163,52 @@ class PredictClient:
     def _request(
         self, path: str, body: "dict | None" = None, deadline_s: "float | None" = None
     ) -> dict:
+        if self.hedge_after_s is None:
+            return self._attempt_loop(path, body, deadline_s)
+        return self._hedged_request(path, body, deadline_s)
+
+    def _attempt_loop(
+        self,
+        path: str,
+        body: "dict | None",
+        deadline_s: "float | None",
+        close_after: bool = False,
+    ) -> dict:
         data = None if body is None else json.dumps(body).encode("utf-8")
         method = "GET" if data is None else "POST"
         headers = {"Content-Type": "application/json"} if data is not None else {}
         deadline = None if deadline_s is None else time.monotonic() + deadline_s
-        for attempt in range(self.max_retries + 1):
-            try:
-                if self.pre_request_hook is not None:
-                    self.pre_request_hook()
-                conn = self._connection()
-                conn.request(method, path, body=data, headers=headers)
-                resp = conn.getresponse()
-                raw = resp.read()
-                break
-            except _RETRYABLE as exc:
-                # The connection is in an unknown state — drop it so the next
-                # attempt starts from a fresh TCP handshake.
+        try:
+            for attempt in range(self.max_retries + 1):
+                try:
+                    if self.pre_request_hook is not None:
+                        self.pre_request_hook()
+                    conn = self._connection()
+                    conn.request(method, path, body=data, headers=headers)
+                    resp = conn.getresponse()
+                    if self.mid_response_hook is not None:
+                        self.mid_response_hook()
+                    raw = resp.read()
+                    break
+                except _RETRYABLE as exc:
+                    # The connection is in an unknown state — whether the drop
+                    # struck before the request or mid-response — so close it
+                    # and let the next attempt start from a fresh handshake.
+                    self.close()
+                    if attempt >= self.max_retries:
+                        raise RetriesExhaustedError(
+                            f"{method} {path} failed after {attempt + 1} attempt(s): {exc}"
+                        ) from exc
+                    delay = self._backoff_delay(attempt)
+                    if deadline is not None and time.monotonic() + delay >= deadline:
+                        raise DeadlineExceededError(
+                            f"{method} {path}: deadline leaves no room for retry "
+                            f"{attempt + 2} (backoff {delay:.3f}s); last error: {exc}"
+                        ) from exc
+                    time.sleep(delay)
+        finally:
+            if close_after:  # hedge threads are short-lived: no conn to keep warm
                 self.close()
-                if attempt >= self.max_retries:
-                    raise RetriesExhaustedError(
-                        f"{method} {path} failed after {attempt + 1} attempt(s): {exc}"
-                    ) from exc
-                delay = self._backoff_delay(attempt)
-                if deadline is not None and time.monotonic() + delay >= deadline:
-                    raise DeadlineExceededError(
-                        f"{method} {path}: deadline leaves no room for retry "
-                        f"{attempt + 2} (backoff {delay:.3f}s); last error: {exc}"
-                    ) from exc
-                time.sleep(delay)
         try:
             payload = json.loads(raw)
         except (json.JSONDecodeError, UnicodeDecodeError):
@@ -169,6 +216,46 @@ class PredictClient:
         if resp.status >= 400:
             raise ServeHTTPError(resp.status, payload)
         return payload
+
+    def _hedged_request(
+        self, path: str, body: "dict | None", deadline_s: "float | None"
+    ) -> dict:
+        """Race a duplicate request once the first exceeds ``hedge_after_s``.
+
+        Both attempts run their full retry loops on their own connections;
+        the first to finish wins.  A finisher that *failed* only surfaces
+        if no other attempt is still outstanding to save the request.
+        """
+        results: "queue.SimpleQueue[tuple[str, BaseException | None, dict | None]]" = (
+            queue.SimpleQueue()
+        )
+
+        def run(tag: str) -> None:
+            try:
+                results.put((tag, None, self._attempt_loop(path, body, deadline_s, close_after=True)))
+            except BaseException as exc:  # delivered to the caller below
+                results.put((tag, exc, None))
+
+        threading.Thread(target=run, args=("primary",), daemon=True, name="predict-primary").start()
+        outstanding = 1
+        first_error: "BaseException | None" = None
+        try:
+            tag, error, payload = results.get(timeout=self.hedge_after_s)
+            outstanding -= 1
+        except queue.Empty:
+            with self._stats_lock:
+                self.hedges_fired += 1
+            threading.Thread(target=run, args=("hedge",), daemon=True, name="predict-hedge").start()
+            outstanding += 1
+            tag, error, payload = results.get()
+            outstanding -= 1
+        while error is not None and outstanding > 0:
+            first_error = first_error or error
+            tag, error, payload = results.get()
+            outstanding -= 1
+        if error is None:
+            return payload
+        raise first_error or error
 
     def healthz(self) -> dict:
         return self._request("/healthz")

@@ -1,0 +1,178 @@
+"""Admission control: priority classes, tenant quotas, degradation ladder.
+
+Every submit passes through one :class:`AdmissionController` before it may
+enter the dispatch queue.  Three gates, in order:
+
+1. **Tenant quota** — a per-tenant token bucket (rate + burst).  An empty
+   bucket rejects with :class:`~repro.errors.QuotaExceededError` (HTTP 429)
+   regardless of load: quotas are isolation, not overload control.
+2. **Queue bound** — beyond ``queue_depth`` every class is shed with
+   :class:`~repro.errors.QueueFullError` (HTTP 503).
+3. **Degradation ladder** — sustained overload (queue fill above
+   ``overload_enter_fraction`` for ``overload_dwell_s``) escalates through
+   graceful steps *before* the hard bound is hit:
+
+   * level 1 — shed ``batch`` traffic, keep ``interactive`` flowing;
+   * level 2 — additionally downshift served requests to the cheapest
+     registered plan variant (e.g. the sparsified or int8 plan);
+   * the queue bound itself is the final reject.
+
+   Hysteresis (``overload_exit_fraction``) plus the dwell requirement keep
+   the ladder from flapping on bursts.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.errors import ConfigurationError, QueueFullError, QuotaExceededError
+from repro.serve.cluster.config import PRIORITIES, ClusterConfig
+
+__all__ = ["TokenBucket", "AdmissionController"]
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/s refill up to ``burst``.
+
+    ``try_take`` is thread-safe and never blocks — admission control sheds,
+    it does not queue on quota.
+    """
+
+    def __init__(self, rate: float, burst: int, clock=time.monotonic) -> None:
+        if rate <= 0 or burst < 1:
+            raise ConfigurationError(f"need rate > 0 and burst >= 1, got {rate}/{burst}")
+        self.rate = rate
+        self.burst = burst
+        self._clock = clock
+        self._tokens = float(burst)
+        self._refilled_at = clock()
+        self._lock = threading.Lock()
+
+    def try_take(self, tokens: float = 1.0) -> bool:
+        """Take ``tokens`` if available; returns False (no debt) otherwise."""
+        with self._lock:
+            now = self._clock()
+            self._tokens = min(self.burst, self._tokens + (now - self._refilled_at) * self.rate)
+            self._refilled_at = now
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return True
+            return False
+
+    @property
+    def tokens(self) -> float:
+        with self._lock:
+            now = self._clock()
+            return min(self.burst, self._tokens + (now - self._refilled_at) * self.rate)
+
+
+class AdmissionController:
+    """Gatekeeper + overload ladder for one model (see module docstring).
+
+    Args:
+        config: The model's :class:`ClusterConfig` (quota/overload knobs).
+        clock: Monotonic time source (injectable for deterministic tests).
+    """
+
+    def __init__(self, config: ClusterConfig, clock=time.monotonic) -> None:
+        self.config = config
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._buckets: "dict[str, TokenBucket]" = {}
+        self._overloaded_since: "float | None" = None
+        self.quota_rejected = 0
+        self.shed_by_priority = {p: 0 for p in PRIORITIES}
+        self.downshifted = 0
+
+    # -- overload ladder -------------------------------------------------------
+
+    def observe(self, queue_depth: int, capacity: int) -> int:
+        """Update the overload clock from the current queue fill; returns
+        the ladder level (0 normal, 1 shed batch, 2 downshift)."""
+        fraction = queue_depth / max(1, capacity)
+        now = self._clock()
+        with self._lock:
+            if fraction >= self.config.overload_enter_fraction:
+                if self._overloaded_since is None:
+                    self._overloaded_since = now
+            elif fraction <= self.config.overload_exit_fraction:
+                self._overloaded_since = None
+            return self._level_locked(now)
+
+    def _level_locked(self, now: float) -> int:
+        if self._overloaded_since is None:
+            return 0
+        sustained = now - self._overloaded_since
+        if sustained >= 2 * self.config.overload_dwell_s:
+            return 2
+        if sustained >= self.config.overload_dwell_s:
+            return 1
+        return 0
+
+    def level(self) -> int:
+        """Current degradation-ladder level without touching the clock state."""
+        with self._lock:
+            return self._level_locked(self._clock())
+
+    # -- admission -------------------------------------------------------------
+
+    def admit(self, priority: str, tenant: "str | None", queue_depth: int, capacity: int) -> None:
+        """Admit or shed one request (raises; returns None on admit).
+
+        Raises:
+            ConfigurationError: Unknown priority class.
+            QuotaExceededError: The tenant's token bucket is empty.
+            QueueFullError: Queue at capacity, or the overload ladder is
+                shedding this priority class.
+        """
+        if priority not in PRIORITIES:
+            raise ConfigurationError(
+                f"unknown priority {priority!r}; use one of {PRIORITIES}"
+            )
+        if tenant is not None and self.config.tenant_rate is not None:
+            with self._lock:
+                bucket = self._buckets.get(tenant)
+                if bucket is None:
+                    bucket = self._buckets[tenant] = TokenBucket(
+                        self.config.tenant_rate, self.config.tenant_burst, self._clock
+                    )
+            if not bucket.try_take():
+                with self._lock:
+                    self.quota_rejected += 1
+                raise QuotaExceededError(
+                    f"tenant {tenant!r} exceeded its quota "
+                    f"({self.config.tenant_rate:g} req/s, burst {self.config.tenant_burst})"
+                )
+        level = self.observe(queue_depth, capacity)
+        if queue_depth >= capacity:
+            with self._lock:
+                self.shed_by_priority[priority] += 1
+            raise QueueFullError(f"queue depth {capacity} exceeded; {priority} request shed")
+        if level >= 1 and priority == "batch":
+            with self._lock:
+                self.shed_by_priority[priority] += 1
+            raise QueueFullError(
+                "sustained overload: shedding batch traffic (degradation level "
+                f"{level}); retry later or use priority='interactive'"
+            )
+
+    def choose_variant(self, variants: "tuple[str, ...]") -> str:
+        """The plan variant to serve right now: the primary (first) variant
+        normally, the cheapest (last) once the ladder reaches level 2."""
+        if len(variants) > 1 and self.level() >= 2:
+            with self._lock:
+                self.downshifted += 1
+            return variants[-1]
+        return variants[0]
+
+    def snapshot(self) -> dict:
+        """JSON-ready admission block for ``/metrics``."""
+        with self._lock:
+            return {
+                "level": self._level_locked(self._clock()),
+                "quota_rejected": self.quota_rejected,
+                "shed_by_priority": dict(self.shed_by_priority),
+                "downshifted": self.downshifted,
+                "tenants_tracked": len(self._buckets),
+            }

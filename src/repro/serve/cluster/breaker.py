@@ -1,0 +1,165 @@
+"""Per-model circuit breaker over the worker-pool restart budget.
+
+The breaker protects the rest of the service from a model whose workers
+die faster than they can be restarted (poisoned weights, a corrupt
+shared-memory segment, an OOM loop):
+
+* **closed** — normal serving; worker deaths are recorded into a sliding
+  restart window.
+* **open** — the restart budget was exhausted; submits are rejected
+  immediately with :class:`~repro.errors.CircuitOpenError` and the
+  supervisor stops burning restarts.
+* **half-open** — after ``open_s`` the supervisor brings up a single probe
+  worker and the router lets a bounded number of probe requests through;
+  ``half_open_probes`` successes close the breaker (full pool restored),
+  any failure re-opens it.
+
+All transitions are clock-driven and the clock is injectable, so the chaos
+suite can walk the whole lifecycle deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+__all__ = ["CircuitBreaker", "CLOSED", "OPEN", "HALF_OPEN"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Restart-budget circuit breaker (see module docstring).
+
+    Args:
+        restart_budget: Worker deaths tolerated within ``window_s`` while
+            closed; the death that exceeds it trips the breaker.
+        window_s: Sliding window for the restart budget.
+        open_s: Time the breaker stays open before half-open probing.
+        half_open_probes: Probe successes required to close again.
+        clock: Monotonic time source (injectable for deterministic tests).
+    """
+
+    def __init__(
+        self,
+        restart_budget: int = 5,
+        window_s: float = 30.0,
+        open_s: float = 1.0,
+        half_open_probes: int = 1,
+        clock=time.monotonic,
+    ) -> None:
+        self.restart_budget = restart_budget
+        self.window_s = window_s
+        self.open_s = open_s
+        self.half_open_probes = half_open_probes
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._restarts: "deque[float]" = deque()
+        self._state = CLOSED
+        self._opened_at = 0.0
+        self._probe_successes = 0
+        self.trips = 0
+        self.rejections = 0
+
+    # -- state ----------------------------------------------------------------
+
+    def _advance_locked(self) -> str:
+        if self._state == OPEN and self._clock() - self._opened_at >= self.open_s:
+            self._state = HALF_OPEN
+            self._probe_successes = 0
+        return self._state
+
+    @property
+    def state(self) -> str:
+        """Current state, advancing ``open`` → ``half_open`` on schedule."""
+        with self._lock:
+            return self._advance_locked()
+
+    def allow(self) -> bool:
+        """Whether a new request may be admitted right now.
+
+        Closed and half-open admit (half-open requests are the probes);
+        open rejects and counts the rejection.
+        """
+        with self._lock:
+            if self._advance_locked() == OPEN:
+                self.rejections += 1
+                return False
+            return True
+
+    def retry_after_s(self) -> float:
+        """Seconds until the breaker will probe again (0 when not open)."""
+        with self._lock:
+            if self._advance_locked() != OPEN:
+                return 0.0
+            return max(0.0, self.open_s - (self._clock() - self._opened_at))
+
+    # -- events ---------------------------------------------------------------
+
+    def record_restart(self) -> bool:
+        """Record one worker death; returns True when this death trips the
+        breaker (restart budget exceeded within the window).
+
+        While half-open, any worker death is a failed probe and re-opens
+        immediately.  While already open it is a no-op.
+        """
+        now = self._clock()
+        with self._lock:
+            state = self._advance_locked()
+            if state == OPEN:
+                return False
+            if state == HALF_OPEN:
+                self._state = OPEN
+                self._opened_at = now
+                self.trips += 1
+                return True
+            self._restarts.append(now)
+            while self._restarts and now - self._restarts[0] > self.window_s:
+                self._restarts.popleft()
+            if len(self._restarts) > self.restart_budget:
+                self._state = OPEN
+                self._opened_at = now
+                self.trips += 1
+                return True
+            return False
+
+    def record_result(self, success: bool) -> None:
+        """Feed a request outcome to the breaker; only half-open cares.
+
+        ``half_open_probes`` successes close the breaker and clear the
+        restart window; any failure re-opens it for another ``open_s``.
+        """
+        with self._lock:
+            if self._advance_locked() != HALF_OPEN:
+                return
+            if success:
+                self._probe_successes += 1
+                if self._probe_successes >= self.half_open_probes:
+                    self._state = CLOSED
+                    self._restarts.clear()
+            else:
+                self._state = OPEN
+                self._opened_at = self._clock()
+                self.trips += 1
+
+    def restarts_in_window(self) -> int:
+        """Worker deaths currently inside the sliding window."""
+        now = self._clock()
+        with self._lock:
+            while self._restarts and now - self._restarts[0] > self.window_s:
+                self._restarts.popleft()
+            return len(self._restarts)
+
+    def snapshot(self) -> dict:
+        """JSON-ready gauge block for ``/metrics``."""
+        return {
+            "state": self.state,
+            "trips": self.trips,
+            "rejections": self.rejections,
+            "restarts_in_window": self.restarts_in_window(),
+            "restart_budget": self.restart_budget,
+            "retry_after_s": self.retry_after_s(),
+        }

@@ -35,8 +35,11 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 import numpy as np
 
 from repro.errors import (
+    CircuitOpenError,
+    ConfigurationError,
     DeadlineExceededError,
     QueueFullError,
+    QuotaExceededError,
     ReproError,
     ServerClosedError,
     ShapeError,
@@ -135,6 +138,7 @@ class _Handler(BaseHTTPRequestHandler):
                     "server": {
                         "uptime_s": time.monotonic() - self.server.started_at,
                         "http_requests": self.server.http_requests.value,
+                        "drain_timed_out": self.server.drain_timed_out.value,
                         "version": __version__,
                     },
                     "models": self.registry.metrics_snapshot(),
@@ -160,6 +164,15 @@ class _Handler(BaseHTTPRequestHandler):
             response = self._predict(payload)
         except _RequestError as exc:
             self._send_json(exc.status, exc.payload)
+        except CircuitOpenError as exc:
+            retry_after = max(1, int(-(-getattr(exc, "retry_after_s", 1.0) // 1)))
+            self._send_json(
+                503,
+                {"error": str(exc), "breaker_open": True},
+                headers={"Retry-After": str(retry_after)},
+            )
+        except QuotaExceededError as exc:
+            self._send_json(429, {"error": str(exc), "quota": True}, headers={"Retry-After": "1"})
         except QueueFullError as exc:
             self._send_json(503, {"error": str(exc), "shed": True}, headers={"Retry-After": "1"})
         except ServerClosedError as exc:
@@ -168,7 +181,7 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(504, {"error": str(exc)})
         except UnknownModelError as exc:
             self._send_json(404, {"error": str(exc)})
-        except (ShapeError, ValueError, TypeError) as exc:
+        except (ShapeError, ConfigurationError, ValueError, TypeError) as exc:
             self._send_json(400, {"error": str(exc)})
         except ReproError as exc:
             logger.exception("predict failed")
@@ -191,6 +204,12 @@ class _Handler(BaseHTTPRequestHandler):
         ):
             raise _RequestError(400, '"deadline_ms" must be a positive number')
         deadline_s = None if deadline_ms is None else deadline_ms / 1000.0
+        priority = payload.get("priority", "interactive")
+        if not isinstance(priority, str):
+            raise _RequestError(400, '"priority" must be a string')
+        tenant = payload.get("tenant")
+        if tenant is not None and not isinstance(tenant, str):
+            raise _RequestError(400, '"tenant" must be a string')
 
         raw = [payload["image"]] if single else payload["images"]
         if not isinstance(raw, list) or (not single and not raw):
@@ -202,8 +221,13 @@ class _Handler(BaseHTTPRequestHandler):
             raise _RequestError(400, f"could not parse image array: {exc}") from None
 
         # Submit every image before waiting on any, so one HTTP batch can be
-        # coalesced into one engine batch by the micro-batcher.
-        futures = [entry.batcher.submit(img, deadline_s=deadline_s) for img in images]
+        # coalesced into one engine batch by the micro-batcher.  Priority
+        # class and tenant flow to the cluster router's admission control;
+        # the in-process micro-batcher accepts and ignores them.
+        futures = [
+            entry.batcher.submit(img, deadline_s=deadline_s, priority=priority, tenant=tenant)
+            for img in images
+        ]
         timeout = self.config.request_timeout_s
         logits = []
         try:
@@ -235,11 +259,18 @@ class _HTTPServer(ThreadingHTTPServer):
     # simultaneous connects (the default of 5 sends connection resets).
     request_queue_size = 128
 
-    def __init__(self, address, registry: ModelRegistry, config: ServerConfig) -> None:
+    def __init__(
+        self,
+        address,
+        registry: ModelRegistry,
+        config: ServerConfig,
+        drain_timed_out: "Counter | None" = None,
+    ) -> None:
         super().__init__(address, _Handler)
         self.registry = registry
         self.config = config
         self.http_requests = Counter()
+        self.drain_timed_out = drain_timed_out if drain_timed_out is not None else Counter()
         self.started_at = time.monotonic()
         self._inflight = 0
         self._inflight_cond = threading.Condition()
@@ -296,6 +327,9 @@ class ModelServer:
         self.config = config or ServerConfig()
         self._httpd: "_HTTPServer | None" = None
         self._thread: "threading.Thread | None" = None
+        #: Times a graceful stop hit its drain deadline with handler threads
+        #: still running (surfaced in ``/metrics`` under ``server``).
+        self.drain_timed_out = Counter()
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -303,7 +337,12 @@ class ModelServer:
         if self._httpd is not None:
             return self
         self.registry.start()
-        self._httpd = _HTTPServer((self.config.host, self.config.port), self.registry, self.config)
+        self._httpd = _HTTPServer(
+            (self.config.host, self.config.port),
+            self.registry,
+            self.config,
+            drain_timed_out=self.drain_timed_out,
+        )
         self._thread = threading.Thread(
             target=self._httpd.serve_forever,
             kwargs={"poll_interval": 0.05},
@@ -315,20 +354,37 @@ class ModelServer:
         return self
 
     def stop(self, drain: bool = True) -> None:
-        """Drain-then-stop by default; idempotent."""
+        """Drain-then-stop by default; idempotent.
+
+        The whole graceful sequence shares **one** ``drain_timeout_s``
+        deadline — a wedged handler thread cannot stretch shutdown to the
+        sum of per-stage timeouts.  Hitting the deadline with handlers
+        still running increments :attr:`drain_timed_out` (surfaced in
+        ``/metrics``) and shutdown proceeds anyway.
+        """
         httpd, self._httpd = self._httpd, None
         if httpd is None:
             return
+        deadline = time.monotonic() + self.config.drain_timeout_s
         httpd.shutdown()  # 1. stop accepting new connections
-        self.registry.stop(drain=drain, timeout=self.config.drain_timeout_s)  # 2. drain work
+        # 2. drain queued/in-flight work through the batchers (bounded by
+        # what is left of the shared deadline).
+        self.registry.stop(drain=drain, timeout=max(0.0, deadline - time.monotonic()))
+        timed_out = False
         if drain:
             # 3. let handlers finish writing responses for everything the
             # drain just resolved (idle keep-alive sockets don't count).
-            httpd.wait_idle(self.config.drain_timeout_s)
+            timed_out = not httpd.wait_idle(max(0.0, deadline - time.monotonic()))
         httpd.server_close()  # 4. release the listening socket
         if self._thread is not None:
-            self._thread.join(self.config.drain_timeout_s)
+            self._thread.join(max(0.05, deadline - time.monotonic()))
             self._thread = None
+        if timed_out:
+            self.drain_timed_out.increment()
+            logger.warning(
+                "drain deadline (%gs) hit with handler threads still running",
+                self.config.drain_timeout_s,
+            )
         logger.info("server stopped (drain=%s)", drain)
 
     def __enter__(self) -> "ModelServer":

@@ -22,6 +22,7 @@ machinery two ways:
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import Future
 from dataclasses import dataclass
 
@@ -159,12 +160,16 @@ class ModelRegistry:
         return self
 
     def stop(self, drain: bool = True, timeout: "float | None" = 10.0) -> None:
-        """Stop every batcher (drain-then-stop by default)."""
+        """Stop every batcher, all bounded by **one** shared ``timeout``
+        deadline (drain-then-stop by default) — one wedged model cannot
+        stretch shutdown to models × timeout."""
         with self._lock:
             self._started = False
             entries = list(self._models.values())
+        deadline = None if timeout is None else time.monotonic() + timeout
         for entry in entries:
-            entry.batcher.stop(drain=drain, timeout=timeout)
+            remaining = None if deadline is None else max(0.0, deadline - time.monotonic())
+            entry.batcher.stop(drain=drain, timeout=remaining)
 
     def refresh(self, name: "str | None" = None, timeout: "float | None" = 10.0) -> int:
         """Quiesced hot weight update; returns the number of plan ops rebuilt.

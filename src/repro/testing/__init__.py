@@ -4,7 +4,10 @@ from repro.testing.faults import (
     ConnectionDropFault,
     FailingWriteFault,
     NaNGradientFault,
+    SharedMemoryCorruptionFault,
     TornWriteFault,
+    WorkerCrashFault,
+    WorkerHangFault,
 )
 from repro.testing.intq_parity import build_parity_network, run_intq_parity, sample_images
 
@@ -13,6 +16,9 @@ __all__ = [
     "FailingWriteFault",
     "NaNGradientFault",
     "ConnectionDropFault",
+    "WorkerCrashFault",
+    "WorkerHangFault",
+    "SharedMemoryCorruptionFault",
     "build_parity_network",
     "run_intq_parity",
     "sample_images",

@@ -14,10 +14,17 @@ Attachment points (all production seams, no monkeypatching needed):
   :attr:`~repro.train.trainer.Trainer.grad_hooks`.
 * :class:`ConnectionDropFault` — assign to
   :attr:`~repro.serve.client.PredictClient.pre_request_hook`.
+* :class:`WorkerCrashFault` / :class:`WorkerHangFault` — pass in
+  :attr:`~repro.serve.cluster.config.ClusterConfig.chaos`; the supervisor
+  arms them at each worker spawn and the armed *directive* (a plain dict)
+  rides into the worker process, so schedules survive ``fork``/``spawn``.
+* :class:`SharedMemoryCorruptionFault` — call :meth:`~SharedMemoryCorruptionFault.apply`
+  on a published :class:`~repro.utils.shm.ShmHandle`.
 """
 
 from __future__ import annotations
 
+import threading
 from pathlib import Path
 
 import numpy as np
@@ -30,6 +37,9 @@ __all__ = [
     "FailingWriteFault",
     "NaNGradientFault",
     "ConnectionDropFault",
+    "WorkerCrashFault",
+    "WorkerHangFault",
+    "SharedMemoryCorruptionFault",
 ]
 
 
@@ -156,3 +166,139 @@ class ConnectionDropFault:
         if self.dropped < self.drops:
             self.dropped += 1
             raise self.exc_type(f"injected connection drop ({self.dropped}/{self.drops})")
+
+
+class _WorkerFault:
+    """Shared arming logic for cluster worker chaos faults.
+
+    The supervisor calls :meth:`arm` once per worker spawn; while the
+    ``fires`` budget lasts (and the spawn's slot matches ``slots``, if
+    given), it returns a picklable *directive* dict that
+    :func:`~repro.serve.cluster.worker.worker_main` evaluates at each
+    predict.  A replacement worker spawned after the budget is exhausted
+    gets no directive — which is exactly how a test proves recovery.
+    ``arm`` is thread-safe: the supervisor's monitor thread respawns
+    concurrently with request traffic.
+    """
+
+    def __init__(self, on_request: int, fires: int, slots: "tuple[int, ...] | None") -> None:
+        if on_request < 1:
+            raise ConfigurationError(f"on_request must be >= 1, got {on_request}")
+        if fires < 1:
+            raise ConfigurationError(f"fires must be >= 1, got {fires}")
+        self.on_request = on_request
+        self.fires = fires
+        self.slots = None if slots is None else tuple(slots)
+        self.armed = 0
+        self._lock = threading.Lock()
+
+    def _directive(self) -> dict:
+        raise NotImplementedError
+
+    def arm(self, slot: int) -> "dict | None":
+        """One armed directive for a worker spawning on ``slot`` (or None)."""
+        with self._lock:
+            if self.armed >= self.fires:
+                return None
+            if self.slots is not None and slot not in self.slots:
+                return None
+            self.armed += 1
+            return self._directive()
+
+
+class WorkerCrashFault(_WorkerFault):
+    """Hard-kill a cluster worker on its Nth predict (``os._exit``).
+
+    Models a segfault/OOM: no cleanup, no goodbye on the pipe — the
+    supervisor must detect the death, re-queue the in-flight request, and
+    restart the slot.
+
+    Args:
+        on_request: 1-based predict count at which the worker dies.
+        fires: Worker spawns to arm before the fault is spent (each armed
+            worker dies once; a respawn after exhaustion serves normally).
+        slots: Restrict arming to these pool slots (default: any slot).
+        exit_code: Process exit code of the "crash".
+    """
+
+    def __init__(
+        self,
+        on_request: int = 1,
+        fires: int = 1,
+        slots: "tuple[int, ...] | None" = None,
+        exit_code: int = 139,
+    ) -> None:
+        super().__init__(on_request, fires, slots)
+        self.exit_code = exit_code
+
+    def _directive(self) -> dict:
+        return {"kind": "crash", "on_request": self.on_request, "exit_code": self.exit_code}
+
+
+class WorkerHangFault(_WorkerFault):
+    """Wedge a cluster worker on its Nth predict (sleep, no reply).
+
+    Models a deadlock/livelock: the process stays alive but stops
+    answering, so only the heartbeat timeout can catch it.  ``hang_s``
+    should comfortably exceed the pool's ``heartbeat_timeout_s``.
+
+    Args:
+        on_request: 1-based predict count at which the worker wedges.
+        fires: Worker spawns to arm before the fault is spent.
+        slots: Restrict arming to these pool slots (default: any slot).
+        hang_s: How long the worker sleeps (it is normally SIGKILLed first).
+    """
+
+    def __init__(
+        self,
+        on_request: int = 1,
+        fires: int = 1,
+        slots: "tuple[int, ...] | None" = None,
+        hang_s: float = 3600.0,
+    ) -> None:
+        super().__init__(on_request, fires, slots)
+        if hang_s <= 0:
+            raise ConfigurationError(f"hang_s must be positive, got {hang_s}")
+        self.hang_s = hang_s
+
+    def _directive(self) -> dict:
+        return {"kind": "hang", "on_request": self.on_request, "hang_s": self.hang_s}
+
+
+class SharedMemoryCorruptionFault:
+    """Flip seeded-random bytes inside a published shared-memory segment.
+
+    Simulates a torn or corrupted plan payload.  Because
+    :func:`~repro.utils.shm.attach_segment` verifies the segment's sha256 on
+    every attach, a worker spawned against the corrupted generation must
+    refuse it (:class:`~repro.errors.SharedMemoryError` → worker exits
+    fatal) rather than serve garbage weights.
+
+    Args:
+        flips: Number of bytes to XOR-corrupt.
+        seed: RNG seed choosing byte positions and XOR masks, so the
+            corruption pattern is reproducible.
+    """
+
+    def __init__(self, flips: int = 8, seed: int = 0) -> None:
+        if flips < 1:
+            raise ConfigurationError(f"flips must be >= 1, got {flips}")
+        self.flips = flips
+        self.seed = seed
+        self.applied = 0
+
+    def apply(self, handle) -> "list[int]":
+        """Corrupt ``handle``'s live segment in place; returns the offsets hit."""
+        from repro.utils.shm import attach_segment
+
+        segment = attach_segment(handle, verify=False)
+        try:
+            rng = np.random.default_rng(self.seed)
+            offsets = rng.integers(0, handle.total_bytes, size=self.flips)
+            masks = rng.integers(1, 256, size=self.flips)
+            for offset, mask in zip(offsets, masks):
+                segment.buf[int(offset)] ^= int(mask)
+            self.applied += 1
+            return [int(o) for o in offsets]
+        finally:
+            segment.close()

@@ -4,8 +4,13 @@ from repro.utils.rng import as_generator, spawn_generators
 from repro.utils.logging import get_logger
 from repro.utils.profiler import PhaseProfiler, active_profiler, profile_phase, use_profiler
 from repro.utils.serialization import load_json, save_json
+from repro.utils.shm import ShmHandle, attach_segment, load_object, publish_object
 
 __all__ = [
+    "ShmHandle",
+    "publish_object",
+    "load_object",
+    "attach_segment",
     "as_generator",
     "spawn_generators",
     "get_logger",

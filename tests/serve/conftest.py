@@ -3,9 +3,16 @@
 Reuses the inference suite's scaled-down Table-1 networks so the serving
 stack is always tested against the exact models whose engine parity is
 already certified by ``tests/infer``.
+
+Also implements the ``@pytest.mark.timeout(seconds)`` watchdog used by the
+multi-process cluster/chaos tests: the environment has no pytest-timeout
+plugin, so a SIGALRM handler raises inside the test instead of letting a
+wedged worker pool hang the whole run.
 """
 
 from __future__ import annotations
+
+import signal
 
 import numpy as np
 import pytest
@@ -15,6 +22,32 @@ from repro.infer import InferenceEngine
 from tests.infer.conftest import build_small_network, sample_images
 
 __all__ = ["build_small_network", "sample_images", "served_engine"]
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    """Enforce ``@pytest.mark.timeout(seconds)`` via SIGALRM (main thread).
+
+    SIGALRM only interrupts the main thread, which is exactly where these
+    tests block on futures/joins; worker threads and processes are daemons
+    and die with the test session.
+    """
+    marker = item.get_closest_marker("timeout")
+    if marker is None or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+    seconds = int(marker.args[0]) if marker.args else 120
+
+    def on_alarm(signum, frame):
+        raise TimeoutError(f"test exceeded its {seconds}s timeout (wedged cluster?)")
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.alarm(seconds)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture()

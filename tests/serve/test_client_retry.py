@@ -131,3 +131,71 @@ class TestRetries:
             PredictClient("http://127.0.0.1:9", max_retries=-1)
         with pytest.raises(ValueError):
             PredictClient("http://127.0.0.1:9", backoff_base_s=-0.1)
+
+
+class TestMidResponseRetry:
+    """A connection torn down *after* headers but *before* the body is read
+    (worker crash / server restart mid-response) must be retried like any
+    other transport failure — every endpoint is a pure function of its
+    request, so replaying is always safe."""
+
+    def test_mid_response_reset_is_retried_with_exact_result(self, server):
+        client = fast_client(server.url, max_retries=2)
+        fault = ConnectionDropFault(drops=1, exc_type=ConnectionResetError)
+        client.mid_response_hook = fault
+        images = sample_images(1, seed=60)
+        serial = server.registry.get("net4").engine.predict_logits(images)
+        result = client.predict(images[0], model="net4")
+        np.testing.assert_array_equal(result.logits, serial[0])
+        assert fault.dropped == 1  # headers arrived, body was torn off once
+
+    def test_mid_response_broken_pipe_is_retried(self, server):
+        client = fast_client(server.url, max_retries=1)
+        fault = ConnectionDropFault(drops=1, exc_type=BrokenPipeError)
+        client.mid_response_hook = fault
+        assert client.healthz()["status"] == "ok"
+        assert fault.dropped == 1
+
+    def test_mid_response_drops_exhaust_retries_with_typed_error(self, server):
+        client = fast_client(server.url, max_retries=1)
+        fault = ConnectionDropFault(drops=100, exc_type=ConnectionResetError)
+        client.mid_response_hook = fault
+        with pytest.raises(RetriesExhaustedError):
+            client.healthz()
+        assert fault.dropped == 2  # initial attempt + 1 retry
+
+
+class TestHedging:
+    def test_slow_primary_is_hedged_and_first_response_wins(self, server):
+        client = fast_client(server.url, max_retries=0, hedge_after_s=0.05)
+        slow_once = ConnectionDropFault(drops=0)  # counts calls, never raises
+
+        def stall_first_attempt():
+            slow_once.calls += 1
+            if slow_once.calls == 1:
+                time.sleep(1.0)  # primary outlives the hedge budget
+
+        client.pre_request_hook = stall_first_attempt
+        images = sample_images(1, seed=61)
+        serial = server.registry.get("net4").engine.predict_logits(images)
+        start = time.monotonic()
+        result = client.predict(images[0], model="net4")
+        elapsed = time.monotonic() - start
+        np.testing.assert_array_equal(result.logits, serial[0])
+        assert client.hedges_fired == 1
+        assert elapsed < 1.0  # the hedge answered; nobody waited for the stall
+
+    def test_fast_primary_never_fires_a_hedge(self, server):
+        client = fast_client(server.url, max_retries=0, hedge_after_s=5.0)
+        assert client.healthz()["status"] == "ok"
+        assert client.hedges_fired == 0
+
+    def test_hedged_request_surfaces_first_error_when_all_fail(self):
+        client = fast_client("http://127.0.0.1:9", max_retries=0, hedge_after_s=10.0)
+        client.pre_request_hook = ConnectionDropFault(drops=100)
+        with pytest.raises(RetriesExhaustedError):
+            client.healthz()
+
+    def test_invalid_hedge_budget_rejected(self):
+        with pytest.raises(ValueError):
+            PredictClient("http://127.0.0.1:9", hedge_after_s=0.0)

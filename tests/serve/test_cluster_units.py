@@ -1,0 +1,283 @@
+"""Deterministic unit tests for the cluster's control-plane pieces.
+
+Everything here runs single-process against injected fake clocks: circuit
+breaker lifecycle, token buckets, admission ladder, config validation and
+the generational plan store.  The multi-process integration and chaos
+drills live in ``test_cluster.py`` / ``test_cluster_chaos.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    ClusterError,
+    ConfigurationError,
+    QueueFullError,
+    QuotaExceededError,
+)
+from repro.serve.cluster import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    AdmissionController,
+    CircuitBreaker,
+    ClusterConfig,
+    ShmPlanStore,
+    TokenBucket,
+)
+
+
+class FakeClock:
+    def __init__(self, t: float = 0.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+class TestCircuitBreaker:
+    def test_trips_only_past_budget_within_window(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(restart_budget=2, window_s=10.0, clock=clock)
+        assert breaker.record_restart() is False
+        assert breaker.record_restart() is False
+        assert breaker.state == CLOSED and breaker.allow()
+        assert breaker.record_restart() is True  # third death in window
+        assert breaker.state == OPEN and breaker.trips == 1
+
+    def test_window_expiry_forgives_old_deaths(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(restart_budget=1, window_s=5.0, clock=clock)
+        breaker.record_restart()
+        clock.advance(6.0)  # first death ages out of the window
+        assert breaker.record_restart() is False
+        assert breaker.restarts_in_window() == 1
+
+    def test_open_rejects_with_countdown_then_half_opens(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(restart_budget=1, window_s=30.0, open_s=2.0, clock=clock)
+        breaker.record_restart(), breaker.record_restart()
+        assert breaker.state == OPEN
+        assert not breaker.allow() and breaker.rejections == 1
+        clock.advance(1.5)
+        assert breaker.retry_after_s() == pytest.approx(0.5)
+        clock.advance(0.5)
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow() and breaker.retry_after_s() == 0.0
+
+    def test_probe_successes_close_and_clear_the_window(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            restart_budget=1, window_s=30.0, open_s=1.0, half_open_probes=2, clock=clock
+        )
+        breaker.record_restart(), breaker.record_restart()
+        clock.advance(1.0)
+        breaker.record_result(True)
+        assert breaker.state == HALF_OPEN  # one of two probes in
+        breaker.record_result(True)
+        assert breaker.state == CLOSED
+        assert breaker.restarts_in_window() == 0  # fresh budget after recovery
+
+    def test_failed_probe_reopens(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(restart_budget=1, window_s=30.0, open_s=1.0, clock=clock)
+        breaker.record_restart(), breaker.record_restart()
+        clock.advance(1.0)
+        assert breaker.state == HALF_OPEN
+        breaker.record_result(False)
+        assert breaker.state == OPEN and breaker.trips == 2
+
+    def test_death_during_half_open_reopens(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(restart_budget=1, window_s=30.0, open_s=1.0, clock=clock)
+        breaker.record_restart(), breaker.record_restart()
+        clock.advance(1.0)
+        assert breaker.state == HALF_OPEN
+        assert breaker.record_restart() is True  # probe worker died
+        assert breaker.state == OPEN
+
+    def test_results_ignored_while_closed(self):
+        breaker = CircuitBreaker(clock=FakeClock())
+        breaker.record_result(False)
+        assert breaker.state == CLOSED
+
+    def test_snapshot_shape(self):
+        snap = CircuitBreaker(clock=FakeClock()).snapshot()
+        assert snap["state"] == CLOSED
+        assert set(snap) >= {"trips", "rejections", "restarts_in_window", "retry_after_s"}
+
+
+class TestTokenBucket:
+    def test_burst_then_deny_then_refill(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=3, clock=clock)
+        assert [bucket.try_take() for _ in range(4)] == [True, True, True, False]
+        clock.advance(0.5)  # 1 token refilled
+        assert bucket.try_take() and not bucket.try_take()
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100.0, burst=2, clock=clock)
+        clock.advance(60.0)
+        assert bucket.tokens == pytest.approx(2.0)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            TokenBucket(rate=0.0, burst=1)
+        with pytest.raises(ConfigurationError):
+            TokenBucket(rate=1.0, burst=0)
+
+
+class TestAdmissionController:
+    def _controller(self, clock, **overrides):
+        defaults = dict(
+            queue_depth=10,
+            overload_enter_fraction=0.5,
+            overload_exit_fraction=0.2,
+            overload_dwell_s=1.0,
+        )
+        defaults.update(overrides)
+        return AdmissionController(ClusterConfig(**defaults), clock=clock)
+
+    def test_unknown_priority_rejected(self):
+        admission = self._controller(FakeClock())
+        with pytest.raises(ConfigurationError, match="priority"):
+            admission.admit("bulk", None, queue_depth=0, capacity=10)
+
+    def test_queue_bound_sheds_every_class(self):
+        admission = self._controller(FakeClock())
+        for priority in ("interactive", "batch"):
+            with pytest.raises(QueueFullError):
+                admission.admit(priority, None, queue_depth=10, capacity=10)
+        assert admission.snapshot()["shed_by_priority"] == {"interactive": 1, "batch": 1}
+
+    def test_tenant_quota_is_isolated_per_tenant(self):
+        clock = FakeClock()
+        admission = self._controller(clock, tenant_rate=1.0, tenant_burst=2)
+        admission.admit("interactive", "alice", 0, 10)
+        admission.admit("interactive", "alice", 0, 10)
+        with pytest.raises(QuotaExceededError, match="alice"):
+            admission.admit("interactive", "alice", 0, 10)
+        # bob has his own bucket; anonymous traffic has none at all
+        admission.admit("interactive", "bob", 0, 10)
+        admission.admit("interactive", None, 0, 10)
+        clock.advance(1.0)  # alice refills one token
+        admission.admit("interactive", "alice", 0, 10)
+        assert admission.snapshot()["quota_rejected"] == 1
+
+    def test_ladder_needs_sustained_overload(self):
+        clock = FakeClock()
+        admission = self._controller(clock)
+        assert admission.observe(queue_depth=8, capacity=10) == 0  # burst: no dwell yet
+        clock.advance(0.5)
+        assert admission.observe(8, 10) == 0
+        clock.advance(0.5)
+        assert admission.observe(8, 10) == 1  # one dwell: shed batch
+        with pytest.raises(QueueFullError, match="batch"):
+            admission.admit("batch", None, 8, 10)
+        admission.admit("interactive", None, 8, 10)  # interactive keeps flowing
+        clock.advance(1.0)
+        assert admission.observe(8, 10) == 2  # two dwells: downshift
+
+    def test_ladder_level_two_downshifts_to_cheapest_variant(self):
+        clock = FakeClock()
+        admission = self._controller(clock)
+        variants = ("primary", "sparse", "int8")
+        assert admission.choose_variant(variants) == "primary"
+        admission.observe(9, 10)
+        clock.advance(2.0)
+        admission.observe(9, 10)
+        assert admission.choose_variant(variants) == "int8"
+        assert admission.choose_variant(("only",)) == "only"  # nothing cheaper exists
+        assert admission.snapshot()["downshifted"] == 1
+
+    def test_hysteresis_resets_only_below_exit_fraction(self):
+        clock = FakeClock()
+        admission = self._controller(clock)
+        admission.observe(8, 10)
+        clock.advance(2.0)
+        assert admission.observe(4, 10) == 2  # 0.4 fill: between exit and enter — still hot
+        assert admission.observe(2, 10) == 0  # 0.2 fill: ladder resets
+        clock.advance(5.0)
+        assert admission.observe(8, 10) == 0  # overload clock restarted from zero
+
+
+class TestClusterConfig:
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"workers": 0},
+            {"start_method": "forkserver"},
+            {"queue_depth": 0},
+            {"max_inflight_per_worker": 0},
+            {"request_retries": -1},
+            {"heartbeat_timeout_s": 0.0},
+            {"restart_budget": 0},
+            {"breaker_half_open_probes": 0},
+            {"tenant_rate": -1.0},
+            {"tenant_burst": 0},
+            {"overload_exit_fraction": 0.9, "overload_enter_fraction": 0.5},
+            {"service_delay_s": -0.1},
+        ],
+    )
+    def test_rejects_invalid_values(self, overrides):
+        with pytest.raises(ConfigurationError):
+            ClusterConfig(**overrides)
+
+    def test_defaults_are_valid_and_frozen(self):
+        config = ClusterConfig()
+        assert config.workers == 2 and config.chaos == ()
+        with pytest.raises(AttributeError):
+            config.workers = 4
+
+
+class TestShmPlanStore:
+    def _payload(self, fill: float):
+        return {"ops": [], "out_slot": 0, "dtype": np.dtype(np.float64),
+                "intq": None, "weights": np.full(2048, fill)}
+
+    def test_generations_increment_and_previous_stays_alive(self):
+        store = ShmPlanStore()
+        try:
+            first = store.publish({"primary": self._payload(1.0)})
+            second = store.publish({"primary": self._payload(2.0)})
+            assert (first.generation, second.generation) == (1, 2)
+            assert store.current is second
+            # the superseded segment is queued, not unlinked: attach still works
+            from repro.utils.shm import load_object
+
+            obj, seg = load_object(first.handles["primary"])
+            assert obj["weights"][0] == 1.0
+            seg.close()
+        finally:
+            store.close()
+
+    def test_retire_unlinks_only_superseded_generations(self):
+        store = ShmPlanStore()
+        try:
+            first = store.publish({"primary": self._payload(1.0)})
+            store.publish({"primary": self._payload(2.0)})
+            store.retire(first.generation)
+            from repro.errors import SharedMemoryError
+            from repro.utils.shm import load_object
+
+            with pytest.raises(SharedMemoryError, match="missing"):
+                load_object(first.handles["primary"])
+            obj, seg = load_object(store.current.handles["primary"])
+            assert obj["weights"][0] == 2.0
+            seg.close()
+        finally:
+            store.close()
+
+    def test_empty_publish_and_closed_store_raise(self):
+        store = ShmPlanStore()
+        with pytest.raises(ClusterError, match="empty"):
+            store.publish({})
+        store.close()
+        with pytest.raises(ClusterError, match="closed"):
+            store.publish({"primary": self._payload(0.0)})

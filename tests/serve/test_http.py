@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import socket
 import threading
 import time
 import urllib.error
@@ -212,3 +213,62 @@ class TestGracefulShutdown:
             assert srv.running
         srv.stop()  # second stop is a no-op
         assert not srv.running
+
+
+class TestDrainDeadline:
+    """``stop(drain=True)`` is bounded by ONE ``drain_timeout_s`` deadline
+    shared across every shutdown stage — a wedged handler thread cannot
+    stretch it to the sum of per-stage timeouts — and hitting it is
+    surfaced as the ``drain_timed_out`` counter in ``/metrics``."""
+
+    def _wedge_handler(self, srv) -> "socket.socket":
+        """Open a raw connection whose handler blocks forever: the request
+        advertises a body that never arrives, so the handler thread sits in
+        ``rfile.read`` until the socket dies — a faithful wedged handler."""
+        sock = socket.create_connection(("127.0.0.1", srv.port), timeout=30)
+        sock.sendall(
+            b"POST /v1/predict HTTP/1.1\r\n"
+            b"Host: localhost\r\nContent-Type: application/json\r\n"
+            b"Content-Length: 1000\r\n\r\n{"
+        )
+        time.sleep(0.2)  # let the handler thread pick the request up
+        return sock
+
+    def test_wedged_handler_cannot_stretch_stop_and_is_counted(self):
+        registry = ModelRegistry()
+        registry.register("net4", build_small_network(4))
+        srv = ModelServer(
+            registry, ServerConfig(port=0, drain_timeout_s=1.0)
+        ).start()
+        assert srv.drain_timed_out.value == 0
+        sock = self._wedge_handler(srv)
+        try:
+            start = time.monotonic()
+            srv.stop(drain=True)
+            elapsed = time.monotonic() - start
+            # one shared deadline: registry drain + handler wait + thread
+            # join together stay near drain_timeout_s, not a multiple of it
+            assert elapsed < 1.9, f"stop took {elapsed:.2f}s against a 1.0s drain budget"
+            assert srv.drain_timed_out.value == 1
+        finally:
+            sock.close()
+
+    def test_clean_drain_does_not_count_a_timeout(self):
+        registry = ModelRegistry()
+        registry.register("net4", build_small_network(4))
+        srv = ModelServer(registry, ServerConfig(port=0, drain_timeout_s=5.0)).start()
+        client = PredictClient(srv.url)
+        client.predict(sample_images(1, seed=34)[0])
+        client.close()
+        start = time.monotonic()
+        srv.stop(drain=True)
+        assert time.monotonic() - start < 2.0  # idle server: no budget burned
+        assert srv.drain_timed_out.value == 0
+
+    def test_drain_timed_out_is_surfaced_in_metrics(self):
+        registry = ModelRegistry()
+        registry.register("net4", build_small_network(4))
+        with ModelServer(registry, ServerConfig(port=0)) as srv:
+            client = PredictClient(srv.url)
+            assert client.metrics()["server"]["drain_timed_out"] == 0
+            client.close()

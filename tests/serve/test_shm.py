@@ -1,0 +1,113 @@
+"""Shared-memory object publishing: hoisting, checksums, zero-copy views."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SharedMemoryError
+from repro.infer import InferenceEngine
+from repro.infer.plan import ExecutionContext, execute_ops
+from repro.testing import SharedMemoryCorruptionFault
+from repro.utils.shm import load_object, publish_object
+
+from tests.serve.conftest import build_small_network, sample_images
+
+
+def _cleanup(segment):
+    try:
+        segment.unlink()
+    except FileNotFoundError:
+        pass
+    segment.close()
+
+
+class TestPublishLoad:
+    def test_round_trip_preserves_structure_and_values(self):
+        obj = {
+            "big": np.arange(4096, dtype=np.float64).reshape(64, 64),
+            "small": np.array([1.0, 2.0]),
+            "nested": {"k": [np.full((512,), 7, dtype=np.int64), "text", 3]},
+        }
+        handle, segment = publish_object(obj, min_bytes=1024)
+        try:
+            loaded, attached = load_object(handle)
+            np.testing.assert_array_equal(loaded["big"], obj["big"])
+            np.testing.assert_array_equal(loaded["small"], obj["small"])
+            np.testing.assert_array_equal(loaded["nested"]["k"][0], obj["nested"]["k"][0])
+            assert loaded["nested"]["k"][1:] == ["text", 3]
+            attached.close()
+        finally:
+            _cleanup(segment)
+
+    def test_large_arrays_hoisted_small_ones_inline(self):
+        obj = {"big": np.zeros(1024, dtype=np.float64), "small": np.zeros(4)}
+        handle, segment = publish_object(obj, min_bytes=1024)
+        try:
+            # exactly one array crosses the hoist threshold (8 KiB vs 32 B)
+            assert len(handle.arrays) == 1
+            assert handle.arrays[0][1] == (1024,)
+        finally:
+            _cleanup(segment)
+
+    def test_hoisted_views_are_read_only_and_zero_copy(self):
+        big = np.arange(2048, dtype=np.float64)
+        handle, segment = publish_object({"w": big}, min_bytes=1024)
+        try:
+            loaded, attached = load_object(handle)
+            assert not loaded["w"].flags.writeable
+            with pytest.raises(ValueError):
+                loaded["w"][0] = -1.0
+            # zero-copy: the view addresses the shared pages, not a copy
+            assert loaded["w"].base is not None
+            attached.close()
+        finally:
+            _cleanup(segment)
+
+    def test_missing_segment_raises_typed_error(self):
+        handle, segment = publish_object({"w": np.zeros(2048)})
+        _cleanup(segment)
+        with pytest.raises(SharedMemoryError, match="missing"):
+            load_object(handle)
+
+
+class TestChecksum:
+    def test_corruption_detected_on_attach(self):
+        handle, segment = publish_object({"w": np.ones(2048, dtype=np.float64)})
+        try:
+            fault = SharedMemoryCorruptionFault(flips=4, seed=7)
+            offsets = fault.apply(handle)
+            assert fault.applied == 1 and len(offsets) == 4
+            with pytest.raises(SharedMemoryError, match="checksum"):
+                load_object(handle)
+        finally:
+            _cleanup(segment)
+
+    def test_verify_false_skips_the_check(self):
+        handle, segment = publish_object({"w": np.ones(2048, dtype=np.float64)})
+        try:
+            SharedMemoryCorruptionFault(flips=1, seed=0).apply(handle)
+            loaded, attached = load_object(handle, verify=False)
+            assert loaded["w"].shape == (2048,)
+            attached.close()
+        finally:
+            _cleanup(segment)
+
+
+class TestPlanPayload:
+    def test_published_plan_executes_bitwise(self):
+        """A plan payload round-tripped through shared memory (read-only
+        weight views included) must reproduce the source plan exactly."""
+        engine = InferenceEngine(build_small_network(2))
+        images = sample_images(4, seed=3)
+        expected = engine.plan.execute(images, ExecutionContext())
+        handle, segment = publish_object(engine.plan.payload())
+        try:
+            payload, attached = load_object(handle)
+            got = execute_ops(
+                payload["ops"], images, ExecutionContext(), payload["out_slot"], payload["dtype"]
+            )
+            np.testing.assert_array_equal(got, expected)
+            attached.close()
+        finally:
+            _cleanup(segment)

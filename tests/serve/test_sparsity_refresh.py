@@ -62,3 +62,59 @@ def test_metrics_snapshot_carries_plan_summary():
     assert sum(plan["kernels"].values()) == len(plan["layers"])
     assert plan["k_hist"][0] > 0  # the k_i histogram shows the dead filters
     assert plan["config"]["kernel"] == "auto"
+
+
+def test_int8_refresh_races_concurrent_predicts_without_torn_outputs():
+    """Registry hot-refresh racing a stream of concurrent predicts on the
+    integer-only path: every response must bitwise-match the int8 engine's
+    *pre*- or *post*-refresh logits — never a torn mix of old packed planes
+    and new quantization scales."""
+    import threading
+
+    from repro.infer import InferenceEngine
+    from repro.infer.plan import PlanConfig
+
+    model = build_small_network(4)
+    engine = InferenceEngine(model, config=PlanConfig(dtype="int8"), on_stale="refresh")
+    registry = ModelRegistry()
+    entry = registry.register("net4", engine=engine)
+    images = sample_images(4, seed=91)
+    registry.start()
+    try:
+        before = np.stack(
+            [registry.submit(img).result(timeout=10) for img in images]
+        )
+        rows: "list[tuple[int, np.ndarray]]" = []
+        errors: "list[Exception]" = []
+        stop = threading.Event()
+
+        def pound() -> None:
+            i = 0
+            while not stop.is_set():
+                try:
+                    rows.append((i % 4, registry.submit(images[i % 4]).result(timeout=10)))
+                except Exception as exc:  # pragma: no cover - diagnostics
+                    errors.append(exc)
+                    return
+                i += 1
+
+        threads = [threading.Thread(target=pound) for _ in range(3)]
+        for t in threads:
+            t.start()
+        for p in model.parameters():
+            p.data *= 1.02  # real weight change: new scales + packed planes
+        assert registry.refresh("net4") > 0
+        stop.set()
+        for t in threads:
+            t.join(15)
+        after = np.stack(
+            [registry.submit(img).result(timeout=10) for img in images]
+        )
+    finally:
+        registry.stop()
+    assert not errors, errors
+    assert rows, "the refresh raced zero predicts; nothing was exercised"
+    for index, row in rows:
+        assert np.array_equal(row, before[index]) or np.array_equal(
+            row, after[index]
+        ), "int8 response matches neither generation: torn refresh state"

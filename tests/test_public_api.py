@@ -19,6 +19,8 @@ PACKAGES = [
     "repro.infer",
     "repro.infer.intq",
     "repro.testing",
+    "repro.serve",
+    "repro.serve.cluster",
     "repro.hw",
     "repro.hw.fpga",
     "repro.hw.asic",
