@@ -94,6 +94,12 @@ TRACED_FUSED = PlanConfig(prune=False, kernel="dense")  # trace/fuse default on
 # checked on every Table-1 structure; only the small nets are timed.
 INT_CONFIGS = (1, 4, 5)
 INT_PARITY_BATCH = 16
+# Native C backend sweep: the numpy codegen vs the native kernels on the
+# same plan, float64 and int8, batch 1 and 64.  The PR acceptance bar is
+# >= 2x at batch 1 on the small nets with bitwise-equal outputs in both
+# dtypes; on a toolchain-free host the sweep records the fallback instead.
+NATIVE_CONFIGS = (1, 4, 5)
+NATIVE_BATCHES = (1, 64)
 
 
 def _build(network_id: int, scheme_key: str = SCHEME, width_scale: float = 1.0, seed: int = 0):
@@ -494,6 +500,127 @@ def _print_int(rows: list[dict], summary: dict) -> None:
     )
 
 
+def _native_row(network_id: int, reps: int, batches: tuple[int, ...] = NATIVE_BATCHES) -> dict:
+    """Time the native C kernels against the numpy codegen on the same plan,
+    in both execution dtypes, with bitwise-equality checks and the per-layer
+    backend selections the autotuner/self-check ladder actually made."""
+    model = _build(network_id)
+    engines = {
+        "numpy": InferenceEngine(model, config=PlanConfig(backend="numpy")),
+        "native": InferenceEngine(model, config=PlanConfig(backend="auto")),
+        "int8_numpy": InferenceEngine(model, config=PlanConfig(dtype="int8", backend="numpy")),
+        "int8_native": InferenceEngine(model, config=PlanConfig(dtype="int8", backend="auto")),
+    }
+    rng = np.random.default_rng(network_id + 500)
+    row: dict = {
+        "network_id": network_id,
+        "scheme": SCHEME,
+        "structure": model.config.structure,
+        "depth": model.config.depth,
+        "batches": {},
+    }
+    bitwise = {"float64": True, "int8": True}
+    for batch in batches:
+        images = rng.normal(0.0, 1.0, (batch, 3, IMAGE_SIZE, IMAGE_SIZE))
+        # Warm every engine (plan build, native compiles, first-call parity
+        # checks) and collect reference outputs outside the timed region.
+        outs = {k: eng.forward_batch(images, check_stale=False).copy() for k, eng in engines.items()}
+        bitwise["float64"] &= bool(
+            np.array_equal(outs["native"].view(np.uint8), outs["numpy"].view(np.uint8))
+        )
+        bitwise["int8"] &= bool(
+            np.array_equal(outs["int8_native"].view(np.uint8), outs["int8_numpy"].view(np.uint8))
+        )
+        once = min(
+            _timed(lambda eng=eng: eng.forward_batch(images, check_stale=False))
+            for eng in engines.values()
+        )
+        inner = max(1, min(20, int(0.02 / max(once, 1e-6))))
+        times: dict[str, list[float]] = {k: [] for k in engines}
+        for _ in range(reps):  # interleave variants inside each rep
+            for key, eng in engines.items():
+                t0 = time.perf_counter()
+                for _ in range(inner):
+                    eng.forward_batch(images, check_stale=False)
+                times[key].append((time.perf_counter() - t0) / inner)
+        med = {k: statistics.median(v) for k, v in times.items()}
+        row["batches"][str(batch)] = {
+            "numpy_s": med["numpy"],
+            "native_s": med["native"],
+            "speedup": med["numpy"] / med["native"],
+            "int8_numpy_s": med["int8_numpy"],
+            "int8_native_s": med["int8_native"],
+            "int8_speedup": med["int8_numpy"] / med["int8_native"],
+            "int8_native_vs_float_numpy": med["numpy"] / med["int8_native"],
+        }
+    shape = (batches[-1], 3, IMAGE_SIZE, IMAGE_SIZE)
+    prog = engines["native"].plan.traced_program(shape)
+    row["float64_layers"] = (
+        [{"node": i, **rec} for i, rec in sorted(prog.node_backends.items())] if prog else []
+    )
+    intq = engines["int8_native"].plan_summary().get("intq") or {}
+    row["int8_layers"] = [
+        {
+            "op_index": layer["op_index"],
+            "type": layer["type"],
+            "impl": layer["impl"],
+            "backend": layer.get("backend"),
+        }
+        for layer in intq.get("layers", [])
+    ]
+    row["bitwise_equal"] = bitwise
+    return row
+
+
+def _native_summary(rows: list[dict]) -> dict:
+    """Headline numbers for the native sweep (the PR acceptance fields)."""
+    from repro.infer.native import binding
+
+    status = binding.status()
+    b1 = [r["batches"].get("1", {}).get("speedup") for r in rows]
+    int8_b1 = [r["batches"].get("1", {}).get("int8_speedup") for r in rows]
+    return {
+        "toolchain": {k: status.get(k) for k in ("available", "compiler", "loader")},
+        "min_batch1_speedup": min((s for s in b1 if s), default=None),
+        "max_batch1_speedup": max((s for s in b1 if s), default=None),
+        "min_int8_batch1_speedup": min((s for s in int8_b1 if s), default=None),
+        "nets_meeting_bar": [  # >= 2x over the numpy codegen at batch 1
+            r["network_id"] for r in rows if r["batches"].get("1", {}).get("speedup", 0.0) >= 2.0
+        ],
+        "all_bitwise_equal": all(
+            r["bitwise_equal"]["float64"] and r["bitwise_equal"]["int8"] for r in rows
+        ),
+    }
+
+
+def run_native_sweep(reps: int = 5, smoke: bool = False) -> dict:
+    """Just the native-vs-numpy backend sweep, for merging into an existing
+    BENCH_infer.json (``--native-sweep``) and the CI smoke job."""
+    ids = (4,) if smoke else NATIVE_CONFIGS
+    rows = [_native_row(nid, reps) for nid in ids]
+    return {"native_sweep": rows, "native_summary": _native_summary(rows)}
+
+
+def _print_native(rows: list[dict], summary: dict) -> None:
+    for row in rows:
+        parts = []
+        for batch, spec in row["batches"].items():
+            parts.append(
+                f"b{batch} {spec['numpy_s'] * 1e3:.2f}->{spec['native_s'] * 1e3:.2f}ms "
+                f"({spec['speedup']:.2f}x, int8 {spec['int8_speedup']:.2f}x)"
+            )
+        native_nodes = sum(1 for l in row["float64_layers"] if l.get("backend") == "native")
+        print(
+            f"net{row['network_id']} native: {' | '.join(parts)} | "
+            f"{native_nodes}/{len(row['float64_layers'])} nodes native, "
+            f"bitwise f64={row['bitwise_equal']['float64']} int8={row['bitwise_equal']['int8']}"
+        )
+    print(
+        f"native: toolchain={summary['toolchain']}, nets meeting bar (>=2x b1): "
+        f"{summary['nets_meeting_bar']}, bitwise={summary['all_bitwise_equal']}"
+    )
+
+
 def run_fusion_sweep(reps: int = 5, smoke: bool = False) -> dict:
     """Just the traced-vs-interpreter sweep, for merging into an existing
     BENCH_infer.json (``--fusion-sweep``) and the CI smoke job."""
@@ -540,9 +667,35 @@ def main(argv=None) -> None:
         "the rows into --out (other sections of an existing file are kept)",
     )
     parser.add_argument(
+        "--native-sweep",
+        action="store_true",
+        help="run only the native-C vs numpy-codegen backend sweep and merge "
+        "the rows into --out (other sections of an existing file are kept)",
+    )
+    parser.add_argument(
+        "--clear-cache",
+        action="store_true",
+        help="clear the in-memory and on-disk kernel/autotune/native caches "
+        "before running, for cold-cache measurements",
+    )
+    parser.add_argument(
         "--out", type=Path, default=Path(__file__).resolve().parent.parent / "BENCH_infer.json"
     )
     args = parser.parse_args(argv)
+    if args.clear_cache:
+        from repro.infer import clear_caches
+
+        clear_caches(disk=True)
+        print("kernel/autotune/native caches cleared (memory + disk)")
+    if args.native_sweep:
+        sweep = run_native_sweep(reps=args.reps, smoke=args.smoke)
+        result = json.loads(args.out.read_text()) if args.out.exists() else {}
+        result["native_sweep"] = sweep["native_sweep"]
+        result.setdefault("summary", {})["native"] = sweep["native_summary"]
+        args.out.write_text(json.dumps(result, indent=2) + "\n")
+        _print_native(sweep["native_sweep"], sweep["native_summary"])
+        print(f"-> {args.out}")
+        return
     if args.int_sweep:
         sweep = run_int_sweep(reps=args.reps, smoke=args.smoke)
         result = json.loads(args.out.read_text()) if args.out.exists() else {}

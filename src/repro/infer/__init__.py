@@ -15,6 +15,7 @@ the op-by-op interpreter.  See
 from repro.infer.engine import InferenceEngine
 from repro.infer.fold import bn_eval_affine, dead_filter_rows
 from repro.infer.intq import IntQProgram, PackedWeights, build_intq_program, pack_weights
+from repro.infer.kernels import cache_info, clear_caches
 from repro.infer.plan import (
     ExecutionContext,
     ExecutionPlan,
@@ -45,4 +46,6 @@ __all__ = [
     "PackedWeights",
     "build_intq_program",
     "pack_weights",
+    "cache_info",
+    "clear_caches",
 ]

@@ -219,6 +219,7 @@ class TracedProgram:
         zero_regs: set,
         blocks: list,
         stats: dict,
+        backend: str = "numpy",
     ) -> None:
         self.uid = _next_uid()
         self.vals = ir.vals
@@ -233,6 +234,38 @@ class TracedProgram:
         self.blocks = blocks  # [(start, end)] batch blocks
         self.bmax = max(e - s for s, e in blocks)
         self.stats = stats
+        #: Plan-level backend policy ("numpy" | "native" | "auto") and the
+        #: per-node outcome records (filled at bind/first-run time by
+        #: :mod:`repro.infer.kernels` / the native binding's self-check).
+        self.backend = backend
+        self.node_backends: dict[int, dict] = {}
+
+    def _node_backend(self, node) -> tuple[str, dict]:
+        """(effective backend for this node's bind, its outcome record).
+
+        ``"numpy"`` at the program level wins everywhere; a per-op choice
+        (autotune's measured pick) beats the program default; otherwise
+        ``"auto"``/``"native"`` both try the native backend — it declines
+        or self-demotes per kernel, so trying is always safe.
+        """
+        rec = self.node_backends.setdefault(
+            node.index, {"kind": node.kind, "impl": getattr(node.op, "impl", "")}
+        )
+        if self.backend == "numpy":
+            return "numpy", rec
+        op_choice = getattr(node.op, "backend", "auto")
+        if op_choice != "auto":
+            return op_choice, rec
+        return "native", rec
+
+    def backend_counts(self) -> dict:
+        """``{"native": n, "numpy": m}`` over nodes bound so far."""
+        counts: dict[str, int] = {}
+        for rec in self.node_backends.values():
+            chosen = rec.get("backend")
+            if chosen:
+                counts[chosen] = counts.get(chosen, 0) + 1
+        return counts
 
     # -- binding ---------------------------------------------------------------
 
@@ -266,39 +299,50 @@ class TracedProgram:
             buf = state.regs[scope][rid]
             scratch[req.name] = buf[: rows * prod(req.tail)].reshape((rows,) + req.tail)
         kind, op = node.kind, node.op
+        backend, rec = self._node_backend(node)
         if kind == "conv":
             x = self._view(state, node.srcs[0], blk)
             dstv = self._view(state, node.dst, blk)
             out3 = dstv.reshape(dstv.shape[0], dstv.shape[1], -1)
             return kernels.bind_producer(
-                "conv", op, x, out3, scratch, op.impl, node.epilogue, self.dtype
+                "conv", op, x, out3, scratch, op.impl, node.epilogue, self.dtype,
+                backend, rec,
             )
         if kind == "linear":
             x = self._view(state, node.srcs[0], blk)
             out = self._view(state, node.dst, blk)
             return kernels.bind_producer(
-                "linear", op, x, out, scratch, op.impl, node.epilogue, self.dtype
+                "linear", op, x, out, scratch, op.impl, node.epilogue, self.dtype,
+                backend, rec,
             )
         if kind == "eltwise":
             x = self._view(state, node.srcs[0], blk)
             out = x if nplan.inplace else self._view(state, node.dst, blk)
-            return kernels.bind_eltwise([node.head] + node.epilogue, x, out, scratch, self.dtype)
+            return kernels.bind_eltwise(
+                [node.head] + node.epilogue, x, out, scratch, self.dtype, backend, rec
+            )
         if kind in ("maxpool", "avgpool"):
             x = self._view(state, node.srcs[0], blk)
             out = self._view(state, node.dst, blk)
             return kernels.bind_pool(
-                kind, op.kernel, op.stride, x, out, scratch, node.epilogue, self.dtype
+                kind, op.kernel, op.stride, x, out, scratch, node.epilogue, self.dtype,
+                backend, rec,
             )
         if kind == "gap":
             x = self._view(state, node.srcs[0], blk)
             out = self._view(state, node.dst, blk)
-            return kernels.bind_gap(x, out, scratch, node.epilogue, self.dtype)
+            return kernels.bind_gap(
+                x, out, scratch, node.epilogue, self.dtype, backend, rec
+            )
         if kind == "add":
             a = self._view(state, node.srcs[0], blk)
             b = self._view(state, node.srcs[1], blk)
             out = self._view(state, node.dst, blk)
-            return kernels.bind_add(a, b, out, scratch, node.epilogue, self.dtype)
+            return kernels.bind_add(
+                a, b, out, scratch, node.epilogue, self.dtype, backend, rec
+            )
         # fallback: eager module forward, copied into the destination register
+        rec.setdefault("backend", "numpy")
         x = self._view(state, node.srcs[0], blk)
         out = self._view(state, node.dst, blk)
         module = op.module
@@ -528,4 +572,5 @@ def optimize(ir, plan) -> TracedProgram:
         zero_regs,
         blocks,
         stats,
+        backend=getattr(plan.config, "backend", "auto"),
     )

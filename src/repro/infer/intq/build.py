@@ -32,6 +32,7 @@ every conv/linear inner loop, is integer shifts, adds and multiplies.
 
 from __future__ import annotations
 
+import logging
 import math
 import time
 from dataclasses import dataclass, field
@@ -81,6 +82,28 @@ _INDEX_BASE = 10_000
 
 _INT32_LIMIT = 2**31
 _INT64_GUARD = 2**62
+
+logger = logging.getLogger("repro.infer.intq")
+_native_warned = False
+
+
+def _native_int(ctx, op, kind: str, data: np.ndarray, out: np.ndarray, numpy_run) -> bool:
+    """Try the native C integer kernel; ``False`` → caller runs the numpy path.
+
+    Any failure in the native ladder (missing package, compiler, BLAS, or a
+    runtime error) is logged once and degrades to numpy — inference never
+    crashes because a toolchain is absent.
+    """
+    global _native_warned
+    try:
+        from repro.infer.native import binding
+
+        return binding.run_int_producer(ctx, op, kind, data, out, numpy_run)
+    except Exception as err:
+        if not _native_warned:
+            _native_warned = True
+            logger.warning("native integer backend disabled: %s", err)
+        return False
 
 
 @dataclass(frozen=True)
@@ -375,6 +398,7 @@ class IntConvOp:
     flags: tuple
     group_shifts: tuple
     consts: dict = field(repr=False)
+    backend: str = "auto"
 
     def run(self, ctx: ExecutionContext) -> None:
         x = ctx.slots[self.src]
@@ -402,19 +426,26 @@ class IntConvOp:
             cols = ctx.buffer(self.index, "cols", (n, c * k * k, oh * ow), mat_dt)
             cols.reshape(n, c, k, k, oh, ow)[...] = windows
         f = self.filters
-        acc = ctx.buffer(self.index, "acc", (n, f, oh * ow), mat_dt)
-        acc64 = acc if mat_dt == np.int64 else ctx.buffer(self.index, "acc64", acc.shape, np.int64)
-        out = ctx.buffer(self.index, "out", acc.shape, np.dtype(self.out_dtype))
-        kernel = bind_int_kernel(
-            "conv", self.impl, (n, f, cols.shape[1], oh * ow),
-            mat_dt, self.flags, self.group_shifts, self.consts,
-        )
-        if self.impl == "intq_shift":
-            shifted = ctx.buffer(self.index, "shifted", cols.shape, mat_dt)
-            part = ctx.buffer(self.index, "part", acc.shape, mat_dt)
-            kernel(cols, shifted, part, acc, acc64, out)
-        else:
-            kernel(cols, acc, acc64, out)
+        out = ctx.buffer(self.index, "out", (n, f, oh * ow), np.dtype(self.out_dtype))
+
+        def run_numpy() -> None:
+            acc = ctx.buffer(self.index, "acc", (n, f, oh * ow), mat_dt)
+            acc64 = (
+                acc if mat_dt == np.int64 else ctx.buffer(self.index, "acc64", acc.shape, np.int64)
+            )
+            kernel = bind_int_kernel(
+                "conv", self.impl, (n, f, cols.shape[1], oh * ow),
+                mat_dt, self.flags, self.group_shifts, self.consts,
+            )
+            if self.impl == "intq_shift":
+                shifted = ctx.buffer(self.index, "shifted", cols.shape, mat_dt)
+                part = ctx.buffer(self.index, "part", acc.shape, mat_dt)
+                kernel(cols, shifted, part, acc, acc64, out)
+            else:
+                kernel(cols, acc, acc64, out)
+
+        if self.backend == "numpy" or not _native_int(ctx, self, "conv", cols, out, run_numpy):
+            run_numpy()
         ctx.slots[self.dst] = out.reshape(n, f, oh, ow)
 
 
@@ -432,6 +463,7 @@ class IntLinearOp:
     flags: tuple
     group_shifts: tuple
     consts: dict = field(repr=False)
+    backend: str = "auto"
 
     def run(self, ctx: ExecutionContext) -> None:
         x = ctx.slots[self.src]
@@ -441,19 +473,27 @@ class IntLinearOp:
             np.copyto(xb, x)
             x = xb
         n, f = x.shape[0], self.filters
-        acc = ctx.buffer(self.index, "acc", (n, f), mat_dt)
-        acc64 = acc if mat_dt == np.int64 else ctx.buffer(self.index, "acc64", acc.shape, np.int64)
-        out = ctx.buffer(self.index, "out", acc.shape, np.dtype(self.out_dtype))
-        kernel = bind_int_kernel(
-            "linear", self.impl, (n, f, x.shape[1]),
-            mat_dt, self.flags, self.group_shifts, self.consts,
-        )
-        if self.impl == "intq_shift":
-            shifted = ctx.buffer(self.index, "shifted", x.shape, mat_dt)
-            part = ctx.buffer(self.index, "part", acc.shape, mat_dt)
-            kernel(x, shifted, part, acc, acc64, out)
-        else:
-            kernel(x, acc, acc64, out)
+        out = ctx.buffer(self.index, "out", (n, f), np.dtype(self.out_dtype))
+        xin = x
+
+        def run_numpy() -> None:
+            acc = ctx.buffer(self.index, "acc", (n, f), mat_dt)
+            acc64 = (
+                acc if mat_dt == np.int64 else ctx.buffer(self.index, "acc64", acc.shape, np.int64)
+            )
+            kernel = bind_int_kernel(
+                "linear", self.impl, (n, f, xin.shape[1]),
+                mat_dt, self.flags, self.group_shifts, self.consts,
+            )
+            if self.impl == "intq_shift":
+                shifted = ctx.buffer(self.index, "shifted", xin.shape, mat_dt)
+                part = ctx.buffer(self.index, "part", acc.shape, mat_dt)
+                kernel(xin, shifted, part, acc, acc64, out)
+            else:
+                kernel(xin, acc, acc64, out)
+
+        if self.backend == "numpy" or not _native_int(ctx, self, "linear", xin, out, run_numpy):
+            run_numpy()
         ctx.slots[self.dst] = out
 
 
@@ -822,7 +862,11 @@ class _IntQBuilder:
                 "intq_gemm", str(acc_dt), str(out_spec.dtype), flags, group_shifts, consts,
             )
             out_positions = int(out_shape[2] * out_shape[3])
+        # Impl timing must stay numpy-pure — native compiles would pollute it;
+        # the backend chooser below makes the final numpy/native call.
+        int_op.backend = "numpy"
         autotune = self._choose_impl(int_op, spec_in, in_shape)
+        autotune_backend = self._choose_backend(int_op, spec_in, in_shape)
         self.ops.append(int_op)
         self.spec[op.dst] = out_spec
 
@@ -843,9 +887,12 @@ class _IntQBuilder:
             "scale_in": spec_in.step,
             "scale_out": step_out,
             "zero_point": 0,
+            "backend": int_op.backend,
         }
         if autotune is not None:
             record["autotune"] = autotune
+        if autotune_backend is not None:
+            record["autotune_backend"] = autotune_backend
         self.layers.append(record)
 
     def _choose_impl(self, int_op, spec_in: GridSpec, in_shape: tuple) -> dict | None:
@@ -885,6 +932,59 @@ class _IntQBuilder:
             }
             AUTOTUNE_CACHE.put(key, {**entry, "cached": True})
         int_op.impl = entry["chosen"]
+        return entry
+
+    def _choose_backend(self, int_op, spec_in: GridSpec, in_shape: tuple) -> dict | None:
+        """Resolve the op's numpy/native backend; time both under "auto".
+
+        Runs after :meth:`_choose_impl` so the tournament measures the impl
+        the op will actually execute.  Forced "native" still degrades at run
+        time through the first-call parity ladder.
+        """
+        cfg = self.config
+        choice = getattr(cfg, "backend", "auto")
+        if choice == "numpy":
+            int_op.backend = "numpy"
+            return None
+        try:
+            from repro.infer.native import binding as native_binding
+
+            native_ok = native_binding.available()
+        except Exception:
+            native_ok = False
+        if not native_ok:
+            int_op.backend = "numpy"
+            return None
+        if choice == "native":
+            int_op.backend = "native"
+            return None
+        key = (
+            "intq-native", type(int_op).__name__, tuple(in_shape),
+            tuple(int_op.consts["W"].shape), int_op.impl, int_op.group_shifts,
+            int_op.acc_dtype, cfg.autotune_reps,
+        )
+        entry = AUTOTUNE_CACHE.get(key)
+        if entry is None:
+            timings = {}
+            for backend in ("numpy", "native"):
+                int_op.backend = backend
+                ctx = ExecutionContext()
+                ctx.slots[int_op.src] = np.zeros(in_shape, dtype=spec_in.dtype)
+                int_op.run(ctx)  # warm-up pays the compile + parity check
+                best = float("inf")
+                for _ in range(max(1, cfg.autotune_reps)):
+                    start = time.perf_counter()
+                    int_op.run(ctx)
+                    best = min(best, time.perf_counter() - start)
+                timings[backend] = best
+            entry = {
+                "backend": "native" if timings["native"] < timings["numpy"] else "numpy",
+                "native_s": timings["native"],
+                "numpy_s": timings["numpy"],
+                "cached": False,
+            }
+            AUTOTUNE_CACHE.put(key, {**entry, "cached": True})
+        int_op.backend = entry["backend"]
         return entry
 
 

@@ -38,7 +38,15 @@ a "recompile" of the traced program mostly amounts to.
 
 from __future__ import annotations
 
+import ast
+import hashlib
+import json
+import logging
+import os
+import platform
+import tempfile
 import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -50,6 +58,7 @@ __all__ = [
     "KERNEL_CACHE",
     "AUTOTUNE_CACHE",
     "cache_stats",
+    "cache_info",
     "clear_caches",
     "producer_scratch",
     "bind_producer",
@@ -83,20 +92,38 @@ class KernelSpec:
 
 
 class _KernelCache:
-    """spec -> compiled factory, with an inner source-text dedupe cache."""
+    """spec -> compiled factory, with an inner source-text dedupe cache.
 
-    def __init__(self) -> None:
-        self._factories: dict[KernelSpec, object] = {}
+    The per-spec map is a bounded LRU: long-lived cluster workers seeing
+    many distinct input shapes would otherwise grow it without limit.
+    Evicting an entry never orphans running code — bound thunks hold their
+    factory (or native function pointer) directly, and the inner
+    ``_sources`` dedupe map stays unbounded because the number of distinct
+    source texts is structurally small (it is what makes re-insertion after
+    an eviction cheap).
+    """
+
+    def __init__(self, max_entries: int = 512) -> None:
+        self._factories: OrderedDict[KernelSpec, object] = OrderedDict()
         self._sources: dict[str, object] = {}
         self._lock = threading.Lock()
+        self._max = max_entries
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+
+    def _insert(self, spec: KernelSpec, factory) -> None:
+        self._factories[spec] = factory
+        while len(self._factories) > self._max:
+            self._factories.popitem(last=False)
+            self.evictions += 1
 
     def get(self, spec: KernelSpec, source: str):
         with self._lock:
             factory = self._factories.get(spec)
             if factory is not None:
                 self.hits += 1
+                self._factories.move_to_end(spec)
                 return factory
             self.misses += 1
             factory = self._sources.get(source)
@@ -105,8 +132,26 @@ class _KernelCache:
                 exec(compile(source, f"<kernel {spec.kind}/{spec.impl}>", "exec"), namespace)
                 factory = namespace["_factory"]
                 self._sources[source] = factory
-            self._factories[spec] = factory
+            self._insert(spec, factory)
             return factory
+
+    def get_native(self, spec: KernelSpec, source: str, build):
+        """Like :meth:`get` for native kernels: ``build(source)`` compiles/
+        loads the C entry point on a source miss (it may raise
+        ``NativeUnavailable`` — nothing is cached then)."""
+        with self._lock:
+            fn = self._factories.get(spec)
+            if fn is not None:
+                self.hits += 1
+                self._factories.move_to_end(spec)
+                return fn
+            self.misses += 1
+            fn = self._sources.get(source)
+            if fn is None:
+                fn = build(source)
+                self._sources[source] = fn
+            self._insert(spec, fn)
+            return fn
 
     def stats(self) -> dict:
         with self._lock:
@@ -115,28 +160,88 @@ class _KernelCache:
                 "misses": self.misses,
                 "specs": len(self._factories),
                 "compiled_sources": len(self._sources),
+                "evictions": self.evictions,
+                "max_entries": self._max,
             }
 
     def clear(self) -> None:
         with self._lock:
             self._factories.clear()
             self._sources.clear()
-            self.hits = self.misses = 0
+            self.hits = self.misses = self.evictions = 0
 
 
 class _AutotuneCache:
     """Shape-keyed autotune decisions reused across fingerprint-identical
-    plan rebuilds (bounded FIFO; thread-safe)."""
+    plan rebuilds (bounded FIFO; thread-safe).
+
+    Entries persist to ``<cache_root>/autotune_<hosthash>.json`` (lazily
+    loaded, write-through on every ``put``), so a process restart reuses
+    previous measurements instead of re-timing every layer.  The host hash
+    covers the machine identity, numpy version and the C toolchain
+    fingerprint — a different compiler or host gets its own decision file,
+    since the timings it would read are not comparable.  Keys round-trip
+    through ``repr``/``ast.literal_eval`` (they are tuples of
+    strings/ints/tuples by construction).  Any disk error degrades to the
+    in-memory-only behavior.
+    """
 
     def __init__(self, max_entries: int = 512) -> None:
         self._entries: dict[tuple, dict] = {}
         self._lock = threading.Lock()
         self._max = max_entries
+        self._loaded_paths: set[str] = set()
         self.hits = 0
         self.misses = 0
 
+    def disk_path(self) -> str:
+        from repro.infer.native import toolchain
+
+        host = hashlib.sha256(
+            "\x00".join(
+                [platform.node(), platform.machine(), np.__version__,
+                 toolchain.toolchain_fingerprint()]
+            ).encode()
+        ).hexdigest()[:12]
+        return os.path.join(toolchain.cache_root(), f"autotune_{host}.json")
+
+    def _ensure_loaded_locked(self) -> None:
+        try:
+            path = self.disk_path()
+        except Exception:  # pragma: no cover - defensive
+            return
+        if path in self._loaded_paths:
+            return
+        self._loaded_paths.add(path)
+        try:
+            with open(path) as fh:
+                raw = json.load(fh)
+            for key_repr, entry in raw.items():
+                self._entries.setdefault(ast.literal_eval(key_repr), dict(entry))
+        except FileNotFoundError:
+            pass
+        except (OSError, ValueError, SyntaxError, AttributeError):
+            # Corrupt or foreign-format file: drop it, start fresh.
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+    def _flush_locked(self) -> None:
+        try:
+            path = self.disk_path()
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            payload = {repr(k): v for k, v in self._entries.items()}
+            fd, tmp = tempfile.mkstemp(prefix="autotune-", dir=os.path.dirname(path))
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh)
+            os.replace(tmp, path)
+        except (OSError, TypeError, ValueError):
+            pass  # unwritable cache dir: stay in-memory only
+
     def get(self, key: tuple) -> dict | None:
         with self._lock:
+            self._ensure_loaded_locked()
             entry = self._entries.get(key)
             if entry is None:
                 self.misses += 1
@@ -146,18 +251,28 @@ class _AutotuneCache:
 
     def put(self, key: tuple, entry: dict) -> None:
         with self._lock:
+            self._ensure_loaded_locked()
             if len(self._entries) >= self._max:
                 self._entries.pop(next(iter(self._entries)))
             self._entries[key] = dict(entry)
+            self._flush_locked()
 
     def stats(self) -> dict:
         with self._lock:
             return {"hits": self.hits, "misses": self.misses, "entries": len(self._entries)}
 
     def clear(self) -> None:
+        """Drop the in-memory entries *and* this host's decision file (so
+        ``clear_caches()`` means cold-start even across processes)."""
         with self._lock:
             self._entries.clear()
             self.hits = self.misses = 0
+            try:
+                path = self.disk_path()
+                self._loaded_paths.add(path)
+                os.unlink(path)
+            except Exception:
+                pass
 
 
 KERNEL_CACHE = _KernelCache()
@@ -169,10 +284,78 @@ def cache_stats() -> dict:
     return {"kernels": KERNEL_CACHE.stats(), "autotune": AUTOTUNE_CACHE.stats()}
 
 
-def clear_caches() -> None:
-    """Drop both caches (tests / benchmarks wanting cold-start numbers)."""
+def cache_info() -> dict:
+    """Everything cached on this host: in-process counters plus the on-disk
+    native compile cache and autotune decision file (sizes and locations).
+    The public entry point is ``repro.infer.cache_info()``."""
+    info = {"kernels": KERNEL_CACHE.stats(), "autotune": AUTOTUNE_CACHE.stats()}
+    try:
+        from repro.infer.native import binding, toolchain
+
+        path = AUTOTUNE_CACHE.disk_path()
+        info["autotune"]["disk_path"] = path
+        info["autotune"]["disk_exists"] = os.path.exists(path)
+        cdir = toolchain.native_cache_dir()
+        entries = [f for f in os.listdir(cdir) if f.endswith(".so")]
+        info["native"] = {
+            "cache_dir": cdir,
+            "compiled_kernels": len(entries),
+            "cache_bytes": sum(
+                os.path.getsize(os.path.join(cdir, f)) for f in os.listdir(cdir)
+            ),
+            "status": binding.status(),
+        }
+    except Exception:  # pragma: no cover - cache dir races / defensive
+        pass
+    return info
+
+
+def clear_caches(disk: bool = False) -> None:
+    """Drop both caches (tests / benchmarks wanting cold-start numbers).
+
+    ``AUTOTUNE_CACHE.clear()`` always removes this host's on-disk decision
+    file; ``disk=True`` additionally empties the native compile cache
+    directory (the ``--clear-cache`` CLI path).
+    """
     KERNEL_CACHE.clear()
     AUTOTUNE_CACHE.clear()
+    if disk:
+        try:
+            from repro.infer.native import toolchain
+
+            cdir = toolchain.native_cache_dir()
+            for name in os.listdir(cdir):
+                if name.endswith((".so", ".c")):
+                    try:
+                        os.unlink(os.path.join(cdir, name))
+                    except OSError:
+                        pass
+        except Exception:  # pragma: no cover - defensive
+            pass
+
+
+_native_log = logging.getLogger("repro.infer.native")
+_native_failed_once = False
+
+
+def _native_make(maker: str, *args):
+    """Call one ``repro.infer.native.binding.make_*`` entry point, treating
+    *any* failure — import error, toolchain error, a bug in the binding —
+    as a decline.  The native backend must never break plan compilation."""
+    global _native_failed_once
+    try:
+        from repro.infer.native import binding
+    except Exception:
+        return None
+    try:
+        return getattr(binding, maker)(*args)
+    except Exception:
+        if not _native_failed_once:
+            _native_failed_once = True
+            _native_log.exception(
+                "native backend %s raised unexpectedly; falling back to numpy", maker
+            )
+        return None
 
 
 # -- source emission ----------------------------------------------------------
@@ -336,12 +519,16 @@ def bind_producer(
     impl: str,
     epilogue,
     dtype: np.dtype,
+    backend: str = "numpy",
+    record: dict | None = None,
 ):
     """Bind one generated conv/linear kernel over concrete arrays.
 
     ``out`` is the flat GEMM output — ``(nb, F, oh*ow)`` for conv, ``(nb,
     F)`` for linear — a view of the destination register.  ``scratch`` maps
-    :func:`producer_scratch` names to bound views.
+    :func:`producer_scratch` names to bound views.  ``backend="native"``
+    tries the C backend over the same arrays (declining back to the numpy
+    thunk on any precondition failure); ``record`` receives the choice.
     """
     sig = _epilogue_sig(epilogue)
     etmps = [n for n in scratch if n.startswith("etmp")]
@@ -433,7 +620,16 @@ def bind_producer(
         epilogue=sig,
         extra=tuple(extra),
     )
-    return _make(spec, args, lines)
+    thunk = _make(spec, args, lines)
+    if backend == "native":
+        native = _native_make(
+            "make_producer", kind, op, x, out, scratch, impl, sig, spec, thunk, record
+        )
+        if native is not None:
+            return native
+    if record is not None:
+        record.setdefault("backend", "numpy")
+    return thunk
 
 
 # -- elementwise chains (standalone LeakyReLU / ActQuant / Affine) ------------
@@ -455,7 +651,15 @@ def eltwise_scratch(chain, out_tail: tuple, inplace: bool) -> list[ScratchReq]:
     return reqs
 
 
-def bind_eltwise(chain, x: np.ndarray, out: np.ndarray, scratch: dict, dtype: np.dtype):
+def bind_eltwise(
+    chain,
+    x: np.ndarray,
+    out: np.ndarray,
+    scratch: dict,
+    dtype: np.dtype,
+    backend: str = "numpy",
+    record: dict | None = None,
+):
     """Bind a standalone elementwise chain kernel (head + fused followers).
 
     ``out`` may alias ``x`` (the in-place case); the generated sequence
@@ -509,7 +713,16 @@ def bind_eltwise(chain, x: np.ndarray, out: np.ndarray, scratch: dict, dtype: np
         flags=tuple(flags),
         epilogue=(sig_head,) + sig_rest,
     )
-    return _make(spec, args, lines)
+    thunk = _make(spec, args, lines)
+    if backend == "native":
+        native = _native_make(
+            "make_eltwise", (sig_head,) + sig_rest, x, out, spec, thunk, record
+        )
+        if native is not None:
+            return native
+    if record is not None:
+        record.setdefault("backend", "numpy")
+    return thunk
 
 
 # -- pools / gap / add --------------------------------------------------------
@@ -524,6 +737,8 @@ def bind_pool(
     scratch: dict,
     epilogue,
     dtype: np.dtype,
+    backend: str = "numpy",
+    record: dict | None = None,
 ):
     """Max/avg pool with the ``k*k`` shifted window views prebound."""
     oh = (x.shape[2] - kernel) // stride + 1
@@ -556,10 +771,27 @@ def bind_pool(
         epilogue=sig,
         extra=(len(names),),
     )
-    return _make(spec, args, lines)
+    thunk = _make(spec, args, lines)
+    if backend == "native":
+        native = _native_make(
+            "make_pool", pool_kind, kernel, stride, x, out, sig, spec, thunk, record
+        )
+        if native is not None:
+            return native
+    if record is not None:
+        record.setdefault("backend", "numpy")
+    return thunk
 
 
-def bind_gap(x: np.ndarray, out: np.ndarray, scratch: dict, epilogue, dtype: np.dtype):
+def bind_gap(
+    x: np.ndarray,
+    out: np.ndarray,
+    scratch: dict,
+    epilogue,
+    dtype: np.dtype,
+    backend: str = "numpy",
+    record: dict | None = None,
+):
     args: dict = {"x": x, "out": out}
     lines = ["np.mean(x, axis=(2, 3), out=out)"]
     sig = _epilogue_sig(epilogue)
@@ -570,10 +802,26 @@ def bind_gap(x: np.ndarray, out: np.ndarray, scratch: dict, epilogue, dtype: np.
     spec = KernelSpec(
         kind="gap", impl="", shape=tuple(x.shape[1:]), dtype=str(dtype), flags=(), epilogue=sig
     )
-    return _make(spec, args, lines)
+    thunk = _make(spec, args, lines)
+    if backend == "native":
+        native = _native_make("make_gap", x, out, sig, spec, thunk, record)
+        if native is not None:
+            return native
+    if record is not None:
+        record.setdefault("backend", "numpy")
+    return thunk
 
 
-def bind_add(a: np.ndarray, b: np.ndarray, out: np.ndarray, scratch: dict, epilogue, dtype: np.dtype):
+def bind_add(
+    a: np.ndarray,
+    b: np.ndarray,
+    out: np.ndarray,
+    scratch: dict,
+    epilogue,
+    dtype: np.dtype,
+    backend: str = "numpy",
+    record: dict | None = None,
+):
     args: dict = {"a": a, "b": b, "out": out}
     lines = ["np.add(a, b, out=out)"]
     sig = _epilogue_sig(epilogue)
@@ -584,7 +832,14 @@ def bind_add(a: np.ndarray, b: np.ndarray, out: np.ndarray, scratch: dict, epilo
     spec = KernelSpec(
         kind="add", impl="", shape=tuple(a.shape[1:]), dtype=str(dtype), flags=(), epilogue=sig
     )
-    return _make(spec, args, lines)
+    thunk = _make(spec, args, lines)
+    if backend == "native":
+        native = _native_make("make_add", a, b, out, sig, spec, thunk, record)
+        if native is not None:
+            return native
+    if record is not None:
+        record.setdefault("backend", "numpy")
+    return thunk
 
 
 # -- autotune support ---------------------------------------------------------
@@ -616,12 +871,20 @@ def autotune_key(op, x_shape: tuple, dtype: np.dtype, reps: int) -> tuple:
     return (kind, tuple(x_shape), tuple(wshape), geom, _shift_signature(op), str(dtype), int(reps))
 
 
-def bind_standalone_producer(op, x: np.ndarray, impl: str, dtype: np.dtype):
+def bind_standalone_producer(
+    op,
+    x: np.ndarray,
+    impl: str,
+    dtype: np.dtype,
+    backend: str = "numpy",
+    record: dict | None = None,
+):
     """A self-buffered generated kernel for one conv/linear op (autotune path).
 
     Allocates private out/scratch arrays and returns ``(thunk, out)`` — the
     same codegen the traced executor binds, so autotune measures exactly the
-    kernels the fused program will run.
+    kernels the fused program will run (including the native variants when
+    ``backend="native"``).
     """
     kind = "linear" if hasattr(op, "weight_t") else "conv"
     nb = x.shape[0]
@@ -638,5 +901,5 @@ def bind_standalone_producer(op, x: np.ndarray, impl: str, dtype: np.dtype):
         out = np.empty((nb, op.weight2d.shape[0], oh * ow), dtype)
     else:
         out = np.empty((nb, op.weight_t.shape[1]), dtype)
-    thunk = bind_producer(kind, op, x, out, scratch, impl, (), dtype)
+    thunk = bind_producer(kind, op, x, out, scratch, impl, (), dtype, backend, record)
     return thunk, out

@@ -69,6 +69,7 @@ __all__ = [
 _KERNELS = ("auto", "dense", "shift_plane")
 _ALL_DEAD = ("keep", "error")
 _COMPUTE_DTYPES = ("float", "int8")
+_BACKENDS = ("auto", "native", "numpy")
 
 
 @dataclass(frozen=True)
@@ -114,6 +115,15 @@ class PlanConfig:
             conv/linear kernels.  Requires the model to declare
             ``in_channels``/``image_size`` (or an explicit calibration
             batch via :func:`repro.infer.intq.build_intq_program`).
+        backend: Kernel execution backend.  ``"numpy"`` forces the numpy
+            codegen everywhere; ``"native"`` uses the C backend
+            (:mod:`repro.infer.native`) wherever it applies, falling back
+            per kernel where it cannot; ``"auto"`` (default) does the same
+            but additionally lets autotune time C against numpy per
+            candidate layer and record the winner.  Native kernels
+            self-verify bitwise against the numpy codegen on first call, so
+            every setting produces identical results — on hosts without a C
+            toolchain all three behave like ``"numpy"`` (logged once).
     """
 
     prune: bool = True
@@ -124,10 +134,15 @@ class PlanConfig:
     trace: bool = True
     fuse: bool = True
     dtype: str = "float"
+    backend: str = "auto"
 
     def __post_init__(self) -> None:
         if self.kernel not in _KERNELS:
             raise ConfigurationError(f"unknown kernel {self.kernel!r}; use one of {_KERNELS}")
+        if self.backend not in _BACKENDS:
+            raise ConfigurationError(
+                f"unknown backend {self.backend!r}; use one of {_BACKENDS}"
+            )
         if self.dtype not in _COMPUTE_DTYPES:
             raise ConfigurationError(
                 f"unknown compute dtype {self.dtype!r}; use one of {_COMPUTE_DTYPES}"
@@ -234,6 +249,9 @@ class ConvOp:
     dead_in_weight2d: np.ndarray | None = None
     dead_in_consts: np.ndarray | None = None
     dead_maps: dict = field(default_factory=dict, repr=False)
+    #: Per-op backend override ("auto" defers to the plan config; autotune
+    #: under backend="auto" writes its measured winner here).
+    backend: str = "auto"
 
     def _dead_bias_map(self, h: int, w: int) -> np.ndarray:
         """(F, oh*ow) constant contribution of the pruned input channels."""
@@ -322,6 +340,8 @@ class LinearOp:
     shift: "ShiftPlaneSet | None" = None
     live_rows: np.ndarray | None = None
     in_live_cols: np.ndarray | None = None
+    #: Per-op backend override; see :class:`ConvOp`.
+    backend: str = "auto"
 
     def run(self, ctx: ExecutionContext) -> None:
         x = ctx.slots[self.src]
@@ -668,9 +688,17 @@ class ExecutionPlan:
                     k_hist.extend([0] * (len(hist) - len(k_hist)))
                 for k, count in enumerate(hist):
                     k_hist[k] += count
-        programs = [p.stats for p in self._traced.values()]
+        programs = [
+            {**p.stats, "backends": p.backend_counts()} for p in self._traced.values()
+        ]
         from repro.infer.kernels import cache_stats
 
+        try:
+            from repro.infer.native import binding as _native_binding
+
+            native_status = _native_binding.status()
+        except Exception:  # pragma: no cover - defensive
+            native_status = {"available": False, "reason": "native package unavailable"}
         return {
             "dtype": str(self.dtype),
             "compute_dtype": "int8" if self.intq is not None else str(self.dtype),
@@ -689,7 +717,9 @@ class ExecutionPlan:
                 "trace": self.config.trace,
                 "fuse": self.config.fuse,
                 "dtype": self.config.dtype,
+                "backend": getattr(self.config, "backend", "auto"),
             },
+            "native": native_status,
             "trace": {
                 "enabled": self.config.trace,
                 "fuse": self.config.fuse,
@@ -1173,7 +1203,8 @@ def compile_network(
             from repro.infer.autotune import autotune_ops
 
             autotune_report = autotune_ops(
-                compiler.ops, candidates, shape, compiler.dtype, cfg.autotune_reps
+                compiler.ops, candidates, shape, compiler.dtype, cfg.autotune_reps,
+                backend=cfg.backend,
             )
     layer_info = _collect_layer_info(
         compiler.ops, compiler.bindings, prune_report, autotune_report

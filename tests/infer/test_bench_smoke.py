@@ -68,6 +68,39 @@ def test_benchmark_smoke(tmp_path):
 
 
 @pytest.mark.infer_bench
+def test_native_sweep_smoke(tmp_path):
+    """The --native-sweep section: native C vs numpy codegen timings, bitwise
+    parity in both dtypes, and per-layer backend records, at smoke scale
+    (net 4).  Passes with or without a host toolchain — without one, every
+    layer records numpy and the speedups hover near 1x."""
+    sweep = bench_infer.run_native_sweep(reps=1, smoke=True)
+
+    rows = sweep["native_sweep"]
+    assert {row["network_id"] for row in rows} == {4}
+    for row in rows:
+        # Bitwise equality is the acceptance bar regardless of backend.
+        assert row["bitwise_equal"]["float64"] is True
+        assert row["bitwise_equal"]["int8"] is True
+        for spec in row["batches"].values():
+            assert spec["numpy_s"] > 0 and spec["native_s"] > 0
+            assert spec["int8_numpy_s"] > 0 and spec["int8_native_s"] > 0
+        assert row["float64_layers"]  # per-node backend outcome records
+        backends = {l.get("backend") for l in row["float64_layers"]}
+        assert backends <= {"native", "numpy"}
+    summary = sweep["native_summary"]
+    assert summary["all_bitwise_equal"] is True
+    assert "available" in summary["toolchain"]
+    if summary["toolchain"]["available"]:
+        assert any(
+            l.get("backend") == "native" for r in rows for l in r["float64_layers"]
+        )
+
+    out = tmp_path / "BENCH_native.json"
+    out.write_text(json.dumps(sweep))  # round-trips: everything is plain JSON
+    assert json.loads(out.read_text())["native_sweep"]
+
+
+@pytest.mark.infer_bench
 def test_int_sweep_smoke(tmp_path):
     """The --int-sweep section: int8 parity, determinism and measured op
     counts, at smoke scale (nets 1 and 4)."""
