@@ -399,6 +399,8 @@ class IntConvOp:
     group_shifts: tuple
     consts: dict = field(repr=False)
     backend: str = "auto"
+    #: Intra-op thread count for the native integer kernel (0 = serial).
+    threads: int = 0
 
     def run(self, ctx: ExecutionContext) -> None:
         x = ctx.slots[self.src]
@@ -464,6 +466,8 @@ class IntLinearOp:
     group_shifts: tuple
     consts: dict = field(repr=False)
     backend: str = "auto"
+    #: Intra-op thread count for the native integer kernel (0 = serial).
+    threads: int = 0
 
     def run(self, ctx: ExecutionContext) -> None:
         x = ctx.slots[self.src]
@@ -1022,6 +1026,11 @@ def build_intq_program(
     builder = _IntQBuilder(plan, images)
     builder.calibrate()
     builder.lower()
+    intra = int(getattr(plan, "intra_threads", 0) or 0)
+    if intra >= 1:
+        for iop in builder.ops:
+            if hasattr(iop, "threads"):
+                iop.threads = intra
     return IntQProgram(
         ops=builder.ops,
         out_slot=plan.out_slot,

@@ -1,0 +1,22 @@
+"""Deterministic intra-op threading for the native kernel backend.
+
+Two halves:
+
+* :mod:`.runtime` — a persistent C-level pthread worker pool (compiled and
+  loaded once per process) exposing ``rt_parallel_for``: execute a static
+  tile decomposition over N participants with atomic tile claiming.
+* :mod:`.codegen` — C source emitters for tile-parameterized kernel bodies
+  (the threaded twins of :mod:`repro.infer.native.codegen`), including the
+  blocked native GEMM micro-kernel.
+
+The contract that makes results **bitwise identical for any thread
+count**: the tile grid is derived only from the problem *shape* (never
+from the thread count), every output element is written by exactly one
+tile, and the per-element operation order inside a tile equals the serial
+kernel's.  Which thread runs a tile therefore cannot change any value —
+only the wall-clock.
+"""
+
+from repro.infer.native.threading import runtime  # noqa: F401
+
+__all__ = ["runtime"]

@@ -1,0 +1,401 @@
+"""The persistent C worker pool behind threaded native kernels.
+
+One pool per process, spawned lazily on the first threaded kernel bind and
+reused by every kernel afterwards.  The C side exports:
+
+* ``rt_parallel_for(fn, arg, ntiles, limit)`` — run ``fn(arg, tile,
+  worker)`` for every tile in ``[0, ntiles)`` across up to ``limit``
+  participants (the caller plus pool workers ``1..limit-1``).  Tiles are
+  claimed from a shared atomic counter, so load balancing is dynamic while
+  the *work itself* stays static: the tile grid never depends on the
+  thread count, which is what keeps threaded results bitwise identical for
+  any ``limit``.  The call is a full barrier — it returns only after every
+  participant finished, with mutex-ordered memory visibility.
+* ``rt_serial_for`` — same signature, runs every tile inline on the
+  caller.  Generated kernels receive one of the two addresses through a
+  pointer slot; swapping it is how the first-call self-check compares
+  threaded against serial execution of the *same* tiles.
+* ``rt_start`` / ``rt_shutdown`` / ``rt_reset_after_fork`` / ``rt_stats``
+  — pool lifecycle and utilization counters.
+
+Process hygiene: ``atexit`` shuts the pool down (workers are joined, so no
+thread outlives the interpreter's C teardown), and ``os.register_at_fork``
+resets the pool state in forked children — pthreads do not survive fork,
+so the child starts with zero workers and either restarts its own pool on
+the next threaded call or degrades to caller-inline execution.  A host
+where the pool cannot start at all (thread creation failing, compile
+failure) degrades the same way: ``rt_parallel_for`` clamps ``limit`` to
+the live worker count + 1 and runs caller-inline, still over the identical
+tile grid.
+"""
+
+from __future__ import annotations
+
+import atexit
+import ctypes
+import logging
+import os
+import threading
+
+from repro.infer.native import toolchain
+
+__all__ = [
+    "available",
+    "resolve_threads",
+    "ensure_pool",
+    "pool_size",
+    "pf_addr",
+    "serial_addr",
+    "stats",
+    "shutdown",
+    "reset",
+    "MAX_WORKERS",
+]
+
+logger = logging.getLogger("repro.infer.native.threading")
+
+#: Hard cap on pool threads (worker ids above this would overrun the
+#: per-worker counter arrays; nothing sane asks for more).
+MAX_WORKERS = 64
+
+_RUNTIME_SOURCE = r"""
+#include <pthread.h>
+#include <stdatomic.h>
+#include <stdint.h>
+#include <string.h>
+
+typedef long long i64;
+typedef void (*rt_tile_fn)(void *, i64, i64);
+
+#define RT_MAX_WORKERS 64
+
+static pthread_mutex_t rt_mu = PTHREAD_MUTEX_INITIALIZER;
+/* One job at a time: concurrent callers (batch-sharding threads that each
+   run threaded kernels) serialize here instead of corrupting job state. */
+static pthread_mutex_t rt_job_mu = PTHREAD_MUTEX_INITIALIZER;
+static pthread_cond_t rt_newjob = PTHREAD_COND_INITIALIZER;
+static pthread_cond_t rt_done = PTHREAD_COND_INITIALIZER;
+
+static int rt_nworkers = 0;        /* live pool threads (caller excluded) */
+static int rt_stop = 0;
+static unsigned long long rt_seq = 0;
+
+/* current job (valid only between broadcast and the caller's done-wait) */
+static rt_tile_fn rt_fn = 0;
+static void *rt_arg = 0;
+static i64 rt_ntiles = 0;
+static int rt_limit = 0;           /* participants, caller included */
+static int rt_expected = 0;        /* pool workers that must finish */
+static int rt_finished = 0;
+static atomic_llong rt_next_tile;
+
+static pthread_t rt_threads[RT_MAX_WORKERS];
+
+/* stats */
+static atomic_llong rt_jobs;
+static atomic_llong rt_tiles_caller;
+static atomic_llong rt_tiles_stolen;  /* tiles run by pool workers */
+
+static void rt_run_tiles(i64 wk) {
+    for (;;) {
+        i64 t = atomic_fetch_add(&rt_next_tile, 1);
+        if (t >= rt_ntiles) return;
+        rt_fn(rt_arg, t, wk);
+        if (wk == 0) atomic_fetch_add(&rt_tiles_caller, 1);
+        else atomic_fetch_add(&rt_tiles_stolen, 1);
+    }
+}
+
+static void *rt_worker(void *argp) {
+    i64 wk = (i64)(intptr_t)argp;   /* 1..nworkers */
+    unsigned long long seen = 0;
+    for (;;) {
+        pthread_mutex_lock(&rt_mu);
+        while (!rt_stop && rt_seq == seen)
+            pthread_cond_wait(&rt_newjob, &rt_mu);
+        if (rt_stop) { pthread_mutex_unlock(&rt_mu); return 0; }
+        seen = rt_seq;
+        int participate = wk < (i64)rt_limit;
+        pthread_mutex_unlock(&rt_mu);
+        if (!participate) continue;
+        rt_run_tiles(wk);
+        pthread_mutex_lock(&rt_mu);
+        if (++rt_finished >= rt_expected) pthread_cond_signal(&rt_done);
+        pthread_mutex_unlock(&rt_mu);
+    }
+}
+
+void rt_parallel_for(rt_tile_fn fn, void *arg, i64 ntiles, i64 limit) {
+    if (ntiles <= 0) return;
+    atomic_fetch_add(&rt_jobs, 1);
+    int lim = (int)limit;
+    if (lim > rt_nworkers + 1) lim = rt_nworkers + 1;
+    if (lim > (int)ntiles) lim = (int)ntiles;
+    if (lim < 2) {
+        for (i64 t = 0; t < ntiles; t++) fn(arg, t, 0);
+        atomic_fetch_add(&rt_tiles_caller, ntiles);
+        return;
+    }
+    pthread_mutex_lock(&rt_job_mu);
+    pthread_mutex_lock(&rt_mu);
+    rt_fn = fn; rt_arg = arg; rt_ntiles = ntiles;
+    atomic_store(&rt_next_tile, 0);
+    rt_limit = lim;
+    rt_expected = lim - 1;
+    rt_finished = 0;
+    rt_seq++;
+    pthread_cond_broadcast(&rt_newjob);
+    pthread_mutex_unlock(&rt_mu);
+    rt_run_tiles(0);
+    pthread_mutex_lock(&rt_mu);
+    while (rt_finished < rt_expected)
+        pthread_cond_wait(&rt_done, &rt_mu);
+    pthread_mutex_unlock(&rt_mu);
+    pthread_mutex_unlock(&rt_job_mu);
+}
+
+void rt_serial_for(rt_tile_fn fn, void *arg, i64 ntiles, i64 limit) {
+    (void)limit;
+    for (i64 t = 0; t < ntiles; t++) fn(arg, t, 0);
+}
+
+int rt_start(int want) {
+    if (want > RT_MAX_WORKERS) want = RT_MAX_WORKERS;
+    pthread_mutex_lock(&rt_mu);
+    while (rt_nworkers < want) {
+        pthread_t th;
+        if (pthread_create(&th, 0, rt_worker,
+                           (void *)(intptr_t)(rt_nworkers + 1)) != 0)
+            break;
+        rt_threads[rt_nworkers++] = th;
+    }
+    int have = rt_nworkers;
+    pthread_mutex_unlock(&rt_mu);
+    return have;
+}
+
+int rt_pool_size(void) { return rt_nworkers; }
+
+void rt_shutdown(void) {
+    pthread_mutex_lock(&rt_mu);
+    int n = rt_nworkers;
+    rt_stop = 1;
+    pthread_cond_broadcast(&rt_newjob);
+    pthread_mutex_unlock(&rt_mu);
+    for (int i = 0; i < n; i++) pthread_join(rt_threads[i], 0);
+    pthread_mutex_lock(&rt_mu);
+    rt_nworkers = 0;
+    rt_stop = 0;   /* allow a later restart */
+    pthread_mutex_unlock(&rt_mu);
+}
+
+void rt_reset_after_fork(void) {
+    /* The forked child inherits no threads and possibly a mutex frozen
+       mid-lock; reinitialize everything so the child can restart (or just
+       run caller-inline). */
+    pthread_mutex_t m = PTHREAD_MUTEX_INITIALIZER;
+    pthread_mutex_t m2 = PTHREAD_MUTEX_INITIALIZER;
+    pthread_cond_t c1 = PTHREAD_COND_INITIALIZER;
+    pthread_cond_t c2 = PTHREAD_COND_INITIALIZER;
+    memcpy(&rt_mu, &m, sizeof(m));
+    memcpy(&rt_job_mu, &m2, sizeof(m2));
+    memcpy(&rt_newjob, &c1, sizeof(c1));
+    memcpy(&rt_done, &c2, sizeof(c2));
+    rt_nworkers = 0;
+    rt_stop = 0;
+    rt_seq = 0;
+    rt_limit = rt_expected = rt_finished = 0;
+    rt_fn = 0; rt_arg = 0; rt_ntiles = 0;
+    atomic_store(&rt_next_tile, 0);
+    atomic_store(&rt_jobs, 0);
+    atomic_store(&rt_tiles_caller, 0);
+    atomic_store(&rt_tiles_stolen, 0);
+}
+
+void rt_stats(long long *out) {
+    out[0] = rt_nworkers;
+    out[1] = atomic_load(&rt_jobs);
+    out[2] = atomic_load(&rt_tiles_caller);
+    out[3] = atomic_load(&rt_tiles_stolen);
+}
+"""
+
+_lock = threading.Lock()
+_lib: tuple | None = None  # memo: (ctypes lib | None, reason | None)
+_hooks_installed = False
+
+
+def resolve_threads(setting) -> int:
+    """Effective intra-op thread count from ``PlanConfig.threads``.
+
+    ``0`` means "legacy untiled kernels" (the pre-threading behavior —
+    bitwise-bound to numpy's own GEMM dispatch).  Any value ``>= 1`` means
+    "tiled threaded kernels with that many participants"; ``1`` dispatches
+    every tile inline on the caller, which is why ``threads=1/2/4`` are
+    bitwise identical by construction.  ``"auto"`` consults
+    ``$REPRO_NUM_THREADS`` and keeps the legacy kernels unless it asks for
+    2 or more — so the default configuration is byte-for-byte unchanged.
+    """
+    if setting == "auto":
+        env = os.environ.get("REPRO_NUM_THREADS", "").strip()
+        if not env:
+            return 0
+        try:
+            n = int(env)
+        except ValueError:
+            logger.warning("ignoring non-integer REPRO_NUM_THREADS=%r", env)
+            return 0
+        return n if n >= 2 else 0
+    n = int(setting)
+    if n < 1:
+        raise ValueError(f"threads must be >= 1 or 'auto', got {setting!r}")
+    return n
+
+
+def _install_hooks() -> None:
+    global _hooks_installed
+    if _hooks_installed:
+        return
+    _hooks_installed = True
+    atexit.register(shutdown)
+    if hasattr(os, "register_at_fork"):
+        os.register_at_fork(after_in_child=_after_fork_child)
+
+
+def _after_fork_child() -> None:
+    lib = _lib[0] if _lib is not None else None
+    if lib is not None:
+        try:
+            lib.rt_reset_after_fork()
+        except Exception:  # pragma: no cover - defensive
+            pass
+
+
+def _load():
+    """Compile/load the runtime library once; returns (lib, reason)."""
+    global _lib
+    with _lock:
+        if _lib is not None:
+            return _lib
+        try:
+            so_path = toolchain.compile_source(_RUNTIME_SOURCE, extra_flags=("-pthread",))
+            try:
+                lib = ctypes.CDLL(so_path)
+            except OSError:
+                # Corrupt cached binary: drop and rebuild once.
+                try:
+                    os.unlink(so_path)
+                except OSError:
+                    pass
+                lib = ctypes.CDLL(
+                    toolchain.compile_source(_RUNTIME_SOURCE, extra_flags=("-pthread",))
+                )
+        except (toolchain.NativeUnavailable, OSError) as err:
+            _lib = (None, str(err))
+            logger.warning("threading runtime unavailable: %s", err)
+            return _lib
+        lib.rt_start.argtypes = [ctypes.c_int]
+        lib.rt_start.restype = ctypes.c_int
+        lib.rt_pool_size.argtypes = []
+        lib.rt_pool_size.restype = ctypes.c_int
+        lib.rt_shutdown.argtypes = []
+        lib.rt_shutdown.restype = None
+        lib.rt_reset_after_fork.argtypes = []
+        lib.rt_reset_after_fork.restype = None
+        lib.rt_stats.argtypes = [ctypes.POINTER(ctypes.c_longlong)]
+        lib.rt_stats.restype = None
+        _lib = (lib, None)
+        _install_hooks()
+        return _lib
+
+
+def available() -> bool:
+    """Can threaded kernels run here (runtime compiled and loaded)?"""
+    return _load()[0] is not None
+
+
+def ensure_pool(workers: int) -> int:
+    """Grow the pool to at least ``workers`` threads; returns the live
+    count (possibly smaller — thread creation may fail, and the kernels
+    then run with fewer participants, same tiles)."""
+    lib, _ = _load()
+    if lib is None:
+        return 0
+    want = max(0, min(int(workers), MAX_WORKERS))
+    if want == 0:
+        return int(lib.rt_pool_size())
+    return int(lib.rt_start(want))
+
+
+def pool_size() -> int:
+    lib, _ = _load()
+    return int(lib.rt_pool_size()) if lib is not None else 0
+
+
+def _fn_addr(lib, name: str) -> int:
+    return ctypes.cast(getattr(lib, name), ctypes.c_void_p).value
+
+
+def pf_addr() -> int | None:
+    """Address of ``rt_parallel_for`` (rides a kernel pointer slot)."""
+    lib, _ = _load()
+    return _fn_addr(lib, "rt_parallel_for") if lib is not None else None
+
+
+def serial_addr() -> int | None:
+    """Address of ``rt_serial_for`` (the self-check's serial dispatch)."""
+    lib, _ = _load()
+    return _fn_addr(lib, "rt_serial_for") if lib is not None else None
+
+
+def stats(initialize: bool = False) -> dict:
+    """Pool utilization block for ``summary()`` / serve ``/metrics``.
+
+    Non-forcing by default: when no threaded kernel has touched the
+    runtime yet, reports that instead of compiling the pool library just
+    to answer a diagnostics call.
+    """
+    if _lib is None and not initialize:
+        return {"available": False, "reason": "not initialized (no threaded kernels bound)"}
+    lib, reason = _load()
+    if lib is None:
+        return {"available": False, "reason": reason}
+    raw = (ctypes.c_longlong * 4)()
+    lib.rt_stats(raw)
+    workers, jobs, caller_tiles, stolen_tiles = (int(v) for v in raw)
+    total = caller_tiles + stolen_tiles
+    return {
+        "available": True,
+        "workers": workers,
+        "parallel_for_calls": jobs,
+        "tiles_total": total,
+        "tiles_caller": caller_tiles,
+        "tiles_stolen": stolen_tiles,
+        # Fraction of tile executions pool workers took off the caller —
+        # 0.0 when everything ran inline, approaching (limit-1)/limit under
+        # perfect balance.
+        "steal_fraction": (stolen_tiles / total) if total else 0.0,
+    }
+
+
+def shutdown() -> None:
+    """Join every pool thread (atexit hook; safe to call repeatedly)."""
+    lib = _lib[0] if _lib is not None else None
+    if lib is not None:
+        try:
+            lib.rt_shutdown()
+        except Exception:  # pragma: no cover - defensive
+            pass
+
+
+def reset() -> None:
+    """Drop the loaded-runtime memo (tests flipping $CC / cache dirs).
+
+    The library itself stays mapped if it was loaded (unloading shared
+    objects with live threads is never safe); only the decision to retry
+    compilation is forgotten.
+    """
+    global _lib
+    shutdown()
+    with _lock:
+        _lib = None

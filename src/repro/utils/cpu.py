@@ -1,0 +1,23 @@
+"""Host CPU topology helpers.
+
+``os.cpu_count()`` reports the *machine's* core count, which is misleading
+inside cgroup/affinity-limited containers (CI runners, cluster workers
+pinned to a subset of cores): a 64-core host restricted to one core still
+reports 64.  Thread-pool sizing and benchmark metadata must use the number
+of CPUs this process may actually *run on*.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["effective_cpus"]
+
+
+def effective_cpus() -> int:
+    """CPUs available to *this process*: affinity mask size when the
+    platform exposes one (Linux), else ``os.cpu_count()``, floor 1."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):  # macOS / exotic hosts
+        return max(1, os.cpu_count() or 1)
